@@ -1,0 +1,78 @@
+// Package baselines exposes the paper's comparison compressors — SZ2.1,
+// SZ3, ZFP (fixed-accuracy), and MGARD+ — together with QoZ itself behind
+// one Codec interface, so that rate–distortion studies can sweep
+// compressors uniformly (as the paper's evaluation harness does).
+package baselines
+
+import (
+	"qoz"
+	"qoz/internal/mgard"
+	"qoz/internal/sz2"
+	"qoz/internal/sz3"
+	"qoz/internal/zfp"
+)
+
+// Codec is an error-bounded lossy compressor.
+type Codec interface {
+	// Name returns the compressor's display name as used in the paper.
+	Name() string
+	// Compress compresses a row-major field under the absolute error
+	// bound eb.
+	Compress(data []float32, dims []int, eb float64) ([]byte, error)
+	// Decompress reconstructs the field and its dimensions.
+	Decompress(buf []byte) ([]float32, []int, error)
+}
+
+// SZ2 returns the block-wise Lorenzo/regression baseline.
+func SZ2() Codec { return fnCodec{"SZ2.1", sz2.Compress, sz2.Decompress} }
+
+// SZ3 returns the global-interpolation baseline.
+func SZ3() Codec { return fnCodec{"SZ3", sz3.Compress, sz3.Decompress} }
+
+// ZFP returns the transform-based baseline in fixed-accuracy mode.
+func ZFP() Codec { return fnCodec{"ZFP", zfp.Compress, zfp.Decompress} }
+
+// MGARD returns the multilevel hierarchical baseline.
+func MGARD() Codec { return fnCodec{"MGARD+", mgard.Compress, mgard.Decompress} }
+
+// QoZ returns QoZ with the given tuning metric.
+func QoZ(metric qoz.Tuning) Codec {
+	return fnCodec{
+		name: qozName(metric),
+		comp: func(data []float32, dims []int, eb float64) ([]byte, error) {
+			return qoz.Compress(data, dims, qoz.Options{ErrorBound: eb, Metric: metric})
+		},
+		dec: qoz.Decompress,
+	}
+}
+
+func qozName(metric qoz.Tuning) string {
+	switch metric {
+	case qoz.TunePSNR:
+		return "QoZ(psnr)"
+	case qoz.TuneSSIM:
+		return "QoZ(ssim)"
+	case qoz.TuneAC:
+		return "QoZ(ac)"
+	default:
+		return "QoZ"
+	}
+}
+
+// All returns the paper's five compressors in table order, with QoZ in the
+// given tuning mode.
+func All(metric qoz.Tuning) []Codec {
+	return []Codec{SZ2(), SZ3(), ZFP(), MGARD(), QoZ(metric)}
+}
+
+type fnCodec struct {
+	name string
+	comp func([]float32, []int, float64) ([]byte, error)
+	dec  func([]byte) ([]float32, []int, error)
+}
+
+func (c fnCodec) Name() string { return c.name }
+func (c fnCodec) Compress(data []float32, dims []int, eb float64) ([]byte, error) {
+	return c.comp(data, dims, eb)
+}
+func (c fnCodec) Decompress(buf []byte) ([]float32, []int, error) { return c.dec(buf) }

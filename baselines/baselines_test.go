@@ -1,0 +1,64 @@
+package baselines
+
+import (
+	"testing"
+
+	"qoz"
+	"qoz/datagen"
+	"qoz/metrics"
+)
+
+func TestAllCodecsRoundTrip(t *testing.T) {
+	ds := datagen.NYX(24, 24, 24)
+	eb := 1e-3 * metrics.ValueRange(ds.Data)
+	for _, c := range All(qoz.TuneCR) {
+		buf, err := c.Compress(ds.Data, ds.Dims, eb)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name(), err)
+		}
+		recon, dims, err := c.Decompress(buf)
+		if err != nil {
+			t.Fatalf("%s: Decompress: %v", c.Name(), err)
+		}
+		if len(dims) != 3 {
+			t.Fatalf("%s: dims %v", c.Name(), dims)
+		}
+		maxErr, _ := metrics.MaxAbsError(ds.Data, recon)
+		if maxErr > eb*(1+1e-12) {
+			t.Fatalf("%s: bound violated: %g > %g", c.Name(), maxErr, eb)
+		}
+	}
+}
+
+func TestCrossCodecStreamsRejected(t *testing.T) {
+	ds := datagen.CESMATM(48, 64)
+	eb := 1e-3 * metrics.ValueRange(ds.Data)
+	bufSZ3, err := SZ3().Compress(ds.Data, ds.Dims, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := SZ2().Decompress(bufSZ3); err == nil {
+		t.Fatal("SZ2 accepted an SZ3 stream")
+	}
+	if _, _, err := ZFP().Decompress(bufSZ3); err == nil {
+		t.Fatal("ZFP accepted an SZ3 stream")
+	}
+}
+
+func TestNames(t *testing.T) {
+	want := []string{"SZ2.1", "SZ3", "ZFP", "MGARD+", "QoZ"}
+	for i, c := range All(qoz.TuneCR) {
+		if c.Name() != want[i] {
+			t.Fatalf("codec %d name %q, want %q", i, c.Name(), want[i])
+		}
+	}
+	if QoZ(qoz.TunePSNR).Name() != "QoZ(psnr)" {
+		t.Fatal("QoZ psnr name wrong")
+	}
+	if QoZ(qoz.TuneSSIM).Name() != "QoZ(ssim)" {
+		t.Fatal("QoZ ssim name wrong")
+	}
+	if QoZ(qoz.TuneAC).Name() != "QoZ(ac)" {
+		t.Fatal("QoZ ac name wrong")
+	}
+}

@@ -1,0 +1,176 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per artifact, backed by internal/harness), plus per-codec
+// throughput micro-benchmarks. Run everything with:
+//
+//	go test -bench=. -benchmem
+//
+// The benchmarks use the reduced (Quick) dataset sizes so the whole suite
+// runs in minutes; `go run ./cmd/benchsuite` runs the experiments at the
+// full default sizes and prints the paper-style tables.
+package qoz_test
+
+import (
+	"io"
+	"testing"
+
+	"qoz"
+	"qoz/baselines"
+	"qoz/datagen"
+	"qoz/internal/harness"
+	"qoz/metrics"
+)
+
+// ---- experiment benchmarks: one per paper table/figure ----
+
+func BenchmarkFig7ErrorDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig7(io.Discard, harness.Quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3CompressionRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table3(io.Discard, harness.Quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig8RatePSNR(b *testing.B) {
+	cfg := harness.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig8(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig9RateSSIM(b *testing.B) {
+	cfg := harness.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig9(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig10RateAC(b *testing.B) {
+	cfg := harness.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig10(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11VisualQuality(b *testing.B) {
+	cfg := harness.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig11(io.Discard, cfg, 30); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig12Ablation(b *testing.B) {
+	cfg := harness.Quick()
+	cfg.Sweep = []float64{1e-2, 1e-3}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig12(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13ParamTuning(b *testing.B) {
+	cfg := harness.Quick()
+	cfg.Sweep = []float64{1e-2, 1e-3}
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig13(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable4Speed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Table4(io.Discard, harness.Quick()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig14ParallelIO(b *testing.B) {
+	cfg := harness.Quick()
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.Fig14(io.Discard, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- per-codec throughput micro-benchmarks ----
+
+func benchCompress(b *testing.B, c baselines.Codec, ds datagen.Dataset) {
+	eb := 1e-3 * metrics.ValueRange(ds.Data)
+	b.SetBytes(int64(ds.Len() * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Compress(ds.Data, ds.Dims, eb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func benchDecompress(b *testing.B, c baselines.Codec, ds datagen.Dataset) {
+	eb := 1e-3 * metrics.ValueRange(ds.Data)
+	buf, err := c.Compress(ds.Data, ds.Dims, eb)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(ds.Len() * 4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := c.Decompress(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCompressQoZNYX(b *testing.B) {
+	benchCompress(b, baselines.QoZ(qoz.TuneCR), datagen.NYX(64, 64, 64))
+}
+
+func BenchmarkCompressSZ3NYX(b *testing.B) {
+	benchCompress(b, baselines.SZ3(), datagen.NYX(64, 64, 64))
+}
+
+func BenchmarkCompressSZ2NYX(b *testing.B) {
+	benchCompress(b, baselines.SZ2(), datagen.NYX(64, 64, 64))
+}
+
+func BenchmarkCompressZFPNYX(b *testing.B) {
+	benchCompress(b, baselines.ZFP(), datagen.NYX(64, 64, 64))
+}
+
+func BenchmarkCompressMGARDNYX(b *testing.B) {
+	benchCompress(b, baselines.MGARD(), datagen.NYX(64, 64, 64))
+}
+
+func BenchmarkDecompressQoZNYX(b *testing.B) {
+	benchDecompress(b, baselines.QoZ(qoz.TuneCR), datagen.NYX(64, 64, 64))
+}
+
+func BenchmarkDecompressSZ3NYX(b *testing.B) {
+	benchDecompress(b, baselines.SZ3(), datagen.NYX(64, 64, 64))
+}
+
+func BenchmarkCompressQoZCESM2D(b *testing.B) {
+	benchCompress(b, baselines.QoZ(qoz.TuneCR), datagen.CESMATM(256, 512))
+}
+
+func BenchmarkCompressQoZPSNRMode(b *testing.B) {
+	benchCompress(b, baselines.QoZ(qoz.TunePSNR), datagen.Miranda(48, 64, 64))
+}

@@ -1,0 +1,69 @@
+// Command benchsuite regenerates the tables and figures of the QoZ paper's
+// evaluation section on the synthetic dataset analogs and prints them in a
+// paper-style textual form.
+//
+// Usage:
+//
+//	benchsuite [-exp all|fig7|table3|fig8|fig9|fig10|fig11|fig12|fig13|table4|fig14]
+//	           [-size default|small] [-render DIR] [-cr N]
+//
+// -render DIR additionally writes PGM images for the Fig. 11 visual
+// comparison (original plus every codec's reconstruction at matched CR).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qoz/internal/harness"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (all, fig4, fig7, table3, fig8, fig9, fig10, fig11, fig12, fig13, table4, fig14)")
+	size := flag.String("size", "default", "dataset sizes: default or small")
+	render := flag.String("render", "", "directory for Fig. 11 PGM renderings (optional)")
+	targetCR := flag.Float64("cr", 65, "Fig. 11 target compression ratio")
+	flag.Parse()
+
+	cfg := harness.Default()
+	if *size == "small" {
+		cfg = harness.Quick()
+	}
+	w := os.Stdout
+
+	run := func(id string, fn func() error) {
+		if *exp != "all" && *exp != id {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+
+	run("fig4", func() error { _, err := harness.Fig4(w, cfg, *render); return err })
+	run("fig7", func() error { _, err := harness.Fig7(w, cfg); return err })
+	run("table3", func() error { _, err := harness.Table3(w, cfg); return err })
+	run("fig8", func() error { _, err := harness.Fig8(w, cfg); return err })
+	run("fig9", func() error { _, err := harness.Fig9(w, cfg); return err })
+	run("fig10", func() error { _, err := harness.Fig10(w, cfg); return err })
+	run("fig11", func() error {
+		if _, err := harness.Fig11(w, cfg, *targetCR); err != nil {
+			return err
+		}
+		if *render != "" {
+			files, err := harness.Fig11Render(*render, cfg, *targetCR)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "rendered: %s\n", strings.Join(files, ", "))
+		}
+		return nil
+	})
+	run("fig12", func() error { _, err := harness.Fig12(w, cfg); return err })
+	run("fig13", func() error { _, err := harness.Fig13(w, cfg); return err })
+	run("table4", func() error { _, err := harness.Table4(w, cfg); return err })
+	run("fig14", func() error { _, err := harness.Fig14(w, cfg); return err })
+}

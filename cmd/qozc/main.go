@@ -1,0 +1,296 @@
+// Command qozc is a command-line error-bounded lossy compressor for raw
+// binary float32 scientific data files (the format SDRBench distributes),
+// built on the QoZ library.
+//
+// Usage:
+//
+//	qozc compress   -in data.f32 -dims 100,500,500 -rel 1e-3 [-abs E]
+//	                [-mode cr|psnr|ssim|ac] [-out data.qoz]
+//	qozc decompress -in data.qoz [-out data.f32]
+//	qozc info       -in data.qoz
+//
+// Input data is little-endian IEEE-754 float32, row-major with the last
+// listed dimension varying fastest.
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"qoz"
+	"qoz/metrics"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "compress":
+		err = compressCmd(os.Args[2:])
+	case "decompress":
+		err = decompressCmd(os.Args[2:])
+	case "info":
+		err = infoCmd(os.Args[2:])
+	case "compare":
+		err = compareCmd(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qozc: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: qozc compress|decompress|info|compare [flags] (see -h per subcommand)")
+	os.Exit(2)
+}
+
+// compareCmd assesses reconstruction quality between two raw float32 files
+// (a Z-checker-style distortion report).
+func compareCmd(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	orig := fs.String("orig", "", "original raw float32 file (required)")
+	recon := fs.String("recon", "", "reconstructed raw float32 file (required)")
+	dimsArg := fs.String("dims", "", "comma-separated dimensions (required)")
+	fs.Parse(args)
+	if *orig == "" || *recon == "" || *dimsArg == "" {
+		return fmt.Errorf("compare requires -orig, -recon, and -dims")
+	}
+	dims, err := parseDims(*dimsArg)
+	if err != nil {
+		return err
+	}
+	a, err := readFloats(*orig, dims)
+	if err != nil {
+		return err
+	}
+	b, err := readFloats(*recon, dims)
+	if err != nil {
+		return err
+	}
+	maxErr, err := metrics.MaxAbsError(a, b)
+	if err != nil {
+		return err
+	}
+	psnr, _ := metrics.PSNR(a, b)
+	nrmse, _ := metrics.NRMSE(a, b)
+	ssim, _ := metrics.SSIM(a, b, dims)
+	ac, _ := metrics.AutoCorrelation(a, b, 1)
+	fmt.Printf("points:     %d  dims %v\n", len(a), dims)
+	fmt.Printf("max |err|:  %.6g\n", maxErr)
+	fmt.Printf("PSNR:       %.3f dB\n", psnr)
+	fmt.Printf("NRMSE:      %.6g\n", nrmse)
+	fmt.Printf("SSIM:       %.6f\n", ssim)
+	fmt.Printf("AC(lag-1):  %+.6f\n", ac)
+	return nil
+}
+
+func compressCmd(args []string) error {
+	fs := flag.NewFlagSet("compress", flag.ExitOnError)
+	in := fs.String("in", "", "input raw float32 file (required)")
+	out := fs.String("out", "", "output file (default: <in>.qoz)")
+	dimsArg := fs.String("dims", "", "comma-separated dimensions, e.g. 100,500,500 (required)")
+	rel := fs.Float64("rel", 0, "value-range-relative error bound ε")
+	abs := fs.Float64("abs", 0, "absolute error bound e")
+	mode := fs.String("mode", "cr", "tuning metric: cr, psnr, ssim, or ac")
+	prec := fs.Int("prec", 32, "input precision in bits: 32 or 64")
+	fs.Parse(args)
+	if *in == "" || *dimsArg == "" {
+		return fmt.Errorf("compress requires -in and -dims")
+	}
+	dims, err := parseDims(*dimsArg)
+	if err != nil {
+		return err
+	}
+	metric, err := parseMode(*mode)
+	if err != nil {
+		return err
+	}
+	opts := qoz.Options{ErrorBound: *abs, RelBound: *rel, Metric: metric}
+	dst := *out
+	if dst == "" {
+		dst = *in + ".qoz"
+	}
+	switch *prec {
+	case 32:
+		data, err := readFloats(*in, dims)
+		if err != nil {
+			return err
+		}
+		buf, stats, err := qoz.CompressStats(data, dims, opts)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(dst, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d -> %d bytes (CR %.1f), e=%.4g, tuned α=%.2f β=%.2f\n",
+			dst, len(data)*4, len(buf),
+			metrics.CompressionRatio(len(data), len(buf)),
+			stats.AbsBound, stats.Alpha, stats.Beta)
+	case 64:
+		data, err := readFloats64(*in, dims)
+		if err != nil {
+			return err
+		}
+		buf, err := qoz.CompressFloat64(data, dims, opts)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(dst, buf, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %d -> %d bytes (CR %.1f)\n",
+			dst, len(data)*8, len(buf), float64(len(data)*8)/float64(len(buf)))
+	default:
+		return fmt.Errorf("unsupported precision %d (want 32 or 64)", *prec)
+	}
+	return nil
+}
+
+func decompressCmd(args []string) error {
+	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
+	in := fs.String("in", "", "input .qoz file (required)")
+	out := fs.String("out", "", "output raw float32 file (default: <in>.f32)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("decompress requires -in")
+	}
+	buf, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	if qoz.IsFloat64Stream(buf) {
+		data, dims, err := qoz.DecompressFloat64(buf)
+		if err != nil {
+			return err
+		}
+		dst := *out
+		if dst == "" {
+			dst = *in + ".f64"
+		}
+		raw := make([]byte, 8*len(data))
+		for i, v := range data {
+			binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+		}
+		if err := os.WriteFile(dst, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("%s: dims %v, %d points (float64)\n", dst, dims, len(data))
+		return nil
+	}
+	data, dims, err := qoz.Decompress(buf)
+	if err != nil {
+		return err
+	}
+	dst := *out
+	if dst == "" {
+		dst = *in + ".f32"
+	}
+	raw := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	if err := os.WriteFile(dst, raw, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("%s: dims %v, %d points\n", dst, dims, len(data))
+	return nil
+}
+
+func infoCmd(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "input .qoz file (required)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("info requires -in")
+	}
+	buf, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	data, dims, err := qoz.Decompress(buf)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dims: %v\npoints: %d\ncompressed: %d bytes\nCR: %.1f\nvalue range: %.6g\n",
+		dims, len(data), len(buf),
+		metrics.CompressionRatio(len(data), len(buf)),
+		metrics.ValueRange(data))
+	return nil
+}
+
+func parseDims(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	dims := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("invalid dimension %q", p)
+		}
+		dims = append(dims, v)
+	}
+	return dims, nil
+}
+
+func parseMode(s string) (qoz.Tuning, error) {
+	switch strings.ToLower(s) {
+	case "cr":
+		return qoz.TuneCR, nil
+	case "psnr":
+		return qoz.TunePSNR, nil
+	case "ssim":
+		return qoz.TuneSSIM, nil
+	case "ac":
+		return qoz.TuneAC, nil
+	default:
+		return 0, fmt.Errorf("unknown mode %q (want cr, psnr, ssim, or ac)", s)
+	}
+}
+
+func readFloats64(path string, dims []int) ([]float64, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	if len(raw) != 8*n {
+		return nil, fmt.Errorf("%s holds %d bytes; dims %v need %d", path, len(raw), dims, 8*n)
+	}
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*i:]))
+	}
+	return data, nil
+}
+
+func readFloats(path string, dims []int) ([]float32, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	if len(raw) != 4*n {
+		return nil, fmt.Errorf("%s holds %d bytes; dims %v need %d", path, len(raw), dims, 4*n)
+	}
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(raw[4*i:]))
+	}
+	return data, nil
+}

@@ -1,0 +1,137 @@
+package main
+
+import (
+	"encoding/binary"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"qoz/datagen"
+)
+
+func writeF32(t *testing.T, path string, data []float32) {
+	t.Helper()
+	raw := make([]byte, 4*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompressDecompressCycle(t *testing.T) {
+	dir := t.TempDir()
+	ds := datagen.NYX(16, 16, 16)
+	in := filepath.Join(dir, "data.f32")
+	writeF32(t, in, ds.Data)
+
+	qozFile := filepath.Join(dir, "data.qoz")
+	if err := compressCmd([]string{"-in", in, "-dims", "16,16,16", "-rel", "1e-3", "-out", qozFile}); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	outFile := filepath.Join(dir, "out.f32")
+	if err := decompressCmd([]string{"-in", qozFile, "-out", outFile}); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	recon, err := readFloats(outFile, ds.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr := float64(0)
+	lo, hi := ds.Data[0], ds.Data[0]
+	for _, v := range ds.Data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	vr = float64(hi - lo)
+	for i := range recon {
+		if math.Abs(float64(recon[i])-float64(ds.Data[i])) > 1e-3*vr*(1+1e-12) {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+	if err := infoCmd([]string{"-in", qozFile}); err != nil {
+		t.Fatalf("info: %v", err)
+	}
+	if err := compareCmd([]string{"-orig", in, "-recon", outFile, "-dims", "16,16,16"}); err != nil {
+		t.Fatalf("compare: %v", err)
+	}
+}
+
+func TestFloat64Cycle(t *testing.T) {
+	dir := t.TempDir()
+	n := 512
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Sin(float64(i) / 20)
+	}
+	in := filepath.Join(dir, "data.f64")
+	raw := make([]byte, 8*n)
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	if err := os.WriteFile(in, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	qozFile := filepath.Join(dir, "data.qoz")
+	if err := compressCmd([]string{"-in", in, "-dims", "512", "-rel", "1e-3", "-prec", "64", "-out", qozFile}); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	outFile := filepath.Join(dir, "out.f64")
+	if err := decompressCmd([]string{"-in", qozFile, "-out", outFile}); err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	recon, err := readFloats64(outFile, []int{n})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if math.Abs(data[i]-recon[i]) > 2e-3*2 { // range 2, rel 1e-3
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+}
+
+func TestCompressValidation(t *testing.T) {
+	if err := compressCmd([]string{"-dims", "4"}); err == nil {
+		t.Error("missing -in accepted")
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "short.f32")
+	writeF32(t, in, make([]float32, 3))
+	if err := compressCmd([]string{"-in", in, "-dims", "4", "-rel", "1e-3"}); err == nil {
+		t.Error("size mismatch accepted")
+	}
+	if err := compressCmd([]string{"-in", in, "-dims", "3", "-rel", "1e-3", "-mode", "bogus"}); err == nil {
+		t.Error("bogus mode accepted")
+	}
+}
+
+func TestParseDims(t *testing.T) {
+	dims, err := parseDims("100, 500,500")
+	if err != nil || len(dims) != 3 || dims[0] != 100 {
+		t.Fatalf("parseDims: %v %v", dims, err)
+	}
+	if _, err := parseDims("10,-3"); err == nil {
+		t.Error("negative dim accepted")
+	}
+	if _, err := parseDims("abc"); err == nil {
+		t.Error("non-numeric dim accepted")
+	}
+}
+
+func TestParseMode(t *testing.T) {
+	for _, s := range []string{"cr", "psnr", "ssim", "ac", "PSNR"} {
+		if _, err := parseMode(s); err != nil {
+			t.Errorf("parseMode(%q): %v", s, err)
+		}
+	}
+	if _, err := parseMode("x"); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}

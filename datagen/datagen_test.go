@@ -1,0 +1,150 @@
+package datagen
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAllShapesAndDeterminism(t *testing.T) {
+	for _, d := range AllSmall() {
+		n := 1
+		for _, dim := range d.Dims {
+			n *= dim
+		}
+		if n != len(d.Data) {
+			t.Fatalf("%s: dims %v inconsistent with %d points", d.Name, d.Dims, len(d.Data))
+		}
+		for i, v := range d.Data {
+			if math.IsNaN(float64(v)) || math.IsInf(float64(v), 0) {
+				t.Fatalf("%s: non-finite value at %d", d.Name, i)
+			}
+		}
+	}
+	// Determinism: two invocations produce identical bytes.
+	a := NYX(16, 16, 16)
+	b := NYX(16, 16, 16)
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatalf("NYX not deterministic at %d", i)
+		}
+	}
+}
+
+func TestDefaultSizes(t *testing.T) {
+	d := CESMATM()
+	if d.Dims[0] != DefaultCESMDims[0] || d.Dims[1] != DefaultCESMDims[1] {
+		t.Fatalf("default CESM dims = %v", d.Dims)
+	}
+	if d.Name != "CESM-ATM" {
+		t.Fatalf("name = %q", d.Name)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		d, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if d.Name != name {
+			t.Fatalf("ByName(%q) returned %q", name, d.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+}
+
+func TestNYXIsSpiky(t *testing.T) {
+	d := NYX(32, 32, 32)
+	var mean float64
+	lo, hi := d.Data[0], d.Data[0]
+	for _, v := range d.Data {
+		mean += float64(v)
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	mean /= float64(len(d.Data))
+	// Lognormal: max far above mean, min positive.
+	if lo <= 0 {
+		t.Fatalf("density must be positive, min=%v", lo)
+	}
+	if float64(hi) < 5*mean {
+		t.Fatalf("expected heavy tail: max=%v mean=%v", hi, mean)
+	}
+}
+
+func TestMirandaRegionalSmoothness(t *testing.T) {
+	// Variance of increments near the mixing interface should far exceed
+	// variance in the quiescent region — the property that motivates
+	// anchor points in the paper.
+	d := Miranda(48, 48, 48)
+	nz, ny, nx := 48, 48, 48
+	varIn, varOut := 0.0, 0.0
+	nIn, nOut := 0, 0
+	at := func(z, y, x int) float64 { return float64(d.Data[(z*ny+y)*nx+x]) }
+	for z := 1; z < nz; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				inc := at(z, y, x) - at(z-1, y, x)
+				if z > nz/2-6 && z < nz/2+14 { // near interface (~0.55 nz)
+					varIn += inc * inc
+					nIn++
+				} else if z < nz/4 {
+					varOut += inc * inc
+					nOut++
+				}
+			}
+		}
+	}
+	varIn /= float64(nIn)
+	varOut /= float64(nOut)
+	if varIn < 10*varOut {
+		t.Fatalf("interface variance %g not ≫ quiescent variance %g", varIn, varOut)
+	}
+}
+
+func TestHurricaneHasVortexPeak(t *testing.T) {
+	d := Hurricane(8, 64, 64)
+	// Max magnitude should sit near the vortex radius, not at the border.
+	ny, nx := 64, 64
+	best, bz, by, bx := float32(-1), 0, 0, 0
+	for z := 0; z < 8; z++ {
+		for y := 0; y < ny; y++ {
+			for x := 0; x < nx; x++ {
+				v := d.Data[(z*ny+y)*nx+x]
+				if v > best {
+					best, bz, by, bx = v, z, y, x
+				}
+			}
+		}
+	}
+	_ = bz
+	cy, cx := 0.55*float64(ny), 0.45*float64(nx)
+	r := math.Hypot(float64(by)-cy, float64(bx)-cx)
+	if r > 20 {
+		t.Fatalf("peak at (%d,%d), radius %.1f from center; expected near eyewall", by, bx, r)
+	}
+}
+
+func TestWrapDelta(t *testing.T) {
+	if got := wrapDelta(90, 100); got != -10 {
+		t.Fatalf("wrapDelta(90,100) = %v, want -10", got)
+	}
+	if got := wrapDelta(-70, 100); got != 30 {
+		t.Fatalf("wrapDelta(-70,100) = %v, want 30", got)
+	}
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 5: 8, 64: 64, 65: 128}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Fatalf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,46 @@
+// Cosmology example: rate-distortion study on a lognormal density field
+// (NYX stand-in), sweeping error bounds and comparing QoZ against the SZ3
+// and ZFP baselines — a miniature version of the paper's Fig. 8.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"qoz"
+	"qoz/baselines"
+	"qoz/datagen"
+	"qoz/metrics"
+)
+
+func main() {
+	ds := datagen.NYX()
+	fmt.Printf("dataset: %s — rate-distortion sweep\n\n", ds)
+	codecs := []baselines.Codec{
+		baselines.QoZ(qoz.TunePSNR),
+		baselines.SZ3(),
+		baselines.ZFP(),
+	}
+	vr := metrics.ValueRange(ds.Data)
+	fmt.Printf("%-10s", "ε")
+	for _, c := range codecs {
+		fmt.Printf(" %22s", c.Name()+" bpp/PSNR")
+	}
+	fmt.Println()
+	for _, rel := range []float64{1e-2, 3e-3, 1e-3, 3e-4, 1e-4} {
+		fmt.Printf("%-10.0e", rel)
+		for _, c := range codecs {
+			buf, err := c.Compress(ds.Data, ds.Dims, rel*vr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			recon, _, err := c.Decompress(buf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			psnr, _ := metrics.PSNR(ds.Data, recon)
+			fmt.Printf("      %6.3f / %6.2f", metrics.BitRate(len(buf), ds.Len()), psnr)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,151 @@
+package qoz
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Float64 support. The core pipeline quantizes float32 payloads (the
+// format of the paper's datasets); double-precision inputs are handled by
+// a precision-managed wrapper: each value's float32 head is compressed
+// under a tightened bound, and the rare points whose float32 conversion
+// error alone approaches the bound are escaped and stored as exact float64
+// literals. The guarantee |v − v′| ≤ e therefore holds for every finite
+// point, exactly as in the float32 path.
+
+const f64Magic = "QZD1"
+
+// CompressFloat64 compresses a row-major float64 field under opts. The
+// effective absolute bound must exceed the field's float32 conversion
+// error scale for the head compression to engage; points where it does not
+// are stored exactly, so correctness never depends on the bound.
+func CompressFloat64(data []float64, dims []int, opts Options) ([]byte, error) {
+	vr := valueRange64(data)
+	eb := opts.ErrorBound
+	if opts.RelBound > 0 {
+		if eb > 0 {
+			return nil, errors.New("qoz: set either ErrorBound or RelBound, not both")
+		}
+		eb = opts.RelBound * vr
+		if eb == 0 {
+			eb = 1e-300
+		}
+	}
+	if eb <= 0 {
+		return nil, errors.New("qoz: a positive ErrorBound or RelBound is required")
+	}
+
+	// Split into float32 heads and exact escapes. A point is escaped when
+	// half the bound cannot absorb its conversion error.
+	heads := make([]float32, len(data))
+	var escIdx []uint64
+	var escVal []float64
+	for i, v := range data {
+		h := float32(v)
+		if conv := math.Abs(v - float64(h)); conv > eb/2 || math.IsInf(float64(h), 0) && !math.IsInf(v, 0) {
+			escIdx = append(escIdx, uint64(i))
+			escVal = append(escVal, v)
+			heads[i] = h // value is irrelevant; kept for smooth prediction
+		} else {
+			heads[i] = h
+		}
+	}
+
+	headOpts := opts
+	headOpts.ErrorBound, headOpts.RelBound = eb/2, 0
+	inner, err := Compress(heads, dims, headOpts)
+	if err != nil {
+		return nil, err
+	}
+
+	// Envelope: magic | eb | nEscapes | delta-varint indices | f64 values |
+	// inner stream.
+	out := make([]byte, 0, len(inner)+len(escVal)*12+32)
+	out = append(out, f64Magic...)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(eb))
+	out = binary.AppendUvarint(out, uint64(len(escIdx)))
+	prev := uint64(0)
+	for _, idx := range escIdx {
+		out = binary.AppendUvarint(out, idx-prev)
+		prev = idx
+	}
+	for _, v := range escVal {
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(v))
+	}
+	out = append(out, inner...)
+	return out, nil
+}
+
+// IsFloat64Stream reports whether buf was produced by CompressFloat64.
+func IsFloat64Stream(buf []byte) bool {
+	return len(buf) >= len(f64Magic) && string(buf[:len(f64Magic)]) == f64Magic
+}
+
+// DecompressFloat64 reverses CompressFloat64.
+func DecompressFloat64(buf []byte) ([]float64, []int, error) {
+	if len(buf) < len(f64Magic)+8 || string(buf[:len(f64Magic)]) != f64Magic {
+		return nil, nil, errors.New("qoz: not a float64 stream")
+	}
+	buf = buf[len(f64Magic)+8:] // bound is informational; skip
+	nEsc, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, nil, errors.New("qoz: corrupt float64 envelope")
+	}
+	buf = buf[n:]
+	escIdx := make([]uint64, nEsc)
+	prev := uint64(0)
+	for i := range escIdx {
+		d, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, nil, errors.New("qoz: corrupt escape index")
+		}
+		buf = buf[n:]
+		prev += d
+		escIdx[i] = prev
+	}
+	if uint64(len(buf)) < 8*nEsc {
+		return nil, nil, errors.New("qoz: truncated escape values")
+	}
+	escVal := make([]float64, nEsc)
+	for i := range escVal {
+		escVal[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+	buf = buf[8*nEsc:]
+
+	heads, dims, err := Decompress(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]float64, len(heads))
+	for i, h := range heads {
+		out[i] = float64(h)
+	}
+	for i, idx := range escIdx {
+		if idx >= uint64(len(out)) {
+			return nil, nil, fmt.Errorf("qoz: escape index %d out of range", idx)
+		}
+		out[idx] = escVal[i]
+	}
+	return out, dims, nil
+}
+
+func valueRange64(a []float64) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range a {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	if hi < lo {
+		return 0
+	}
+	return hi - lo
+}

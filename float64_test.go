@@ -1,0 +1,140 @@
+package qoz
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qoz/datagen"
+)
+
+func TestFloat64RoundTripRespectsBound(t *testing.T) {
+	ds := datagen.NYX(32, 32, 32)
+	data := make([]float64, ds.Len())
+	for i, v := range ds.Data {
+		data[i] = float64(v) * 1.000000001 // genuinely double-precision
+	}
+	eb := 1e-3 * valueRange64(data)
+	buf, err := CompressFloat64(data, ds.Dims, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, dims, err := DecompressFloat64(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims) != 3 || len(recon) != len(data) {
+		t.Fatalf("shape %v", dims)
+	}
+	for i := range data {
+		if math.Abs(data[i]-recon[i]) > eb {
+			t.Fatalf("bound violated at %d: %g", i, math.Abs(data[i]-recon[i]))
+		}
+	}
+}
+
+func TestFloat64EscapesHighPrecisionPoints(t *testing.T) {
+	// Large magnitude + tiny bound: float32 conversion alone would break
+	// the bound, so points must be escaped and restored exactly.
+	n := 256
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 1e12 + float64(i)*1e-3
+	}
+	eb := 1e-4
+	buf, err := CompressFloat64(data, []int{n}, Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, _, err := DecompressFloat64(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if data[i] != recon[i] {
+			t.Fatalf("escaped point %d not exact: %v vs %v", i, data[i], recon[i])
+		}
+	}
+}
+
+func TestFloat64RelBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	n := 1000
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Sin(float64(i)/30) + rng.NormFloat64()*0.001
+	}
+	buf, err := CompressFloat64(data, []int{n}, Options{RelBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, _, err := DecompressFloat64(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb := 1e-3 * valueRange64(data)
+	for i := range data {
+		if math.Abs(data[i]-recon[i]) > eb {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+	// It should actually compress.
+	if len(buf) >= n*8 {
+		t.Fatalf("no compression: %d bytes for %d doubles", len(buf), n*8)
+	}
+}
+
+func TestFloat64Validation(t *testing.T) {
+	if _, err := CompressFloat64(make([]float64, 4), []int{4}, Options{}); err == nil {
+		t.Error("missing bound accepted")
+	}
+	if _, err := CompressFloat64(make([]float64, 4), []int{4},
+		Options{ErrorBound: 1, RelBound: 1}); err == nil {
+		t.Error("both bounds accepted")
+	}
+	if _, _, err := DecompressFloat64([]byte("xx")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// A float32 stream must be rejected by the float64 decoder.
+	buf, err := Compress(make([]float32, 16), []int{16}, Options{ErrorBound: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := DecompressFloat64(buf); err == nil {
+		t.Error("float32 stream accepted as float64")
+	}
+}
+
+func TestFloat64BoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 64 + rng.Intn(512)
+		data := make([]float64, n)
+		scale := math.Pow(10, rng.Float64()*8-4)
+		for i := range data {
+			data[i] = rng.NormFloat64() * scale
+		}
+		eb := math.Pow(10, -1-5*rng.Float64()) * valueRange64(data)
+		if eb <= 0 {
+			return true
+		}
+		buf, err := CompressFloat64(data, []int{n}, Options{ErrorBound: eb})
+		if err != nil {
+			return false
+		}
+		recon, _, err := DecompressFloat64(buf)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if math.Abs(data[i]-recon[i]) > eb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

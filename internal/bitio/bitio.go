@@ -1,0 +1,99 @@
+// Package bitio implements MSB-first bit-level readers and writers used by
+// the entropy-coding stages (Huffman coding of quantization bins, embedded
+// bit-plane coding in the ZFP-like baseline).
+package bitio
+
+import (
+	"errors"
+)
+
+// ErrUnexpectedEOF is returned when a read runs past the end of the stream.
+var ErrUnexpectedEOF = errors.New("bitio: unexpected end of stream")
+
+// Writer accumulates bits MSB-first into an in-memory buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf  []byte
+	cur  byte
+	nCur uint // bits currently held in cur (0..7)
+}
+
+// NewWriter returns a Writer with capacity for sizeHint bytes.
+func NewWriter(sizeHint int) *Writer {
+	return &Writer{buf: make([]byte, 0, sizeHint)}
+}
+
+// WriteBit appends a single bit (the low bit of b).
+func (w *Writer) WriteBit(b uint) {
+	w.cur = w.cur<<1 | byte(b&1)
+	w.nCur++
+	if w.nCur == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nCur = 0, 0
+	}
+}
+
+// WriteBits appends the n low bits of v, most significant first. n may be 0.
+func (w *Writer) WriteBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(uint(v >> uint(i)))
+	}
+}
+
+// BitLen returns the number of bits written so far.
+func (w *Writer) BitLen() int { return len(w.buf)*8 + int(w.nCur) }
+
+// Bytes flushes any partial byte (zero-padded) and returns the buffer.
+// The Writer must not be used after calling Bytes.
+func (w *Writer) Bytes() []byte {
+	if w.nCur > 0 {
+		w.buf = append(w.buf, w.cur<<(8-w.nCur))
+		w.cur, w.nCur = 0, 0
+	}
+	return w.buf
+}
+
+// Reader consumes bits MSB-first from a byte slice.
+type Reader struct {
+	buf []byte
+	pos int  // byte position
+	bit uint // bits already consumed from buf[pos] (0..7)
+}
+
+// NewReader returns a Reader over buf. The Reader does not copy buf.
+func NewReader(buf []byte) *Reader {
+	return &Reader{buf: buf}
+}
+
+// ReadBit returns the next bit.
+func (r *Reader) ReadBit() (uint, error) {
+	if r.pos >= len(r.buf) {
+		return 0, ErrUnexpectedEOF
+	}
+	b := uint(r.buf[r.pos]>>(7-r.bit)) & 1
+	r.bit++
+	if r.bit == 8 {
+		r.bit = 0
+		r.pos++
+	}
+	return b, nil
+}
+
+// ReadBits returns the next n bits as the low bits of a uint64,
+// most significant first. n must be at most 64.
+func (r *Reader) ReadBits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		b, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | uint64(b)
+	}
+	return v, nil
+}
+
+// BitsRemaining reports how many unread bits remain.
+func (r *Reader) BitsRemaining() int {
+	return (len(r.buf)-r.pos)*8 - int(r.bit)
+}

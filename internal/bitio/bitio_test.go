@@ -1,0 +1,103 @@
+package bitio
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSingleBits(t *testing.T) {
+	w := NewWriter(0)
+	pattern := []uint{1, 0, 1, 1, 0, 0, 1, 0, 1, 1}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if w.BitLen() != len(pattern) {
+		t.Fatalf("BitLen = %d, want %d", w.BitLen(), len(pattern))
+	}
+	r := NewReader(w.Bytes())
+	for i, want := range pattern {
+		got, err := r.ReadBit()
+		if err != nil {
+			t.Fatalf("ReadBit #%d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("bit #%d = %d, want %d", i, got, want)
+		}
+	}
+}
+
+func TestWriteBitsRoundTrip(t *testing.T) {
+	w := NewWriter(16)
+	w.WriteBits(0x2B, 6) // 101011
+	w.WriteBits(0x1, 1)  // 1
+	w.WriteBits(0xABCD, 16)
+	w.WriteBits(0, 0) // zero-width write is a no-op
+	r := NewReader(w.Bytes())
+	if v, _ := r.ReadBits(6); v != 0x2B {
+		t.Fatalf("first field = %#x, want 0x2b", v)
+	}
+	if v, _ := r.ReadBits(1); v != 1 {
+		t.Fatalf("second field = %d, want 1", v)
+	}
+	if v, _ := r.ReadBits(16); v != 0xABCD {
+		t.Fatalf("third field = %#x, want 0xabcd", v)
+	}
+}
+
+func TestReadPastEnd(t *testing.T) {
+	r := NewReader([]byte{0xFF})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatalf("in-range read failed: %v", err)
+	}
+	if _, err := r.ReadBit(); err != ErrUnexpectedEOF {
+		t.Fatalf("expected ErrUnexpectedEOF, got %v", err)
+	}
+}
+
+func TestBitsRemaining(t *testing.T) {
+	r := NewReader([]byte{0, 0})
+	if r.BitsRemaining() != 16 {
+		t.Fatalf("BitsRemaining = %d, want 16", r.BitsRemaining())
+	}
+	r.ReadBits(5)
+	if r.BitsRemaining() != 11 {
+		t.Fatalf("BitsRemaining = %d, want 11", r.BitsRemaining())
+	}
+}
+
+func TestPaddingIsZero(t *testing.T) {
+	w := NewWriter(0)
+	w.WriteBits(0x7, 3) // 111, padded to 11100000
+	buf := w.Bytes()
+	if len(buf) != 1 || buf[0] != 0xE0 {
+		t.Fatalf("buf = %#v, want [0xE0]", buf)
+	}
+}
+
+// Property: any sequence of variable-width writes reads back identically.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(64)
+		widths := make([]uint, n)
+		values := make([]uint64, n)
+		w := NewWriter(0)
+		for i := 0; i < n; i++ {
+			widths[i] = uint(1 + r.Intn(33))
+			values[i] = r.Uint64() & ((1 << widths[i]) - 1)
+			w.WriteBits(values[i], widths[i])
+		}
+		rd := NewReader(w.Bytes())
+		for i := 0; i < n; i++ {
+			v, err := rd.ReadBits(widths[i])
+			if err != nil || v != values[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

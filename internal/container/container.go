@@ -1,0 +1,247 @@
+// Package container defines the on-disk / in-memory compressed stream format
+// shared by every codec in this repository, plus the DEFLATE helpers that
+// play the role of the dictionary-coder stage (the paper uses Zstandard;
+// DEFLATE is the stdlib equivalent — see DESIGN.md §3).
+//
+// Layout:
+//
+//	magic "QOZG" | version u8 | codec id u8 | ndims u8 | dims varints |
+//	eb float64 | nsections u8 | sections...
+//
+// Each section: id u8 | rawLen uvarint | encLen uvarint | encBytes.
+// Sections are individually DEFLATE-compressed when that helps, signalled
+// by encLen < rawLen; otherwise bytes are stored raw.
+package container
+
+import (
+	"bytes"
+	"compress/flate"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Codec identifiers embedded in the stream header.
+const (
+	CodecQoZ    = 1
+	CodecSZ3    = 2
+	CodecSZ2    = 3
+	CodecZFP    = 4
+	CodecMGARD  = 5
+	CodecRaw    = 6
+	CodecHybrid = 7
+)
+
+const (
+	magic   = "QOZG"
+	version = 1
+)
+
+var (
+	// ErrCorrupt reports a malformed stream.
+	ErrCorrupt = errors.New("container: corrupt stream")
+	// ErrCodecMismatch reports decoding with the wrong codec.
+	ErrCodecMismatch = errors.New("container: codec mismatch")
+)
+
+// Section is one named byte payload within a stream.
+type Section struct {
+	ID   uint8
+	Data []byte
+}
+
+// Stream is a decoded container.
+type Stream struct {
+	Codec      uint8
+	Dims       []int
+	ErrorBound float64
+	Sections   []Section
+}
+
+// Section returns the payload of the first section with the given id, or nil.
+func (s *Stream) Section(id uint8) []byte {
+	for _, sec := range s.Sections {
+		if sec.ID == id {
+			return sec.Data
+		}
+	}
+	return nil
+}
+
+// Encode serializes a stream, DEFLATE-compressing each section when
+// profitable.
+func Encode(s *Stream) ([]byte, error) {
+	if len(s.Sections) > 255 {
+		return nil, fmt.Errorf("container: too many sections (%d)", len(s.Sections))
+	}
+	var out bytes.Buffer
+	out.WriteString(magic)
+	out.WriteByte(version)
+	out.WriteByte(s.Codec)
+	out.WriteByte(uint8(len(s.Dims)))
+	var tmp [binary.MaxVarintLen64]byte
+	for _, d := range s.Dims {
+		n := binary.PutUvarint(tmp[:], uint64(d))
+		out.Write(tmp[:n])
+	}
+	binary.Write(&out, binary.LittleEndian, s.ErrorBound)
+	out.WriteByte(uint8(len(s.Sections)))
+	for _, sec := range s.Sections {
+		enc := deflate(sec.Data)
+		stored := enc
+		if len(enc) >= len(sec.Data) {
+			stored = sec.Data
+		}
+		out.WriteByte(sec.ID)
+		n := binary.PutUvarint(tmp[:], uint64(len(sec.Data)))
+		out.Write(tmp[:n])
+		n = binary.PutUvarint(tmp[:], uint64(len(stored)))
+		out.Write(tmp[:n])
+		out.Write(stored)
+	}
+	return out.Bytes(), nil
+}
+
+// Decode parses a container produced by Encode.
+func Decode(buf []byte) (*Stream, error) {
+	if len(buf) < len(magic)+3 || string(buf[:len(magic)]) != magic {
+		return nil, ErrCorrupt
+	}
+	buf = buf[len(magic):]
+	if buf[0] != version {
+		return nil, fmt.Errorf("container: unsupported version %d", buf[0])
+	}
+	s := &Stream{Codec: buf[1]}
+	nd := int(buf[2])
+	buf = buf[3:]
+	if nd == 0 || nd > 8 {
+		return nil, ErrCorrupt
+	}
+	s.Dims = make([]int, nd)
+	for i := 0; i < nd; i++ {
+		v, n := binary.Uvarint(buf)
+		if n <= 0 || v == 0 || v > math.MaxInt32 {
+			return nil, ErrCorrupt
+		}
+		s.Dims[i] = int(v)
+		buf = buf[n:]
+	}
+	if len(buf) < 9 {
+		return nil, ErrCorrupt
+	}
+	s.ErrorBound = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	buf = buf[8:]
+	nsec := int(buf[0])
+	buf = buf[1:]
+	for i := 0; i < nsec; i++ {
+		if len(buf) < 1 {
+			return nil, ErrCorrupt
+		}
+		id := buf[0]
+		buf = buf[1:]
+		rawLen, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, ErrCorrupt
+		}
+		buf = buf[n:]
+		encLen, n := binary.Uvarint(buf)
+		if n <= 0 || uint64(len(buf[n:])) < encLen {
+			return nil, ErrCorrupt
+		}
+		buf = buf[n:]
+		enc := buf[:encLen]
+		buf = buf[encLen:]
+		var data []byte
+		if encLen < rawLen {
+			var err error
+			data, err = inflate(enc, int(rawLen))
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+		} else {
+			data = append([]byte(nil), enc...)
+		}
+		if uint64(len(data)) != rawLen {
+			return nil, ErrCorrupt
+		}
+		s.Sections = append(s.Sections, Section{ID: id, Data: data})
+	}
+	return s, nil
+}
+
+// deflate compresses buf with DEFLATE at the default level.
+func deflate(buf []byte) []byte {
+	var out bytes.Buffer
+	w, err := flate.NewWriter(&out, flate.DefaultCompression)
+	if err != nil {
+		panic(err) // only fails on invalid level
+	}
+	if _, err := w.Write(buf); err != nil {
+		panic(err) // bytes.Buffer writes cannot fail
+	}
+	if err := w.Close(); err != nil {
+		panic(err)
+	}
+	return out.Bytes()
+}
+
+func inflate(buf []byte, sizeHint int) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(buf))
+	defer r.Close()
+	out := make([]byte, 0, sizeHint)
+	var block [8192]byte
+	for {
+		n, err := r.Read(block[:])
+		out = append(out, block[:n]...)
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+}
+
+// Float32sToBytes serializes a float32 slice little-endian.
+func Float32sToBytes(vals []float32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], math.Float32bits(v))
+	}
+	return out
+}
+
+// BytesToFloat32s reverses Float32sToBytes.
+func BytesToFloat32s(buf []byte) ([]float32, error) {
+	if len(buf)%4 != 0 {
+		return nil, ErrCorrupt
+	}
+	out := make([]float32, len(buf)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[4*i:]))
+	}
+	return out, nil
+}
+
+// Uint32sToBytes serializes a uint32 slice little-endian.
+func Uint32sToBytes(vals []uint32) []byte {
+	out := make([]byte, 4*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint32(out[4*i:], v)
+	}
+	return out
+}
+
+// BytesToUint32s reverses Uint32sToBytes.
+func BytesToUint32s(buf []byte) ([]uint32, error) {
+	if len(buf)%4 != 0 {
+		return nil, ErrCorrupt
+	}
+	out := make([]uint32, len(buf)/4)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint32(buf[4*i:])
+	}
+	return out, nil
+}

@@ -1,0 +1,163 @@
+package container
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	in := &Stream{
+		Codec:      CodecQoZ,
+		Dims:       []int{10, 20, 30},
+		ErrorBound: 1e-3,
+		Sections: []Section{
+			{ID: 1, Data: bytes.Repeat([]byte("abc"), 1000)}, // compressible
+			{ID: 2, Data: []byte{0xDE, 0xAD, 0xBE, 0xEF}},    // stored raw
+			{ID: 3, Data: nil}, // empty
+		},
+	}
+	enc, err := Encode(in)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	out, err := Decode(enc)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if out.Codec != in.Codec || out.ErrorBound != in.ErrorBound {
+		t.Fatalf("header mismatch: %+v", out)
+	}
+	if len(out.Dims) != 3 || out.Dims[0] != 10 || out.Dims[2] != 30 {
+		t.Fatalf("dims = %v", out.Dims)
+	}
+	for i, sec := range in.Sections {
+		if !bytes.Equal(out.Sections[i].Data, sec.Data) {
+			t.Fatalf("section %d mismatch", sec.ID)
+		}
+	}
+	// Compressible section must actually have shrunk on the wire.
+	if len(enc) >= 3000 {
+		t.Fatalf("container did not compress repetitive section: %d bytes", len(enc))
+	}
+}
+
+func TestSectionLookup(t *testing.T) {
+	s := &Stream{Sections: []Section{{ID: 7, Data: []byte("x")}}}
+	if got := s.Section(7); string(got) != "x" {
+		t.Fatalf("Section(7) = %q", got)
+	}
+	if s.Section(8) != nil {
+		t.Fatal("missing section should be nil")
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX\x01\x01\x01"),
+		[]byte("QOZG\x63"),         // bad version
+		[]byte("QOZG\x01\x01\x00"), // ndims 0
+	}
+	for i, c := range cases {
+		if _, err := Decode(c); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	in := &Stream{Codec: CodecSZ3, Dims: []int{64}, ErrorBound: 0.1,
+		Sections: []Section{{ID: 1, Data: make([]byte, 500)}}}
+	enc, _ := Encode(in)
+	for _, cut := range []int{8, len(enc) / 2, len(enc) - 3} {
+		if _, err := Decode(enc[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestFloat32Bytes(t *testing.T) {
+	in := []float32{0, 1.5, -2.25, float32(math.Inf(1)), 3.14159e-20}
+	out, err := BytesToFloat32s(Float32sToBytes(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] && !(math.IsNaN(float64(in[i])) && math.IsNaN(float64(out[i]))) {
+			t.Fatalf("index %d: %v != %v", i, in[i], out[i])
+		}
+	}
+	if _, err := BytesToFloat32s(make([]byte, 5)); err == nil {
+		t.Fatal("misaligned buffer accepted")
+	}
+}
+
+func TestUint32Bytes(t *testing.T) {
+	in := []uint32{0, 1, math.MaxUint32, 0xDEADBEEF}
+	out, err := BytesToUint32s(Uint32sToBytes(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("index %d: %v != %v", i, in[i], out[i])
+		}
+	}
+	if _, err := BytesToUint32s(make([]byte, 6)); err == nil {
+		t.Fatal("misaligned buffer accepted")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := 1 + rng.Intn(4)
+		dims := make([]int, nd)
+		for i := range dims {
+			dims[i] = 1 + rng.Intn(1000)
+		}
+		nsec := rng.Intn(5)
+		secs := make([]Section, nsec)
+		for i := range secs {
+			data := make([]byte, rng.Intn(2000))
+			if rng.Intn(2) == 0 {
+				rng.Read(data)
+			}
+			secs[i] = Section{ID: uint8(i), Data: data}
+		}
+		in := &Stream{
+			Codec:      uint8(1 + rng.Intn(6)),
+			Dims:       dims,
+			ErrorBound: rng.Float64(),
+			Sections:   secs,
+		}
+		enc, err := Encode(in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(enc)
+		if err != nil {
+			return false
+		}
+		if out.Codec != in.Codec || out.ErrorBound != in.ErrorBound || len(out.Dims) != nd {
+			return false
+		}
+		for i := range dims {
+			if out.Dims[i] != dims[i] {
+				return false
+			}
+		}
+		for i := range secs {
+			if !bytes.Equal(out.Sections[i].Data, secs[i].Data) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

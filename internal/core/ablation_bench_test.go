@@ -1,0 +1,81 @@
+package core
+
+// Ablation benchmarks for the design choices DESIGN.md calls out: anchor
+// stride, sampling rate, and the cost of each tuning mode. Each benchmark
+// reports the achieved compression ratio alongside throughput, so the
+// trade-off each knob buys is visible in one run:
+//
+//	go test -bench 'Ablation' -benchmem ./internal/core
+import (
+	"testing"
+
+	"qoz/datagen"
+	"qoz/metrics"
+)
+
+func benchOptions(b *testing.B, ds datagen.Dataset, opts Options) {
+	opts.ErrorBound = 1e-3 * metrics.ValueRange(ds.Data)
+	b.SetBytes(int64(ds.Len() * 4))
+	var size int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := Compress(ds.Data, ds.Dims, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		size = len(buf)
+	}
+	b.ReportMetric(metrics.CompressionRatio(ds.Len(), size), "CR")
+}
+
+func BenchmarkAblationAnchorStride16(b *testing.B) {
+	benchOptions(b, datagen.Miranda(48, 64, 64), Options{AnchorStride: 16})
+}
+
+func BenchmarkAblationAnchorStride32(b *testing.B) {
+	benchOptions(b, datagen.Miranda(48, 64, 64), Options{AnchorStride: 32})
+}
+
+func BenchmarkAblationAnchorStride64(b *testing.B) {
+	benchOptions(b, datagen.Miranda(48, 64, 64), Options{AnchorStride: 64})
+}
+
+func BenchmarkAblationNoAnchors(b *testing.B) {
+	benchOptions(b, datagen.Miranda(48, 64, 64), Options{DisableAnchors: true})
+}
+
+func BenchmarkAblationSampleRate01pct(b *testing.B) {
+	benchOptions(b, datagen.NYX(64, 64, 64), Options{SampleRate: 0.001})
+}
+
+func BenchmarkAblationSampleRate05pct(b *testing.B) {
+	benchOptions(b, datagen.NYX(64, 64, 64), Options{SampleRate: 0.005})
+}
+
+func BenchmarkAblationSampleRate2pct(b *testing.B) {
+	benchOptions(b, datagen.NYX(64, 64, 64), Options{SampleRate: 0.02})
+}
+
+func BenchmarkAblationModeCR(b *testing.B) {
+	benchOptions(b, datagen.NYX(64, 64, 64), Options{Mode: ModeCR})
+}
+
+func BenchmarkAblationModePSNR(b *testing.B) {
+	benchOptions(b, datagen.NYX(64, 64, 64), Options{Mode: ModePSNR})
+}
+
+func BenchmarkAblationModeSSIM(b *testing.B) {
+	benchOptions(b, datagen.NYX(64, 64, 64), Options{Mode: ModeSSIM})
+}
+
+func BenchmarkAblationModeAC(b *testing.B) {
+	benchOptions(b, datagen.NYX(64, 64, 64), Options{Mode: ModeAC})
+}
+
+func BenchmarkAblationModeFixed(b *testing.B) {
+	benchOptions(b, datagen.NYX(64, 64, 64), Options{Mode: ModeFixed, Alpha: 1.5, Beta: 3})
+}
+
+func BenchmarkAblationNoLevelSelect(b *testing.B) {
+	benchOptions(b, datagen.NYX(64, 64, 64), Options{DisableLevelSelect: true, DisableParamTuning: true})
+}

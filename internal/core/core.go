@@ -1,0 +1,381 @@
+// Package core implements QoZ, the paper's primary contribution: a dynamic,
+// quality-metric-oriented, error-bounded lossy compressor built on a
+// highly parameterized multi-level interpolation predictor.
+//
+// On top of the SZ3-style pipeline (interpolation prediction → linear-scale
+// quantization → Huffman + dictionary coding) QoZ adds, per paper §V–VI:
+//
+//  1. grid-wise anchor points stored losslessly, bounding interpolation range;
+//  2. level-adapted selection of the best-fit interpolator per level
+//     (Algorithm 1), driven by uniform block sampling;
+//  3. level-wise error bounds e_l = e / min(α^(l-1), β);
+//  4. online auto-tuning of (α, β) for a user-chosen quality metric
+//     (compression ratio, PSNR, SSIM, or error autocorrelation) using the
+//     trial-compression comparison procedure of Table I.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"qoz/internal/interp"
+	"qoz/internal/quant"
+	"qoz/internal/szstream"
+)
+
+// Mode selects the quality metric the online tuner optimizes (Fig. 1:
+// the "user-customized inclination").
+type Mode uint8
+
+const (
+	// ModeCR minimizes bit-rate (maximum compression ratio) — the mode
+	// used for Table III.
+	ModeCR Mode = iota
+	// ModePSNR optimizes rate–PSNR (Fig. 8).
+	ModePSNR
+	// ModeSSIM optimizes rate–SSIM (Fig. 9).
+	ModeSSIM
+	// ModeAC optimizes rate–autocorrelation of errors (Fig. 10).
+	ModeAC
+	// ModeFixed disables tuning and uses the Options' Alpha/Beta directly
+	// (used by the Fig. 13 fixed-parameter curves).
+	ModeFixed
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeCR:
+		return "cr"
+	case ModePSNR:
+		return "psnr"
+	case ModeSSIM:
+		return "ssim"
+	case ModeAC:
+		return "ac"
+	case ModeFixed:
+		return "fixed"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Options parameterizes QoZ compression. The zero value plus a positive
+// ErrorBound is valid: defaults follow the paper's experimental
+// configuration (§VII-A4).
+type Options struct {
+	// ErrorBound is the absolute error bound e (required, > 0).
+	ErrorBound float64
+	// Mode selects the tuning target; default ModeCR.
+	Mode Mode
+	// Alpha and Beta are used when Mode == ModeFixed.
+	Alpha, Beta float64
+
+	// AnchorStride is the anchor-grid spacing (power of two). Default: 64
+	// for 2D data, 32 for 3D.
+	AnchorStride int
+	// SampleBlock is the sampling block edge. Default: 64 for 2D, 16 for 3D.
+	SampleBlock int
+	// SampleRate is the fraction of points sampled for online tuning.
+	// Default: 1% for 2D, 0.5% for 3D.
+	SampleRate float64
+
+	// Ablation switches (Fig. 12). All default to false = full QoZ.
+	DisableAnchors     bool // "AP" off: SZ3-style global traversal
+	DisableSampling    bool // "S" off: center-block selection like SZ3
+	DisableLevelSelect bool // "LIS" off: one interpolator for all levels
+	DisableParamTuning bool // "PA" off: α=1, β=1 (uniform level bounds)
+}
+
+// withDefaults fills unset options following the paper's configuration.
+func (o Options) withDefaults(nd int) Options {
+	if o.AnchorStride == 0 {
+		if nd >= 3 {
+			o.AnchorStride = 32
+		} else {
+			o.AnchorStride = 64
+		}
+	}
+	o.AnchorStride = floorPow2(o.AnchorStride)
+	if o.AnchorStride < 4 {
+		o.AnchorStride = 4
+	}
+	if o.SampleBlock == 0 {
+		if nd >= 3 {
+			o.SampleBlock = 16
+		} else {
+			o.SampleBlock = 64
+		}
+	}
+	if o.SampleRate == 0 {
+		if nd >= 3 {
+			o.SampleRate = 0.005
+		} else {
+			o.SampleRate = 0.01
+		}
+	}
+	if o.Mode == ModeFixed {
+		if o.Alpha < 1 {
+			o.Alpha = 1
+		}
+		if o.Beta < 1 {
+			o.Beta = 1
+		}
+	}
+	if o.DisableParamTuning && o.Mode != ModeFixed {
+		o.Mode = ModeFixed
+		o.Alpha, o.Beta = 1, 1
+	}
+	return o
+}
+
+// Result carries the tuning decisions made during compression, for
+// observability and the ablation/tuning experiments.
+type Result struct {
+	Bytes   []byte
+	Alpha   float64
+	Beta    float64
+	Methods []interp.Method // index l-1 = method for level l
+}
+
+// Compress compresses data (row-major, shape dims) under opts and returns
+// the encoded stream.
+func Compress(data []float32, dims []int, opts Options) ([]byte, error) {
+	r, err := CompressDetailed(data, dims, opts)
+	if err != nil {
+		return nil, err
+	}
+	return r.Bytes, nil
+}
+
+// CompressDetailed is Compress plus the tuning decisions.
+func CompressDetailed(data []float32, dims []int, opts Options) (*Result, error) {
+	if err := validate(data, dims, opts.ErrorBound); err != nil {
+		return nil, err
+	}
+	o := opts.withDefaults(len(dims))
+	eb := o.ErrorBound
+
+	maxLevel := interp.MaxLevelAnchored(o.AnchorStride)
+	if o.DisableAnchors {
+		maxLevel = interp.MaxLevelGlobal(dims)
+	}
+
+	tn := newTuner(data, dims, o)
+	methods := tn.selectMethods(maxLevel)
+	alpha, beta := o.Alpha, o.Beta
+	if o.Mode != ModeFixed {
+		alpha, beta = tn.tuneParams(methods)
+	}
+
+	// Full compression pass with the chosen configuration.
+	q := quant.New(eb, 0)
+	recon := make([]float32, len(data))
+	var anchors []float32
+	if o.DisableAnchors {
+		recon[0] = q.Quantize(data[0], 0)
+	} else {
+		idxs := interp.AnchorIndices(dims, o.AnchorStride)
+		anchors = make([]float32, len(idxs))
+		for i, idx := range idxs {
+			anchors[i] = data[idx]
+			recon[idx] = data[idx]
+		}
+	}
+	for level := maxLevel; level >= 1; level-- {
+		q.SetBound(levelBound(eb, alpha, beta, level))
+		m := methodFor(methods, level)
+		interp.LevelPass(recon, dims, level, m, func(idx int, pred float64) float32 {
+			return q.Quantize(data[idx], pred)
+		})
+	}
+
+	cfg := encodeConfig(o, alpha, beta, methods)
+	payload := &szstream.Payload{
+		Bins:     q.Bins,
+		Literals: q.Literals,
+		Anchors:  anchors,
+		Config:   cfg,
+	}
+	buf, err := szstream.Encode(codecID, dims, eb, payload)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Bytes: buf, Alpha: alpha, Beta: beta, Methods: methods}, nil
+}
+
+// Decompress reverses Compress.
+func Decompress(buf []byte) ([]float32, []int, error) {
+	stream, payload, err := szstream.Decode(buf, codecID)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg, err := decodeConfig(payload.Config)
+	if err != nil {
+		return nil, nil, err
+	}
+	dims := stream.Dims
+	eb := stream.ErrorBound
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+
+	maxLevel := interp.MaxLevelAnchored(cfg.anchorStride)
+	if cfg.noAnchors {
+		maxLevel = interp.MaxLevelGlobal(dims)
+	}
+	if len(cfg.methods) < maxLevel {
+		return nil, nil, errors.New("qoz: config misses per-level methods")
+	}
+
+	recon := make([]float32, n)
+	deq := quant.NewDequantizer(eb, 0, payload.Bins, payload.Literals)
+	if cfg.noAnchors {
+		if len(payload.Bins) != n {
+			return nil, nil, errors.New("qoz: bin count does not match dims")
+		}
+		recon[0] = deq.Next(0)
+	} else {
+		idxs := interp.AnchorIndices(dims, cfg.anchorStride)
+		if len(payload.Anchors) != len(idxs) {
+			return nil, nil, errors.New("qoz: anchor count mismatch")
+		}
+		if len(payload.Bins) != n-len(idxs) {
+			return nil, nil, errors.New("qoz: bin count does not match dims")
+		}
+		for i, idx := range idxs {
+			recon[idx] = payload.Anchors[i]
+		}
+	}
+	for level := maxLevel; level >= 1; level-- {
+		deq.SetBound(levelBound(eb, cfg.alpha, cfg.beta, level))
+		m := methodFor(cfg.methods, level)
+		interp.LevelPass(recon, dims, level, m, func(idx int, pred float64) float32 {
+			return deq.Next(pred)
+		})
+	}
+	if deq.Remaining() != 0 {
+		return nil, nil, errors.New("qoz: trailing quantization symbols")
+	}
+	return recon, dims, nil
+}
+
+const codecID = 1 // container.CodecQoZ
+
+// levelBound computes e_l = e / min(α^(l-1), β) (paper Eq. 5). Level 1
+// always gets the full bound e.
+func levelBound(eb, alpha, beta float64, level int) float64 {
+	div := math.Pow(alpha, float64(level-1))
+	if div > beta {
+		div = beta
+	}
+	if div < 1 {
+		div = 1
+	}
+	return eb / div
+}
+
+// methodFor returns the interpolator for a level, reusing the highest
+// configured level for anything above (Algorithm 1's tall-grid rule).
+func methodFor(methods []interp.Method, level int) interp.Method {
+	if level-1 < len(methods) {
+		return methods[level-1]
+	}
+	return methods[len(methods)-1]
+}
+
+func validate(data []float32, dims []int, eb float64) error {
+	if eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
+		return errors.New("qoz: error bound must be positive and finite")
+	}
+	if len(dims) == 0 || len(dims) > 4 {
+		return errors.New("qoz: 1 to 4 dimensions supported")
+	}
+	n := 1
+	for _, d := range dims {
+		if d <= 0 {
+			return errors.New("qoz: non-positive dimension")
+		}
+		n *= d
+	}
+	if n != len(data) {
+		return errors.New("qoz: dims do not match data length")
+	}
+	return nil
+}
+
+func floorPow2(v int) int {
+	p := 1
+	for p*2 <= v {
+		p *= 2
+	}
+	return p
+}
+
+// ---- config section serialization ----
+
+type config struct {
+	alpha, beta  float64
+	anchorStride int
+	noAnchors    bool
+	methods      []interp.Method
+}
+
+func encodeConfig(o Options, alpha, beta float64, methods []interp.Method) []byte {
+	out := make([]byte, 0, 32+2*len(methods))
+	flags := byte(0)
+	if o.DisableAnchors {
+		flags |= 1
+	}
+	out = append(out, flags)
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(alpha))
+	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(beta))
+	out = binary.AppendUvarint(out, uint64(o.AnchorStride))
+	out = binary.AppendUvarint(out, uint64(len(methods)))
+	for _, m := range methods {
+		out = append(out, byte(m.Kind), byte(m.Order))
+	}
+	return out
+}
+
+func decodeConfig(buf []byte) (*config, error) {
+	if len(buf) < 1+16 {
+		return nil, errors.New("qoz: truncated config")
+	}
+	c := &config{}
+	c.noAnchors = buf[0]&1 != 0
+	buf = buf[1:]
+	c.alpha = math.Float64frombits(binary.LittleEndian.Uint64(buf))
+	c.beta = math.Float64frombits(binary.LittleEndian.Uint64(buf[8:]))
+	buf = buf[16:]
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, errors.New("qoz: truncated config")
+	}
+	c.anchorStride = int(v)
+	buf = buf[n:]
+	cnt, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf[n:])) < 2*cnt || cnt == 0 || cnt > 64 {
+		return nil, errors.New("qoz: malformed method list")
+	}
+	buf = buf[n:]
+	c.methods = make([]interp.Method, cnt)
+	for i := range c.methods {
+		c.methods[i] = interp.Method{
+			Kind:  interp.Kind(buf[2*i]),
+			Order: interp.Order(buf[2*i+1]),
+		}
+		if c.methods[i].Kind > interp.Quadratic || c.methods[i].Order > interp.Decreasing {
+			return nil, errors.New("qoz: invalid method")
+		}
+	}
+	if c.alpha < 1 || c.beta < 1 || math.IsNaN(c.alpha) || math.IsNaN(c.beta) {
+		return nil, errors.New("qoz: invalid tuning parameters")
+	}
+	if !c.noAnchors && (c.anchorStride < 2 || c.anchorStride&(c.anchorStride-1) != 0) {
+		return nil, errors.New("qoz: invalid anchor stride")
+	}
+	return c, nil
+}

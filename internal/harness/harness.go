@@ -1,0 +1,159 @@
+// Package harness regenerates every table and figure of the QoZ paper's
+// evaluation section (§VII) on the synthetic dataset analogs: Fig. 7
+// (error distributions), Table III (compression ratios), Figs. 8–10
+// (rate–PSNR/SSIM/AC), Fig. 11 (visual quality at matched CR), Fig. 12
+// (ablation), Fig. 13 (parameter tuning), Table IV (speeds), and Fig. 14
+// (parallel I/O). Each experiment prints a paper-style table and returns
+// its data for programmatic checks. See DESIGN.md §5 for the experiment
+// index and EXPERIMENTS.md for recorded paper-vs-measured outcomes.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"qoz"
+	"qoz/baselines"
+	"qoz/datagen"
+	"qoz/metrics"
+)
+
+// Config controls dataset sizes and sweep points.
+type Config struct {
+	// Small selects reduced dataset sizes (used by unit tests and the
+	// quick benchmark variants).
+	Small bool
+	// RelBounds are the value-range-relative error bounds of Table III.
+	RelBounds []float64
+	// Sweep are the relative bounds for the rate–distortion figures.
+	Sweep []float64
+}
+
+// Default returns the configuration matching the paper's experiments at
+// repository-default dataset sizes.
+func Default() Config {
+	return Config{
+		RelBounds: []float64{1e-2, 1e-3, 1e-4},
+		Sweep:     []float64{1e-2, 5e-3, 2e-3, 1e-3, 5e-4, 2e-4, 1e-4},
+	}
+}
+
+// Quick returns a configuration small enough for unit tests.
+func Quick() Config {
+	return Config{
+		Small:     true,
+		RelBounds: []float64{1e-2, 1e-3},
+		Sweep:     []float64{1e-2, 1e-3, 1e-4},
+	}
+}
+
+// Datasets returns the experiment datasets at the configured size.
+func (c Config) Datasets() []datagen.Dataset {
+	if c.Small {
+		return datagen.AllSmall()
+	}
+	return datagen.All()
+}
+
+// Run is one codec execution on one dataset at one bound.
+type Run struct {
+	Codec      string
+	Dataset    string
+	RelBound   float64
+	AbsBound   float64
+	Bytes      int
+	CR         float64
+	BitRate    float64
+	PSNR       float64
+	SSIM       float64
+	AC         float64
+	MaxErr     float64
+	CompSecs   float64
+	DecompSecs float64
+	Recon      []float32
+}
+
+// RunCodec compresses and decompresses ds with c at the given relative
+// bound and gathers all quality metrics.
+func RunCodec(c baselines.Codec, ds datagen.Dataset, rel float64) (Run, error) {
+	eb := rel * metrics.ValueRange(ds.Data)
+	start := time.Now()
+	buf, err := c.Compress(ds.Data, ds.Dims, eb)
+	if err != nil {
+		return Run{}, fmt.Errorf("%s on %s: %w", c.Name(), ds.Name, err)
+	}
+	compSecs := time.Since(start).Seconds()
+	start = time.Now()
+	recon, _, err := c.Decompress(buf)
+	if err != nil {
+		return Run{}, fmt.Errorf("%s on %s: decompress: %w", c.Name(), ds.Name, err)
+	}
+	decompSecs := time.Since(start).Seconds()
+
+	r := Run{
+		Codec:      c.Name(),
+		Dataset:    ds.Name,
+		RelBound:   rel,
+		AbsBound:   eb,
+		Bytes:      len(buf),
+		CR:         metrics.CompressionRatio(ds.Len(), len(buf)),
+		BitRate:    metrics.BitRate(len(buf), ds.Len()),
+		CompSecs:   compSecs,
+		DecompSecs: decompSecs,
+		Recon:      recon,
+	}
+	r.PSNR, _ = metrics.PSNR(ds.Data, recon)
+	r.SSIM, _ = metrics.SSIM(ds.Data, recon, ds.Dims)
+	r.AC, _ = metrics.AutoCorrelation(ds.Data, recon, 1)
+	r.MaxErr, _ = metrics.MaxAbsError(ds.Data, recon)
+	return r, nil
+}
+
+// MatchCR searches for the relative error bound at which codec c reaches
+// (approximately) the target compression ratio on ds, via bisection on
+// log10(rel). Used by the Fig. 11 same-CR comparison.
+func MatchCR(c baselines.Codec, ds datagen.Dataset, targetCR float64) (Run, error) {
+	lo, hi := -6.0, -0.5 // log10 of relative bound
+	var best Run
+	bestGap := -1.0
+	for iter := 0; iter < 12; iter++ {
+		mid := (lo + hi) / 2
+		rel := math.Pow(10, mid)
+		r, err := RunCodec(c, ds, rel)
+		if err != nil {
+			return Run{}, err
+		}
+		gap := abs(r.CR - targetCR)
+		if bestGap < 0 || gap < bestGap {
+			bestGap = gap
+			best = r
+		}
+		if r.CR > targetCR {
+			hi = mid // too much compression: tighten the bound
+		} else {
+			lo = mid
+		}
+	}
+	return best, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// section prints an underlined experiment heading.
+func section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n%s\n", title)
+	for range title {
+		fmt.Fprint(w, "=")
+	}
+	fmt.Fprintln(w)
+}
+
+// codecs returns the five compressors with QoZ in the given mode.
+func codecs(metric qoz.Tuning) []baselines.Codec { return baselines.All(metric) }

@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+)
+
+// RenderSlice writes an 8-bit PGM image of a 2D slice of the field to w,
+// used to inspect the Fig. 11 visual-quality comparison. For 3D data the
+// middle plane along the first dimension is rendered; 2D data is rendered
+// whole. Values are linearly mapped to [0, 255] over [lo, hi]; pass
+// lo == hi to auto-scale to the slice's own range.
+func RenderSlice(w io.Writer, data []float32, dims []int, lo, hi float32) error {
+	var ny, nx, off int
+	switch len(dims) {
+	case 2:
+		ny, nx, off = dims[0], dims[1], 0
+	case 3:
+		ny, nx = dims[1], dims[2]
+		off = (dims[0] / 2) * ny * nx
+	default:
+		return fmt.Errorf("harness: cannot render %d-dimensional data", len(dims))
+	}
+	slice := data[off : off+ny*nx]
+	if lo >= hi {
+		lo, hi = slice[0], slice[0]
+		for _, v := range slice {
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if lo == hi {
+			hi = lo + 1
+		}
+	}
+	if _, err := fmt.Fprintf(w, "P5\n%d %d\n255\n", nx, ny); err != nil {
+		return err
+	}
+	row := make([]byte, nx)
+	scale := 255 / float64(hi-lo)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			v := (float64(slice[y*nx+x]) - float64(lo)) * scale
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			row[x] = byte(v)
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,368 @@
+// Package huffman implements a canonical Huffman coder for the quantization
+// bin streams produced by the SZ-style compressors in this repository.
+//
+// Symbols are uint32 values (quantization bin indices). The encoded form is
+// self-describing: a compact header stores the code-length table for the
+// symbols that actually occur, followed by the MSB-first bitstream. The
+// decoder rebuilds the canonical code from the lengths alone.
+package huffman
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"qoz/internal/bitio"
+)
+
+// maxCodeLen bounds canonical code lengths. Quantization-bin histograms are
+// strongly peaked, so depth never approaches this in practice; the bound
+// exists to keep decoder tables small and reject corrupt streams.
+const maxCodeLen = 58
+
+var errCorrupt = errors.New("huffman: corrupt stream")
+
+// Encode compresses the symbol stream. The output is independent of any
+// out-of-band state; Decode(Encode(s)) == s.
+func Encode(symbols []uint32) []byte {
+	freq := make(map[uint32]uint64, 256)
+	for _, s := range symbols {
+		freq[s]++
+	}
+	header := make([]byte, 0, 64)
+	header = binary.AppendUvarint(header, uint64(len(symbols)))
+	header = binary.AppendUvarint(header, uint64(len(freq)))
+	if len(freq) == 0 {
+		return header
+	}
+	if len(freq) == 1 {
+		// Single distinct symbol: no bitstream is needed.
+		for s := range freq {
+			header = binary.AppendUvarint(header, uint64(s))
+		}
+		return header
+	}
+
+	lengths := codeLengths(freq)
+	syms := make([]uint32, 0, len(lengths))
+	for s := range lengths {
+		syms = append(syms, s)
+	}
+	// Canonical order: by (length, symbol).
+	sort.Slice(syms, func(i, j int) bool {
+		li, lj := lengths[syms[i]], lengths[syms[j]]
+		if li != lj {
+			return li < lj
+		}
+		return syms[i] < syms[j]
+	})
+	codes := assignCodes(syms, lengths)
+
+	// Header: per distinct symbol, delta-coded symbol id and its length.
+	prev := uint32(0)
+	for i, s := range syms {
+		delta := uint64(s)
+		if i > 0 {
+			// Symbols within a length class are increasing, but across
+			// classes they may go backwards; encode zig-zag deltas.
+			delta = zigzag(int64(s) - int64(prev))
+		}
+		header = binary.AppendUvarint(header, delta)
+		header = append(header, byte(lengths[s]))
+		prev = s
+	}
+
+	w := bitio.NewWriter(len(symbols) / 2)
+	for _, s := range symbols {
+		c := codes[s]
+		w.WriteBits(c.code, uint(c.len))
+	}
+	payload := w.Bytes()
+	out := make([]byte, 0, len(header)+len(payload))
+	out = append(out, header...)
+	out = append(out, payload...)
+	return out
+}
+
+// Decode reverses Encode.
+func Decode(buf []byte) ([]uint32, error) {
+	n, k, rest, err := readHeaderCounts(buf)
+	if err != nil {
+		return nil, err
+	}
+	if k == 0 {
+		if n != 0 {
+			return nil, errCorrupt
+		}
+		return []uint32{}, nil
+	}
+	if k == 1 {
+		s, m := binary.Uvarint(rest)
+		if m <= 0 {
+			return nil, errCorrupt
+		}
+		out := make([]uint32, n)
+		for i := range out {
+			out[i] = uint32(s)
+		}
+		return out, nil
+	}
+
+	syms := make([]uint32, k)
+	lens := make([]uint8, k)
+	prev := uint32(0)
+	for i := 0; i < int(k); i++ {
+		d, m := binary.Uvarint(rest)
+		if m <= 0 || len(rest) < m+1 {
+			return nil, errCorrupt
+		}
+		rest = rest[m:]
+		l := rest[0]
+		rest = rest[1:]
+		if l == 0 || l > maxCodeLen {
+			return nil, errCorrupt
+		}
+		var s uint32
+		if i == 0 {
+			s = uint32(d)
+		} else {
+			s = uint32(int64(prev) + unzigzag(d))
+		}
+		syms[i] = s
+		lens[i] = l
+		prev = s
+	}
+
+	// Rebuild the canonical decoding table.
+	var count [maxCodeLen + 1]int
+	for _, l := range lens {
+		count[l]++
+	}
+	var firstCode [maxCodeLen + 2]uint64
+	var firstSym [maxCodeLen + 2]int
+	code := uint64(0)
+	idx := 0
+	for l := 1; l <= maxCodeLen; l++ {
+		firstCode[l] = code
+		firstSym[l] = idx
+		code += uint64(count[l])
+		idx += count[l]
+		code <<= 1
+	}
+
+	r := bitio.NewReader(rest)
+	out := make([]uint32, n)
+	for i := uint64(0); i < n; i++ {
+		var c uint64
+		l := 0
+		for {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, errCorrupt
+			}
+			c = c<<1 | uint64(b)
+			l++
+			if l > maxCodeLen {
+				return nil, errCorrupt
+			}
+			if count[l] > 0 && c-firstCode[l] < uint64(count[l]) {
+				out[i] = syms[firstSym[l]+int(c-firstCode[l])]
+				break
+			}
+		}
+	}
+	return out, nil
+}
+
+func readHeaderCounts(buf []byte) (n, k uint64, rest []byte, err error) {
+	n, m := binary.Uvarint(buf)
+	if m <= 0 {
+		return 0, 0, nil, errCorrupt
+	}
+	buf = buf[m:]
+	k, m = binary.Uvarint(buf)
+	if m <= 0 {
+		return 0, 0, nil, errCorrupt
+	}
+	return n, k, buf[m:], nil
+}
+
+type codeEntry struct {
+	code uint64
+	len  uint8
+}
+
+// assignCodes produces canonical codes for symbols already sorted by
+// (length, symbol).
+func assignCodes(syms []uint32, lengths map[uint32]uint8) map[uint32]codeEntry {
+	codes := make(map[uint32]codeEntry, len(syms))
+	code := uint64(0)
+	prevLen := uint8(0)
+	for _, s := range syms {
+		l := lengths[s]
+		code <<= (l - prevLen)
+		codes[s] = codeEntry{code: code, len: l}
+		code++
+		prevLen = l
+	}
+	return codes
+}
+
+// codeLengths runs the classic two-queue Huffman construction over the
+// frequency table and returns the depth of each leaf, flattened to
+// maxCodeLen if necessary (flattening preserves prefix-freeness by
+// re-running with damped frequencies).
+func codeLengths(freq map[uint32]uint64) map[uint32]uint8 {
+	for damp := 0; ; damp++ {
+		lengths, ok := tryCodeLengths(freq, damp)
+		if ok {
+			return lengths
+		}
+	}
+}
+
+type hnode struct {
+	weight      uint64
+	left, right int32 // indices into the node arena, -1 for leaves
+	sym         uint32
+}
+
+func tryCodeLengths(freq map[uint32]uint64, damp int) (map[uint32]uint8, bool) {
+	leaves := make([]hnode, 0, len(freq))
+	for s, f := range freq {
+		w := f >> uint(damp*4)
+		if w == 0 {
+			w = 1
+		}
+		leaves = append(leaves, hnode{weight: w, left: -1, right: -1, sym: s})
+	}
+	sort.Slice(leaves, func(i, j int) bool {
+		if leaves[i].weight != leaves[j].weight {
+			return leaves[i].weight < leaves[j].weight
+		}
+		return leaves[i].sym < leaves[j].sym
+	})
+
+	arena := make([]hnode, len(leaves), 2*len(leaves))
+	copy(arena, leaves)
+	// Two sorted queues: remaining leaves, and internal nodes (built in
+	// non-decreasing weight order).
+	leafQ := make([]int32, len(leaves))
+	for i := range leafQ {
+		leafQ[i] = int32(i)
+	}
+	var internQ []int32
+	pop := func() int32 {
+		switch {
+		case len(leafQ) == 0:
+			n := internQ[0]
+			internQ = internQ[1:]
+			return n
+		case len(internQ) == 0:
+			n := leafQ[0]
+			leafQ = leafQ[1:]
+			return n
+		case arena[leafQ[0]].weight <= arena[internQ[0]].weight:
+			n := leafQ[0]
+			leafQ = leafQ[1:]
+			return n
+		default:
+			n := internQ[0]
+			internQ = internQ[1:]
+			return n
+		}
+	}
+	for len(leafQ)+len(internQ) > 1 {
+		a := pop()
+		b := pop()
+		arena = append(arena, hnode{
+			weight: arena[a].weight + arena[b].weight,
+			left:   a,
+			right:  b,
+		})
+		internQ = append(internQ, int32(len(arena)-1))
+	}
+	root := pop()
+
+	lengths := make(map[uint32]uint8, len(freq))
+	type frame struct {
+		node  int32
+		depth uint8
+	}
+	stack := []frame{{root, 0}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := arena[f.node]
+		if n.left < 0 {
+			if f.depth > maxCodeLen {
+				return nil, false
+			}
+			d := f.depth
+			if d == 0 {
+				d = 1 // degenerate single-node tree; callers avoid this case
+			}
+			lengths[n.sym] = d
+			continue
+		}
+		if f.depth >= maxCodeLen {
+			return nil, false
+		}
+		stack = append(stack, frame{n.left, f.depth + 1}, frame{n.right, f.depth + 1})
+	}
+	return lengths, true
+}
+
+func zigzag(v int64) uint64 {
+	return uint64((v << 1) ^ (v >> 63))
+}
+
+func unzigzag(u uint64) int64 {
+	return int64(u>>1) ^ -int64(u&1)
+}
+
+// EstimateBits returns the total entropy-coded size in bits that Encode
+// would produce for the stream, excluding the header. It is used by the
+// online tuner for cheap bit-rate estimation.
+func EstimateBits(symbols []uint32) int {
+	if len(symbols) == 0 {
+		return 0
+	}
+	freq := make(map[uint32]uint64, 256)
+	for _, s := range symbols {
+		freq[s]++
+	}
+	if len(freq) == 1 {
+		return 0
+	}
+	lengths := codeLengths(freq)
+	bits := 0
+	for s, f := range freq {
+		bits += int(f) * int(lengths[s])
+	}
+	return bits
+}
+
+// String diagnostics for tests.
+func DumpLengths(symbols []uint32) string {
+	freq := make(map[uint32]uint64)
+	for _, s := range symbols {
+		freq[s]++
+	}
+	if len(freq) < 2 {
+		return "trivial"
+	}
+	lengths := codeLengths(freq)
+	return fmt.Sprintf("%d distinct, max len %d", len(lengths), maxLen(lengths))
+}
+
+func maxLen(lengths map[uint32]uint8) uint8 {
+	var m uint8
+	for _, l := range lengths {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}

@@ -1,0 +1,304 @@
+package interp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMaxLevelGlobal(t *testing.T) {
+	cases := []struct {
+		dims []int
+		want int
+	}{
+		{[]int{2}, 1},
+		{[]int{3}, 2},
+		{[]int{4}, 2},
+		{[]int{5}, 3},
+		{[]int{100, 500, 500}, 9},
+		{[]int{1}, 1},
+	}
+	for _, c := range cases {
+		if got := MaxLevelGlobal(c.dims); got != c.want {
+			t.Errorf("MaxLevelGlobal(%v) = %d, want %d", c.dims, got, c.want)
+		}
+	}
+}
+
+func TestMaxLevelAnchored(t *testing.T) {
+	cases := map[int]int{2: 1, 4: 2, 16: 4, 32: 5, 64: 6}
+	for stride, want := range cases {
+		if got := MaxLevelAnchored(stride); got != want {
+			t.Errorf("MaxLevelAnchored(%d) = %d, want %d", stride, got, want)
+		}
+	}
+}
+
+func TestAnchorIndices2D(t *testing.T) {
+	// 5x6 grid, stride 4: anchors at (0,0),(0,4),(4,0),(4,4).
+	idx := AnchorIndices([]int{5, 6}, 4)
+	want := []int{0, 4, 24, 28}
+	if len(idx) != len(want) {
+		t.Fatalf("anchors = %v, want %v", idx, want)
+	}
+	for i := range want {
+		if idx[i] != want[i] {
+			t.Fatalf("anchors = %v, want %v", idx, want)
+		}
+	}
+}
+
+// coverage verifies that anchors plus all level passes visit every point
+// exactly once — the fundamental traversal invariant.
+func coverage(t *testing.T, dims []int, anchorStride int, m Method) {
+	t.Helper()
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+	visited := make([]int, n)
+	var maxLevel int
+	if anchorStride > 0 {
+		maxLevel = MaxLevelAnchored(anchorStride)
+		for _, idx := range AnchorIndices(dims, anchorStride) {
+			visited[idx]++
+		}
+	} else {
+		maxLevel = MaxLevelGlobal(dims)
+		visited[0]++ // origin committed with zero prediction
+	}
+	buf := make([]float32, n)
+	for level := maxLevel; level >= 1; level-- {
+		count := 0
+		LevelPass(buf, dims, level, m, func(idx int, pred float64) float32 {
+			visited[idx]++
+			count++
+			return 0
+		})
+		if want := CountLevelPoints(dims, level); count != want {
+			t.Fatalf("dims %v level %d: visited %d points, CountLevelPoints says %d",
+				dims, level, count, want)
+		}
+	}
+	for i, v := range visited {
+		if v != 1 {
+			t.Fatalf("dims %v anchor %d: point %d visited %d times", dims, anchorStride, i, v)
+		}
+	}
+}
+
+func TestCoverageShapes(t *testing.T) {
+	shapes := [][]int{
+		{7}, {8}, {9}, {1},
+		{5, 5}, {8, 8}, {7, 13}, {1, 9}, {16, 1},
+		{4, 5, 6}, {8, 8, 8}, {3, 9, 17}, {1, 1, 5},
+		{2, 3, 4, 5},
+	}
+	for _, dims := range shapes {
+		for _, m := range Candidates(len(dims)) {
+			coverage(t, dims, 0, m)
+		}
+	}
+}
+
+func TestCoverageAnchored(t *testing.T) {
+	cases := []struct {
+		dims   []int
+		stride int
+	}{
+		{[]int{9, 9}, 4},
+		{[]int{64, 64}, 64},
+		{[]int{17, 33}, 8},
+		{[]int{10, 20, 30}, 8},
+		{[]int{33, 33, 33}, 32},
+	}
+	for _, c := range cases {
+		for _, m := range Candidates(len(c.dims)) {
+			coverage(t, c.dims, c.stride, m)
+		}
+	}
+}
+
+func TestCoverageProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := 1 + rng.Intn(3)
+		dims := make([]int, nd)
+		n := 1
+		for i := range dims {
+			dims[i] = 1 + rng.Intn(20)
+			n *= dims[i]
+		}
+		m := Candidates(nd)[rng.Intn(len(Candidates(nd)))]
+		visited := make([]int, n)
+		visited[0]++
+		buf := make([]float32, n)
+		for level := MaxLevelGlobal(dims); level >= 1; level-- {
+			LevelPass(buf, dims, level, m, func(idx int, pred float64) float32 {
+				visited[idx]++
+				return 0
+			})
+		}
+		for _, v := range visited {
+			if v != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExactOnLinearField verifies that with exact commits (no quantization),
+// both interpolators reproduce an affine field exactly: linear and cubic
+// interpolation are exact for degree-1 polynomials.
+func TestExactOnLinearField(t *testing.T) {
+	dims := []int{17, 23}
+	n := 17 * 23
+	orig := make([]float32, n)
+	for y := 0; y < 17; y++ {
+		for x := 0; x < 23; x++ {
+			orig[y*23+x] = float32(2.5*float64(y) - 1.25*float64(x) + 3)
+		}
+	}
+	for _, m := range Candidates(2) {
+		buf := make([]float32, n)
+		buf[0] = orig[0]
+		// Seed the anchors from the original field (stride 8).
+		for _, idx := range AnchorIndices(dims, 8) {
+			buf[idx] = orig[idx]
+		}
+		for level := MaxLevelAnchored(8); level >= 1; level-- {
+			LevelPass(buf, dims, level, m, func(idx int, pred float64) float32 {
+				// Perfect commit: prediction should already match.
+				if math.Abs(pred-float64(orig[idx])) > 1e-3 {
+					t.Fatalf("method %v: pred %v at %d, want %v", m, pred, idx, orig[idx])
+				}
+				return orig[idx]
+			})
+		}
+	}
+}
+
+// TestCubicBeatsLinearOnSmooth verifies the motivating property: cubic
+// interpolation predicts a smooth field better than linear.
+func TestCubicBeatsLinearOnSmooth(t *testing.T) {
+	dims := []int{65}
+	n := 65
+	orig := make([]float32, n)
+	for i := range orig {
+		orig[i] = float32(math.Sin(float64(i) / 6))
+	}
+	errFor := func(kind Kind) float64 {
+		buf := make([]float32, n)
+		for _, idx := range AnchorIndices(dims, 16) {
+			buf[idx] = orig[idx]
+		}
+		var sum float64
+		for level := MaxLevelAnchored(16); level >= 1; level-- {
+			LevelPass(buf, dims, level, Method{kind, Increasing}, func(idx int, pred float64) float32 {
+				sum += math.Abs(pred - float64(orig[idx]))
+				return orig[idx] // lossless commit isolates predictor quality
+			})
+		}
+		return sum
+	}
+	lin, cub := errFor(Linear), errFor(Cubic)
+	if cub >= lin {
+		t.Fatalf("cubic L1 %v should beat linear %v on smooth data", cub, lin)
+	}
+}
+
+// TestAnchorsLimitRange verifies that with anchors, predictions of a
+// piecewise field never mix values across distant regions as badly as the
+// global traversal does (the Fig. 4 motivation).
+func TestAnchorsLimitRange(t *testing.T) {
+	n := 129
+	dims := []int{n}
+	orig := make([]float32, n)
+	for i := range orig {
+		if i >= n/2 {
+			orig[i] = 10
+		}
+	}
+	predErr := func(anchorStride int) float64 {
+		buf := make([]float32, n)
+		var maxLevel int
+		if anchorStride > 0 {
+			maxLevel = MaxLevelAnchored(anchorStride)
+			for _, idx := range AnchorIndices(dims, anchorStride) {
+				buf[idx] = orig[idx]
+			}
+		} else {
+			maxLevel = MaxLevelGlobal(dims)
+		}
+		var sum float64
+		for level := maxLevel; level >= 1; level-- {
+			LevelPass(buf, dims, level, Method{Linear, Increasing}, func(idx int, pred float64) float32 {
+				sum += math.Abs(pred - float64(orig[idx]))
+				return orig[idx]
+			})
+		}
+		return sum
+	}
+	if anchored, global := predErr(8), predErr(0); anchored >= global {
+		t.Fatalf("anchored L1 %v should beat global %v on discontinuous data", anchored, global)
+	}
+}
+
+// TestQuadraticExactOnParabola: the quadratic stencil through (−3s,−s,+s)
+// reproduces degree-2 polynomials exactly (given exact commits).
+func TestQuadraticExactOnParabola(t *testing.T) {
+	n := 33
+	dims := []int{n}
+	orig := make([]float32, n)
+	for i := range orig {
+		x := float64(i)
+		orig[i] = float32(0.5*x*x - 3*x + 7)
+	}
+	buf := make([]float32, n)
+	for _, idx := range AnchorIndices(dims, 8) {
+		buf[idx] = orig[idx]
+	}
+	for level := MaxLevelAnchored(8); level >= 1; level-- {
+		LevelPass(buf, dims, level, Method{Quadratic, Increasing}, func(idx int, pred float64) float32 {
+			c := idx // 1D: flat index == coordinate
+			s := 1 << (level - 1)
+			// Only interior points with the full 3-point stencil are exact.
+			if c-3*s >= 0 || c+3*s < n {
+				if math.Abs(pred-float64(orig[idx])) > 1e-3 {
+					t.Fatalf("level %d idx %d: pred %v, want %v", level, idx, pred, orig[idx])
+				}
+			}
+			return orig[idx]
+		})
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	if got := len(Candidates(1)); got != 3 {
+		t.Fatalf("1D candidates = %d, want 3", got)
+	}
+	if got := len(Candidates(3)); got != 6 {
+		t.Fatalf("3D candidates = %d, want 6", got)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	m := Method{Cubic, Decreasing}
+	if m.String() != "cubic/dec" {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestCountRange(t *testing.T) {
+	if got := countRange(1, 2, 10); got != 5 { // 1,3,5,7,9
+		t.Fatalf("countRange(1,2,10) = %d, want 5", got)
+	}
+	if got := countRange(4, 8, 4); got != 0 {
+		t.Fatalf("countRange(4,8,4) = %d, want 0", got)
+	}
+}

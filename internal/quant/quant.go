@@ -1,0 +1,137 @@
+// Package quant implements the SZ-style linear-scale quantizer used by all
+// prediction-based compressors in this repository.
+//
+// For a data value v predicted as p under error bound eb, the quantizer
+// emits an integer bin q = round((v-p) / (2*eb)) so that the reconstructed
+// value p + 2*eb*q differs from v by at most eb. Values whose bin would
+// fall outside the configured radius — or whose reconstruction fails the
+// bound because of floating-point rounding — are escaped as "unpredictable"
+// literals stored exactly, exactly as in SZ (Tao et al., IPDPS'17).
+package quant
+
+import "math"
+
+// DefaultRadius matches SZ's default quantization capacity of 65536 bins.
+const DefaultRadius = 32768
+
+// LiteralSymbol is the bin symbol reserved for unpredictable (escaped)
+// values. Regular bins map to symbol q+radius, which is always >= 1.
+const LiteralSymbol = 0
+
+// Quantizer performs error-bounded linear quantization. The zero value is
+// not usable; construct with New.
+type Quantizer struct {
+	eb     float64
+	radius int32
+
+	// Bins collects emitted symbols: LiteralSymbol for escapes, otherwise
+	// q + radius.
+	Bins []uint32
+	// Literals collects escaped original values in emission order.
+	Literals []float32
+}
+
+// New returns a quantizer for the given absolute error bound. eb must be
+// positive. radius <= 0 selects DefaultRadius.
+func New(eb float64, radius int32) *Quantizer {
+	if radius <= 0 {
+		radius = DefaultRadius
+	}
+	return &Quantizer{eb: eb, radius: radius}
+}
+
+// ErrorBound returns the quantizer's absolute error bound.
+func (q *Quantizer) ErrorBound() float64 { return q.eb }
+
+// SetBound changes the error bound for subsequently quantized values. QoZ
+// uses this to apply level-wise bounds e_l = e/min(α^(l-1), β) while
+// keeping one symbol stream across levels (the decompressor recomputes the
+// same per-level bounds from the stored α and β).
+func (q *Quantizer) SetBound(eb float64) { q.eb = eb }
+
+// Quantize encodes value v with prediction p, appends the resulting symbol
+// (and literal, if escaped) to the quantizer's streams, and returns the
+// reconstructed value the decompressor will see.
+func (q *Quantizer) Quantize(v float32, p float64) float32 {
+	diff := float64(v) - p
+	scaled := diff / (2 * q.eb)
+	// Non-finite values (NaN/Inf in the data, or NaN predictions caused by
+	// non-finite neighbours) are escaped so they round-trip bit-exactly.
+	if math.IsNaN(scaled) || scaled > float64(q.radius-1) || scaled < -float64(q.radius-1) {
+		q.Bins = append(q.Bins, LiteralSymbol)
+		q.Literals = append(q.Literals, v)
+		return v
+	}
+	bin := int32(math.Round(scaled))
+	recon := float32(p + 2*q.eb*float64(bin))
+	if math.Abs(float64(recon)-float64(v)) > q.eb {
+		// float32 rounding pushed the reconstruction out of bound; escape.
+		q.Bins = append(q.Bins, LiteralSymbol)
+		q.Literals = append(q.Literals, v)
+		return v
+	}
+	q.Bins = append(q.Bins, uint32(bin+q.radius))
+	return recon
+}
+
+// EstimateOnly quantizes without retaining streams; it returns the
+// reconstruction and whether the value had to be escaped. Used by sampling
+// trials where only prediction errors matter.
+func EstimateOnly(v float32, p, eb float64, radius int32) (recon float32, escaped bool) {
+	diff := float64(v) - p
+	scaled := diff / (2 * eb)
+	if math.IsNaN(scaled) || scaled > float64(radius-1) || scaled < -float64(radius-1) {
+		return v, true
+	}
+	bin := int32(math.Round(scaled))
+	r := float32(p + 2*eb*float64(bin))
+	if math.Abs(float64(r)-float64(v)) > eb {
+		return v, true
+	}
+	return r, false
+}
+
+// Dequantizer reverses a Quantizer stream.
+type Dequantizer struct {
+	eb     float64
+	radius int32
+
+	bins     []uint32
+	literals []float32
+	binPos   int
+	litPos   int
+}
+
+// NewDequantizer wraps the bin and literal streams recorded by a Quantizer
+// configured with the same eb and radius.
+func NewDequantizer(eb float64, radius int32, bins []uint32, literals []float32) *Dequantizer {
+	if radius <= 0 {
+		radius = DefaultRadius
+	}
+	return &Dequantizer{eb: eb, radius: radius, bins: bins, literals: literals}
+}
+
+// SetBound changes the error bound for subsequently dequantized values,
+// mirroring Quantizer.SetBound.
+func (d *Dequantizer) SetBound(eb float64) { d.eb = eb }
+
+// Next reconstructs the next value given its prediction p.
+func (d *Dequantizer) Next(p float64) float32 {
+	sym := d.bins[d.binPos]
+	d.binPos++
+	if sym == LiteralSymbol {
+		if d.litPos >= len(d.literals) {
+			// Corrupt stream: literal stream exhausted. Return 0 rather
+			// than panicking; callers surface stream errors separately.
+			return 0
+		}
+		v := d.literals[d.litPos]
+		d.litPos++
+		return v
+	}
+	bin := int32(sym) - d.radius
+	return float32(p + 2*d.eb*float64(bin))
+}
+
+// Remaining reports how many symbols are left, for stream-consistency checks.
+func (d *Dequantizer) Remaining() int { return len(d.bins) - d.binPos }

@@ -1,0 +1,129 @@
+package quant
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantizeWithinBound(t *testing.T) {
+	q := New(0.01, 0)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		v := float32(rng.NormFloat64())
+		p := float64(v) + rng.NormFloat64()*0.05
+		recon := q.Quantize(v, p)
+		if err := math.Abs(float64(recon) - float64(v)); err > 0.01 {
+			t.Fatalf("reconstruction error %g exceeds bound", err)
+		}
+	}
+}
+
+func TestEscapeOnHugeResidual(t *testing.T) {
+	q := New(1e-6, 4) // tiny radius forces escapes
+	recon := q.Quantize(100, 0)
+	if recon != 100 {
+		t.Fatalf("escaped value must reconstruct exactly, got %v", recon)
+	}
+	if len(q.Literals) != 1 || q.Bins[0] != LiteralSymbol {
+		t.Fatalf("expected literal escape, bins=%v literals=%v", q.Bins, q.Literals)
+	}
+}
+
+func TestRoundTripStreams(t *testing.T) {
+	eb := 0.005
+	q := New(eb, 0)
+	rng := rand.New(rand.NewSource(2))
+	n := 5000
+	values := make([]float32, n)
+	preds := make([]float64, n)
+	recons := make([]float32, n)
+	for i := 0; i < n; i++ {
+		values[i] = float32(math.Sin(float64(i) / 10))
+		preds[i] = float64(values[i]) + rng.NormFloat64()*0.01
+		recons[i] = q.Quantize(values[i], preds[i])
+	}
+	d := NewDequantizer(eb, 0, q.Bins, q.Literals)
+	for i := 0; i < n; i++ {
+		got := d.Next(preds[i])
+		if got != recons[i] {
+			t.Fatalf("value %d: decompressor got %v, compressor produced %v", i, got, recons[i])
+		}
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("dequantizer has %d leftover symbols", d.Remaining())
+	}
+}
+
+func TestSymbolRange(t *testing.T) {
+	q := New(0.1, 16)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		q.Quantize(float32(rng.NormFloat64()*3), rng.NormFloat64()*3)
+	}
+	for _, s := range q.Bins {
+		if s > 32 { // 2*radius
+			t.Fatalf("symbol %d outside [0, 2*radius]", s)
+		}
+	}
+}
+
+func TestEstimateOnlyAgreesWithQuantizer(t *testing.T) {
+	eb := 0.02
+	q := New(eb, 0)
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		v := float32(rng.NormFloat64())
+		p := rng.NormFloat64()
+		want := q.Quantize(v, p)
+		got, _ := EstimateOnly(v, p, eb, DefaultRadius)
+		if got != want {
+			t.Fatalf("EstimateOnly disagrees: got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestZeroResidual(t *testing.T) {
+	q := New(0.5, 0)
+	recon := q.Quantize(3, 3)
+	if recon != 3 {
+		t.Fatalf("exact prediction should reconstruct exactly, got %v", recon)
+	}
+	if q.Bins[0] != uint32(DefaultRadius) {
+		t.Fatalf("exact prediction should use center bin, got %d", q.Bins[0])
+	}
+}
+
+// Property: for random values, predictions, and bounds, the error bound is
+// always respected and the dequantizer reproduces the compressor's
+// reconstruction bit-exactly.
+func TestBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		eb := math.Pow(10, -1-4*rng.Float64()) // 1e-1 .. 1e-5
+		q := New(eb, 0)
+		n := 200
+		preds := make([]float64, n)
+		recons := make([]float32, n)
+		vals := make([]float32, n)
+		for i := 0; i < n; i++ {
+			vals[i] = float32(rng.NormFloat64() * math.Pow(10, rng.Float64()*4-2))
+			preds[i] = rng.NormFloat64()
+			recons[i] = q.Quantize(vals[i], preds[i])
+			if math.Abs(float64(recons[i])-float64(vals[i])) > eb {
+				return false
+			}
+		}
+		d := NewDequantizer(eb, 0, q.Bins, q.Literals)
+		for i := 0; i < n; i++ {
+			if d.Next(preds[i]) != recons[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

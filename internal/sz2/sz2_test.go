@@ -1,0 +1,143 @@
+package sz2
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qoz/datagen"
+	"qoz/internal/grid"
+	"qoz/metrics"
+)
+
+func TestRoundTripRespectsBound(t *testing.T) {
+	for _, ds := range datagen.AllSmall() {
+		eb := 1e-3 * metrics.ValueRange(ds.Data)
+		buf, err := Compress(ds.Data, ds.Dims, eb)
+		if err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		recon, dims, err := Decompress(buf)
+		if err != nil {
+			t.Fatalf("%s: Decompress: %v", ds.Name, err)
+		}
+		if len(dims) != len(ds.Dims) {
+			t.Fatalf("%s: dims %v", ds.Name, dims)
+		}
+		maxErr, _ := metrics.MaxAbsError(ds.Data, recon)
+		if maxErr > eb*(1+1e-12) {
+			t.Fatalf("%s: max error %g > %g", ds.Name, maxErr, eb)
+		}
+		if cr := metrics.CompressionRatio(ds.Len(), len(buf)); cr < 1.2 {
+			t.Errorf("%s: CR %.2f too low", ds.Name, cr)
+		}
+	}
+}
+
+func TestRegressionWinsOnPlanarData(t *testing.T) {
+	// A perfectly planar field should select regression in every block and
+	// compress extremely well.
+	ny, nx := 48, 48
+	data := make([]float32, ny*nx)
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			data[y*nx+x] = float32(3 + 0.5*float64(y) - 0.25*float64(x))
+		}
+	}
+	buf, err := Compress(data, []int{ny, nx}, 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr, _ := metrics.MaxAbsError(data, recon)
+	if maxErr > 1e-4 {
+		t.Fatalf("max error %g", maxErr)
+	}
+	if cr := metrics.CompressionRatio(len(data), len(buf)); cr < 20 {
+		t.Fatalf("planar field CR %.1f, want large", cr)
+	}
+}
+
+func TestLorenzoStencil(t *testing.T) {
+	// 2D Lorenzo of a bilinear field is exact away from borders.
+	dims := []int{8, 8}
+	strides := grid.StridesOf(dims)
+	data := make([]float32, 64)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 8; x++ {
+			data[y*8+x] = float32(2*y + 3*x + 1) // affine: Lorenzo-exact
+		}
+	}
+	pred := lorenzoFrom(data, dims, strides, []int{3, 4})
+	if math.Abs(pred-float64(data[3*8+4])) > 1e-9 {
+		t.Fatalf("Lorenzo pred %v, want %v", pred, data[3*8+4])
+	}
+	// At the origin all neighbours are missing -> prediction 0.
+	if p := lorenzoFrom(data, dims, strides, []int{0, 0}); p != 0 {
+		t.Fatalf("origin pred = %v, want 0", p)
+	}
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	// 2x + y = 5; x + 3y = 10 -> x = 1, y = 3.
+	a := []float64{2, 1, 1, 3}
+	b := []float64{5, 10}
+	sol := solve(a, b, 2)
+	if math.Abs(sol[0]-1) > 1e-9 || math.Abs(sol[1]-3) > 1e-9 {
+		t.Fatalf("solve = %v", sol)
+	}
+	// Singular system must not blow up.
+	sol = solve([]float64{1, 1, 1, 1}, []float64{2, 2}, 2)
+	for _, v := range sol {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("singular solve produced %v", sol)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Compress(make([]float32, 4), []int{4}, 0); err == nil {
+		t.Error("zero eb accepted")
+	}
+	if _, err := Compress(make([]float32, 4), []int{5}, 0.1); err == nil {
+		t.Error("dims mismatch accepted")
+	}
+	if _, _, err := Decompress([]byte("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := 1 + rng.Intn(3)
+		dims := make([]int, nd)
+		n := 1
+		for i := range dims {
+			dims[i] = 2 + rng.Intn(14)
+			n *= dims[i]
+		}
+		data := make([]float32, n)
+		for i := range data {
+			data[i] = float32(rng.NormFloat64())
+		}
+		eb := math.Pow(10, -1-3*rng.Float64())
+		buf, err := Compress(data, dims, eb)
+		if err != nil {
+			return false
+		}
+		recon, _, err := Decompress(buf)
+		if err != nil {
+			return false
+		}
+		maxErr, _ := metrics.MaxAbsError(data, recon)
+		return maxErr <= eb*(1+1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+// Package szstream packages the common payload of the SZ-family codecs
+// (quantization bins, escaped literals, anchor values, codec-specific
+// config) into the shared container format. The bins travel through the
+// canonical Huffman coder; every section is then DEFLATE-compressed by the
+// container when profitable (the paper's "Huffman & dictionary encoding"
+// stage).
+package szstream
+
+import (
+	"errors"
+
+	"math"
+
+	"qoz/internal/container"
+	"qoz/internal/huffman"
+)
+
+// Section ids within an SZ-family stream.
+const (
+	SecBins     = 1
+	SecLiterals = 2
+	SecAnchors  = 3
+	SecConfig   = 4
+)
+
+// Payload is the pre-entropy-coding content of an SZ-family stream.
+type Payload struct {
+	Bins     []uint32
+	Literals []float32
+	Anchors  []float32
+	Config   []byte
+}
+
+// Encode wraps the payload in a container. Anchor values are XOR-delta
+// transformed before serialization: anchors sample a smooth coarse grid,
+// so consecutive float32 bit patterns share their high bytes and the
+// container's DEFLATE stage compresses the residue well — this keeps the
+// paper's "nearly negligible" anchor overhead true even at very high
+// compression ratios.
+func Encode(codec uint8, dims []int, eb float64, p *Payload) ([]byte, error) {
+	s := &container.Stream{
+		Codec:      codec,
+		Dims:       dims,
+		ErrorBound: eb,
+		Sections: []container.Section{
+			{ID: SecBins, Data: huffman.Encode(p.Bins)},
+			{ID: SecLiterals, Data: container.Float32sToBytes(p.Literals)},
+			{ID: SecAnchors, Data: container.Float32sToBytes(xorDelta(p.Anchors))},
+			{ID: SecConfig, Data: p.Config},
+		},
+	}
+	return container.Encode(s)
+}
+
+// xorDelta replaces each value's bits with the XOR against its predecessor
+// (lossless, order-preserving). unXorDelta inverts it.
+func xorDelta(vals []float32) []float32 {
+	if len(vals) == 0 {
+		return vals
+	}
+	out := make([]float32, len(vals))
+	prev := uint32(0)
+	for i, v := range vals {
+		b := math.Float32bits(v)
+		out[i] = math.Float32frombits(b ^ prev)
+		prev = b
+	}
+	return out
+}
+
+func unXorDelta(vals []float32) []float32 {
+	prev := uint32(0)
+	for i, v := range vals {
+		b := math.Float32bits(v) ^ prev
+		vals[i] = math.Float32frombits(b)
+		prev = b
+	}
+	return vals
+}
+
+// Decode parses a container and recovers the payload, verifying the codec id.
+func Decode(buf []byte, wantCodec uint8) (*container.Stream, *Payload, error) {
+	s, err := container.Decode(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.Codec != wantCodec {
+		return nil, nil, container.ErrCodecMismatch
+	}
+	binsRaw := s.Section(SecBins)
+	if binsRaw == nil {
+		return nil, nil, errors.New("szstream: missing bins section")
+	}
+	bins, err := huffman.Decode(binsRaw)
+	if err != nil {
+		return nil, nil, err
+	}
+	lits, err := container.BytesToFloat32s(s.Section(SecLiterals))
+	if err != nil {
+		return nil, nil, err
+	}
+	anchors, err := container.BytesToFloat32s(s.Section(SecAnchors))
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, &Payload{
+		Bins:     bins,
+		Literals: lits,
+		Anchors:  unXorDelta(anchors),
+		Config:   s.Section(SecConfig),
+	}, nil
+}

@@ -1,0 +1,234 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"qoz/datagen"
+	"qoz/metrics"
+)
+
+func TestPairTransformInvertible(t *testing.T) {
+	f := func(a, b int64) bool {
+		a %= 1 << 40
+		b %= 1 << 40
+		l, h := fwdPair(a, b)
+		x, y := invPair(l, h)
+		return x == a && y == b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockTransformInvertible(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, nd := range []int{1, 2, 3} {
+		bn := 1 << (2 * nd)
+		for trial := 0; trial < 100; trial++ {
+			iv := make([]int64, bn)
+			orig := make([]int64, bn)
+			for i := range iv {
+				iv[i] = int64(rng.Int31()) - 1<<30
+				orig[i] = iv[i]
+			}
+			forwardTransform(iv, nd)
+			inverseTransform(iv, nd)
+			for i := range iv {
+				if iv[i] != orig[i] {
+					t.Fatalf("nd=%d: transform not invertible at %d", nd, i)
+				}
+			}
+		}
+	}
+}
+
+func TestNegabinaryRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 2, -2, 1 << 35, -(1 << 35), 12345, -98765} {
+		if got := fromNegabinary(toNegabinary(v)); got != v {
+			t.Fatalf("negabinary(%d) -> %d", v, got)
+		}
+	}
+}
+
+func TestNegabinaryTruncationError(t *testing.T) {
+	// Truncating planes below k changes the value by less than 2^(k+1).
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 1000; trial++ {
+		v := int64(rng.Int63n(1<<40)) - 1<<39
+		k := rng.Intn(30)
+		u := truncate(toNegabinary(v), k)
+		diff := math.Abs(float64(fromNegabinary(u) - v))
+		if diff >= float64(int64(1)<<uint(k+1)) {
+			t.Fatalf("truncation at plane %d changed %d by %g", k, v, diff)
+		}
+	}
+}
+
+func TestSequencyOrder(t *testing.T) {
+	o := sequencyOrder(2)
+	if len(o) != 16 {
+		t.Fatalf("order len %d", len(o))
+	}
+	if o[0] != 0 {
+		t.Fatalf("DC coefficient not first: %v", o)
+	}
+	seen := make(map[int]bool)
+	prevKey := -1
+	for _, i := range o {
+		if seen[i] {
+			t.Fatalf("duplicate index %d", i)
+		}
+		seen[i] = true
+		key := (i & 3) + ((i >> 2) & 3)
+		if key < prevKey {
+			t.Fatalf("order not monotone in sequency: %v", o)
+		}
+		prevKey = key
+	}
+}
+
+func TestRoundTripRespectsBound(t *testing.T) {
+	for _, ds := range datagen.AllSmall() {
+		eb := 1e-3 * metrics.ValueRange(ds.Data)
+		buf, err := Compress(ds.Data, ds.Dims, eb)
+		if err != nil {
+			t.Fatalf("%s: %v", ds.Name, err)
+		}
+		recon, dims, err := Decompress(buf)
+		if err != nil {
+			t.Fatalf("%s: Decompress: %v", ds.Name, err)
+		}
+		if len(dims) != len(ds.Dims) {
+			t.Fatalf("%s: dims %v", ds.Name, dims)
+		}
+		maxErr, _ := metrics.MaxAbsError(ds.Data, recon)
+		if maxErr > eb {
+			t.Fatalf("%s: max error %g > %g", ds.Name, maxErr, eb)
+		}
+	}
+}
+
+func TestZeroBlocks(t *testing.T) {
+	data := make([]float32, 64)
+	buf, err := Compress(data, []int{8, 8}, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range recon {
+		if v != 0 {
+			t.Fatalf("zero field reconstructed %v", v)
+		}
+	}
+	if len(buf) > 120 {
+		t.Errorf("zero field stream is %d bytes", len(buf))
+	}
+}
+
+func TestTinyBoundFallsBackToRaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]float32, 4*4*4)
+	for i := range data {
+		data[i] = float32(rng.NormFloat64() * 1e10)
+	}
+	eb := 1e-12 // far below fixed-point resolution at this magnitude
+	buf, err := Compress(data, []int{4, 4, 4}, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if data[i] != recon[i] {
+			t.Fatalf("raw fallback not exact at %d: %v vs %v", i, data[i], recon[i])
+		}
+	}
+}
+
+func TestPartialBlocks(t *testing.T) {
+	// Dims not multiples of 4 exercise padding and scatter.
+	dims := []int{5, 7, 9}
+	n := 5 * 7 * 9
+	data := make([]float32, n)
+	for i := range data {
+		data[i] = float32(math.Sin(float64(i) / 3))
+	}
+	buf, err := Compress(data, dims, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, _, err := Decompress(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxErr, _ := metrics.MaxAbsError(data, recon)
+	if maxErr > 1e-3 {
+		t.Fatalf("max error %g", maxErr)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Compress(make([]float32, 4), []int{4}, 0); err == nil {
+		t.Error("zero eb accepted")
+	}
+	if _, err := Compress(make([]float32, 16), []int{2, 2, 2, 2}, 0.1); err == nil {
+		t.Error("4D accepted")
+	}
+	if _, _, err := Decompress([]byte("garbage")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nd := 1 + rng.Intn(3)
+		dims := make([]int, nd)
+		n := 1
+		for i := range dims {
+			dims[i] = 1 + rng.Intn(12)
+			n *= dims[i]
+		}
+		data := make([]float32, n)
+		for i := range data {
+			data[i] = float32(rng.NormFloat64() * math.Pow(10, rng.Float64()*6-3))
+		}
+		eb := math.Pow(10, -4*rng.Float64()) * float64(metrics.ValueRange(data))
+		if eb == 0 {
+			eb = 1e-6
+		}
+		buf, err := Compress(data, dims, eb)
+		if err != nil {
+			return false
+		}
+		recon, _, err := Decompress(buf)
+		if err != nil {
+			return false
+		}
+		maxErr, _ := metrics.MaxAbsError(data, recon)
+		return maxErr <= eb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSmoothDataCompressesWellAtLooseBound(t *testing.T) {
+	ds := datagen.Miranda(24, 32, 32)
+	eb := 1e-2 * metrics.ValueRange(ds.Data)
+	buf, err := Compress(ds.Data, ds.Dims, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr := metrics.CompressionRatio(ds.Len(), len(buf)); cr < 3 {
+		t.Fatalf("smooth-data CR %.2f too low for eb=1e-2", cr)
+	}
+}

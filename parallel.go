@@ -1,0 +1,92 @@
+package qoz
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// Field is one named array in a multi-field dataset (scientific dumps such
+// as Hurricane-Isabel carry dozens of fields per time step).
+type Field struct {
+	Name string
+	Data []float32
+	Dims []int
+}
+
+// FieldResult is the outcome of compressing or decompressing one field.
+type FieldResult struct {
+	Name  string
+	Bytes []byte // compressed stream (CompressFields)
+	Data  []float32
+	Dims  []int
+	Err   error
+}
+
+// CompressFields compresses many fields concurrently with a bounded worker
+// pool (workers <= 0 selects GOMAXPROCS), the way each core compresses its
+// own partition in the paper's parallel dumping experiment. Results are
+// returned in input order; per-field failures are reported in Err without
+// aborting the batch.
+func CompressFields(fields []Field, opts Options, workers int) []FieldResult {
+	results := make([]FieldResult, len(fields))
+	runPool(len(fields), workers, func(i int) {
+		f := fields[i]
+		results[i].Name = f.Name
+		if f.Data == nil {
+			results[i].Err = errors.New("qoz: nil field data")
+			return
+		}
+		buf, err := Compress(f.Data, f.Dims, opts)
+		results[i].Bytes = buf
+		results[i].Err = err
+	})
+	return results
+}
+
+// DecompressFields decompresses many streams concurrently; see
+// CompressFields for pool semantics.
+func DecompressFields(names []string, bufs [][]byte, workers int) []FieldResult {
+	results := make([]FieldResult, len(bufs))
+	runPool(len(bufs), workers, func(i int) {
+		if i < len(names) {
+			results[i].Name = names[i]
+		}
+		data, dims, err := Decompress(bufs[i])
+		results[i].Data = data
+		results[i].Dims = dims
+		results[i].Err = err
+	})
+	return results
+}
+
+func runPool(n, workers int, do func(i int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			do(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				do(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}

@@ -1,0 +1,149 @@
+// Package qoz is a from-scratch Go implementation of QoZ, the dynamic
+// quality-metric-oriented error-bounded lossy compressor for scientific
+// floating-point datasets (Liu et al., SC'22).
+//
+// QoZ guarantees a point-wise absolute error bound while letting the caller
+// pick which quality metric the compressor should optimize online:
+// compression ratio, PSNR, SSIM, or the autocorrelation of compression
+// errors. Internally it uses a multi-level spline-interpolation predictor
+// with grid-wise anchor points, level-adapted interpolator selection, and
+// auto-tuned level-wise error bounds.
+//
+// Quick start:
+//
+//	buf, err := qoz.Compress(data, []int{nz, ny, nx}, qoz.Options{
+//		RelBound: 1e-3,          // 1e-3 of the value range
+//		Metric:   qoz.TunePSNR,  // optimize rate–PSNR
+//	})
+//	...
+//	recon, dims, err := qoz.Decompress(buf)
+//
+// The companion packages provide the paper's comparison baselines
+// (qoz/baselines), quality metrics (qoz/metrics), synthetic scientific
+// datasets (qoz/datagen), and the parallel-I/O model (qoz/parallelio).
+package qoz
+
+import (
+	"errors"
+
+	"qoz/internal/core"
+	"qoz/metrics"
+)
+
+// Tuning selects the quality metric QoZ optimizes during compression.
+type Tuning uint8
+
+const (
+	// TuneCR maximizes compression ratio under the error bound (default).
+	TuneCR Tuning = iota
+	// TunePSNR optimizes the rate–PSNR trade-off.
+	TunePSNR
+	// TuneSSIM optimizes the rate–SSIM trade-off.
+	TuneSSIM
+	// TuneAC minimizes the lag-1 autocorrelation of compression errors.
+	TuneAC
+	// TuneFixed disables auto-tuning and uses Options.Alpha/Beta.
+	TuneFixed
+)
+
+// String returns the tuning mode's name.
+func (t Tuning) String() string { return core.Mode(t).String() }
+
+// Options configures Compress. Exactly one of ErrorBound (absolute) or
+// RelBound (relative to the data's value range, the "ε" of the paper's
+// tables) must be positive.
+type Options struct {
+	// ErrorBound is the absolute error bound e.
+	ErrorBound float64
+	// RelBound is the value-range-relative error bound ε; the absolute
+	// bound used is ε · (max−min).
+	RelBound float64
+	// Metric is the quality metric to optimize online.
+	Metric Tuning
+	// Alpha, Beta set the level-wise error-bound parameters when
+	// Metric == TuneFixed (e_l = e / min(Alpha^(l-1), Beta)).
+	Alpha, Beta float64
+
+	// Advanced knobs; zero values select the paper's defaults.
+	AnchorStride int     // anchor grid spacing (power of two)
+	SampleBlock  int     // tuning sample block edge
+	SampleRate   float64 // tuning sample fraction
+
+	// Ablation switches used by the Fig. 12 experiment; leave false for
+	// normal operation.
+	DisableAnchors     bool
+	DisableSampling    bool
+	DisableLevelSelect bool
+	DisableParamTuning bool
+}
+
+// Stats reports the tuning decisions made for a compressed stream.
+type Stats struct {
+	AbsBound float64 // the absolute bound actually applied
+	Alpha    float64
+	Beta     float64
+	Levels   int
+}
+
+func (o Options) resolve(data []float32) (core.Options, float64, error) {
+	eb := o.ErrorBound
+	if o.RelBound > 0 {
+		if eb > 0 {
+			return core.Options{}, 0, errors.New("qoz: set either ErrorBound or RelBound, not both")
+		}
+		eb = o.RelBound * metrics.ValueRange(data)
+		if eb == 0 {
+			// Constant field: any positive bound preserves it exactly.
+			eb = 1e-12
+		}
+	}
+	if eb <= 0 {
+		return core.Options{}, 0, errors.New("qoz: a positive ErrorBound or RelBound is required")
+	}
+	return core.Options{
+		ErrorBound:         eb,
+		Mode:               core.Mode(o.Metric),
+		Alpha:              o.Alpha,
+		Beta:               o.Beta,
+		AnchorStride:       o.AnchorStride,
+		SampleBlock:        o.SampleBlock,
+		SampleRate:         o.SampleRate,
+		DisableAnchors:     o.DisableAnchors,
+		DisableSampling:    o.DisableSampling,
+		DisableLevelSelect: o.DisableLevelSelect,
+		DisableParamTuning: o.DisableParamTuning,
+	}, eb, nil
+}
+
+// Compress compresses a row-major field of the given dimensions.
+func Compress(data []float32, dims []int, opts Options) ([]byte, error) {
+	co, _, err := opts.resolve(data)
+	if err != nil {
+		return nil, err
+	}
+	return core.Compress(data, dims, co)
+}
+
+// CompressStats is Compress plus the tuning decisions that were made.
+func CompressStats(data []float32, dims []int, opts Options) ([]byte, Stats, error) {
+	co, eb, err := opts.resolve(data)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	res, err := core.CompressDetailed(data, dims, co)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return res.Bytes, Stats{
+		AbsBound: eb,
+		Alpha:    res.Alpha,
+		Beta:     res.Beta,
+		Levels:   len(res.Methods),
+	}, nil
+}
+
+// Decompress reconstructs a field compressed by Compress, returning the
+// data and its dimensions.
+func Decompress(buf []byte) ([]float32, []int, error) {
+	return core.Decompress(buf)
+}

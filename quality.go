@@ -1,0 +1,83 @@
+package qoz
+
+import (
+	"errors"
+	"math"
+
+	"qoz/internal/core"
+	"qoz/metrics"
+)
+
+// CompressTargetPSNR compresses data so that the reconstruction is
+// estimated to reach (at least approximately) the given PSNR in dB,
+// searching the error bound by bisection over sampled trial compressions
+// — a fixed-quality mode in the spirit of the fixed-PSNR compression the
+// paper cites as related work. Any bound set in opts is ignored; the other
+// options (metric, ablation switches, sampling knobs) apply unchanged.
+//
+// The achieved PSNR is approximate (the estimate is sampled); callers
+// needing a hard guarantee should verify with metrics.PSNR and re-compress
+// at a tightened target if necessary.
+func CompressTargetPSNR(data []float32, dims []int, targetDB float64, opts Options) ([]byte, Stats, error) {
+	if targetDB <= 0 || math.IsNaN(targetDB) || math.IsInf(targetDB, 0) {
+		return nil, Stats{}, errors.New("qoz: target PSNR must be positive and finite")
+	}
+	vr := metrics.ValueRange(data)
+	if vr == 0 {
+		// Constant field: any bound is lossless in range terms.
+		opts.ErrorBound, opts.RelBound = 1e-12, 0
+		return CompressStats(data, dims, opts)
+	}
+
+	// PSNR decreases monotonically with the bound: bisect log10(ε).
+	lo, hi := -8.0, -0.3
+	for iter := 0; iter < 14; iter++ {
+		mid := (lo + hi) / 2
+		eb := math.Pow(10, mid) * vr
+		probe := opts
+		probe.ErrorBound, probe.RelBound = eb, 0
+		co, _, err := probe.resolve(data)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		_, psnr, err := core.EstimateQuality(data, dims, co)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		if psnr >= targetDB {
+			lo = mid // bound can be loosened
+		} else {
+			hi = mid
+		}
+	}
+	// The sampled estimate can be optimistic relative to the full array;
+	// verify the achieved PSNR and tighten the bound until the target is
+	// met (a few refinement rounds suffice in practice).
+	eb := math.Pow(10, lo) * vr
+	var lastBuf []byte
+	var lastStats Stats
+	for round := 0; round < 6; round++ {
+		opts.ErrorBound, opts.RelBound = eb, 0
+		buf, st, err := CompressStats(data, dims, opts)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		recon, _, err := Decompress(buf)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		psnr, err := metrics.PSNR(data, recon)
+		if err != nil {
+			return nil, Stats{}, err
+		}
+		lastBuf, lastStats = buf, st
+		if psnr >= targetDB {
+			break
+		}
+		// Halving the bound raises PSNR by ~6 dB; scale the step to the
+		// remaining gap.
+		gap := targetDB - psnr
+		eb *= math.Pow(10, -gap/20) * 0.9
+	}
+	return lastBuf, lastStats, nil
+}
