@@ -2,17 +2,22 @@
 // SZ3, ZFP (fixed-accuracy), and MGARD+ — together with QoZ itself behind
 // one Codec interface, so that rate–distortion studies can sweep
 // compressors uniformly (as the paper's evaluation harness does).
+//
+// Since the unified codec registry landed in package qoz, this package is
+// a thin adapter: every constructor resolves its compressor from the
+// registry by name and only adds the paper's display naming and the
+// eb-per-call convenience signature. New code should use qoz.Lookup and
+// the generic qoz.Encode/Decode directly.
 package baselines
 
 import (
+	"context"
+
 	"qoz"
-	"qoz/internal/mgard"
-	"qoz/internal/sz2"
-	"qoz/internal/sz3"
-	"qoz/internal/zfp"
 )
 
-// Codec is an error-bounded lossy compressor.
+// Codec is an error-bounded lossy compressor, keyed by the paper's display
+// name. The unified, context-aware contract is qoz.Codec.
 type Codec interface {
 	// Name returns the compressor's display name as used in the paper.
 	Name() string
@@ -24,26 +29,20 @@ type Codec interface {
 }
 
 // SZ2 returns the block-wise Lorenzo/regression baseline.
-func SZ2() Codec { return fnCodec{"SZ2.1", sz2.Compress, sz2.Decompress} }
+func SZ2() Codec { return adapter{"SZ2.1", qoz.MustLookup("sz2"), qoz.Options{}} }
 
 // SZ3 returns the global-interpolation baseline.
-func SZ3() Codec { return fnCodec{"SZ3", sz3.Compress, sz3.Decompress} }
+func SZ3() Codec { return adapter{"SZ3", qoz.MustLookup("sz3"), qoz.Options{}} }
 
 // ZFP returns the transform-based baseline in fixed-accuracy mode.
-func ZFP() Codec { return fnCodec{"ZFP", zfp.Compress, zfp.Decompress} }
+func ZFP() Codec { return adapter{"ZFP", qoz.MustLookup("zfp"), qoz.Options{}} }
 
 // MGARD returns the multilevel hierarchical baseline.
-func MGARD() Codec { return fnCodec{"MGARD+", mgard.Compress, mgard.Decompress} }
+func MGARD() Codec { return adapter{"MGARD+", qoz.MustLookup("mgard"), qoz.Options{}} }
 
 // QoZ returns QoZ with the given tuning metric.
 func QoZ(metric qoz.Tuning) Codec {
-	return fnCodec{
-		name: qozName(metric),
-		comp: func(data []float32, dims []int, eb float64) ([]byte, error) {
-			return qoz.Compress(data, dims, qoz.Options{ErrorBound: eb, Metric: metric})
-		},
-		dec: qoz.Decompress,
-	}
+	return adapter{qozName(metric), qoz.MustLookup(qoz.DefaultCodec), qoz.Options{Metric: metric}}
 }
 
 func qozName(metric qoz.Tuning) string {
@@ -65,14 +64,22 @@ func All(metric qoz.Tuning) []Codec {
 	return []Codec{SZ2(), SZ3(), ZFP(), MGARD(), QoZ(metric)}
 }
 
-type fnCodec struct {
-	name string
-	comp func([]float32, []int, float64) ([]byte, error)
-	dec  func([]byte) ([]float32, []int, error)
+// adapter maps the display-named eb-per-call surface onto a registry
+// codec, pinning any extra options (QoZ's tuning metric).
+type adapter struct {
+	display string
+	c       qoz.Codec
+	opts    qoz.Options
 }
 
-func (c fnCodec) Name() string { return c.name }
-func (c fnCodec) Compress(data []float32, dims []int, eb float64) ([]byte, error) {
-	return c.comp(data, dims, eb)
+func (a adapter) Name() string { return a.display }
+
+func (a adapter) Compress(data []float32, dims []int, eb float64) ([]byte, error) {
+	o := a.opts
+	o.ErrorBound, o.RelBound = eb, 0
+	return a.c.Compress(context.Background(), data, dims, o)
 }
-func (c fnCodec) Decompress(buf []byte) ([]float32, []int, error) { return c.dec(buf) }
+
+func (a adapter) Decompress(buf []byte) ([]float32, []int, error) {
+	return a.c.Decompress(context.Background(), buf)
+}

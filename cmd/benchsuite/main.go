@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"qoz"
 	"qoz/internal/harness"
 )
 
@@ -25,7 +26,20 @@ func main() {
 	size := flag.String("size", "default", "dataset sizes: default or small")
 	render := flag.String("render", "", "directory for Fig. 11 PGM renderings (optional)")
 	targetCR := flag.Float64("cr", 65, "Fig. 11 target compression ratio")
+	list := flag.Bool("list", false, "list the registered codecs the suite sweeps and exit")
 	flag.Parse()
+
+	if *list {
+		for _, name := range qoz.Codecs() {
+			c, err := qoz.Lookup(name)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchsuite: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("%-8s stream id %d\n", name, c.ID())
+		}
+		return
+	}
 
 	cfg := harness.Default()
 	if *size == "small" {

@@ -1,24 +1,32 @@
 // Command qozc is a command-line error-bounded lossy compressor for raw
-// binary float32 scientific data files (the format SDRBench distributes),
-// built on the QoZ library.
+// binary float32/float64 scientific data files (the format SDRBench
+// distributes), built on the unified codec registry of the QoZ library.
 //
 // Usage:
 //
 //	qozc compress   -in data.f32 -dims 100,500,500 -rel 1e-3 [-abs E]
-//	                [-mode cr|psnr|ssim|ac] [-out data.qoz]
+//	                [-codec qoz|sz2|sz3|zfp|mgard] [-mode cr|psnr|ssim|ac]
+//	                [-workers N] [-prec 32|64] [-out data.qoz]
 //	qozc decompress -in data.qoz [-out data.f32]
 //	qozc info       -in data.qoz
+//	qozc codecs
 //
-// Input data is little-endian IEEE-754 float32, row-major with the last
-// listed dimension varying fastest.
+// Input data is little-endian IEEE-754, row-major with the last listed
+// dimension varying fastest. Compression writes the slab stream format,
+// chunking large fields and compressing slabs concurrently; decompression
+// accepts slab streams and the legacy container formats of every
+// registered codec.
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 
@@ -40,6 +48,8 @@ func main() {
 		err = infoCmd(os.Args[2:])
 	case "compare":
 		err = compareCmd(os.Args[2:])
+	case "codecs":
+		err = codecsCmd()
 	default:
 		usage()
 	}
@@ -50,8 +60,20 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qozc compress|decompress|info|compare [flags] (see -h per subcommand)")
+	fmt.Fprintln(os.Stderr, "usage: qozc compress|decompress|info|compare|codecs [flags] (see -h per subcommand)")
 	os.Exit(2)
+}
+
+// codecsCmd lists the compressors available through the registry.
+func codecsCmd() error {
+	for _, name := range qoz.Codecs() {
+		c, err := qoz.Lookup(name)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-8s stream id %d\n", name, c.ID())
+	}
+	return nil
 }
 
 // compareCmd assesses reconstruction quality between two raw float32 files
@@ -96,13 +118,15 @@ func compareCmd(args []string) error {
 
 func compressCmd(args []string) error {
 	fs := flag.NewFlagSet("compress", flag.ExitOnError)
-	in := fs.String("in", "", "input raw float32 file (required)")
+	in := fs.String("in", "", "input raw float file (required)")
 	out := fs.String("out", "", "output file (default: <in>.qoz)")
 	dimsArg := fs.String("dims", "", "comma-separated dimensions, e.g. 100,500,500 (required)")
 	rel := fs.Float64("rel", 0, "value-range-relative error bound ε")
 	abs := fs.Float64("abs", 0, "absolute error bound e")
-	mode := fs.String("mode", "cr", "tuning metric: cr, psnr, ssim, or ac")
+	codecName := fs.String("codec", qoz.DefaultCodec, "compressor: "+strings.Join(qoz.Codecs(), ", "))
+	mode := fs.String("mode", "cr", "tuning metric (qoz codec only): cr, psnr, ssim, or ac")
 	prec := fs.Int("prec", 32, "input precision in bits: 32 or 64")
+	workers := fs.Int("workers", 0, "concurrent slab compressions (0 = all cores)")
 	fs.Parse(args)
 	if *in == "" || *dimsArg == "" {
 		return fmt.Errorf("compress requires -in and -dims")
@@ -115,52 +139,92 @@ func compressCmd(args []string) error {
 	if err != nil {
 		return err
 	}
+	codec, err := qoz.Lookup(*codecName)
+	if err != nil {
+		return err
+	}
 	opts := qoz.Options{ErrorBound: *abs, RelBound: *rel, Metric: metric}
 	dst := *out
 	if dst == "" {
 		dst = *in + ".qoz"
 	}
+
+	// Read and validate the input before touching dst, then stream into a
+	// temp file renamed over dst only on success, so a failed run never
+	// clobbers an existing archive.
+	ctx := context.Background()
+	var origBytes int
+	var encode func(enc *qoz.Encoder) error
 	switch *prec {
 	case 32:
 		data, err := readFloats(*in, dims)
 		if err != nil {
 			return err
 		}
-		buf, stats, err := qoz.CompressStats(data, dims, opts)
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(dst, buf, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("%s: %d -> %d bytes (CR %.1f), e=%.4g, tuned α=%.2f β=%.2f\n",
-			dst, len(data)*4, len(buf),
-			metrics.CompressionRatio(len(data), len(buf)),
-			stats.AbsBound, stats.Alpha, stats.Beta)
+		origBytes = len(data) * 4
+		encode = func(enc *qoz.Encoder) error { return enc.Encode(ctx, data, dims) }
 	case 64:
 		data, err := readFloats64(*in, dims)
 		if err != nil {
 			return err
 		}
-		buf, err := qoz.CompressFloat64(data, dims, opts)
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(dst, buf, 0o644); err != nil {
-			return err
-		}
-		fmt.Printf("%s: %d -> %d bytes (CR %.1f)\n",
-			dst, len(data)*8, len(buf), float64(len(data)*8)/float64(len(buf)))
+		origBytes = len(data) * 8
+		encode = func(enc *qoz.Encoder) error { return enc.EncodeFloat64(ctx, data, dims) }
 	default:
 		return fmt.Errorf("unsupported precision %d (want 32 or 64)", *prec)
 	}
+
+	f, err := os.CreateTemp(filepath.Dir(dst), filepath.Base(dst)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	fail := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	enc, err := qoz.NewEncoder(f, qoz.StreamOptions{Codec: codec, Opts: opts, Workers: *workers})
+	if err != nil {
+		return fail(err)
+	}
+	if err := encode(enc); err != nil {
+		return fail(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	st, err := os.Stat(dst)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d -> %d bytes (CR %.1f), codec=%s\n",
+		dst, origBytes, st.Size(), float64(origBytes)/float64(st.Size()), codec.Name())
 	return nil
+}
+
+// isFloat64Payload reports whether buf reconstructs to double precision —
+// either the legacy float64 envelope or a float64 slab stream.
+func isFloat64Payload(buf []byte) bool {
+	if qoz.IsFloat64Stream(buf) {
+		return true
+	}
+	if qoz.IsStream(buf) {
+		hdr, err := qoz.NewDecoder(bytes.NewReader(buf)).Header()
+		return err == nil && hdr.Float64
+	}
+	return false
 }
 
 func decompressCmd(args []string) error {
 	fs := flag.NewFlagSet("decompress", flag.ExitOnError)
 	in := fs.String("in", "", "input .qoz file (required)")
-	out := fs.String("out", "", "output raw float32 file (default: <in>.f32)")
+	out := fs.String("out", "", "output raw float file (default: <in>.f32 or .f64)")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("decompress requires -in")
@@ -169,8 +233,9 @@ func decompressCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	if qoz.IsFloat64Stream(buf) {
-		data, dims, err := qoz.DecompressFloat64(buf)
+	ctx := context.Background()
+	if isFloat64Payload(buf) {
+		data, dims, err := qoz.Decode[float64](ctx, buf)
 		if err != nil {
 			return err
 		}
@@ -188,7 +253,7 @@ func decompressCmd(args []string) error {
 		fmt.Printf("%s: dims %v, %d points (float64)\n", dst, dims, len(data))
 		return nil
 	}
-	data, dims, err := qoz.Decompress(buf)
+	data, dims, err := qoz.Decode[float32](ctx, buf)
 	if err != nil {
 		return err
 	}
@@ -218,14 +283,44 @@ func infoCmd(args []string) error {
 	if err != nil {
 		return err
 	}
-	data, dims, err := qoz.Decompress(buf)
+	ctx := context.Background()
+	f64 := isFloat64Payload(buf)
+	if qoz.IsStream(buf) {
+		hdr, err := qoz.NewDecoder(bytes.NewReader(buf)).Header()
+		if err != nil {
+			return err
+		}
+		name := hdr.CodecName
+		if name == "" {
+			name = fmt.Sprintf("unknown(id %d)", hdr.CodecID)
+		}
+		fmt.Printf("format: slab stream\ncodec: %s\nslabs: %d × %d rows\n",
+			name, hdr.NumSlabs, hdr.SlabRows)
+	} else {
+		fmt.Printf("format: legacy container\n")
+	}
+	data, dims, err := qoz.Decode[float64](ctx, buf)
 	if err != nil {
 		return err
 	}
+	elemBytes := 4
+	if f64 {
+		elemBytes = 8
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	vr := hi - lo
+	if vr < 0 {
+		vr = 0
+	}
 	fmt.Printf("dims: %v\npoints: %d\ncompressed: %d bytes\nCR: %.1f\nvalue range: %.6g\n",
 		dims, len(data), len(buf),
-		metrics.CompressionRatio(len(data), len(buf)),
-		metrics.ValueRange(data))
+		float64(len(data)*elemBytes)/float64(len(buf)), vr)
 	return nil
 }
 

@@ -1,0 +1,217 @@
+package qoz_test
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"qoz"
+	"qoz/baselines"
+	"qoz/datagen"
+	"qoz/metrics"
+)
+
+func TestRegistryLookup(t *testing.T) {
+	want := []string{"mgard", "qoz", "sz2", "sz3", "zfp"}
+	got := qoz.Codecs()
+	if len(got) != len(want) {
+		t.Fatalf("Codecs() = %v, want %v", got, want)
+	}
+	for i, n := range want {
+		if got[i] != n {
+			t.Fatalf("Codecs() = %v, want %v", got, want)
+		}
+		c, err := qoz.Lookup(n)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", n, err)
+		}
+		if c.Name() != n {
+			t.Fatalf("Lookup(%q).Name() = %q", n, c.Name())
+		}
+		byID, err := qoz.LookupID(c.ID())
+		if err != nil || byID.Name() != n {
+			t.Fatalf("LookupID(%d) = %v, %v; want %q", c.ID(), byID, err, n)
+		}
+	}
+	if _, err := qoz.Lookup("nope"); err == nil {
+		t.Error("Lookup of unknown name succeeded")
+	}
+	if _, err := qoz.LookupID(200); err == nil {
+		t.Error("LookupID of unknown id succeeded")
+	}
+}
+
+type fakeCodec struct {
+	name string
+	id   uint8
+}
+
+func (f fakeCodec) Name() string { return f.name }
+func (f fakeCodec) ID() uint8    { return f.id }
+func (f fakeCodec) Compress(context.Context, []float32, []int, qoz.Options) ([]byte, error) {
+	return nil, nil
+}
+func (f fakeCodec) Decompress(context.Context, []byte) ([]float32, []int, error) {
+	return nil, nil, nil
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	if err := qoz.Register(nil); err == nil {
+		t.Error("nil codec registered")
+	}
+	if err := qoz.Register(fakeCodec{"qoz", 99}); err == nil {
+		t.Error("duplicate name registered")
+	}
+	if err := qoz.Register(fakeCodec{"fresh", 1}); err == nil {
+		t.Error("duplicate id registered")
+	}
+	if err := qoz.Register(fakeCodec{"", 99}); err == nil {
+		t.Error("unnamed codec registered")
+	}
+}
+
+func TestGenericRoundTripAllCodecs(t *testing.T) {
+	ds := datagen.NYX(16, 16, 16)
+	eb := 1e-3 * metrics.ValueRange(ds.Data)
+	ctx := context.Background()
+	d64 := make([]float64, len(ds.Data))
+	for i, v := range ds.Data {
+		d64[i] = float64(v)
+	}
+	for _, name := range qoz.Codecs() {
+		c := qoz.MustLookup(name)
+		opts := qoz.Options{ErrorBound: eb}
+
+		buf, err := qoz.Encode(ctx, c, ds.Data, ds.Dims, opts)
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", name, err)
+		}
+		recon, dims, err := qoz.Decode[float32](ctx, buf)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", name, err)
+		}
+		if len(dims) != 3 || len(recon) != ds.Len() {
+			t.Fatalf("%s: shape %v, %d points", name, dims, len(recon))
+		}
+		maxErr, _ := metrics.MaxAbsError(ds.Data, recon)
+		if maxErr > eb*(1+1e-12) {
+			t.Fatalf("%s: bound violated: %g > %g", name, maxErr, eb)
+		}
+
+		buf64, err := qoz.Encode(ctx, c, d64, ds.Dims, opts)
+		if err != nil {
+			t.Fatalf("%s: Encode[float64]: %v", name, err)
+		}
+		recon64, _, err := qoz.Decode[float64](ctx, buf64)
+		if err != nil {
+			t.Fatalf("%s: Decode[float64]: %v", name, err)
+		}
+		for i := range d64 {
+			if math.Abs(d64[i]-recon64[i]) > eb*(1+1e-12) {
+				t.Fatalf("%s: float64 bound violated at %d", name, i)
+			}
+		}
+		if _, _, err := qoz.Decode[float32](ctx, buf64); err == nil {
+			t.Fatalf("%s: float64 stream narrowed to float32", name)
+		}
+	}
+}
+
+func TestDecodeLegacyFormats(t *testing.T) {
+	ds := datagen.NYX(16, 16, 16)
+	eb := 1e-3 * metrics.ValueRange(ds.Data)
+	ctx := context.Background()
+
+	// Legacy QoZ container from the deprecated free function.
+	legacy, err := qoz.Compress(ds.Data, ds.Dims, qoz.Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _, err := qoz.Decode[float32](ctx, legacy)
+	if err != nil {
+		t.Fatalf("Decode of legacy container: %v", err)
+	}
+	b, _, err := qoz.Decompress(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if math.Float32bits(a[i]) != math.Float32bits(b[i]) {
+			t.Fatalf("Decode and Decompress disagree at %d", i)
+		}
+	}
+
+	// A baseline's bare container routes through the registry by id.
+	sz3buf, err := baselines.SZ3().Compress(ds.Data, ds.Dims, eb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := qoz.Decode[float32](ctx, sz3buf); err != nil {
+		t.Fatalf("Decode of SZ3 container: %v", err)
+	}
+	// Widening a float32 container into float64 is allowed.
+	if _, _, err := qoz.Decode[float64](ctx, sz3buf); err != nil {
+		t.Fatalf("Decode[float64] of float32 container: %v", err)
+	}
+
+	// Legacy float64 envelope.
+	d64 := make([]float64, len(ds.Data))
+	for i, v := range ds.Data {
+		d64[i] = float64(v)
+	}
+	env, err := qoz.CompressFloat64(d64, ds.Dims, qoz.Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := qoz.Decode[float64](ctx, env); err != nil {
+		t.Fatalf("Decode of legacy float64 envelope: %v", err)
+	}
+	if _, _, err := qoz.Decode[float32](ctx, env); err == nil {
+		t.Fatal("legacy float64 envelope narrowed to float32")
+	}
+}
+
+type myF32 float32
+
+func TestGenericDefinedType(t *testing.T) {
+	ctx := context.Background()
+	n := 512
+	data := make([]myF32, n)
+	for i := range data {
+		data[i] = myF32(math.Sin(float64(i) / 20))
+	}
+	buf, err := qoz.Encode(ctx, nil, data, []int{n}, qoz.Options{RelBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon, dims, err := qoz.Decode[myF32](ctx, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dims) != 1 || len(recon) != n {
+		t.Fatalf("shape %v, %d points", dims, len(recon))
+	}
+	eb := 2 * 1e-3 // value range is ~2
+	for i := range data {
+		if math.Abs(float64(data[i])-float64(recon[i])) > eb {
+			t.Fatalf("bound violated at %d", i)
+		}
+	}
+}
+
+func TestCanceledContext(t *testing.T) {
+	ds := datagen.NYX(16, 16, 16)
+	eb := 1e-3 * metrics.ValueRange(ds.Data)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := qoz.Encode(ctx, nil, ds.Data, ds.Dims, qoz.Options{ErrorBound: eb}); err == nil {
+		t.Error("Encode with canceled context succeeded")
+	}
+	buf, err := qoz.Encode(context.Background(), nil, ds.Data, ds.Dims, qoz.Options{ErrorBound: eb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := qoz.Decode[float32](ctx, buf); err == nil {
+		t.Error("Decode with canceled context succeeded")
+	}
+}

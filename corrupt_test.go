@@ -1,0 +1,197 @@
+package qoz_test
+
+// Fuzz-style robustness tests: every decoder entry point must return an
+// error — never panic, never allocate unboundedly — on mangled input, and
+// must reject every strict truncation of a valid stream.
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"math"
+	"math/rand"
+	"testing"
+
+	"qoz"
+	"qoz/datagen"
+	"qoz/metrics"
+)
+
+// corpus builds one valid stream of every format the module produces.
+func corpus(t *testing.T) map[string][]byte {
+	t.Helper()
+	ds := datagen.NYX(8, 8, 8)
+	eb := 1e-3 * metrics.ValueRange(ds.Data)
+	ctx := context.Background()
+
+	d64 := make([]float64, len(ds.Data))
+	for i, v := range ds.Data {
+		d64[i] = float64(v)
+	}
+
+	out := map[string][]byte{}
+	var err error
+	if out["legacy-f32"], err = qoz.Compress(ds.Data, ds.Dims, qoz.Options{ErrorBound: eb}); err != nil {
+		t.Fatal(err)
+	}
+	if out["legacy-f64"], err = qoz.CompressFloat64(d64, ds.Dims, qoz.Options{ErrorBound: eb}); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(f64 bool) []byte {
+		var b bytes.Buffer
+		enc, err := qoz.NewEncoder(&b, qoz.StreamOptions{
+			Opts:       qoz.Options{ErrorBound: eb},
+			SlabPoints: 128, // 4 slabs
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f64 {
+			err = enc.EncodeFloat64(ctx, d64, ds.Dims)
+		} else {
+			err = enc.Encode(ctx, ds.Data, ds.Dims)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b.Bytes()
+	}
+	out["stream-f32"] = mk(false)
+	out["stream-f64"] = mk(true)
+	return out
+}
+
+// decodeAll exercises every decoder on buf, caring only that none panics.
+func decodeAll(buf []byte) {
+	ctx := context.Background()
+	qoz.Decompress(buf)                                     //nolint:errcheck
+	qoz.DecompressFloat64(buf)                              //nolint:errcheck
+	qoz.Decode[float32](ctx, buf)                           //nolint:errcheck
+	qoz.Decode[float64](ctx, buf)                           //nolint:errcheck
+	qoz.NewDecoder(bytes.NewReader(buf)).Decode(ctx)        //nolint:errcheck
+	qoz.NewDecoder(bytes.NewReader(buf)).DecodeFloat64(ctx) //nolint:errcheck
+	if h, err := qoz.NewDecoder(bytes.NewReader(buf)).Header(); err == nil {
+		_ = h.Points()
+	}
+}
+
+func mustNotPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("%s: panic: %v", name, r)
+		}
+	}()
+	fn()
+}
+
+// TestTruncatedStreamsReturnErrors cuts every stream at every byte offset
+// and requires the matching decoder to report an error rather than panic
+// or silently succeed.
+func TestTruncatedStreamsReturnErrors(t *testing.T) {
+	ctx := context.Background()
+	for name, buf := range corpus(t) {
+		decode := func(p []byte) error {
+			var err error
+			switch name {
+			case "legacy-f64", "stream-f64":
+				_, _, err = qoz.Decode[float64](ctx, p)
+			default:
+				_, _, err = qoz.Decode[float32](ctx, p)
+			}
+			return err
+		}
+		for cut := 0; cut < len(buf); cut++ {
+			prefix := buf[:cut]
+			mustNotPanic(t, name, func() {
+				if err := decode(prefix); err == nil {
+					t.Fatalf("%s: truncation at %d/%d accepted", name, cut, len(buf))
+				}
+			})
+		}
+	}
+}
+
+// TestBitFlipsNeverPanic flips random bits everywhere in every format and
+// runs every decoder over the result; garbage output is acceptable,
+// panics are not.
+func TestBitFlipsNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for name, buf := range corpus(t) {
+		for trial := 0; trial < 200; trial++ {
+			dup := append([]byte(nil), buf...)
+			flips := 1 + rng.Intn(4)
+			for f := 0; f < flips; f++ {
+				dup[rng.Intn(len(dup))] ^= byte(1 + rng.Intn(255))
+			}
+			mustNotPanic(t, name, func() { decodeAll(dup) })
+		}
+	}
+}
+
+// TestRandomGarbageNeverPanics feeds arbitrary bytes, with and without
+// valid-looking magic prefixes, to every decoder.
+func TestRandomGarbageNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	prefixes := [][]byte{nil, []byte("QOZS"), []byte("QZD1"), []byte("QOZG")}
+	for trial := 0; trial < 400; trial++ {
+		n := rng.Intn(200)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		buf = append(prefixes[trial%len(prefixes)], buf...)
+		mustNotPanic(t, "garbage", func() { decodeAll(buf) })
+	}
+}
+
+// TestHugeEscapeCountRejected crafts a float64 envelope declaring an
+// absurd escape count; the decoder must reject it before allocating
+// proportionally to the claim.
+func TestHugeEscapeCountRejected(t *testing.T) {
+	buf := []byte("QZD1")
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(1e-3))
+	buf = binary.AppendUvarint(buf, 1<<60) // escapes that cannot exist
+	buf = append(buf, 0xFF, 0xFF)          // a few stray bytes
+	if _, _, err := qoz.DecompressFloat64(buf); err == nil {
+		t.Fatal("absurd escape count accepted")
+	}
+	if _, _, err := qoz.Decode[float64](context.Background(), buf); err == nil {
+		t.Fatal("absurd escape count accepted by Decode")
+	}
+}
+
+// TestLyingStreamHeaderRejected crafts slab-stream headers whose declared
+// geometry is inconsistent or absurd.
+func TestLyingStreamHeaderRejected(t *testing.T) {
+	ctx := context.Background()
+	mkHdr := func(dims []uint64, rows, nslabs uint64) []byte {
+		b := []byte("QOZS")
+		b = append(b, 1, 1, 0, byte(len(dims)))
+		for _, d := range dims {
+			b = binary.AppendUvarint(b, d)
+		}
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(1e-3))
+		b = binary.AppendUvarint(b, rows)
+		b = binary.AppendUvarint(b, nslabs)
+		return b
+	}
+	cases := map[string][]byte{
+		"zero dim":        mkHdr([]uint64{0, 4}, 1, 1),
+		"huge dims":       mkHdr([]uint64{1 << 31, 1 << 31, 1 << 31}, 1, 1),
+		"zero slab rows":  mkHdr([]uint64{8}, 0, 8),
+		"slab mismatch":   mkHdr([]uint64{8}, 2, 7),
+		"rows over dim":   mkHdr([]uint64{8}, 9, 1),
+		"payload too big": append(binary.AppendUvarint(mkHdr([]uint64{8}, 8, 1), 1<<40), 0xAB),
+		// Declares 2^34 points (just under the header cap) backed by an
+		// empty payload; must fail in slab decode without ever allocating
+		// the declared field.
+		"giant field, empty payload": binary.AppendUvarint(
+			mkHdr([]uint64{131072, 131072}, 131072, 1), 0),
+	}
+	for name, buf := range cases {
+		mustNotPanic(t, name, func() {
+			if _, _, err := qoz.NewDecoder(bytes.NewReader(buf)).Decode(ctx); err == nil {
+				t.Fatalf("%s: accepted", name)
+			}
+		})
+	}
+}

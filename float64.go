@@ -1,67 +1,86 @@
 package qoz
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"math"
 )
 
-// Float64 support. The core pipeline quantizes float32 payloads (the
+// Float64 support. The core pipelines quantize float32 payloads (the
 // format of the paper's datasets); double-precision inputs are handled by
-// a precision-managed wrapper: each value's float32 head is compressed
-// under a tightened bound, and the rare points whose float32 conversion
-// error alone approaches the bound are escaped and stored as exact float64
-// literals. The guarantee |v − v′| ≤ e therefore holds for every finite
-// point, exactly as in the float32 path.
+// a precision-managed envelope shared by every codec in the registry: each
+// value's float32 head is compressed under a tightened bound, and the rare
+// points whose float32 conversion error alone approaches the bound — plus
+// every non-finite point, which the quantized path cannot carry — are
+// escaped and stored as exact float64 literals. The guarantee |v − v′| ≤ e
+// therefore holds for every finite point, and NaN/±Inf round-trip exactly.
 
 const f64Magic = "QZD1"
 
-// CompressFloat64 compresses a row-major float64 field under opts. The
-// effective absolute bound must exceed the field's float32 conversion
-// error scale for the head compression to engage; points where it does not
-// are stored exactly, so correctness never depends on the bound.
-func CompressFloat64(data []float64, dims []int, opts Options) ([]byte, error) {
-	vr := valueRange64(data)
+// absBound64 resolves the absolute error bound for a float64 field from
+// opts, mirroring Options.absBound for float32 data.
+func absBound64(data []float64, opts Options) (float64, error) {
 	eb := opts.ErrorBound
 	if opts.RelBound > 0 {
 		if eb > 0 {
-			return nil, errors.New("qoz: set either ErrorBound or RelBound, not both")
+			return 0, errors.New("qoz: set either ErrorBound or RelBound, not both")
 		}
-		eb = opts.RelBound * vr
+		eb = opts.RelBound * valueRange64(data)
 		if eb == 0 {
 			eb = 1e-300
 		}
 	}
 	if eb <= 0 {
-		return nil, errors.New("qoz: a positive ErrorBound or RelBound is required")
+		return 0, errors.New("qoz: a positive ErrorBound or RelBound is required")
+	}
+	return eb, nil
+}
+
+// compressFloat64With compresses a float64 field through codec c inside
+// the escape envelope: magic | eb | nEscapes | delta-varint indices |
+// exact f64 values | inner float32 stream.
+func compressFloat64With(ctx context.Context, c Codec, data []float64, dims []int, opts Options) ([]byte, error) {
+	eb, err := absBound64(data, opts)
+	if err != nil {
+		return nil, err
 	}
 
 	// Split into float32 heads and exact escapes. A point is escaped when
-	// half the bound cannot absorb its conversion error.
+	// half the bound cannot absorb its conversion error, when its float32
+	// head overflows to infinity, or when it is non-finite; non-finite
+	// heads are replaced with 0 so they cannot poison the quantizer.
 	heads := make([]float32, len(data))
 	var escIdx []uint64
 	var escVal []float64
 	for i, v := range data {
 		h := float32(v)
-		if conv := math.Abs(v - float64(h)); conv > eb/2 || math.IsInf(float64(h), 0) && !math.IsInf(v, 0) {
+		switch {
+		case math.IsNaN(v) || math.IsInf(v, 0):
 			escIdx = append(escIdx, uint64(i))
 			escVal = append(escVal, v)
-			heads[i] = h // value is irrelevant; kept for smooth prediction
-		} else {
+			heads[i] = 0
+		case math.Abs(v-float64(h)) > eb/2 || math.IsInf(float64(h), 0):
+			escIdx = append(escIdx, uint64(i))
+			escVal = append(escVal, v)
+			if math.IsInf(float64(h), 0) {
+				heads[i] = 0
+			} else {
+				heads[i] = h // kept for smooth prediction
+			}
+		default:
 			heads[i] = h
 		}
 	}
 
 	headOpts := opts
 	headOpts.ErrorBound, headOpts.RelBound = eb/2, 0
-	inner, err := Compress(heads, dims, headOpts)
+	inner, err := c.Compress(ctx, heads, dims, headOpts)
 	if err != nil {
 		return nil, err
 	}
 
-	// Envelope: magic | eb | nEscapes | delta-varint indices | f64 values |
-	// inner stream.
 	out := make([]byte, 0, len(inner)+len(escVal)*12+32)
 	out = append(out, f64Magic...)
 	out = binary.LittleEndian.AppendUint64(out, math.Float64bits(eb))
@@ -78,13 +97,9 @@ func CompressFloat64(data []float64, dims []int, opts Options) ([]byte, error) {
 	return out, nil
 }
 
-// IsFloat64Stream reports whether buf was produced by CompressFloat64.
-func IsFloat64Stream(buf []byte) bool {
-	return len(buf) >= len(f64Magic) && string(buf[:len(f64Magic)]) == f64Magic
-}
-
-// DecompressFloat64 reverses CompressFloat64.
-func DecompressFloat64(buf []byte) ([]float64, []int, error) {
+// decodeFloat64Envelope reverses compressFloat64With, routing the inner
+// stream to the registered codec named in its container header.
+func decodeFloat64Envelope(ctx context.Context, buf []byte) ([]float64, []int, error) {
 	if len(buf) < len(f64Magic)+8 || string(buf[:len(f64Magic)]) != f64Magic {
 		return nil, nil, errors.New("qoz: not a float64 stream")
 	}
@@ -94,12 +109,24 @@ func DecompressFloat64(buf []byte) ([]float64, []int, error) {
 		return nil, nil, errors.New("qoz: corrupt float64 envelope")
 	}
 	buf = buf[n:]
+	// Each escape occupies at least one index byte and exactly eight value
+	// bytes; reject counts the remaining payload cannot hold before
+	// allocating anything proportional to them.
+	if nEsc > uint64(len(buf))/9 {
+		return nil, nil, fmt.Errorf("qoz: escape count %d exceeds payload size %d", nEsc, len(buf))
+	}
 	escIdx := make([]uint64, nEsc)
 	prev := uint64(0)
 	for i := range escIdx {
 		d, n := binary.Uvarint(buf)
 		if n <= 0 {
 			return nil, nil, errors.New("qoz: corrupt escape index")
+		}
+		if i > 0 && d == 0 {
+			return nil, nil, errors.New("qoz: non-increasing escape index")
+		}
+		if prev+d < prev {
+			return nil, nil, errors.New("qoz: escape index overflow")
 		}
 		buf = buf[n:]
 		prev += d
@@ -114,7 +141,7 @@ func DecompressFloat64(buf []byte) ([]float64, []int, error) {
 	}
 	buf = buf[8*nEsc:]
 
-	heads, dims, err := Decompress(buf)
+	heads, dims, err := decodeContainer(ctx, buf)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -129,6 +156,33 @@ func DecompressFloat64(buf []byte) ([]float64, []int, error) {
 		out[idx] = escVal[i]
 	}
 	return out, dims, nil
+}
+
+// CompressFloat64 compresses a row-major float64 field under opts with the
+// QoZ codec. The effective absolute bound must exceed the field's float32
+// conversion error scale for the head compression to engage; points where
+// it does not are stored exactly, so correctness never depends on the
+// bound.
+//
+// Deprecated: CompressFloat64 writes the legacy whole-field envelope; new
+// code should use the generic Encode or a streaming Encoder, which apply
+// the same envelope per slab for any registered codec.
+func CompressFloat64(data []float64, dims []int, opts Options) ([]byte, error) {
+	return compressFloat64With(context.Background(), MustLookup(DefaultCodec), data, dims, opts)
+}
+
+// IsFloat64Stream reports whether buf was produced by CompressFloat64 (or
+// is one slab of a float64 slab stream).
+func IsFloat64Stream(buf []byte) bool {
+	return len(buf) >= len(f64Magic) && string(buf[:len(f64Magic)]) == f64Magic
+}
+
+// DecompressFloat64 reverses CompressFloat64.
+//
+// Deprecated: new code should use the generic Decode, which accepts every
+// format this module produces.
+func DecompressFloat64(buf []byte) ([]float64, []int, error) {
+	return decodeFloat64Envelope(context.Background(), buf)
 }
 
 func valueRange64(a []float64) float64 {

@@ -1,0 +1,3 @@
+module qoz
+
+go 1.24

@@ -104,6 +104,19 @@ func Encode(s *Stream) ([]byte, error) {
 	return out.Bytes(), nil
 }
 
+// PeekCodec returns the codec identifier of an encoded stream without
+// decoding its sections, so callers can route the buffer to the right
+// codec.
+func PeekCodec(buf []byte) (uint8, error) {
+	if len(buf) < len(magic)+2 || string(buf[:len(magic)]) != magic {
+		return 0, ErrCorrupt
+	}
+	if buf[len(magic)] != version {
+		return 0, fmt.Errorf("container: unsupported version %d", buf[len(magic)])
+	}
+	return buf[len(magic)+1], nil
+}
+
 // Decode parses a container produced by Encode.
 func Decode(buf []byte) (*Stream, error) {
 	if len(buf) < len(magic)+3 || string(buf[:len(magic)]) != magic {

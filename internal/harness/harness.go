@@ -9,6 +9,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -78,13 +79,25 @@ type Run struct {
 // RunCodec compresses and decompresses ds with c at the given relative
 // bound and gathers all quality metrics.
 func RunCodec(c baselines.Codec, ds datagen.Dataset, rel float64) (Run, error) {
+	return RunCodecContext(context.Background(), c, ds, rel)
+}
+
+// RunCodecContext is RunCodec with cancellation between the compress and
+// decompress phases (each phase itself is one monolithic codec call).
+func RunCodecContext(ctx context.Context, c baselines.Codec, ds datagen.Dataset, rel float64) (Run, error) {
 	eb := rel * metrics.ValueRange(ds.Data)
+	if err := ctx.Err(); err != nil {
+		return Run{}, err
+	}
 	start := time.Now()
 	buf, err := c.Compress(ds.Data, ds.Dims, eb)
 	if err != nil {
 		return Run{}, fmt.Errorf("%s on %s: %w", c.Name(), ds.Name, err)
 	}
 	compSecs := time.Since(start).Seconds()
+	if err := ctx.Err(); err != nil {
+		return Run{}, err
+	}
 	start = time.Now()
 	recon, _, err := c.Decompress(buf)
 	if err != nil {

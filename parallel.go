@@ -1,6 +1,7 @@
 package qoz
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync"
@@ -17,42 +18,58 @@ type Field struct {
 // FieldResult is the outcome of compressing or decompressing one field.
 type FieldResult struct {
 	Name  string
-	Bytes []byte // compressed stream (CompressFields)
+	Bytes []byte // compressed stream (EncodeFields)
 	Data  []float32
 	Dims  []int
 	Err   error
 }
 
-// CompressFields compresses many fields concurrently with a bounded worker
-// pool (workers <= 0 selects GOMAXPROCS), the way each core compresses its
-// own partition in the paper's parallel dumping experiment. Results are
-// returned in input order; per-field failures are reported in Err without
-// aborting the batch.
-func CompressFields(fields []Field, opts Options, workers int) []FieldResult {
+// EncodeFields compresses many fields concurrently through codec c (nil
+// selects the registry default) with a bounded worker pool (workers <= 0
+// selects GOMAXPROCS), the way each core compresses its own partition in
+// the paper's parallel dumping experiment. Results are returned in input
+// order; per-field failures are reported in Err without aborting the
+// batch. Context cancellation marks the remaining fields failed.
+func EncodeFields(ctx context.Context, c Codec, fields []Field, opts Options, workers int) []FieldResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if c == nil {
+		c = MustLookup(DefaultCodec)
+	}
 	results := make([]FieldResult, len(fields))
 	runPool(len(fields), workers, func(i int) {
 		f := fields[i]
 		results[i].Name = f.Name
+		if err := ctx.Err(); err != nil {
+			results[i].Err = err
+			return
+		}
 		if f.Data == nil {
 			results[i].Err = errors.New("qoz: nil field data")
 			return
 		}
-		buf, err := Compress(f.Data, f.Dims, opts)
+		buf, err := c.Compress(ctx, f.Data, f.Dims, opts)
 		results[i].Bytes = buf
 		results[i].Err = err
 	})
 	return results
 }
 
-// DecompressFields decompresses many streams concurrently; see
-// CompressFields for pool semantics.
-func DecompressFields(names []string, bufs [][]byte, workers int) []FieldResult {
+// DecodeFields decompresses many streams concurrently, routing each
+// through the codec registry by its header; see EncodeFields for pool
+// semantics. Float64 streams are reported as per-field errors (the result
+// type is float32); decode those with Decode[float64].
+func DecodeFields(ctx context.Context, names []string, bufs [][]byte, workers int) []FieldResult {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	results := make([]FieldResult, len(bufs))
 	runPool(len(bufs), workers, func(i int) {
 		if i < len(names) {
 			results[i].Name = names[i]
 		}
-		data, dims, err := Decompress(bufs[i])
+		data, dims, err := Decode[float32](ctx, bufs[i])
 		results[i].Data = data
 		results[i].Dims = dims
 		results[i].Err = err
@@ -60,6 +77,25 @@ func DecompressFields(names []string, bufs [][]byte, workers int) []FieldResult 
 	return results
 }
 
+// CompressFields compresses many fields concurrently with the QoZ codec.
+//
+// Deprecated: use EncodeFields, which takes a context and any registered
+// codec. CompressFields is EncodeFields with the default codec and no
+// cancellation.
+func CompressFields(fields []Field, opts Options, workers int) []FieldResult {
+	return EncodeFields(context.Background(), nil, fields, opts, workers)
+}
+
+// DecompressFields decompresses many streams concurrently.
+//
+// Deprecated: use DecodeFields, which takes a context. DecompressFields is
+// DecodeFields without cancellation.
+func DecompressFields(names []string, bufs [][]byte, workers int) []FieldResult {
+	return DecodeFields(context.Background(), names, bufs, workers)
+}
+
+// runPool runs do(0..n-1) on a bounded worker pool, collecting nothing;
+// per-item outcomes are the callback's business.
 func runPool(n, workers int, do func(i int)) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -89,4 +125,79 @@ func runPool(n, workers int, do func(i int)) {
 	}
 	close(jobs)
 	wg.Wait()
+}
+
+// runPoolErr runs do(0..n-1) on a bounded worker pool, stopping early on
+// the first error or context cancellation and returning that error. It is
+// the engine behind the streaming slab Encoder/Decoder.
+func runPoolErr(ctx context.Context, n, workers int, do func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := do(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	failed := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if failed() || ctx.Err() != nil {
+					continue // drain without working
+				}
+				if err := do(i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+dispatch:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break dispatch
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
 }

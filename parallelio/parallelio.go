@@ -12,9 +12,11 @@
 package parallelio
 
 import (
+	"context"
 	"errors"
 	"time"
 
+	"qoz"
 	"qoz/baselines"
 	"qoz/metrics"
 )
@@ -111,21 +113,25 @@ func RawProfile() CodecProfile {
 	return CodecProfile{Name: "raw", CompressMBps: 1e9, DecompressMBps: 1e9, Ratio: 1}
 }
 
-// Profile measures a codec's sequential compression/decompression speed
-// and ratio on the given field at the given absolute bound. The returned
-// speeds are in MB/s of original data.
-func Profile(c baselines.Codec, data []float32, dims []int, eb float64) (CodecProfile, error) {
+// ProfileCodec measures a codec's sequential compression/decompression
+// speed and ratio on the given field under opts, through the unified
+// registry-backed qoz.Codec interface. The returned speeds are in MB/s of
+// original data. The context is observed at codec call boundaries.
+func ProfileCodec(ctx context.Context, c qoz.Codec, data []float32, dims []int, opts qoz.Options) (CodecProfile, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	origBytes := float64(len(data) * 4)
 
 	start := time.Now()
-	buf, err := c.Compress(data, dims, eb)
+	buf, err := c.Compress(ctx, data, dims, opts)
 	if err != nil {
 		return CodecProfile{}, err
 	}
 	compSecs := time.Since(start).Seconds()
 
 	start = time.Now()
-	if _, _, err := c.Decompress(buf); err != nil {
+	if _, _, err := c.Decompress(ctx, buf); err != nil {
 		return CodecProfile{}, err
 	}
 	decSecs := time.Since(start).Seconds()
@@ -142,6 +148,38 @@ func Profile(c baselines.Codec, data []float32, dims []int, eb float64) (CodecPr
 		DecompressMBps: origBytes / 1e6 / decSecs,
 		Ratio:          metrics.CompressionRatio(len(data), len(buf)),
 	}, nil
+}
+
+// Profile measures a display-named baseline codec at the given absolute
+// bound; it is ProfileCodec over an adapter that keeps the paper's display
+// names for the harness tables.
+func Profile(c baselines.Codec, data []float32, dims []int, eb float64) (CodecProfile, error) {
+	return ProfileCodec(context.Background(), legacyCodec{c}, data, dims, qoz.Options{ErrorBound: eb})
+}
+
+// legacyCodec lifts the display-named baselines.Codec surface into the
+// unified qoz.Codec contract.
+type legacyCodec struct{ c baselines.Codec }
+
+func (l legacyCodec) Name() string { return l.c.Name() }
+func (l legacyCodec) ID() uint8    { return 0 }
+
+func (l legacyCodec) Compress(ctx context.Context, data []float32, dims []int, opts qoz.Options) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eb := opts.ErrorBound
+	if opts.RelBound > 0 {
+		eb = opts.RelBound * metrics.ValueRange(data)
+	}
+	return l.c.Compress(data, dims, eb)
+}
+
+func (l legacyCodec) Decompress(ctx context.Context, buf []byte) ([]float32, []int, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	return l.c.Decompress(buf)
 }
 
 func minf(a, b float64) float64 {

@@ -9,14 +9,22 @@
 // with grid-wise anchor points, level-adapted interpolator selection, and
 // auto-tuned level-wise error bounds.
 //
-// Quick start:
+// Quick start — every compressor (QoZ and the paper's baselines) is
+// resolved from one registry and spoken to through one generic,
+// context-aware API:
 //
-//	buf, err := qoz.Compress(data, []int{nz, ny, nx}, qoz.Options{
+//	c := qoz.MustLookup("qoz") // or "sz2", "sz3", "zfp", "mgard"
+//	buf, err := qoz.Encode(ctx, c, data, []int{nz, ny, nx}, qoz.Options{
 //		RelBound: 1e-3,          // 1e-3 of the value range
-//		Metric:   qoz.TunePSNR,  // optimize rate–PSNR
+//		Metric:   qoz.TunePSNR,  // optimize rate–PSNR (QoZ only)
 //	})
 //	...
-//	recon, dims, err := qoz.Decompress(buf)
+//	recon, dims, err := qoz.Decode[float32](ctx, buf)
+//
+// Encode and Decode are generic over float32 and float64 fields; the
+// streaming Encoder/Decoder chunk large fields into independently
+// compressed slabs and run them concurrently. The legacy free functions
+// (Compress, Decompress, CompressFloat64, ...) remain as thin wrappers.
 //
 // The companion packages provide the paper's comparison baselines
 // (qoz/baselines), quality metrics (qoz/metrics), synthetic scientific
@@ -24,6 +32,7 @@
 package qoz
 
 import (
+	"context"
 	"errors"
 
 	"qoz/internal/core"
@@ -85,11 +94,13 @@ type Stats struct {
 	Levels   int
 }
 
-func (o Options) resolve(data []float32) (core.Options, float64, error) {
+// absBound resolves the absolute error bound from ErrorBound/RelBound
+// against the field's value range.
+func (o Options) absBound(data []float32) (float64, error) {
 	eb := o.ErrorBound
 	if o.RelBound > 0 {
 		if eb > 0 {
-			return core.Options{}, 0, errors.New("qoz: set either ErrorBound or RelBound, not both")
+			return 0, errors.New("qoz: set either ErrorBound or RelBound, not both")
 		}
 		eb = o.RelBound * metrics.ValueRange(data)
 		if eb == 0 {
@@ -98,7 +109,15 @@ func (o Options) resolve(data []float32) (core.Options, float64, error) {
 		}
 	}
 	if eb <= 0 {
-		return core.Options{}, 0, errors.New("qoz: a positive ErrorBound or RelBound is required")
+		return 0, errors.New("qoz: a positive ErrorBound or RelBound is required")
+	}
+	return eb, nil
+}
+
+func (o Options) resolve(data []float32) (core.Options, float64, error) {
+	eb, err := o.absBound(data)
+	if err != nil {
+		return core.Options{}, 0, err
 	}
 	return core.Options{
 		ErrorBound:         eb,
@@ -115,13 +134,15 @@ func (o Options) resolve(data []float32) (core.Options, float64, error) {
 	}, eb, nil
 }
 
-// Compress compresses a row-major field of the given dimensions.
+// Compress compresses a row-major field of the given dimensions with the
+// QoZ codec.
+//
+// Deprecated: Compress writes the legacy single-container format; new code
+// should use the registry-backed generic Encode (or a streaming Encoder),
+// which works for every codec and both precisions. Compress is a thin
+// wrapper over MustLookup(DefaultCodec) and remains supported.
 func Compress(data []float32, dims []int, opts Options) ([]byte, error) {
-	co, _, err := opts.resolve(data)
-	if err != nil {
-		return nil, err
-	}
-	return core.Compress(data, dims, co)
+	return MustLookup(DefaultCodec).Compress(context.Background(), data, dims, opts)
 }
 
 // CompressStats is Compress plus the tuning decisions that were made.
@@ -144,6 +165,11 @@ func CompressStats(data []float32, dims []int, opts Options) ([]byte, Stats, err
 
 // Decompress reconstructs a field compressed by Compress, returning the
 // data and its dimensions.
+//
+// Deprecated: Decompress only accepts QoZ's legacy container; new code
+// should use the generic Decode, which routes any stream — slab, legacy
+// container of any registered codec, or float64 envelope — through the
+// registry.
 func Decompress(buf []byte) ([]float32, []int, error) {
-	return core.Decompress(buf)
+	return MustLookup(DefaultCodec).Decompress(context.Background(), buf)
 }

@@ -1,6 +1,7 @@
 package qoz
 
 import (
+	"context"
 	"errors"
 	"math"
 
@@ -9,19 +10,32 @@ import (
 )
 
 // CompressTargetPSNR compresses data so that the reconstruction is
+// estimated to reach (at least approximately) the given PSNR in dB.
+//
+// Deprecated: use CompressTargetPSNRContext, which supports cancellation.
+func CompressTargetPSNR(data []float32, dims []int, targetDB float64, opts Options) ([]byte, Stats, error) {
+	return CompressTargetPSNRContext(context.Background(), data, dims, targetDB, opts)
+}
+
+// CompressTargetPSNRContext compresses data so that the reconstruction is
 // estimated to reach (at least approximately) the given PSNR in dB,
 // searching the error bound by bisection over sampled trial compressions
 // — a fixed-quality mode in the spirit of the fixed-PSNR compression the
 // paper cites as related work. Any bound set in opts is ignored; the other
-// options (metric, ablation switches, sampling knobs) apply unchanged.
+// options (metric, ablation switches, sampling knobs) apply unchanged. The
+// context is observed between bisection and refinement rounds.
 //
 // The achieved PSNR is approximate (the estimate is sampled); callers
 // needing a hard guarantee should verify with metrics.PSNR and re-compress
 // at a tightened target if necessary.
-func CompressTargetPSNR(data []float32, dims []int, targetDB float64, opts Options) ([]byte, Stats, error) {
+func CompressTargetPSNRContext(ctx context.Context, data []float32, dims []int, targetDB float64, opts Options) ([]byte, Stats, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if targetDB <= 0 || math.IsNaN(targetDB) || math.IsInf(targetDB, 0) {
 		return nil, Stats{}, errors.New("qoz: target PSNR must be positive and finite")
 	}
+	codec := MustLookup(DefaultCodec)
 	vr := metrics.ValueRange(data)
 	if vr == 0 {
 		// Constant field: any bound is lossless in range terms.
@@ -32,6 +46,9 @@ func CompressTargetPSNR(data []float32, dims []int, targetDB float64, opts Optio
 	// PSNR decreases monotonically with the bound: bisect log10(ε).
 	lo, hi := -8.0, -0.3
 	for iter := 0; iter < 14; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, Stats{}, err
+		}
 		mid := (lo + hi) / 2
 		eb := math.Pow(10, mid) * vr
 		probe := opts
@@ -57,12 +74,15 @@ func CompressTargetPSNR(data []float32, dims []int, targetDB float64, opts Optio
 	var lastBuf []byte
 	var lastStats Stats
 	for round := 0; round < 6; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, Stats{}, err
+		}
 		opts.ErrorBound, opts.RelBound = eb, 0
 		buf, st, err := CompressStats(data, dims, opts)
 		if err != nil {
 			return nil, Stats{}, err
 		}
-		recon, _, err := Decompress(buf)
+		recon, _, err := codec.Decompress(ctx, buf)
 		if err != nil {
 			return nil, Stats{}, err
 		}

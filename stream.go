@@ -1,0 +1,477 @@
+package qoz
+
+// Streaming slab format. Large fields are chunked along their slowest
+// dimension into independently compressed slabs so that compression and
+// decompression parallelize across the worker pool and a reader can
+// consume a stream slab by slab. Layout (integers are unsigned varints
+// unless noted):
+//
+//	magic "QOZS" | version u8 | codec id u8 | kind u8 (0=f32, 1=f64) |
+//	ndims u8 | dims... | absBound f64 LE | slabRows | nslabs |
+//	nslabs × (payloadLen | payload)
+//
+// Each payload is the codec's own container stream for its slab (kind 0)
+// or the float64 escape envelope wrapping one (kind 1). The absolute
+// bound is resolved once over the whole field before slabbing, so the
+// error guarantee is unaffected by the chunking, and identical options
+// produce bit-identical streams through the in-memory Encode and a
+// hand-constructed Encoder.
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+const (
+	streamMagic   = "QOZS"
+	streamVersion = 1
+
+	kindFloat32 = 0
+	kindFloat64 = 1
+
+	// DefaultSlabPoints is the default slab granularity: 4 Mi points,
+	// i.e. 16 MiB of float32 payload per slab.
+	DefaultSlabPoints = 1 << 22
+
+	maxStreamDims   = 8
+	maxStreamPoints = 1 << 34 // decode-side sanity cap on declared field size
+	maxSlabPayload  = 1 << 31 // decode-side sanity cap on one slab's bytes
+)
+
+// ErrCorruptStream reports a malformed slab stream.
+var ErrCorruptStream = errors.New("qoz: corrupt stream")
+
+// IsStream reports whether buf begins a slab stream written by Encode or
+// an Encoder.
+func IsStream(buf []byte) bool {
+	return len(buf) >= len(streamMagic) && string(buf[:len(streamMagic)]) == streamMagic
+}
+
+// StreamOptions configures an Encoder.
+type StreamOptions struct {
+	// Codec compresses the slabs; nil selects the registry default.
+	Codec Codec
+	// Opts carries the error bound and tuning knobs. A relative bound is
+	// resolved against the whole field before slabbing.
+	Opts Options
+	// SlabPoints is the target number of points per slab (0 selects
+	// DefaultSlabPoints). Slabs are whole rows of the slowest dimension.
+	SlabPoints int
+	// Workers bounds concurrent slab compressions (<=0 selects
+	// GOMAXPROCS).
+	Workers int
+}
+
+// Encoder writes fields to an io.Writer in the slab stream format,
+// compressing slabs concurrently on a bounded worker pool.
+type Encoder struct {
+	w  io.Writer
+	so StreamOptions
+}
+
+// NewEncoder returns an Encoder writing to w.
+func NewEncoder(w io.Writer, so StreamOptions) (*Encoder, error) {
+	if w == nil {
+		return nil, errors.New("qoz: nil writer")
+	}
+	if so.Codec == nil {
+		c, err := Lookup(DefaultCodec)
+		if err != nil {
+			return nil, err
+		}
+		so.Codec = c
+	}
+	if so.SlabPoints <= 0 {
+		so.SlabPoints = DefaultSlabPoints
+	}
+	return &Encoder{w: w, so: so}, nil
+}
+
+// Encode writes one float32 field to the underlying writer.
+func (e *Encoder) Encode(ctx context.Context, data []float32, dims []int) error {
+	eb, err := e.so.Opts.absBound(data)
+	if err != nil {
+		return err
+	}
+	opts := e.so.Opts
+	opts.ErrorBound, opts.RelBound = eb, 0
+	return e.encode(ctx, dims, kindFloat32, eb, len(data),
+		func(ctx context.Context, lo, hi int, sdims []int) ([]byte, error) {
+			return e.so.Codec.Compress(ctx, data[lo:hi], sdims, opts)
+		})
+}
+
+// EncodeFloat64 writes one float64 field, escaping the points whose
+// float32 conversion alone would threaten the bound as well as every
+// non-finite point (see CompressFloat64).
+func (e *Encoder) EncodeFloat64(ctx context.Context, data []float64, dims []int) error {
+	eb, err := absBound64(data, e.so.Opts)
+	if err != nil {
+		return err
+	}
+	opts := e.so.Opts
+	opts.ErrorBound, opts.RelBound = eb, 0
+	return e.encode(ctx, dims, kindFloat64, eb, len(data),
+		func(ctx context.Context, lo, hi int, sdims []int) ([]byte, error) {
+			return compressFloat64With(ctx, e.so.Codec, data[lo:hi], sdims, opts)
+		})
+}
+
+func (e *Encoder) encode(ctx context.Context, dims []int, kind uint8, eb float64, n int,
+	compressSlab func(ctx context.Context, lo, hi int, sdims []int) ([]byte, error)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := checkDims(dims, n); err != nil {
+		return err
+	}
+	rows, nslabs, rowPoints := planSlabs(dims, e.so.SlabPoints)
+	payloads := make([][]byte, nslabs)
+	err := runPoolErr(ctx, nslabs, e.so.Workers, func(i int) error {
+		r0 := i * rows
+		r1 := min(r0+rows, dims[0])
+		sdims := append([]int{r1 - r0}, dims[1:]...)
+		p, err := compressSlab(ctx, r0*rowPoints, r1*rowPoints, sdims)
+		if err != nil {
+			return fmt.Errorf("qoz: slab %d/%d: %w", i, nslabs, err)
+		}
+		payloads[i] = p
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	hdr := make([]byte, 0, 64)
+	hdr = append(hdr, streamMagic...)
+	hdr = append(hdr, streamVersion, e.so.Codec.ID(), kind, uint8(len(dims)))
+	for _, d := range dims {
+		hdr = binary.AppendUvarint(hdr, uint64(d))
+	}
+	hdr = binary.LittleEndian.AppendUint64(hdr, math.Float64bits(eb))
+	hdr = binary.AppendUvarint(hdr, uint64(rows))
+	hdr = binary.AppendUvarint(hdr, uint64(nslabs))
+	if _, err := e.w.Write(hdr); err != nil {
+		return err
+	}
+	var tmp [binary.MaxVarintLen64]byte
+	for _, p := range payloads {
+		k := binary.PutUvarint(tmp[:], uint64(len(p)))
+		if _, err := e.w.Write(tmp[:k]); err != nil {
+			return err
+		}
+		if _, err := e.w.Write(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkDims validates a dimension vector against the sample count.
+func checkDims(dims []int, n int) error {
+	if len(dims) == 0 || len(dims) > maxStreamDims {
+		return fmt.Errorf("qoz: need 1..%d dimensions, got %d", maxStreamDims, len(dims))
+	}
+	p := 1
+	for _, d := range dims {
+		if d <= 0 || d > math.MaxInt32 {
+			return fmt.Errorf("qoz: invalid dimension %d", d)
+		}
+		if p > maxStreamPoints/d {
+			return fmt.Errorf("qoz: field of dims %v too large", dims)
+		}
+		p *= d
+	}
+	if p != n {
+		return fmt.Errorf("qoz: dims %v describe %d points, data has %d", dims, p, n)
+	}
+	return nil
+}
+
+// planSlabs picks whole-row slabs of the slowest dimension sized near the
+// configured point target.
+func planSlabs(dims []int, slabPoints int) (rows, nslabs, rowPoints int) {
+	rowPoints = 1
+	for _, d := range dims[1:] {
+		rowPoints *= d
+	}
+	rows = slabPoints / rowPoints
+	if rows < 1 {
+		rows = 1
+	}
+	if rows > dims[0] {
+		rows = dims[0]
+	}
+	nslabs = (dims[0] + rows - 1) / rows
+	return rows, nslabs, rowPoints
+}
+
+// StreamHeader describes a slab stream.
+type StreamHeader struct {
+	CodecID    uint8
+	CodecName  string // "" when the id is not registered
+	Float64    bool
+	Dims       []int
+	ErrorBound float64
+	SlabRows   int
+	NumSlabs   int
+}
+
+// Points returns the field's total point count.
+func (h *StreamHeader) Points() int {
+	p := 1
+	for _, d := range h.Dims {
+		p *= d
+	}
+	return p
+}
+
+// Decoder reads the slab stream format from an io.Reader, decompressing
+// slabs concurrently through the codec registry.
+type Decoder struct {
+	// Workers bounds concurrent slab decompressions (<=0 selects
+	// GOMAXPROCS). Set it before the first Decode call.
+	Workers int
+
+	br     *bufio.Reader
+	hdr    *StreamHeader
+	hdrErr error
+	used   bool
+}
+
+// NewDecoder returns a Decoder reading from r.
+func NewDecoder(r io.Reader) *Decoder {
+	return &Decoder{br: bufio.NewReader(r)}
+}
+
+// Header parses and returns the stream header without consuming any slab
+// payloads.
+func (d *Decoder) Header() (*StreamHeader, error) {
+	if d.hdr == nil && d.hdrErr == nil {
+		d.hdr, d.hdrErr = readStreamHeader(d.br)
+	}
+	return d.hdr, d.hdrErr
+}
+
+func readStreamHeader(br *bufio.Reader) (*StreamHeader, error) {
+	fixed := make([]byte, len(streamMagic)+4)
+	if _, err := io.ReadFull(br, fixed); err != nil {
+		return nil, ErrCorruptStream
+	}
+	if string(fixed[:len(streamMagic)]) != streamMagic {
+		return nil, ErrCorruptStream
+	}
+	if fixed[4] != streamVersion {
+		return nil, fmt.Errorf("qoz: unsupported stream version %d", fixed[4])
+	}
+	if fixed[6] != kindFloat32 && fixed[6] != kindFloat64 {
+		return nil, ErrCorruptStream
+	}
+	h := &StreamHeader{CodecID: fixed[5], Float64: fixed[6] == kindFloat64}
+	nd := int(fixed[7])
+	if nd == 0 || nd > maxStreamDims {
+		return nil, ErrCorruptStream
+	}
+	h.Dims = make([]int, nd)
+	p := 1
+	for i := range h.Dims {
+		v, err := binary.ReadUvarint(br)
+		if err != nil || v == 0 || v > math.MaxInt32 || p > maxStreamPoints/int(v) {
+			return nil, ErrCorruptStream
+		}
+		h.Dims[i] = int(v)
+		p *= int(v)
+	}
+	var ebb [8]byte
+	if _, err := io.ReadFull(br, ebb[:]); err != nil {
+		return nil, ErrCorruptStream
+	}
+	h.ErrorBound = math.Float64frombits(binary.LittleEndian.Uint64(ebb[:]))
+	rows, err := binary.ReadUvarint(br)
+	if err != nil || rows == 0 || rows > uint64(h.Dims[0]) {
+		return nil, ErrCorruptStream
+	}
+	h.SlabRows = int(rows)
+	ns, err := binary.ReadUvarint(br)
+	want := (h.Dims[0] + h.SlabRows - 1) / h.SlabRows
+	if err != nil || ns != uint64(want) {
+		return nil, ErrCorruptStream
+	}
+	h.NumSlabs = want
+	if c, err := LookupID(h.CodecID); err == nil {
+		h.CodecName = c.Name()
+	}
+	return h, nil
+}
+
+// Decode reads and reconstructs the stream's field. The stream must carry
+// float32 samples; use DecodeFloat64 for double precision (it also widens
+// float32 streams).
+func (d *Decoder) Decode(ctx context.Context) ([]float32, []int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hdr, err := d.Header()
+	if err != nil {
+		return nil, nil, err
+	}
+	if hdr.Float64 {
+		return nil, nil, errors.New("qoz: float64 stream; use DecodeFloat64")
+	}
+	c, err := LookupID(hdr.CodecID)
+	if err != nil {
+		return nil, nil, err
+	}
+	hdr, payloads, err := d.readAll(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Decode every slab before sizing the output: the field size the
+	// header declares is only trusted once the payloads actually decode
+	// to it, so a hostile header cannot force a giant allocation.
+	slabs := make([][]float32, hdr.NumSlabs)
+	err = runPoolErr(ctx, hdr.NumSlabs, d.Workers, func(i int) error {
+		lo, hi, sdims := slabRange(hdr, i)
+		data, dims, err := c.Decompress(ctx, payloads[i])
+		if err != nil {
+			return fmt.Errorf("qoz: slab %d: %w", i, err)
+		}
+		if !equalDims(dims, sdims) || len(data) != hi-lo {
+			return ErrCorruptStream
+		}
+		payloads[i] = nil
+		slabs[i] = data
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]float32, 0, hdr.Points())
+	for _, s := range slabs {
+		out = append(out, s...)
+	}
+	return out, hdr.Dims, nil
+}
+
+// DecodeFloat64 reads and reconstructs the stream's field as float64,
+// restoring escaped double-precision points exactly. A float32 stream is
+// widened losslessly.
+func (d *Decoder) DecodeFloat64(ctx context.Context) ([]float64, []int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hdr, err := d.Header()
+	if err != nil {
+		return nil, nil, err
+	}
+	if !hdr.Float64 {
+		v, dims, err := d.Decode(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([]float64, len(v))
+		for i, x := range v {
+			out[i] = float64(x)
+		}
+		return out, dims, nil
+	}
+	hdr, payloads, err := d.readAll(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	// As in Decode: size the output from decoded slabs, not the header.
+	slabs := make([][]float64, hdr.NumSlabs)
+	err = runPoolErr(ctx, hdr.NumSlabs, d.Workers, func(i int) error {
+		lo, hi, sdims := slabRange(hdr, i)
+		data, dims, err := decodeFloat64Envelope(ctx, payloads[i])
+		if err != nil {
+			return fmt.Errorf("qoz: slab %d: %w", i, err)
+		}
+		if !equalDims(dims, sdims) || len(data) != hi-lo {
+			return ErrCorruptStream
+		}
+		payloads[i] = nil
+		slabs[i] = data
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]float64, 0, hdr.Points())
+	for _, s := range slabs {
+		out = append(out, s...)
+	}
+	return out, hdr.Dims, nil
+}
+
+// readAll consumes the header and every slab payload from the reader.
+func (d *Decoder) readAll(ctx context.Context) (*StreamHeader, [][]byte, error) {
+	hdr, err := d.Header()
+	if err != nil {
+		return nil, nil, err
+	}
+	if d.used {
+		return nil, nil, errors.New("qoz: stream already decoded")
+	}
+	d.used = true
+	payloads := make([][]byte, hdr.NumSlabs)
+	for i := range payloads {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
+		n, err := binary.ReadUvarint(d.br)
+		if err != nil || n > maxSlabPayload {
+			return nil, nil, ErrCorruptStream
+		}
+		p, err := readN(d.br, int(n))
+		if err != nil {
+			return nil, nil, ErrCorruptStream
+		}
+		payloads[i] = p
+	}
+	return hdr, payloads, nil
+}
+
+// readN reads exactly n bytes, growing the buffer chunk by chunk so a
+// corrupt declared length cannot force a giant up-front allocation.
+func readN(r io.Reader, n int) ([]byte, error) {
+	const chunk = 1 << 16
+	out := make([]byte, 0, min(n, chunk))
+	for len(out) < n {
+		k := min(n-len(out), chunk)
+		start := len(out)
+		out = append(out, make([]byte, k)...)
+		if _, err := io.ReadFull(r, out[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// slabRange returns the point range and dimensions of slab i.
+func slabRange(hdr *StreamHeader, i int) (lo, hi int, sdims []int) {
+	rowPoints := 1
+	for _, d := range hdr.Dims[1:] {
+		rowPoints *= d
+	}
+	r0 := i * hdr.SlabRows
+	r1 := min(r0+hdr.SlabRows, hdr.Dims[0])
+	sdims = append([]int{r1 - r0}, hdr.Dims[1:]...)
+	return r0 * rowPoints, r1 * rowPoints, sdims
+}
+
+func equalDims(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

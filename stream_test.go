@@ -1,0 +1,273 @@
+package qoz_test
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"testing"
+
+	"qoz"
+	"qoz/datagen"
+	"qoz/metrics"
+)
+
+// TestStreamMatchesInMemory verifies the acceptance contract of the slab
+// stream: for every codec, the streaming Encoder produces byte-identical
+// output to the in-memory Encode under the same options, and the streaming
+// Decoder's reconstruction is bit-identical to the in-memory Decode.
+func TestStreamMatchesInMemory(t *testing.T) {
+	ds := datagen.NYX(32, 32, 32)
+	eb := 1e-3 * metrics.ValueRange(ds.Data)
+	ctx := context.Background()
+	for _, name := range qoz.Codecs() {
+		c := qoz.MustLookup(name)
+		opts := qoz.Options{ErrorBound: eb}
+
+		mem, err := qoz.Encode(ctx, c, ds.Data, ds.Dims, opts)
+		if err != nil {
+			t.Fatalf("%s: Encode: %v", name, err)
+		}
+		var sb bytes.Buffer
+		enc, err := qoz.NewEncoder(&sb, qoz.StreamOptions{Codec: c, Opts: opts})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(ctx, ds.Data, ds.Dims); err != nil {
+			t.Fatalf("%s: Encoder.Encode: %v", name, err)
+		}
+		if !bytes.Equal(mem, sb.Bytes()) {
+			t.Fatalf("%s: streaming bytes differ from in-memory Encode", name)
+		}
+
+		memRecon, _, err := qoz.Decode[float32](ctx, mem)
+		if err != nil {
+			t.Fatalf("%s: Decode: %v", name, err)
+		}
+		dec := qoz.NewDecoder(bytes.NewReader(sb.Bytes()))
+		streamRecon, dims, err := dec.Decode(ctx)
+		if err != nil {
+			t.Fatalf("%s: Decoder.Decode: %v", name, err)
+		}
+		if len(dims) != 3 || len(streamRecon) != ds.Len() {
+			t.Fatalf("%s: shape %v", name, dims)
+		}
+		for i := range memRecon {
+			if math.Float32bits(memRecon[i]) != math.Float32bits(streamRecon[i]) {
+				t.Fatalf("%s: reconstruction differs at %d: %v vs %v",
+					name, i, memRecon[i], streamRecon[i])
+			}
+		}
+	}
+}
+
+// TestStreamMultiSlab forces several slabs and verifies the bound holds,
+// workers don't change the bytes, and the decoder parallelizes correctly.
+func TestStreamMultiSlab(t *testing.T) {
+	ds := datagen.NYX(32, 32, 32) // 32 rows of 1024 points
+	eb := 1e-3 * metrics.ValueRange(ds.Data)
+	ctx := context.Background()
+	for _, name := range qoz.Codecs() {
+		c := qoz.MustLookup(name)
+		so := qoz.StreamOptions{
+			Codec:      c,
+			Opts:       qoz.Options{ErrorBound: eb},
+			SlabPoints: 4 * 1024, // 4 rows per slab → 8 slabs
+			Workers:    4,
+		}
+		var b4 bytes.Buffer
+		enc, err := qoz.NewEncoder(&b4, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.Encode(ctx, ds.Data, ds.Dims); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		so.Workers = 1
+		var b1 bytes.Buffer
+		enc1, err := qoz.NewEncoder(&b1, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc1.Encode(ctx, ds.Data, ds.Dims); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(b4.Bytes(), b1.Bytes()) {
+			t.Fatalf("%s: worker count changed the stream bytes", name)
+		}
+
+		dec := qoz.NewDecoder(bytes.NewReader(b4.Bytes()))
+		dec.Workers = 3
+		hdr, err := dec.Header()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hdr.NumSlabs != 8 || hdr.SlabRows != 4 || hdr.CodecName != name || hdr.Float64 {
+			t.Fatalf("%s: header %+v", name, hdr)
+		}
+		recon, dims, err := dec.Decode(ctx)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if len(dims) != 3 || dims[0] != 32 {
+			t.Fatalf("%s: dims %v", name, dims)
+		}
+		maxErr, _ := metrics.MaxAbsError(ds.Data, recon)
+		if maxErr > eb*(1+1e-12) {
+			t.Fatalf("%s: bound violated: %g > %g", name, maxErr, eb)
+		}
+	}
+}
+
+// TestStreamFloat64MultiSlab exercises the per-slab escape envelope:
+// high-precision points, NaN, and ±Inf must round-trip exactly while
+// finite points respect the bound.
+func TestStreamFloat64MultiSlab(t *testing.T) {
+	n := 4096
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = 1e12 + math.Sin(float64(i)/30)
+	}
+	data[7] = math.NaN()
+	data[100] = math.Inf(1)
+	data[2077] = math.Inf(-1)
+	eb := 1e-4
+	ctx := context.Background()
+
+	for _, name := range []string{"qoz", "zfp"} {
+		so := qoz.StreamOptions{
+			Codec:      qoz.MustLookup(name),
+			Opts:       qoz.Options{ErrorBound: eb},
+			SlabPoints: 1024, // 4 slabs
+			Workers:    4,
+		}
+		var buf bytes.Buffer
+		enc, err := qoz.NewEncoder(&buf, so)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.EncodeFloat64(ctx, data, []int{n}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+
+		dec := qoz.NewDecoder(bytes.NewReader(buf.Bytes()))
+		hdr, err := dec.Header()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !hdr.Float64 || hdr.NumSlabs != 4 {
+			t.Fatalf("%s: header %+v", name, hdr)
+		}
+		recon, dims, err := dec.DecodeFloat64(ctx)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(dims) != 1 || len(recon) != n {
+			t.Fatalf("%s: shape %v", name, dims)
+		}
+		if !math.IsNaN(recon[7]) {
+			t.Fatalf("%s: NaN lost: %v", name, recon[7])
+		}
+		if !math.IsInf(recon[100], 1) || !math.IsInf(recon[2077], -1) {
+			t.Fatalf("%s: Inf lost", name)
+		}
+		for i := range data {
+			if i == 7 || i == 100 || i == 2077 {
+				continue
+			}
+			if math.Abs(data[i]-recon[i]) > eb {
+				t.Fatalf("%s: bound violated at %d: %g", name, i, math.Abs(data[i]-recon[i]))
+			}
+		}
+
+		// The generic Decode sees the same bytes; the float32 view of a
+		// float64 stream is refused without draining the stream, so the
+		// same Decoder can still be pointed at DecodeFloat64.
+		if _, _, err := qoz.Decode[float64](ctx, buf.Bytes()); err != nil {
+			t.Fatalf("%s: generic Decode: %v", name, err)
+		}
+		d2 := qoz.NewDecoder(bytes.NewReader(buf.Bytes()))
+		if _, _, err := d2.Decode(ctx); err == nil {
+			t.Fatalf("%s: float64 stream decoded as float32", name)
+		}
+		if _, _, err := d2.DecodeFloat64(ctx); err != nil {
+			t.Fatalf("%s: DecodeFloat64 after refused Decode: %v", name, err)
+		}
+	}
+}
+
+// TestDecodeFloat64Widens checks that a float32 stream decodes into
+// float64 without loss.
+func TestDecodeFloat64Widens(t *testing.T) {
+	ds := datagen.CESMATM(32, 48)
+	ctx := context.Background()
+	buf, err := qoz.Encode(ctx, nil, ds.Data, ds.Dims, qoz.Options{RelBound: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f32, _, err := qoz.Decode[float32](ctx, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec := qoz.NewDecoder(bytes.NewReader(buf))
+	f64, _, err := dec.DecodeFloat64(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range f32 {
+		if float64(f32[i]) != f64[i] {
+			t.Fatalf("widening mismatch at %d", i)
+		}
+	}
+}
+
+func TestEncoderValidation(t *testing.T) {
+	ctx := context.Background()
+	if _, err := qoz.NewEncoder(nil, qoz.StreamOptions{}); err == nil {
+		t.Error("nil writer accepted")
+	}
+	var b bytes.Buffer
+	enc, err := qoz.NewEncoder(&b, qoz.StreamOptions{Opts: qoz.Options{ErrorBound: 0.1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(ctx, make([]float32, 10), []int{3, 4}); err == nil {
+		t.Error("dims/data mismatch accepted")
+	}
+	if err := enc.Encode(ctx, make([]float32, 12), nil); err == nil {
+		t.Error("empty dims accepted")
+	}
+	enc2, err := qoz.NewEncoder(&b, qoz.StreamOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc2.Encode(ctx, make([]float32, 12), []int{3, 4}); err == nil {
+		t.Error("missing bound accepted")
+	}
+}
+
+func TestStreamCancellation(t *testing.T) {
+	ds := datagen.NYX(16, 16, 16)
+	eb := 1e-3 * metrics.ValueRange(ds.Data)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var b bytes.Buffer
+	enc, err := qoz.NewEncoder(&b, qoz.StreamOptions{Opts: qoz.Options{ErrorBound: eb}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(ctx, ds.Data, ds.Dims); err == nil {
+		t.Error("canceled encode succeeded")
+	}
+	// A valid stream, then a canceled decode.
+	enc2, err := qoz.NewEncoder(&b, qoz.StreamOptions{Opts: qoz.Options{ErrorBound: eb}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc2.Encode(context.Background(), ds.Data, ds.Dims); err != nil {
+		t.Fatal(err)
+	}
+	dec := qoz.NewDecoder(bytes.NewReader(b.Bytes()))
+	if _, _, err := dec.Decode(ctx); err == nil {
+		t.Error("canceled decode succeeded")
+	}
+}
