@@ -4,28 +4,39 @@
 //
 // Usage:
 //
-//	benchsuite [-exp all|fig7|table3|fig8|fig9|fig10|fig11|fig12|fig13|table4|fig14]
-//	           [-size default|small] [-render DIR] [-cr N]
+//	benchsuite [-exp all|none|fig7|table3|fig8|fig9|fig10|fig11|fig12|fig13|table4|fig14]
+//	           [-size default|small] [-render DIR] [-cr N] [-json FILE]
 //
 // -render DIR additionally writes PGM images for the Fig. 11 visual
 // comparison (original plus every codec's reconstruction at matched CR).
+//
+// -json FILE runs a full codec x dataset sweep and writes machine-readable
+// records (codec, dataset, bound, CR, PSNR, SSIM, compress/decompress
+// MB/s) so performance trajectories can be recorded across revisions,
+// e.g. as BENCH_<rev>.json. Combine with "-exp none" to emit only the
+// sweep.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
+	"runtime"
 	"strings"
 
 	"qoz"
+	"qoz/baselines"
 	"qoz/internal/harness"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (all, fig4, fig7, table3, fig8, fig9, fig10, fig11, fig12, fig13, table4, fig14)")
+	exp := flag.String("exp", "all", "experiment id (all, none, fig4, fig7, table3, fig8, fig9, fig10, fig11, fig12, fig13, table4, fig14)")
 	size := flag.String("size", "default", "dataset sizes: default or small")
 	render := flag.String("render", "", "directory for Fig. 11 PGM renderings (optional)")
 	targetCR := flag.Float64("cr", 65, "Fig. 11 target compression ratio")
+	jsonOut := flag.String("json", "", "write a machine-readable codec x dataset sweep to FILE")
 	list := flag.Bool("list", false, "list the registered codecs the suite sweeps and exit")
 	flag.Parse()
 
@@ -80,4 +91,85 @@ func main() {
 	run("fig13", func() error { _, err := harness.Fig13(w, cfg); return err })
 	run("table4", func() error { _, err := harness.Table4(w, cfg); return err })
 	run("fig14", func() error { _, err := harness.Fig14(w, cfg); return err })
+
+	if *jsonOut != "" {
+		if err := writeJSONSweep(*jsonOut, cfg, *size); err != nil {
+			fmt.Fprintf(os.Stderr, "benchsuite: json sweep: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(w, "wrote sweep: %s\n", *jsonOut)
+	}
+}
+
+// benchRecord is one (codec, dataset, bound) measurement of the sweep.
+type benchRecord struct {
+	Codec      string  `json:"codec"`
+	Dataset    string  `json:"dataset"`
+	RelBound   float64 `json:"rel_bound"`
+	AbsBound   float64 `json:"abs_bound"`
+	Bytes      int     `json:"bytes"`
+	CR         float64 `json:"cr"`
+	BitRate    float64 `json:"bit_rate"`
+	PSNR       float64 `json:"psnr"`
+	SSIM       float64 `json:"ssim"`
+	MaxErr     float64 `json:"max_err"`
+	CompMBps   float64 `json:"comp_mbps"`
+	DecompMBps float64 `json:"decomp_mbps"`
+}
+
+// benchReport is the file layout of -json output.
+type benchReport struct {
+	Size       string        `json:"size"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	Records    []benchRecord `json:"records"`
+}
+
+// writeJSONSweep measures every registered codec on every dataset analog
+// at ε ∈ {1e-3, 1e-4} and writes the records as JSON.
+func writeJSONSweep(path string, cfg harness.Config, size string) error {
+	report := benchReport{Size: size, GoMaxProcs: runtime.GOMAXPROCS(0)}
+	for _, ds := range cfg.Datasets() {
+		for _, c := range baselines.All(qoz.TuneCR) {
+			for _, rel := range []float64{1e-3, 1e-4} {
+				r, err := harness.RunCodec(c, ds, rel)
+				if err != nil {
+					return err
+				}
+				mb := float64(ds.Len()*4) / 1e6
+				report.Records = append(report.Records, benchRecord{
+					Codec:      r.Codec,
+					Dataset:    r.Dataset,
+					RelBound:   r.RelBound,
+					AbsBound:   jsonSafe(r.AbsBound),
+					Bytes:      r.Bytes,
+					CR:         jsonSafe(r.CR),
+					BitRate:    jsonSafe(r.BitRate),
+					PSNR:       jsonSafe(r.PSNR),
+					SSIM:       jsonSafe(r.SSIM),
+					MaxErr:     jsonSafe(r.MaxErr),
+					CompMBps:   jsonSafe(mb / r.CompSecs),
+					DecompMBps: jsonSafe(mb / r.DecompSecs),
+				})
+			}
+		}
+	}
+	buf, err := json.MarshalIndent(&report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// jsonSafe clamps the non-finite values JSON cannot carry (e.g. the
+// infinite PSNR of an exact reconstruction) into representable ones.
+func jsonSafe(v float64) float64 {
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	}
+	return v
 }

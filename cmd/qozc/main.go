@@ -8,7 +8,12 @@
 //	                [-codec qoz|sz2|sz3|zfp|mgard] [-mode cr|psnr|ssim|ac]
 //	                [-workers N] [-prec 32|64] [-out data.qoz]
 //	qozc decompress -in data.qoz [-out data.f32]
-//	qozc info       -in data.qoz
+//	qozc put        -in data.f32 -dims 100,500,500 -rel 1e-3 [-abs E]
+//	                [-codec C] [-brick 64,64,64] [-workers N] [-out data.qozb]
+//	qozc put        -in data.qoz [-brick ...] [-out data.qozb]
+//	qozc get        -in data.qozb [-out data.f32]
+//	qozc extract    -in data.qozb -box 0:32,128:256,0:64 [-out roi.f32]
+//	qozc info       -in data.qoz|data.qozb
 //	qozc codecs
 //
 // Input data is little-endian IEEE-754, row-major with the last listed
@@ -16,6 +21,12 @@
 // chunking large fields and compressing slabs concurrently; decompression
 // accepts slab streams and the legacy container formats of every
 // registered codec.
+//
+// put builds a brick store (see qoz/store): the field — a raw float32
+// file, or an existing .qoz slab stream re-bricked without materializing
+// the field — is partitioned into fixed-shape bricks compressed
+// independently, so get/extract can decode any region of interest by
+// touching only the bricks it intersects.
 package main
 
 import (
@@ -24,6 +35,7 @@ import (
 	"encoding/binary"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"path/filepath"
@@ -32,6 +44,7 @@ import (
 
 	"qoz"
 	"qoz/metrics"
+	"qoz/store"
 )
 
 func main() {
@@ -44,6 +57,12 @@ func main() {
 		err = compressCmd(os.Args[2:])
 	case "decompress":
 		err = decompressCmd(os.Args[2:])
+	case "put":
+		err = putCmd(os.Args[2:])
+	case "get":
+		err = getCmd(os.Args[2:])
+	case "extract":
+		err = extractCmd(os.Args[2:])
 	case "info":
 		err = infoCmd(os.Args[2:])
 	case "compare":
@@ -60,7 +79,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qozc compress|decompress|info|compare|codecs [flags] (see -h per subcommand)")
+	fmt.Fprintln(os.Stderr, "usage: qozc compress|decompress|put|get|extract|info|compare|codecs [flags] (see -h per subcommand)")
 	os.Exit(2)
 }
 
@@ -174,29 +193,13 @@ func compressCmd(args []string) error {
 		return fmt.Errorf("unsupported precision %d (want 32 or 64)", *prec)
 	}
 
-	f, err := os.CreateTemp(filepath.Dir(dst), filepath.Base(dst)+".tmp*")
-	if err != nil {
-		return err
-	}
-	tmp := f.Name()
-	fail := func(err error) error {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	enc, err := qoz.NewEncoder(f, qoz.StreamOptions{Codec: codec, Opts: opts, Workers: *workers})
-	if err != nil {
-		return fail(err)
-	}
-	if err := encode(enc); err != nil {
-		return fail(err)
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	if err := os.Rename(tmp, dst); err != nil {
-		os.Remove(tmp)
+	if err := writeAtomic(dst, func(f *os.File) error {
+		enc, err := qoz.NewEncoder(f, qoz.StreamOptions{Codec: codec, Opts: opts, Workers: *workers})
+		if err != nil {
+			return err
+		}
+		return encode(enc)
+	}); err != nil {
 		return err
 	}
 	st, err := os.Stat(dst)
@@ -261,14 +264,250 @@ func decompressCmd(args []string) error {
 	if dst == "" {
 		dst = *in + ".f32"
 	}
+	if err := writeRawFloats(dst, data); err != nil {
+		return err
+	}
+	fmt.Printf("%s: dims %v, %d points\n", dst, dims, len(data))
+	return nil
+}
+
+// writeAtomic streams the result of fill into dst via a temp file renamed
+// over dst only on success, so a failed run never clobbers an archive.
+func writeAtomic(dst string, fill func(f *os.File) error) error {
+	f, err := os.CreateTemp(filepath.Dir(dst), filepath.Base(dst)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := fill(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, dst); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// putCmd builds a brick store from a raw float32 file or an existing slab
+// stream.
+func putCmd(args []string) error {
+	fs := flag.NewFlagSet("put", flag.ExitOnError)
+	in := fs.String("in", "", "input: raw float32 file (needs -dims) or .qoz slab stream (required)")
+	out := fs.String("out", "", "output store file (default: <in>.qozb)")
+	dimsArg := fs.String("dims", "", "comma-separated dimensions (raw input only)")
+	rel := fs.Float64("rel", 0, "value-range-relative error bound ε (raw input only)")
+	abs := fs.Float64("abs", 0, "absolute error bound e (raw input only)")
+	codecName := fs.String("codec", "", "brick compressor (default: qoz, or the stream's codec)")
+	brickArg := fs.String("brick", "", "brick shape, e.g. 64,64,64 (default: ~1 MiB bricks)")
+	workers := fs.Int("workers", 0, "concurrent brick compressions (0 = all cores)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("put requires -in")
+	}
+	wo := store.WriteOptions{Workers: *workers}
+	if *codecName != "" {
+		c, err := qoz.Lookup(*codecName)
+		if err != nil {
+			return err
+		}
+		wo.Codec = c
+	}
+	if *brickArg != "" {
+		b, err := parseDims(*brickArg)
+		if err != nil {
+			return err
+		}
+		wo.Brick = b
+	}
+	dst := *out
+	if dst == "" {
+		dst = *in + ".qozb"
+	}
+	ctx := context.Background()
+
+	// Sniff the format from the first bytes; a multi-GiB input must not be
+	// read (or held) twice just to dispatch.
+	inF, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer inF.Close()
+	var head [4]byte
+	n, _ := io.ReadFull(inF, head[:])
+	if _, err := inF.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if qoz.IsStream(head[:n]) {
+		// Re-brick the stream slab by slab, straight off the file; bound
+		// and codec carry over.
+		if err := writeAtomic(dst, func(f *os.File) error {
+			return store.WriteFrom(ctx, f, qoz.NewDecoder(inF), wo)
+		}); err != nil {
+			return err
+		}
+	} else {
+		if *dimsArg == "" {
+			return fmt.Errorf("put from raw data requires -dims")
+		}
+		dims, err := parseDims(*dimsArg)
+		if err != nil {
+			return err
+		}
+		data, err := readFloats(*in, dims)
+		if err != nil {
+			return err
+		}
+		wo.Opts = qoz.Options{ErrorBound: *abs, RelBound: *rel}
+		if err := writeAtomic(dst, func(f *os.File) error {
+			return store.Write(ctx, f, data, dims, wo)
+		}); err != nil {
+			return err
+		}
+	}
+	s, err := store.OpenFile(dst, store.Options{})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	st, err := os.Stat(dst)
+	if err != nil {
+		return err
+	}
+	points := 1
+	for _, d := range s.Dims() {
+		points *= d
+	}
+	fmt.Printf("%s: dims %v, brick %v, %d bricks, %d -> %d bytes (CR %.1f), codec=%s\n",
+		dst, s.Dims(), s.BrickShape(), s.NumBricks(), points*4, st.Size(),
+		float64(points*4)/float64(st.Size()), s.Codec().Name())
+	return nil
+}
+
+// getCmd decodes a whole brick store back to raw floats.
+func getCmd(args []string) error {
+	fs := flag.NewFlagSet("get", flag.ExitOnError)
+	in := fs.String("in", "", "input .qozb store (required)")
+	out := fs.String("out", "", "output raw float32 file (default: <in>.f32)")
+	workers := fs.Int("workers", 0, "concurrent brick decodes (0 = all cores)")
+	fs.Parse(args)
+	if *in == "" {
+		return fmt.Errorf("get requires -in")
+	}
+	s, err := store.OpenFile(*in, store.Options{Workers: *workers, CacheBytes: -1})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	data, err := s.ReadField(context.Background())
+	if err != nil {
+		return err
+	}
+	dst := *out
+	if dst == "" {
+		dst = *in + ".f32"
+	}
+	if err := writeRawFloats(dst, data); err != nil {
+		return err
+	}
+	fmt.Printf("%s: dims %v, %d points\n", dst, s.Dims(), len(data))
+	return nil
+}
+
+// extractCmd decodes one region of interest out of a brick store.
+func extractCmd(args []string) error {
+	fs := flag.NewFlagSet("extract", flag.ExitOnError)
+	in := fs.String("in", "", "input .qozb store (required)")
+	out := fs.String("out", "", "output raw float32 file (default: <in>.roi.f32)")
+	boxArg := fs.String("box", "", "region lo:hi per dimension, e.g. 0:32,128:256,0:64 (required)")
+	workers := fs.Int("workers", 0, "concurrent brick decodes (0 = all cores)")
+	fs.Parse(args)
+	if *in == "" || *boxArg == "" {
+		return fmt.Errorf("extract requires -in and -box")
+	}
+	lo, hi, err := parseBox(*boxArg)
+	if err != nil {
+		return err
+	}
+	s, err := store.OpenFile(*in, store.Options{Workers: *workers, CacheBytes: -1})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	data, err := s.ReadRegion(context.Background(), lo, hi)
+	if err != nil {
+		return err
+	}
+	dst := *out
+	if dst == "" {
+		dst = *in + ".roi.f32"
+	}
+	if err := writeRawFloats(dst, data); err != nil {
+		return err
+	}
+	size := make([]int, len(lo))
+	for i := range lo {
+		size[i] = hi[i] - lo[i]
+	}
+	st := s.Stats()
+	fmt.Printf("%s: region %v, dims %v, %d points (%d of %d bricks decoded)\n",
+		dst, *boxArg, size, len(data), st.BricksDecoded, s.NumBricks())
+	return nil
+}
+
+// parseBox parses "lo:hi,lo:hi,..." into region bounds.
+func parseBox(s string) (lo, hi []int, err error) {
+	for _, part := range strings.Split(s, ",") {
+		a, b, ok := strings.Cut(strings.TrimSpace(part), ":")
+		if !ok {
+			return nil, nil, fmt.Errorf("invalid box extent %q (want lo:hi)", part)
+		}
+		l, err1 := strconv.Atoi(strings.TrimSpace(a))
+		h, err2 := strconv.Atoi(strings.TrimSpace(b))
+		if err1 != nil || err2 != nil || l < 0 || h <= l {
+			return nil, nil, fmt.Errorf("invalid box extent %q (want 0 <= lo < hi)", part)
+		}
+		lo = append(lo, l)
+		hi = append(hi, h)
+	}
+	if len(lo) == 0 {
+		return nil, nil, fmt.Errorf("empty box")
+	}
+	return lo, hi, nil
+}
+
+func writeRawFloats(path string, data []float32) error {
 	raw := make([]byte, 4*len(data))
 	for i, v := range data {
 		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
 	}
-	if err := os.WriteFile(dst, raw, 0o644); err != nil {
+	return os.WriteFile(path, raw, 0o644)
+}
+
+// storeInfo prints a brick store's manifest without decoding any brick.
+func storeInfo(path string) error {
+	s, err := store.OpenFile(path, store.Options{})
+	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: dims %v, %d points\n", dst, dims, len(data))
+	defer s.Close()
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	points := 1
+	for _, d := range s.Dims() {
+		points *= d
+	}
+	fmt.Printf("format: brick store\ncodec: %s\ndims: %v\nbrick: %v\nbricks: %d\nerror bound: %.6g\ncompressed: %d bytes\nCR: %.1f\n",
+		s.Codec().Name(), s.Dims(), s.BrickShape(), s.NumBricks(), s.ErrorBound(),
+		st.Size(), float64(points*4)/float64(st.Size()))
 	return nil
 }
 
@@ -278,6 +517,18 @@ func infoCmd(args []string) error {
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("info requires -in")
+	}
+	// A brick store is described from its manifest alone; sniff the magic
+	// before loading what may be a huge archive into memory.
+	var head [8]byte
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	n, _ := io.ReadFull(f, head[:])
+	f.Close()
+	if store.IsStore(head[:n]) {
+		return storeInfo(*in)
 	}
 	buf, err := os.ReadFile(*in)
 	if err != nil {

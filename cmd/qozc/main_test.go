@@ -135,3 +135,113 @@ func TestParseMode(t *testing.T) {
 		t.Error("unknown mode accepted")
 	}
 }
+
+func TestPutGetExtractCycle(t *testing.T) {
+	dir := t.TempDir()
+	ds := datagen.NYX(32, 32, 32)
+	in := filepath.Join(dir, "data.f32")
+	writeF32(t, in, ds.Data)
+
+	sf := filepath.Join(dir, "data.qozb")
+	if err := putCmd([]string{"-in", in, "-dims", "32,32,32", "-rel", "1e-3", "-brick", "16,16,16", "-out", sf}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	// Full read back.
+	full := filepath.Join(dir, "full.f32")
+	if err := getCmd([]string{"-in", sf, "-out", full}); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	recon, err := readFloats(full, ds.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vr := rangeOf(ds.Data)
+	for i := range recon {
+		if e := math.Abs(float64(recon[i]) - float64(ds.Data[i])); e > 1e-3*vr*(1+1e-9) {
+			t.Fatalf("point %d: error %g exceeds bound", i, e)
+		}
+	}
+
+	// ROI extract must match the corresponding slice of the full read.
+	roi := filepath.Join(dir, "roi.f32")
+	if err := extractCmd([]string{"-in", sf, "-box", "4:12,16:32,0:8", "-out", roi}); err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	got, err := readFloats(roi, []int{8, 16, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 0
+	for z := 4; z < 12; z++ {
+		for y := 16; y < 32; y++ {
+			for x := 0; x < 8; x++ {
+				want := recon[(z*32+y)*32+x]
+				if got[k] != want {
+					t.Fatalf("roi point (%d,%d,%d): %v != %v", z, y, x, got[k], want)
+				}
+				k++
+			}
+		}
+	}
+
+	// info must recognize the store.
+	if err := infoCmd([]string{"-in", sf}); err != nil {
+		t.Fatalf("info on store: %v", err)
+	}
+}
+
+func TestPutFromStream(t *testing.T) {
+	dir := t.TempDir()
+	ds := datagen.NYX(24, 24, 24)
+	in := filepath.Join(dir, "data.f32")
+	writeF32(t, in, ds.Data)
+	qozFile := filepath.Join(dir, "data.qoz")
+	if err := compressCmd([]string{"-in", in, "-dims", "24,24,24", "-rel", "1e-3", "-out", qozFile}); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	sf := filepath.Join(dir, "rebricked.qozb")
+	if err := putCmd([]string{"-in", qozFile, "-brick", "8,8,8", "-out", sf}); err != nil {
+		t.Fatalf("put from stream: %v", err)
+	}
+	full := filepath.Join(dir, "full.f32")
+	if err := getCmd([]string{"-in", sf, "-out", full}); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	recon, err := readFloats(full, ds.Dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-bricking re-compresses the reconstruction: within 2x the bound.
+	vr := rangeOf(ds.Data)
+	for i := range recon {
+		if e := math.Abs(float64(recon[i]) - float64(ds.Data[i])); e > 2*1e-3*vr*(1+1e-9) {
+			t.Fatalf("point %d: error %g exceeds 2x bound", i, e)
+		}
+	}
+}
+
+func TestParseBox(t *testing.T) {
+	lo, hi, err := parseBox("0:32, 128:256,4:8")
+	if err != nil || len(lo) != 3 || lo[1] != 128 || hi[2] != 8 {
+		t.Fatalf("parseBox: %v %v %v", lo, hi, err)
+	}
+	for _, bad := range []string{"", "5", "8:4", "-1:4", "a:b"} {
+		if _, _, err := parseBox(bad); err == nil {
+			t.Errorf("parseBox(%q) accepted", bad)
+		}
+	}
+}
+
+func rangeOf(a []float32) float64 {
+	lo, hi := a[0], a[0]
+	for _, v := range a {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return float64(hi - lo)
+}

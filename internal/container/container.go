@@ -32,7 +32,38 @@ const (
 	CodecMGARD  = 5
 	CodecRaw    = 6
 	CodecHybrid = 7
+	// CodecBrick identifies the brick-store file format of package
+	// qoz/store. It is not a compressor: the store's header embeds this id
+	// (alongside the id of the per-brick codec) so every on-disk format in
+	// the module draws from one authoritative identifier space.
+	CodecBrick = 8
 )
+
+// MaxPoints caps the total point count a decoded header may declare
+// (2^34 points = 64 GiB of float32), matching the streaming layer's
+// sanity cap. Hostile headers declaring more — or whose dimension product
+// would overflow int — are rejected before anything is allocated.
+const MaxPoints = 1 << 34
+
+// CheckDims validates a dimension vector: 1..8 dimensions, each in
+// [1, MaxInt32], with an overflow-safe product no larger than MaxPoints.
+// It returns the product.
+func CheckDims(dims []int) (int, error) {
+	if len(dims) == 0 || len(dims) > 8 {
+		return 0, fmt.Errorf("container: need 1..8 dimensions, got %d", len(dims))
+	}
+	p := 1
+	for _, d := range dims {
+		if d <= 0 || d > math.MaxInt32 {
+			return 0, fmt.Errorf("container: invalid dimension %d", d)
+		}
+		if p > MaxPoints/d {
+			return 0, fmt.Errorf("container: field of dims %v exceeds %d points", dims, MaxPoints)
+		}
+		p *= d
+	}
+	return p, nil
+}
 
 const (
 	magic   = "QOZG"
@@ -76,6 +107,9 @@ func Encode(s *Stream) ([]byte, error) {
 	if len(s.Sections) > 255 {
 		return nil, fmt.Errorf("container: too many sections (%d)", len(s.Sections))
 	}
+	if _, err := CheckDims(s.Dims); err != nil {
+		return nil, err
+	}
 	var out bytes.Buffer
 	out.WriteString(magic)
 	out.WriteByte(version)
@@ -117,30 +151,58 @@ func PeekCodec(buf []byte) (uint8, error) {
 	return buf[len(magic)+1], nil
 }
 
-// Decode parses a container produced by Encode.
-func Decode(buf []byte) (*Stream, error) {
+// PeekHeader parses just the fixed prefix of an encoded stream — codec id
+// and dimensions — without touching the sections, so callers holding an
+// expectation about the field's shape (such as the brick store) can reject
+// a hostile or mismatched payload before the codec allocates anything
+// proportional to the declared dimensions.
+func PeekHeader(buf []byte) (codec uint8, dims []int, err error) {
+	codec, dims, _, err = peekHeader(buf)
+	return codec, dims, err
+}
+
+// peekHeader parses magic, version, codec, and dims, returning the
+// remaining bytes (error bound onward).
+func peekHeader(buf []byte) (codec uint8, dims []int, rest []byte, err error) {
 	if len(buf) < len(magic)+3 || string(buf[:len(magic)]) != magic {
-		return nil, ErrCorrupt
+		return 0, nil, nil, ErrCorrupt
 	}
 	buf = buf[len(magic):]
 	if buf[0] != version {
-		return nil, fmt.Errorf("container: unsupported version %d", buf[0])
+		return 0, nil, nil, fmt.Errorf("container: unsupported version %d", buf[0])
 	}
-	s := &Stream{Codec: buf[1]}
+	codec = buf[1]
 	nd := int(buf[2])
 	buf = buf[3:]
 	if nd == 0 || nd > 8 {
-		return nil, ErrCorrupt
+		return 0, nil, nil, ErrCorrupt
 	}
-	s.Dims = make([]int, nd)
+	dims = make([]int, nd)
 	for i := 0; i < nd; i++ {
 		v, n := binary.Uvarint(buf)
+		// Per-value bound first (an unchecked uvarint can exceed int), then
+		// the shared overflow-safe product guard: a header declaring
+		// astronomically large dimensions must error here, not wrap around
+		// int or drive a giant allocation downstream.
 		if n <= 0 || v == 0 || v > math.MaxInt32 {
-			return nil, ErrCorrupt
+			return 0, nil, nil, ErrCorrupt
 		}
-		s.Dims[i] = int(v)
+		dims[i] = int(v)
 		buf = buf[n:]
 	}
+	if _, err := CheckDims(dims); err != nil {
+		return 0, nil, nil, ErrCorrupt
+	}
+	return codec, dims, buf, nil
+}
+
+// Decode parses a container produced by Encode.
+func Decode(buf []byte) (*Stream, error) {
+	codec, dims, buf, err := peekHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	s := &Stream{Codec: codec, Dims: dims}
 	if len(buf) < 9 {
 		return nil, ErrCorrupt
 	}
@@ -168,6 +230,12 @@ func Decode(buf []byte) (*Stream, error) {
 		buf = buf[encLen:]
 		var data []byte
 		if encLen < rawLen {
+			// DEFLATE expands at most ~1032:1, so a declared raw length far
+			// beyond that bound is hostile; reject it before inflate sizes
+			// anything from it.
+			if rawLen > 1032*encLen+64 {
+				return nil, ErrCorrupt
+			}
 			var err error
 			data, err = inflate(enc, int(rawLen))
 			if err != nil {
@@ -203,11 +271,17 @@ func deflate(buf []byte) []byte {
 func inflate(buf []byte, sizeHint int) ([]byte, error) {
 	r := flate.NewReader(bytes.NewReader(buf))
 	defer r.Close()
-	out := make([]byte, 0, sizeHint)
+	// The hint comes from the stream, so cap the up-front allocation and
+	// let append grow with the bytes that actually decompress; refuse
+	// output past the declared size instead of buffering it.
+	out := make([]byte, 0, min(sizeHint, 1<<20))
 	var block [8192]byte
 	for {
 		n, err := r.Read(block[:])
 		out = append(out, block[:n]...)
+		if len(out) > sizeHint {
+			return nil, errors.New("container: section inflates past its declared size")
+		}
 		if err == io.EOF {
 			return out, nil
 		}

@@ -2,6 +2,7 @@ package container
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
@@ -116,8 +117,14 @@ func TestRoundTripProperty(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		nd := 1 + rng.Intn(4)
 		dims := make([]int, nd)
+		// Keep the declared product under the MaxPoints cap the format now
+		// enforces (per-dim bound = floor(MaxPoints^(1/nd)), clipped).
+		maxd := int(math.Pow(float64(MaxPoints), 1/float64(nd))) - 1
+		if maxd > 1000 {
+			maxd = 1000
+		}
 		for i := range dims {
-			dims[i] = 1 + rng.Intn(1000)
+			dims[i] = 1 + rng.Intn(maxd)
 		}
 		nsec := rng.Intn(5)
 		secs := make([]Section, nsec)
@@ -160,4 +167,94 @@ func TestRoundTripProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// TestDecodeRejectsOverflowingDims hand-crafts container headers whose
+// dimension product wraps int or exceeds MaxPoints: Decode and PeekHeader
+// must error before allocating anything from the declared size, since
+// every codec sizes its output buffers from these dims.
+func TestDecodeRejectsOverflowingDims(t *testing.T) {
+	mk := func(dims []uint64) []byte {
+		h := []byte("QOZG")
+		h = append(h, 1, CodecQoZ, byte(len(dims)))
+		var tmp [10]byte
+		for _, d := range dims {
+			n := binary.PutUvarint(tmp[:], d)
+			h = append(h, tmp[:n]...)
+		}
+		h = append(h, make([]byte, 8)...) // error bound
+		h = append(h, 0)                  // no sections
+		return h
+	}
+	huge := [][]uint64{
+		{1 << 31, 1 << 31, 1 << 31},
+		{math.MaxInt32, math.MaxInt32, math.MaxInt32, math.MaxInt32, math.MaxInt32, math.MaxInt32, math.MaxInt32, math.MaxInt32},
+		{1 << 30, 1 << 30},
+	}
+	for _, dims := range huge {
+		if _, err := Decode(mk(dims)); err == nil {
+			t.Fatalf("Decode accepted dims %v", dims)
+		}
+		if _, _, err := PeekHeader(mk(dims)); err == nil {
+			t.Fatalf("PeekHeader accepted dims %v", dims)
+		}
+	}
+	// Sanity: a small crafted header still parses.
+	if s, err := Decode(mk([]uint64{4, 4})); err != nil || len(s.Dims) != 2 {
+		t.Fatalf("valid crafted header rejected: %v", err)
+	}
+	codec, dims, err := PeekHeader(mk([]uint64{4, 6}))
+	if err != nil || codec != CodecQoZ || dims[0] != 4 || dims[1] != 6 {
+		t.Fatalf("PeekHeader: codec %d dims %v err %v", codec, dims, err)
+	}
+}
+
+// TestEncodeRejectsOverflowingDims covers the symmetric write-side guard.
+func TestEncodeRejectsOverflowingDims(t *testing.T) {
+	for _, dims := range [][]int{
+		{1 << 31, 1 << 31, 1 << 31},
+		{1 << 30, 1 << 30},
+		{0},
+		{-5},
+		{},
+	} {
+		if _, err := Encode(&Stream{Codec: CodecQoZ, Dims: dims, ErrorBound: 1}); err == nil {
+			t.Fatalf("Encode accepted dims %v", dims)
+		}
+	}
+}
+
+func TestCheckDims(t *testing.T) {
+	if p, err := CheckDims([]int{3, 4, 5}); err != nil || p != 60 {
+		t.Fatalf("CheckDims: %d %v", p, err)
+	}
+	if _, err := CheckDims(make([]int, 9)); err == nil {
+		t.Fatal("9 dims accepted")
+	}
+}
+
+// FuzzDecode feeds mangled containers through Decode: errors are fine,
+// panics and runaway allocations are not.
+func FuzzDecode(f *testing.F) {
+	valid, err := Encode(&Stream{
+		Codec:      CodecQoZ,
+		Dims:       []int{8, 8},
+		ErrorBound: 1e-3,
+		Sections:   []Section{{ID: 1, Data: bytes.Repeat([]byte("ab"), 300)}},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte("QOZG"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if _, err := CheckDims(s.Dims); err != nil {
+			t.Fatalf("Decode accepted dims %v that CheckDims rejects", s.Dims)
+		}
+	})
 }

@@ -1,0 +1,54 @@
+package pool
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunVisitsEveryIndex(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 100} {
+		var hits [57]atomic.Int32
+		Run(len(hits), workers, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestRunErrStopsOnFirstError(t *testing.T) {
+	boom := errors.New("boom")
+	var after atomic.Int32
+	err := RunErr(context.Background(), 1000, 4, func(i int) error {
+		if i == 3 {
+			return boom
+		}
+		if i > 500 {
+			after.Add(1)
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	// Most of the tail must have been skipped once the error registered.
+	if after.Load() > 900 {
+		t.Fatalf("%d late items ran after the failure", after.Load())
+	}
+}
+
+func TestRunErrHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := RunErr(ctx, 10, 2, func(i int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("work ran under a canceled context")
+	}
+}

@@ -3,8 +3,8 @@ package qoz
 import (
 	"context"
 	"errors"
-	"runtime"
-	"sync"
+
+	"qoz/internal/pool"
 )
 
 // Field is one named array in a multi-field dataset (scientific dumps such
@@ -97,107 +97,13 @@ func DecompressFields(names []string, bufs [][]byte, workers int) []FieldResult 
 // runPool runs do(0..n-1) on a bounded worker pool, collecting nothing;
 // per-item outcomes are the callback's business.
 func runPool(n, workers int, do func(i int)) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			do(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				do(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
+	pool.Run(n, workers, do)
 }
 
 // runPoolErr runs do(0..n-1) on a bounded worker pool, stopping early on
 // the first error or context cancellation and returning that error. It is
-// the engine behind the streaming slab Encoder/Decoder.
+// the engine behind the streaming slab Encoder/Decoder and is shared, via
+// qoz/internal/pool, with the brick store's concurrent region reads.
 func runPoolErr(ctx context.Context, n, workers int, do func(i int) error) error {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if err := ctx.Err(); err != nil {
-		return err
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := do(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg       sync.WaitGroup
-		mu       sync.Mutex
-		firstErr error
-	)
-	fail := func(err error) {
-		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		mu.Unlock()
-	}
-	failed := func() bool {
-		mu.Lock()
-		defer mu.Unlock()
-		return firstErr != nil
-	}
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				if failed() || ctx.Err() != nil {
-					continue // drain without working
-				}
-				if err := do(i); err != nil {
-					fail(err)
-				}
-			}
-		}()
-	}
-dispatch:
-	for i := 0; i < n; i++ {
-		select {
-		case jobs <- i:
-		case <-ctx.Done():
-			break dispatch
-		}
-	}
-	close(jobs)
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
-	return ctx.Err()
+	return pool.RunErr(ctx, n, workers, do)
 }

@@ -114,6 +114,19 @@ func (o Options) absBound(data []float32) (float64, error) {
 	return eb, nil
 }
 
+// ResolveAbs returns a copy of o whose error bound is resolved to an
+// absolute ErrorBound over data, with RelBound folded in and cleared. This
+// is the form required by writers that never see the whole field at once,
+// such as the brick store's incremental Writer.
+func (o Options) ResolveAbs(data []float32) (Options, error) {
+	eb, err := o.absBound(data)
+	if err != nil {
+		return Options{}, err
+	}
+	o.ErrorBound, o.RelBound = eb, 0
+	return o, nil
+}
+
 func (o Options) resolve(data []float32) (core.Options, float64, error) {
 	eb, err := o.absBound(data)
 	if err != nil {

@@ -1,0 +1,111 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"qoz"
+	"qoz/datagen"
+)
+
+// The benchmark corpus: a 64 MiB (256^3 float32) NYX field bricked at
+// 32^3, built once and shared by the speedup test and the benchmarks.
+var benchCorpus struct {
+	once sync.Once
+	raw  []byte
+	err  error
+}
+
+func benchStore(tb testing.TB, cacheBytes int64) *Store {
+	tb.Helper()
+	benchCorpus.once.Do(func() {
+		ds := datagen.NYX(256, 256, 256)
+		var buf bytes.Buffer
+		benchCorpus.err = Write(context.Background(), &buf, ds.Data, ds.Dims,
+			WriteOptions{Opts: qoz.Options{RelBound: 1e-3}, Brick: []int{32, 32, 32}})
+		benchCorpus.raw = buf.Bytes()
+	})
+	if benchCorpus.err != nil {
+		tb.Fatal(benchCorpus.err)
+	}
+	s, err := Open(bytes.NewReader(benchCorpus.raw), int64(len(benchCorpus.raw)), Options{CacheBytes: cacheBytes})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return s
+}
+
+// TestSmallROIBeatsFullDecode is the store's reason to exist, pinned as an
+// acceptance test: extracting a ~1% subvolume of a 64 MiB field must be at
+// least 10x faster than decoding the whole field, because only the
+// intersecting bricks run through the codec.
+func TestSmallROIBeatsFullDecode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64 MiB corpus build in -short mode")
+	}
+	ctx := context.Background()
+	s := benchStore(t, -1)                      // cache off: measure cold decodes
+	lo, hi := []int{0, 0, 0}, []int{32, 64, 64} // 0.78% of the volume, 4 bricks of 512
+
+	t0 := time.Now()
+	if _, err := s.ReadField(ctx); err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(t0)
+
+	roi := time.Duration(1 << 62)
+	for i := 0; i < 3; i++ { // best of 3 to shrug off scheduler noise
+		t0 = time.Now()
+		if _, err := s.ReadRegion(ctx, lo, hi); err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(t0); d < roi {
+			roi = d
+		}
+	}
+	if st := s.Stats(); st.BricksDecoded != int64(s.NumBricks())+3*4 {
+		t.Fatalf("decoded %d bricks; want %d (full field) + 3 runs x 4 ROI bricks", st.BricksDecoded, s.NumBricks())
+	}
+	if ratio := full.Seconds() / roi.Seconds(); ratio < 10 {
+		t.Fatalf("ROI extract only %.1fx faster than full decode (full %v, roi %v); want >= 10x", ratio, full, roi)
+	}
+}
+
+func BenchmarkReadRegionSmallROICold(b *testing.B) {
+	s := benchStore(b, -1)
+	ctx := context.Background()
+	b.SetBytes(32 * 64 * 64 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ReadRegion(ctx, []int{0, 0, 0}, []int{32, 64, 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadRegionSmallROICached(b *testing.B) {
+	s := benchStore(b, DefaultCacheBytes)
+	ctx := context.Background()
+	b.SetBytes(32 * 64 * 64 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ReadRegion(ctx, []int{0, 0, 0}, []int{32, 64, 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadFullField(b *testing.B) {
+	s := benchStore(b, -1)
+	ctx := context.Background()
+	b.SetBytes(256 * 256 * 256 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ReadField(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

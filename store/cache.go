@@ -1,0 +1,81 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// lruCache is a byte-budgeted LRU cache of decoded bricks, keyed by brick
+// index. Repeated overlapping region reads hit the cache instead of
+// re-running the codec; eviction is least-recently-used once the decoded
+// bytes exceed the budget. Safe for concurrent use.
+type lruCache struct {
+	mu     sync.Mutex
+	budget int64
+	bytes  int64
+	order  *list.List // front = most recently used; values are *cacheEntry
+	byKey  map[int]*list.Element
+}
+
+type cacheEntry struct {
+	key  int
+	data []float32
+}
+
+func newLRUCache(budget int64) *lruCache {
+	if budget <= 0 {
+		return nil
+	}
+	return &lruCache{budget: budget, order: list.New(), byKey: map[int]*list.Element{}}
+}
+
+// get returns the cached brick and marks it most recently used.
+func (c *lruCache) get(key int) ([]float32, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).data, true
+}
+
+// put inserts a decoded brick, evicting least-recently-used entries until
+// the budget holds. A brick larger than the whole budget is not cached.
+func (c *lruCache) put(key int, data []float32) {
+	if c == nil {
+		return
+	}
+	sz := int64(len(data)) * 4
+	if sz > c.budget {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.byKey[key]; ok {
+		return // a concurrent read already cached it
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
+	c.bytes += sz
+	for c.bytes > c.budget {
+		el := c.order.Back()
+		ent := el.Value.(*cacheEntry)
+		c.order.Remove(el)
+		delete(c.byKey, ent.key)
+		c.bytes -= int64(len(ent.data)) * 4
+	}
+}
+
+// cachedBytes returns the decoded bytes currently held.
+func (c *lruCache) cachedBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}

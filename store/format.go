@@ -1,0 +1,250 @@
+// Package store implements a persistent, random-access compressed field
+// store: a field is partitioned into fixed-shape N-d bricks, each brick
+// independently compressed through the qoz.Codec registry, so that any
+// region of interest can be decoded by touching only the bricks it
+// intersects — the partial-read regime a multi-terabyte simulation archive
+// needs, which the whole-field and streaming codecs cannot serve.
+//
+// File layout (integers are unsigned varints unless noted):
+//
+//	header:  magic "QOZB" | version u8 | format id u8 (container.CodecBrick) |
+//	         codec id u8 | kind u8 (0=f32) | ndims u8 |
+//	         dims... | brick shape... | absBound f64 LE
+//	bricks:  nbricks consecutive codec containers, row-major in brick-grid
+//	         order (first dimension slowest)
+//	index:   nbricks | nbricks × (payloadLen | crc32 u32 LE)
+//	footer:  index offset u64 LE | trailer magic "QOZBIDX1" (8 bytes)
+//
+// Brick payload offsets are implied by the cumulative lengths, so the
+// index stays small; the fixed-size footer makes the index — and from it
+// any brick — seekable in O(1) from the end of the file.
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"qoz/internal/container"
+)
+
+const (
+	magic         = "QOZB"
+	trailerMagic  = "QOZBIDX1"
+	formatVersion = 1
+
+	kindFloat32 = 0
+
+	footerSize = 8 + len(trailerMagic)
+
+	// maxHeaderLen bounds the variable-length header: fixed prefix plus at
+	// most 8 varint dims, 8 varint brick extents, and the bound.
+	maxHeaderLen = 9 + 2*8*binary.MaxVarintLen64 + 8
+
+	// maxBrickPoints caps one brick's decoded size (2^26 points = 256 MiB
+	// of float32), keeping the unit of random access — and the worst-case
+	// allocation a corrupt index can force — small relative to the field.
+	maxBrickPoints = 1 << 26
+
+	// maxBrickPayload caps one compressed brick's declared byte length.
+	maxBrickPayload = 1 << 31
+)
+
+// ErrCorrupt reports a malformed store file.
+var ErrCorrupt = errors.New("store: corrupt brick store")
+
+// IsStore reports whether buf begins a brick store file.
+func IsStore(buf []byte) bool {
+	return len(buf) >= len(magic)+2 && string(buf[:len(magic)]) == magic &&
+		buf[len(magic)] == formatVersion && buf[len(magic)+1] == container.CodecBrick
+}
+
+// header is the decoded store header.
+type header struct {
+	codecID uint8
+	dims    []int
+	brick   []int
+	bound   float64
+}
+
+// appendHeader serializes h.
+func appendHeader(dst []byte, h *header) []byte {
+	dst = append(dst, magic...)
+	dst = append(dst, formatVersion, container.CodecBrick, h.codecID, kindFloat32, uint8(len(h.dims)))
+	for _, d := range h.dims {
+		dst = binary.AppendUvarint(dst, uint64(d))
+	}
+	for _, b := range h.brick {
+		dst = binary.AppendUvarint(dst, uint64(b))
+	}
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(h.bound))
+}
+
+// parseHeader decodes a store header from the start of buf, returning the
+// header and its encoded length.
+func parseHeader(buf []byte) (*header, int, error) {
+	if len(buf) < len(magic)+5 || string(buf[:len(magic)]) != magic {
+		return nil, 0, ErrCorrupt
+	}
+	if buf[len(magic)] != formatVersion {
+		return nil, 0, fmt.Errorf("store: unsupported version %d", buf[len(magic)])
+	}
+	if buf[len(magic)+1] != container.CodecBrick {
+		return nil, 0, ErrCorrupt
+	}
+	h := &header{codecID: buf[len(magic)+2]}
+	if buf[len(magic)+3] != kindFloat32 {
+		return nil, 0, fmt.Errorf("store: unsupported sample kind %d", buf[len(magic)+3])
+	}
+	nd := int(buf[len(magic)+4])
+	if nd == 0 || nd > 8 {
+		return nil, 0, ErrCorrupt
+	}
+	pos := len(magic) + 5
+	readDims := func() ([]int, error) {
+		out := make([]int, nd)
+		for i := range out {
+			v, n := binary.Uvarint(buf[pos:])
+			if n <= 0 || v == 0 || v > math.MaxInt32 {
+				return nil, ErrCorrupt
+			}
+			out[i] = int(v)
+			pos += n
+		}
+		// The shared overflow-safe product guard: huge declared extents
+		// error out before anything is allocated from them.
+		if _, err := container.CheckDims(out); err != nil {
+			return nil, ErrCorrupt
+		}
+		return out, nil
+	}
+	var err error
+	if h.dims, err = readDims(); err != nil {
+		return nil, 0, err
+	}
+	if h.brick, err = readDims(); err != nil {
+		return nil, 0, err
+	}
+	if p := clippedBrickPoints(h.dims, h.brick); p > maxBrickPoints {
+		return nil, 0, fmt.Errorf("store: brick shape %v holds %d points (max %d)", h.brick, p, maxBrickPoints)
+	}
+	if len(buf[pos:]) < 8 {
+		return nil, 0, ErrCorrupt
+	}
+	h.bound = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
+	pos += 8
+	if h.bound <= 0 || math.IsNaN(h.bound) || math.IsInf(h.bound, 0) {
+		return nil, 0, ErrCorrupt
+	}
+	return h, pos, nil
+}
+
+// grid returns the brick-grid extent per dimension: ceil(dims/brick).
+func (h *header) grid() []int {
+	g := make([]int, len(h.dims))
+	for i := range g {
+		g[i] = (h.dims[i] + h.brick[i] - 1) / h.brick[i]
+	}
+	return g
+}
+
+// numBricks returns the total brick count.
+func (h *header) numBricks() int {
+	n := 1
+	for _, g := range h.grid() {
+		n *= g
+	}
+	return n
+}
+
+// brickBox returns the half-open box [lo, hi) of brick index i (row-major
+// over the grid), clipped to the field.
+func (h *header) brickBox(i int) (lo, hi []int) {
+	g := h.grid()
+	coord := make([]int, len(g))
+	for k := len(g) - 1; k >= 0; k-- {
+		coord[k] = i % g[k]
+		i /= g[k]
+	}
+	lo = make([]int, len(g))
+	hi = make([]int, len(g))
+	for k := range g {
+		lo[k] = coord[k] * h.brick[k]
+		hi[k] = min(lo[k]+h.brick[k], h.dims[k])
+	}
+	return lo, hi
+}
+
+// clippedBrickPoints returns the point count of a full (unclipped interior)
+// brick, itself clipped to the field extent.
+func clippedBrickPoints(dims, brick []int) int {
+	p := 1
+	for i := range dims {
+		p *= min(brick[i], dims[i])
+	}
+	return p
+}
+
+// boxPoints returns the point count of the box [lo, hi).
+func boxPoints(lo, hi []int) int {
+	p := 1
+	for i := range lo {
+		p *= hi[i] - lo[i]
+	}
+	return p
+}
+
+// strides returns row-major strides for dims.
+func strides(dims []int) []int {
+	s := make([]int, len(dims))
+	acc := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		s[i] = acc
+		acc *= dims[i]
+	}
+	return s
+}
+
+// copyBox copies an N-d box of the given size from src (shape srcDims,
+// box origin srcLo) into dst (shape dstDims, box origin dstLo). The last
+// dimension is contiguous in both layouts, so the copy proceeds in
+// whole-row runs.
+func copyBox(dst []float32, dstDims, dstLo []int, src []float32, srcDims, srcLo []int, size []int) {
+	n := len(size)
+	run := size[n-1]
+	if run == 0 {
+		return
+	}
+	ss := strides(srcDims)
+	ds := strides(dstDims)
+	so := 0
+	do := 0
+	for k := 0; k < n; k++ {
+		so += srcLo[k] * ss[k]
+		do += dstLo[k] * ds[k]
+	}
+	if n == 1 {
+		copy(dst[do:do+run], src[so:so+run])
+		return
+	}
+	idx := make([]int, n-1)
+	for {
+		copy(dst[do:do+run], src[so:so+run])
+		k := n - 2
+		for ; k >= 0; k-- {
+			idx[k]++
+			so += ss[k]
+			do += ds[k]
+			if idx[k] < size[k] {
+				break
+			}
+			so -= size[k] * ss[k]
+			do -= size[k] * ds[k]
+			idx[k] = 0
+		}
+		if k < 0 {
+			return
+		}
+	}
+}

@@ -1,0 +1,356 @@
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync/atomic"
+
+	"qoz"
+	"qoz/internal/container"
+	"qoz/internal/pool"
+)
+
+// DefaultCacheBytes is the default decoded-brick cache budget (256 MiB).
+const DefaultCacheBytes = 256 << 20
+
+// Options configures an opened Store.
+type Options struct {
+	// CacheBytes is the decoded-brick LRU cache budget in bytes: 0 selects
+	// DefaultCacheBytes, negative disables caching.
+	CacheBytes int64
+	// Workers bounds concurrent brick decodes per ReadRegion call (<=0
+	// selects GOMAXPROCS).
+	Workers int
+}
+
+// Stats reports a Store's decode and cache activity since Open.
+type Stats struct {
+	// BricksDecoded counts actual codec decompressions (cache misses).
+	BricksDecoded int64
+	// BricksRead counts bricks served to region reads, hits and misses.
+	BricksRead int64
+	// CacheHits counts bricks served from the decoded-brick cache.
+	CacheHits int64
+	// CachedBytes is the decoded bytes currently cached.
+	CachedBytes int64
+}
+
+// Store is a read handle on a brick store. All methods are safe for
+// concurrent use.
+type Store struct {
+	ra      io.ReaderAt
+	closer  io.Closer
+	hdr     *header
+	codec   qoz.Codec
+	offsets []int64
+	lengths []int64
+	crcs    []uint32
+	cache   *lruCache
+	workers int
+
+	decoded atomic.Int64
+	read    atomic.Int64
+	hits    atomic.Int64
+}
+
+// Open parses the manifest of a brick store held in ra (size bytes long)
+// and returns a random-access handle. Only the header and index are read;
+// bricks are fetched lazily by region reads.
+func Open(ra io.ReaderAt, size int64, opts Options) (*Store, error) {
+	if ra == nil {
+		return nil, fmt.Errorf("store: nil reader")
+	}
+	hdr, headerLen, err := readHeaderAt(ra, size)
+	if err != nil {
+		return nil, err
+	}
+	codec, err := qoz.LookupID(hdr.codecID)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+
+	// Footer → index offset → index. Every declared quantity is validated
+	// against what the header implies before anything is allocated from it.
+	var foot [footerSize]byte
+	if _, err := ra.ReadAt(foot[:], size-int64(footerSize)); err != nil {
+		return nil, ErrCorrupt
+	}
+	if string(foot[8:]) != trailerMagic {
+		return nil, ErrCorrupt
+	}
+	idxOff := binary.LittleEndian.Uint64(foot[:8])
+	if idxOff < uint64(headerLen) || idxOff > uint64(size-int64(footerSize)) {
+		return nil, ErrCorrupt
+	}
+	nb := hdr.numBricks()
+	idxLen := size - int64(footerSize) - int64(idxOff)
+	// Each index entry occupies 5..14 bytes (varint length + crc32), so a
+	// valid index is bounded both ways by the brick count; checking the
+	// lower bound BEFORE allocating per-brick slices stops a tiny hostile
+	// file whose header declares billions of bricks from forcing the
+	// allocations — the file itself must already be as large as its index.
+	if idxLen < int64(nb)*5+1 || idxLen > int64(nb)*(binary.MaxVarintLen64+4)+binary.MaxVarintLen64 {
+		return nil, ErrCorrupt
+	}
+	idx := make([]byte, idxLen)
+	if _, err := ra.ReadAt(idx, int64(idxOff)); err != nil {
+		return nil, ErrCorrupt
+	}
+	declared, n := binary.Uvarint(idx)
+	if n <= 0 || declared != uint64(nb) {
+		return nil, ErrCorrupt
+	}
+	idx = idx[n:]
+	s := &Store{
+		ra:      ra,
+		hdr:     hdr,
+		codec:   codec,
+		offsets: make([]int64, nb),
+		lengths: make([]int64, nb),
+		crcs:    make([]uint32, nb),
+		workers: opts.Workers,
+	}
+	off := int64(headerLen)
+	for i := 0; i < nb; i++ {
+		l, n := binary.Uvarint(idx)
+		if n <= 0 || l > maxBrickPayload {
+			return nil, ErrCorrupt
+		}
+		idx = idx[n:]
+		if len(idx) < 4 {
+			return nil, ErrCorrupt
+		}
+		s.offsets[i] = off
+		s.lengths[i] = int64(l)
+		s.crcs[i] = binary.LittleEndian.Uint32(idx)
+		idx = idx[4:]
+		off += int64(l)
+	}
+	if len(idx) != 0 || off != int64(idxOff) {
+		return nil, ErrCorrupt
+	}
+	cb := opts.CacheBytes
+	if cb == 0 {
+		cb = DefaultCacheBytes
+	}
+	s.cache = newLRUCache(cb) // nil (disabled) when cb < 0
+	return s, nil
+}
+
+// OpenFile opens a brick store file; Close releases the file handle.
+func OpenFile(path string, opts Options) (*Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s, err := Open(f, st.Size(), opts)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.closer = f
+	return s, nil
+}
+
+// readHeaderAt parses the store header from the front of ra.
+func readHeaderAt(ra io.ReaderAt, size int64) (*header, int, error) {
+	if size < int64(len(magic)+5+8+footerSize) {
+		return nil, 0, ErrCorrupt
+	}
+	buf := make([]byte, min(size, maxHeaderLen))
+	if _, err := ra.ReadAt(buf, 0); err != nil {
+		return nil, 0, ErrCorrupt
+	}
+	return parseHeader(buf)
+}
+
+// Close releases the underlying file when the Store was opened with
+// OpenFile; otherwise it is a no-op.
+func (s *Store) Close() error {
+	if s.closer != nil {
+		return s.closer.Close()
+	}
+	return nil
+}
+
+// Dims returns the stored field's dimensions.
+func (s *Store) Dims() []int { return append([]int(nil), s.hdr.dims...) }
+
+// BrickShape returns the brick partition shape.
+func (s *Store) BrickShape() []int { return append([]int(nil), s.hdr.brick...) }
+
+// NumBricks returns the total brick count.
+func (s *Store) NumBricks() int { return s.hdr.numBricks() }
+
+// ErrorBound returns the absolute error bound every brick was compressed
+// under; reads are guaranteed within it point-wise.
+func (s *Store) ErrorBound() float64 { return s.hdr.bound }
+
+// Codec returns the per-brick codec.
+func (s *Store) Codec() qoz.Codec { return s.codec }
+
+// Stats returns decode and cache counters accumulated since Open.
+func (s *Store) Stats() Stats {
+	return Stats{
+		BricksDecoded: s.decoded.Load(),
+		BricksRead:    s.read.Load(),
+		CacheHits:     s.hits.Load(),
+		CachedBytes:   s.cache.cachedBytes(),
+	}
+}
+
+// ReadField decodes the whole field (every brick).
+func (s *Store) ReadField(ctx context.Context) ([]float32, error) {
+	lo := make([]int, len(s.hdr.dims))
+	return s.ReadRegion(ctx, lo, s.Dims())
+}
+
+// ReadRegion decodes the half-open box [lo, hi) of the field, touching
+// only the bricks the box intersects. Bricks are decoded concurrently on
+// a bounded worker pool, observe ctx, and pass through the decoded-brick
+// LRU cache; the result is row-major with shape hi-lo.
+func (s *Store) ReadRegion(ctx context.Context, lo, hi []int) ([]float32, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dims := s.hdr.dims
+	if len(lo) != len(dims) || len(hi) != len(dims) {
+		return nil, fmt.Errorf("store: region rank %d/%d, field rank %d", len(lo), len(hi), len(dims))
+	}
+	for i := range dims {
+		if lo[i] < 0 || hi[i] > dims[i] || lo[i] >= hi[i] {
+			return nil, fmt.Errorf("store: region [%v,%v) outside field %v", lo, hi, dims)
+		}
+	}
+	outDims := make([]int, len(dims))
+	for i := range dims {
+		outDims[i] = hi[i] - lo[i]
+	}
+	out := make([]float32, boxPoints(lo, hi))
+
+	bricks := s.intersectingBricks(lo, hi)
+	err := pool.RunErr(ctx, len(bricks), s.workers, func(k int) error {
+		bi := bricks[k]
+		blo, bhi := s.hdr.brickBox(bi)
+		data, err := s.brick(ctx, bi)
+		if err != nil {
+			return err
+		}
+		// Intersection of the brick box and the requested box, copied from
+		// brick-local coordinates into region-local coordinates. Workers
+		// write disjoint elements of out, so no synchronization is needed.
+		ilo := make([]int, len(dims))
+		size := make([]int, len(dims))
+		srcLo := make([]int, len(dims))
+		dstLo := make([]int, len(dims))
+		bdims := make([]int, len(dims))
+		for i := range dims {
+			ilo[i] = max(lo[i], blo[i])
+			size[i] = min(hi[i], bhi[i]) - ilo[i]
+			srcLo[i] = ilo[i] - blo[i]
+			dstLo[i] = ilo[i] - lo[i]
+			bdims[i] = bhi[i] - blo[i]
+		}
+		copyBox(out, outDims, dstLo, data, bdims, srcLo, size)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// intersectingBricks returns the indices of the bricks the box [lo, hi)
+// intersects, in brick order.
+func (s *Store) intersectingBricks(lo, hi []int) []int {
+	g := s.hdr.grid()
+	cLo := make([]int, len(g))
+	cHi := make([]int, len(g))
+	n := 1
+	for i := range g {
+		cLo[i] = lo[i] / s.hdr.brick[i]
+		cHi[i] = (hi[i]-1)/s.hdr.brick[i] + 1
+		n *= cHi[i] - cLo[i]
+	}
+	out := make([]int, 0, n)
+	coord := append([]int(nil), cLo...)
+	for {
+		idx := 0
+		for i := range g {
+			idx = idx*g[i] + coord[i]
+		}
+		out = append(out, idx)
+		k := len(g) - 1
+		for ; k >= 0; k-- {
+			coord[k]++
+			if coord[k] < cHi[k] {
+				break
+			}
+			coord[k] = cLo[k]
+		}
+		if k < 0 {
+			return out
+		}
+	}
+}
+
+// brick returns brick i decoded, via the cache when enabled.
+func (s *Store) brick(ctx context.Context, i int) ([]float32, error) {
+	s.read.Add(1)
+	if data, ok := s.cache.get(i); ok {
+		s.hits.Add(1)
+		return data, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	payload := make([]byte, s.lengths[i])
+	if _, err := s.ra.ReadAt(payload, s.offsets[i]); err != nil {
+		return nil, fmt.Errorf("store: brick %d: %w", i, err)
+	}
+	if crc32.ChecksumIEEE(payload) != s.crcs[i] {
+		return nil, fmt.Errorf("store: brick %d: checksum mismatch: %w", i, ErrCorrupt)
+	}
+	blo, bhi := s.hdr.brickBox(i)
+	want := make([]int, len(blo))
+	for k := range blo {
+		want[k] = bhi[k] - blo[k]
+	}
+	// Validate the payload's declared shape against the manifest before the
+	// codec allocates anything from it.
+	id, pdims, err := container.PeekHeader(payload)
+	if err != nil || id != s.hdr.codecID || !equalInts(pdims, want) {
+		return nil, fmt.Errorf("store: brick %d: payload shape mismatch: %w", i, ErrCorrupt)
+	}
+	data, dims, err := s.codec.Decompress(ctx, payload)
+	if err != nil {
+		return nil, fmt.Errorf("store: brick %d: %w", i, err)
+	}
+	if !equalInts(dims, want) || len(data) != boxPoints(blo, bhi) {
+		return nil, fmt.Errorf("store: brick %d: decoded shape mismatch: %w", i, ErrCorrupt)
+	}
+	s.decoded.Add(1)
+	s.cache.put(i, data)
+	return data, nil
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

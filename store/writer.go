@@ -1,0 +1,353 @@
+package store
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+
+	"qoz"
+	"qoz/internal/container"
+	"qoz/internal/pool"
+)
+
+// WriteOptions configures store construction.
+type WriteOptions struct {
+	// Codec compresses the bricks; nil selects the registry default (or,
+	// in WriteFrom, the source stream's codec).
+	Codec qoz.Codec
+	// Opts carries the error bound and tuning knobs. The incremental
+	// Writer requires an absolute ErrorBound (it never sees the whole
+	// field); Write resolves a RelBound over the in-memory field first.
+	Opts qoz.Options
+	// Brick is the brick shape, one extent per field dimension; nil
+	// selects DefaultBrick(dims).
+	Brick []int
+	// Workers bounds concurrent brick compressions (<=0 selects
+	// GOMAXPROCS).
+	Workers int
+}
+
+// DefaultBrick picks a brick shape for a field: the largest power-of-two
+// cube (clipped per-dimension to the field) holding at most 2^18 points,
+// i.e. 1 MiB of float32 per brick — small enough that a region of interest
+// touches little excess data, large enough that per-brick compression
+// overhead stays negligible.
+func DefaultBrick(dims []int) []int {
+	const targetPoints = 1 << 18
+	n := len(dims)
+	edge := 1
+	for {
+		next := edge * 2
+		p := 1
+		for i := 0; i < n; i++ {
+			p *= next
+			if p > targetPoints {
+				break
+			}
+		}
+		if p > targetPoints {
+			break
+		}
+		edge = next
+	}
+	out := make([]int, n)
+	for i, d := range dims {
+		out[i] = min(edge, d)
+	}
+	return out
+}
+
+// Writer builds a brick store incrementally: whole rows of the slowest
+// dimension are appended in order, and each time a full band of brick[0]
+// rows accumulates it is cut into bricks, compressed concurrently, and
+// flushed, so peak memory is one band regardless of field size. Close
+// writes the index and footer.
+type Writer struct {
+	w       io.Writer
+	hdr     *header
+	codec   qoz.Codec
+	opts    qoz.Options
+	workers int
+
+	rowPoints int
+	rowsSeen  int
+	pending   []float32
+	lengths   []int64
+	crcs      []uint32
+	closed    bool
+}
+
+// NewWriter starts a brick store over a field of the given dims. The
+// error bound in wo.Opts must be absolute; use qoz.Options.ResolveAbs (or
+// the Write convenience) to fold a relative bound first.
+func NewWriter(w io.Writer, dims []int, wo WriteOptions) (*Writer, error) {
+	if w == nil {
+		return nil, errors.New("store: nil writer")
+	}
+	if _, err := container.CheckDims(dims); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	if wo.Opts.RelBound > 0 {
+		return nil, errors.New("store: Writer needs an absolute ErrorBound; resolve RelBound with Options.ResolveAbs")
+	}
+	// Mirror parseHeader's bound validation: a non-finite bound would write
+	// a file every subsequent Open rejects as corrupt.
+	if eb := wo.Opts.ErrorBound; eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
+		return nil, errors.New("store: a positive, finite ErrorBound is required")
+	}
+	codec := wo.Codec
+	if codec == nil {
+		c, err := qoz.Lookup(qoz.DefaultCodec)
+		if err != nil {
+			return nil, err
+		}
+		codec = c
+	}
+	brick := append([]int(nil), wo.Brick...) // clipping below must not mutate the caller's slice
+	if wo.Brick == nil {
+		brick = DefaultBrick(dims)
+	}
+	if len(brick) != len(dims) {
+		return nil, fmt.Errorf("store: brick rank %d, field rank %d", len(brick), len(dims))
+	}
+	for i, b := range brick {
+		if b <= 0 {
+			return nil, fmt.Errorf("store: invalid brick extent %d", b)
+		}
+		// Clip to the field so the header never declares excess extents.
+		if b > dims[i] {
+			brick[i] = dims[i]
+		}
+	}
+	if p := clippedBrickPoints(dims, brick); p > maxBrickPoints {
+		return nil, fmt.Errorf("store: brick shape %v holds %d points (max %d)", brick, p, maxBrickPoints)
+	}
+	hdr := &header{
+		codecID: codec.ID(),
+		dims:    append([]int(nil), dims...),
+		brick:   append([]int(nil), brick...),
+		bound:   wo.Opts.ErrorBound,
+	}
+	if _, err := w.Write(appendHeader(nil, hdr)); err != nil {
+		return nil, err
+	}
+	rowPoints := 1
+	for _, d := range dims[1:] {
+		rowPoints *= d
+	}
+	return &Writer{
+		w:         w,
+		hdr:       hdr,
+		codec:     codec,
+		opts:      wo.Opts,
+		workers:   wo.Workers,
+		rowPoints: rowPoints,
+		lengths:   make([]int64, 0, hdr.numBricks()),
+		crcs:      make([]uint32, 0, hdr.numBricks()),
+	}, nil
+}
+
+// Append adds whole rows (slices along the slowest dimension) to the
+// store, flushing full brick bands as they complete. Whole bands are cut
+// straight from the caller's slice; only a sub-band tail is ever buffered,
+// so the writer's peak state stays at one band regardless of how much is
+// appended at once.
+func (bw *Writer) Append(ctx context.Context, rows []float32) error {
+	if bw.closed {
+		return errors.New("store: writer closed")
+	}
+	if len(rows)%bw.rowPoints != 0 {
+		return fmt.Errorf("store: append of %d points is not whole rows of %d", len(rows), bw.rowPoints)
+	}
+	nr := len(rows) / bw.rowPoints
+	if bw.rowsSeen+nr > bw.hdr.dims[0] {
+		return fmt.Errorf("store: append past field end (%d+%d of %d rows)", bw.rowsSeen, nr, bw.hdr.dims[0])
+	}
+	bw.rowsSeen += nr
+	// emittable returns how many rows of a `have`-row prefix form the next
+	// band: a full band, or the final clipped one once the field is done.
+	emittable := func(have int) int {
+		switch {
+		case have >= bw.hdr.brick[0]:
+			return bw.hdr.brick[0]
+		case bw.rowsSeen == bw.hdr.dims[0] && have > 0:
+			return have
+		}
+		return 0
+	}
+	bandPts := bw.hdr.brick[0] * bw.rowPoints
+	for {
+		if len(bw.pending) > 0 {
+			// Top the buffered tail up to one band, flush it, and return to
+			// the zero-copy path; pending never grows past a band.
+			take := min(bandPts-len(bw.pending), len(rows))
+			bw.pending = append(bw.pending, rows[:take]...)
+			rows = rows[take:]
+			n := emittable(len(bw.pending) / bw.rowPoints)
+			if n == 0 {
+				return nil // still short of a band, field unfinished
+			}
+			if err := bw.flushBand(ctx, bw.pending[:n*bw.rowPoints], n); err != nil {
+				return err
+			}
+			bw.pending = bw.pending[:copy(bw.pending, bw.pending[n*bw.rowPoints:])]
+			continue
+		}
+		n := emittable(len(rows) / bw.rowPoints)
+		if n == 0 {
+			// Sub-band tail: buffer it until more rows arrive.
+			bw.pending = append(bw.pending, rows...)
+			return nil
+		}
+		if err := bw.flushBand(ctx, rows[:n*bw.rowPoints], n); err != nil {
+			return err
+		}
+		rows = rows[n*bw.rowPoints:]
+	}
+}
+
+// flushBand compresses and writes one band of `rows` rows held in band.
+func (bw *Writer) flushBand(ctx context.Context, band []float32, rows int) error {
+	bandDims := append([]int{rows}, bw.hdr.dims[1:]...)
+
+	// Bricks of this band: the full cross-product of the grid over
+	// dims[1:], in row-major order — the global brick order visits all of
+	// band k before band k+1, so appending per band preserves it.
+	g := bw.hdr.grid()
+	nb := 1
+	for _, x := range g[1:] {
+		nb *= x
+	}
+	payloads := make([][]byte, nb)
+	err := pool.RunErr(ctx, nb, bw.workers, func(k int) error {
+		// Decompose k over g[1:] into the brick's box within the band.
+		coord := make([]int, len(g))
+		rem := k
+		for i := len(g) - 1; i >= 1; i-- {
+			coord[i] = rem % g[i]
+			rem /= g[i]
+		}
+		srcLo := make([]int, len(bandDims))
+		size := make([]int, len(bandDims))
+		size[0] = rows
+		for i := 1; i < len(bandDims); i++ {
+			srcLo[i] = coord[i] * bw.hdr.brick[i]
+			size[i] = min(bw.hdr.brick[i], bw.hdr.dims[i]-srcLo[i])
+		}
+		buf := make([]float32, boxPoints(make([]int, len(size)), size))
+		copyBox(buf, size, make([]int, len(size)), band, bandDims, srcLo, size)
+		p, err := bw.codec.Compress(ctx, buf, size, bw.opts)
+		if err != nil {
+			return fmt.Errorf("store: brick %d: %w", len(bw.lengths)+k, err)
+		}
+		payloads[k] = p
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, p := range payloads {
+		if _, err := bw.w.Write(p); err != nil {
+			return err
+		}
+		bw.lengths = append(bw.lengths, int64(len(p)))
+		bw.crcs = append(bw.crcs, crc32.ChecksumIEEE(p))
+	}
+	return nil
+}
+
+// Close verifies the field is complete and writes the index and footer.
+func (bw *Writer) Close() error {
+	if bw.closed {
+		return errors.New("store: writer closed")
+	}
+	bw.closed = true
+	if bw.rowsSeen != bw.hdr.dims[0] || len(bw.pending) != 0 {
+		return fmt.Errorf("store: field incomplete: %d of %d rows appended", bw.rowsSeen, bw.hdr.dims[0])
+	}
+	if len(bw.lengths) != bw.hdr.numBricks() {
+		return fmt.Errorf("store: wrote %d bricks, expected %d", len(bw.lengths), bw.hdr.numBricks())
+	}
+	idx := binary.AppendUvarint(nil, uint64(len(bw.lengths)))
+	var off int64
+	for i, l := range bw.lengths {
+		idx = binary.AppendUvarint(idx, uint64(l))
+		idx = binary.LittleEndian.AppendUint32(idx, bw.crcs[i])
+		off += l
+	}
+	if _, err := bw.w.Write(idx); err != nil {
+		return err
+	}
+	foot := binary.LittleEndian.AppendUint64(nil, uint64(int64(len(appendHeader(nil, bw.hdr)))+off))
+	foot = append(foot, trailerMagic...)
+	_, err := bw.w.Write(foot)
+	return err
+}
+
+// Write builds a brick store from an in-memory field in one call,
+// resolving a relative bound over the whole field first.
+func Write(ctx context.Context, w io.Writer, data []float32, dims []int, wo WriteOptions) error {
+	// Validate shape before NewWriter emits the header, so a rejected call
+	// never leaves partial bytes in the caller's writer.
+	if p, err := container.CheckDims(dims); err != nil {
+		return fmt.Errorf("store: %w", err)
+	} else if p != len(data) {
+		return fmt.Errorf("store: dims %v describe %d points, data has %d", dims, p, len(data))
+	}
+	opts, err := wo.Opts.ResolveAbs(data)
+	if err != nil {
+		return err
+	}
+	wo.Opts = opts
+	bw, err := NewWriter(w, dims, wo)
+	if err != nil {
+		return err
+	}
+	if err := bw.Append(ctx, data); err != nil {
+		return err
+	}
+	return bw.Close()
+}
+
+// WriteFrom re-bricks a slab stream into a store without materializing the
+// whole field: slabs are decoded one at a time and appended. The stream's
+// absolute bound is carried over, and its codec is used when wo.Codec is
+// nil. Note that re-bricking re-compresses the stream's reconstruction
+// under the same bound, so values in the store lie within at most twice
+// the original bound of the original field.
+func WriteFrom(ctx context.Context, w io.Writer, dec *qoz.Decoder, wo WriteOptions) error {
+	hdr, err := dec.Header()
+	if err != nil {
+		return err
+	}
+	if hdr.Float64 {
+		return errors.New("store: float64 streams are not supported yet")
+	}
+	wo.Opts.ErrorBound, wo.Opts.RelBound = hdr.ErrorBound, 0
+	if wo.Codec == nil && hdr.CodecName != "" {
+		if c, err := qoz.LookupID(hdr.CodecID); err == nil {
+			wo.Codec = c
+		}
+	}
+	bw, err := NewWriter(w, hdr.Dims, wo)
+	if err != nil {
+		return err
+	}
+	for {
+		data, _, err := dec.NextSlab(ctx)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := bw.Append(ctx, data); err != nil {
+			return err
+		}
+	}
+	return bw.Close()
+}

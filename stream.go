@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"qoz/internal/container"
 )
 
 const (
@@ -38,9 +40,11 @@ const (
 	// i.e. 16 MiB of float32 payload per slab.
 	DefaultSlabPoints = 1 << 22
 
-	maxStreamDims   = 8
-	maxStreamPoints = 1 << 34 // decode-side sanity cap on declared field size
-	maxSlabPayload  = 1 << 31 // decode-side sanity cap on one slab's bytes
+	// maxStreamDims matches the container format's dimension limit; the
+	// point-count cap is container.MaxPoints, enforced through
+	// container.CheckDims so every parser accepts the same header space.
+	maxStreamDims  = 8
+	maxSlabPayload = 1 << 31 // decode-side sanity cap on one slab's bytes
 )
 
 // ErrCorruptStream reports a malformed slab stream.
@@ -171,20 +175,12 @@ func (e *Encoder) encode(ctx context.Context, dims []int, kind uint8, eb float64
 	return nil
 }
 
-// checkDims validates a dimension vector against the sample count.
+// checkDims validates a dimension vector against the sample count,
+// delegating range and overflow rules to the shared container validator.
 func checkDims(dims []int, n int) error {
-	if len(dims) == 0 || len(dims) > maxStreamDims {
-		return fmt.Errorf("qoz: need 1..%d dimensions, got %d", maxStreamDims, len(dims))
-	}
-	p := 1
-	for _, d := range dims {
-		if d <= 0 || d > math.MaxInt32 {
-			return fmt.Errorf("qoz: invalid dimension %d", d)
-		}
-		if p > maxStreamPoints/d {
-			return fmt.Errorf("qoz: field of dims %v too large", dims)
-		}
-		p *= d
+	p, err := container.CheckDims(dims)
+	if err != nil {
+		return fmt.Errorf("qoz: %w", err)
 	}
 	if p != n {
 		return fmt.Errorf("qoz: dims %v describe %d points, data has %d", dims, p, n)
@@ -241,6 +237,7 @@ type Decoder struct {
 	hdr    *StreamHeader
 	hdrErr error
 	used   bool
+	next   int // slabs consumed by NextSlab
 }
 
 // NewDecoder returns a Decoder reading from r.
@@ -277,14 +274,15 @@ func readStreamHeader(br *bufio.Reader) (*StreamHeader, error) {
 		return nil, ErrCorruptStream
 	}
 	h.Dims = make([]int, nd)
-	p := 1
 	for i := range h.Dims {
 		v, err := binary.ReadUvarint(br)
-		if err != nil || v == 0 || v > math.MaxInt32 || p > maxStreamPoints/int(v) {
+		if err != nil || v == 0 || v > math.MaxInt32 {
 			return nil, ErrCorruptStream
 		}
 		h.Dims[i] = int(v)
-		p *= int(v)
+	}
+	if _, err := container.CheckDims(h.Dims); err != nil {
+		return nil, ErrCorruptStream
 	}
 	var ebb [8]byte
 	if _, err := io.ReadFull(br, ebb[:]); err != nil {
@@ -406,6 +404,58 @@ func (d *Decoder) DecodeFloat64(ctx context.Context) ([]float64, []int, error) {
 		out = append(out, s...)
 	}
 	return out, hdr.Dims, nil
+}
+
+// NextSlab decodes and returns the next slab of a float32 stream in slab
+// order, along with the slab's dimensions; its rows start at row
+// index*SlabRows of the whole field. It returns io.EOF after the last
+// slab. NextSlab lets consumers such as the brick store re-partition a
+// huge stream without ever materializing the whole field; it cannot be
+// mixed with Decode/DecodeFloat64 on the same Decoder.
+func (d *Decoder) NextSlab(ctx context.Context) ([]float32, []int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hdr, err := d.Header()
+	if err != nil {
+		return nil, nil, err
+	}
+	if hdr.Float64 {
+		return nil, nil, errors.New("qoz: float64 stream; NextSlab reads float32 streams")
+	}
+	if d.used && d.next == 0 {
+		return nil, nil, errors.New("qoz: stream already decoded")
+	}
+	d.used = true
+	if d.next >= hdr.NumSlabs {
+		return nil, nil, io.EOF
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	n, err := binary.ReadUvarint(d.br)
+	if err != nil || n > maxSlabPayload {
+		return nil, nil, ErrCorruptStream
+	}
+	p, err := readN(d.br, int(n))
+	if err != nil {
+		return nil, nil, ErrCorruptStream
+	}
+	c, err := LookupID(hdr.CodecID)
+	if err != nil {
+		return nil, nil, err
+	}
+	i := d.next
+	lo, hi, sdims := slabRange(hdr, i)
+	data, dims, err := c.Decompress(ctx, p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("qoz: slab %d: %w", i, err)
+	}
+	if !equalDims(dims, sdims) || len(data) != hi-lo {
+		return nil, nil, ErrCorruptStream
+	}
+	d.next++
+	return data, sdims, nil
 }
 
 // readAll consumes the header and every slab payload from the reader.
