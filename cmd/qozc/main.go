@@ -13,7 +13,7 @@
 //	qozc put        -in data.qoz [-brick ...] [-out data.qozb]
 //	qozc get        -in data.qozb [-out data.f32]
 //	qozc extract    -in data.qozb -box 0:32,128:256,0:64 [-out roi.f32]
-//	qozc info       -in data.qoz|data.qozb
+//	qozc info       -in data.qoz|data.qozb [-json]
 //	qozc codecs
 //
 // Input data is little-endian IEEE-754, row-major with the last listed
@@ -33,6 +33,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -43,6 +44,7 @@ import (
 	"strings"
 
 	"qoz"
+	"qoz/internal/container"
 	"qoz/metrics"
 	"qoz/store"
 )
@@ -514,9 +516,13 @@ func storeInfo(path string) error {
 func infoCmd(args []string) error {
 	fs := flag.NewFlagSet("info", flag.ExitOnError)
 	in := fs.String("in", "", "input .qoz file (required)")
+	asJSON := fs.Bool("json", false, "emit machine-readable JSON from headers alone, without decoding any payload")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("info requires -in")
+	}
+	if *asJSON {
+		return infoJSON(*in, os.Stdout)
 	}
 	// A brick store is described from its manifest alone; sniff the magic
 	// before loading what may be a huge archive into memory.
@@ -573,6 +579,117 @@ func infoCmd(args []string) error {
 		dims, len(data), len(buf),
 		float64(len(data)*elemBytes)/float64(len(buf)), vr)
 	return nil
+}
+
+// infoReport is the -json layout of info: everything a serving layer
+// needs to mount or describe an archive, read from headers alone.
+type infoReport struct {
+	Format          string  `json:"format"` // store, stream, envelope, or container
+	Codec           string  `json:"codec,omitempty"`
+	Float64         bool    `json:"float64"`
+	Dims            []int   `json:"dims,omitempty"`
+	Points          int     `json:"points,omitempty"`
+	Brick           []int   `json:"brick,omitempty"`
+	Bricks          int     `json:"bricks,omitempty"`
+	Slabs           int     `json:"slabs,omitempty"`
+	SlabRows        int     `json:"slabRows,omitempty"`
+	ErrorBound      float64 `json:"errorBound,omitempty"`
+	CompressedBytes int64   `json:"compressedBytes"`
+}
+
+// infoJSON describes an archive from its headers only — unlike the human
+// info report it never decodes a payload, so it is safe to run against
+// multi-terabyte archives (and is what a deployment script feeds qozd).
+func infoJSON(path string, w io.Writer) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	rep := infoReport{CompressedBytes: st.Size()}
+
+	var head [8]byte
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	n, _ := io.ReadFull(f, head[:])
+	f.Close()
+	switch {
+	case store.IsStore(head[:n]):
+		s, err := store.OpenFile(path, store.Options{})
+		if err != nil {
+			return err
+		}
+		defer s.Close()
+		rep.Format = "store"
+		rep.Codec = s.Codec().Name()
+		rep.Dims = s.Dims()
+		rep.Brick = s.BrickShape()
+		rep.Bricks = s.NumBricks()
+		rep.ErrorBound = s.ErrorBound()
+		rep.Points = 1
+		for _, d := range rep.Dims {
+			rep.Points *= d
+		}
+	case qoz.IsStream(head[:n]):
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		hdr, err := qoz.NewDecoder(f).Header()
+		if err != nil {
+			return err
+		}
+		rep.Format = "stream"
+		rep.Codec = hdr.CodecName
+		if rep.Codec == "" {
+			rep.Codec = fmt.Sprintf("unknown(id %d)", hdr.CodecID)
+		}
+		rep.Float64 = hdr.Float64
+		rep.Dims = hdr.Dims
+		rep.Points = hdr.Points()
+		rep.Slabs = hdr.NumSlabs
+		rep.SlabRows = hdr.SlabRows
+		rep.ErrorBound = hdr.ErrorBound
+	default:
+		// Both checks below inspect only the archive's front; a bounded
+		// prefix keeps the promise that -json never pulls a whole
+		// multi-terabyte file through memory.
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, min(st.Size(), 4096))
+		_, err = io.ReadFull(f, buf)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if qoz.IsFloat64Stream(buf) {
+			rep.Format = "envelope"
+			rep.Float64 = true
+		} else {
+			id, dims, err := container.PeekHeader(buf)
+			if err != nil {
+				return fmt.Errorf("%s: unrecognized format: %w", path, err)
+			}
+			rep.Format = "container"
+			rep.Dims = dims
+			rep.Points = 1
+			for _, d := range dims {
+				rep.Points *= d
+			}
+			if c, err := qoz.LookupID(id); err == nil {
+				rep.Codec = c.Name()
+			} else {
+				rep.Codec = fmt.Sprintf("unknown(id %d)", id)
+			}
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 func parseDims(s string) ([]int, error) {

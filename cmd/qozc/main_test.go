@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/binary"
+	"encoding/json"
 	"math"
 	"os"
 	"path/filepath"
@@ -244,4 +246,45 @@ func rangeOf(a []float32) float64 {
 		}
 	}
 	return float64(hi - lo)
+}
+
+// TestInfoJSON verifies the -json report is produced from headers alone
+// and carries the fields a serving layer needs.
+func TestInfoJSON(t *testing.T) {
+	dir := t.TempDir()
+	ds := datagen.NYX(16, 16, 16)
+	in := filepath.Join(dir, "data.f32")
+	writeF32(t, in, ds.Data)
+
+	qozFile := filepath.Join(dir, "data.qoz")
+	if err := compressCmd([]string{"-in", in, "-dims", "16,16,16", "-rel", "1e-3", "-out", qozFile}); err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	storeFile := filepath.Join(dir, "data.qozb")
+	if err := putCmd([]string{"-in", in, "-dims", "16,16,16", "-rel", "1e-3", "-brick", "8,8,8", "-out", storeFile}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	report := func(path string) infoReport {
+		t.Helper()
+		var buf bytes.Buffer
+		if err := infoJSON(path, &buf); err != nil {
+			t.Fatalf("infoJSON(%s): %v", path, err)
+		}
+		var rep infoReport
+		if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+			t.Fatalf("infoJSON(%s) emitted unparseable JSON: %v", path, err)
+		}
+		return rep
+	}
+
+	if rep := report(qozFile); rep.Format != "stream" || rep.Points != 4096 ||
+		rep.Codec == "" || rep.Slabs == 0 || rep.ErrorBound <= 0 {
+		t.Fatalf("stream report incomplete: %+v", rep)
+	}
+	rep := report(storeFile)
+	if rep.Format != "store" || rep.Bricks != 8 || len(rep.Brick) != 3 ||
+		rep.Codec == "" || rep.ErrorBound <= 0 || rep.CompressedBytes == 0 {
+		t.Fatalf("store report incomplete: %+v", rep)
+	}
 }

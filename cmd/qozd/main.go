@@ -1,0 +1,487 @@
+// Command qozd serves region-of-interest reads out of brick stores over
+// HTTP: the serving layer that turns the qoz/store library into a
+// deployable query service. It mounts one or more store files or URLs
+// (an URL mount proxies range reads from an object store, so qozd itself
+// never holds the archive) and exposes:
+//
+//	GET /v1/fields                          list the mounted fields
+//	GET /v1/fields/{name}                   manifest: dims, brick, bound, codec, stats
+//	GET /v1/fields/{name}/region?lo=a,b,c&hi=d,e,f[&format=raw|json]
+//	                                        decode the half-open box [lo, hi)
+//	GET /metrics                            Prometheus-style counters
+//
+// Region responses default to raw little-endian float32 (row-major, shape
+// hi-lo, dims echoed in X-Qoz-Dims); format=json wraps the same values in
+// JSON. All mounted stores share one decoded-brick LRU cache, so the
+// process's decoded memory is bounded by -cache-bytes no matter how many
+// fields are mounted or how requests interleave. Each request observes
+// its client's disconnect through the request context, and -max-inflight
+// bounds concurrent region decodes (excess requests get 503).
+//
+// Usage:
+//
+//	qozd -listen :8080 -mount temp=/data/temp.qozb \
+//	     -mount vx=https://bucket.example.com/vx.qozb [-cache-bytes N] \
+//	     [-workers N] [-max-inflight N] [-max-points N] [path.qozb ...]
+//
+// Bare positional paths are mounted under their base name without the
+// .qozb extension.
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"qoz/store"
+)
+
+func main() {
+	var mounts mountFlags
+	fs := flag.NewFlagSet("qozd", flag.ExitOnError)
+	fs.Var(&mounts, "mount", "field to serve, as name=path-or-url (repeatable)")
+	listen := fs.String("listen", ":8080", "address to serve on")
+	cacheBytes := fs.Int64("cache-bytes", store.DefaultCacheBytes, "shared decoded-brick cache budget in bytes across all mounts (<=0 disables)")
+	workers := fs.Int("workers", 0, "concurrent brick decodes per request (0 = all cores)")
+	maxInflight := fs.Int("max-inflight", 64, "concurrent region requests before 503 (<=0 = unlimited)")
+	maxPoints := fs.Int("max-points", 1<<26, "largest region served, in points (<=0 = unlimited)")
+	readAhead := fs.Int64("remote-read-ahead", 1<<20, "range-read coalescing window for URL mounts in bytes (<0 disables)")
+	mountTimeout := fs.Duration("mount-timeout", 30*time.Second, "deadline for opening each mount (0 = none); a hung origin must not wedge startup")
+	fs.Parse(os.Args[1:])
+	for _, p := range fs.Args() {
+		name := strings.TrimSuffix(filepath.Base(p), ".qozb")
+		mounts = append(mounts, mount{name: name, target: p})
+	}
+	if len(mounts) == 0 {
+		fmt.Fprintln(os.Stderr, "qozd: nothing to serve; pass -mount name=path-or-url or store paths")
+		os.Exit(2)
+	}
+
+	srv, err := newServer(mounts, serverOptions{
+		CacheBytes:   *cacheBytes,
+		Workers:      *workers,
+		MaxInflight:  *maxInflight,
+		MaxPoints:    *maxPoints,
+		ReadAhead:    *readAhead,
+		MountTimeout: *mountTimeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qozd: %v\n", err)
+		os.Exit(1)
+	}
+	defer srv.Close()
+	for _, name := range srv.fieldNames() {
+		f := srv.fields[name]
+		log.Printf("mounted %s: %s (dims %v, %d bricks)", name, f.target, f.store.Dims(), f.store.NumBricks())
+	}
+	log.Printf("qozd listening on %s (%d fields, %d MiB shared cache)",
+		*listen, len(srv.fields), *cacheBytes>>20)
+	hs := &http.Server{
+		Addr:    *listen,
+		Handler: srv,
+		// Stalled clients must not hold connections — or -max-inflight
+		// slots — forever: reap trickled headers quickly, idle keep-alives
+		// eventually, and bound even the largest region download.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		WriteTimeout:      10 * time.Minute,
+	}
+	log.Fatal(hs.ListenAndServe())
+}
+
+// mount is one name=target pair.
+type mount struct {
+	name   string
+	target string
+}
+
+// mountFlags collects repeated -mount flags.
+type mountFlags []mount
+
+func (m *mountFlags) String() string {
+	parts := make([]string, len(*m))
+	for i, mt := range *m {
+		parts[i] = mt.name + "=" + mt.target
+	}
+	return strings.Join(parts, ",")
+}
+
+func (m *mountFlags) Set(v string) error {
+	name, target, ok := strings.Cut(v, "=")
+	if !ok || name == "" || target == "" {
+		return fmt.Errorf("want name=path-or-url, got %q", v)
+	}
+	*m = append(*m, mount{name: name, target: target})
+	return nil
+}
+
+// serverOptions configures a server.
+type serverOptions struct {
+	CacheBytes   int64
+	Workers      int
+	MaxInflight  int
+	MaxPoints    int
+	ReadAhead    int64         // remote coalescing window; 0 keeps the store default
+	MountTimeout time.Duration // per-mount open deadline; 0 = none
+}
+
+// field is one mounted store.
+type field struct {
+	name   string
+	target string
+	store  *store.Store
+}
+
+// server is the qozd HTTP handler: the mounted stores, the shared cache
+// behind them, an admission semaphore, and request counters.
+type server struct {
+	mux      *http.ServeMux
+	fields   map[string]*field
+	cache    *store.Cache
+	opts     serverOptions
+	inflight chan struct{} // nil when unlimited
+
+	requests  atomic.Int64
+	rejected  atomic.Int64
+	errors    atomic.Int64
+	regionPts atomic.Int64
+}
+
+// newServer opens every mount (files via OpenFile, http(s) URLs via
+// OpenURL) over one shared decoded-brick cache and builds the route table.
+func newServer(mounts []mount, opts serverOptions) (*server, error) {
+	s := &server{
+		fields: make(map[string]*field, len(mounts)),
+		cache:  store.NewCache(opts.CacheBytes),
+		opts:   opts,
+	}
+	if opts.MaxInflight > 0 {
+		s.inflight = make(chan struct{}, opts.MaxInflight)
+	}
+	// NewCache(<=0) is a disabled cache, so one Options literal covers the
+	// -cache-bytes 0 case too.
+	so := store.Options{Cache: s.cache, Workers: opts.Workers}
+	so.Remote.ReadAhead = opts.ReadAhead
+	for _, m := range mounts {
+		if _, dup := s.fields[m.name]; dup {
+			s.Close()
+			return nil, fmt.Errorf("duplicate mount name %q", m.name)
+		}
+		var st *store.Store
+		var err error
+		if strings.HasPrefix(m.target, "http://") || strings.HasPrefix(m.target, "https://") {
+			ctx, cancel := context.Background(), func() {}
+			if opts.MountTimeout > 0 {
+				ctx, cancel = context.WithTimeout(ctx, opts.MountTimeout)
+			}
+			st, err = store.OpenURLContext(ctx, m.target, so)
+			cancel()
+		} else {
+			st, err = store.OpenFile(m.target, so)
+		}
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("mount %s: %w", m.name, err)
+		}
+		s.fields[m.name] = &field{name: m.name, target: m.target, store: st}
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /v1/fields", s.handleFields)
+	s.mux.HandleFunc("GET /v1/fields/{name}", s.handleField)
+	s.mux.HandleFunc("GET /v1/fields/{name}/region", s.handleRegion)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s, nil
+}
+
+// Close releases every mounted store.
+func (s *server) Close() {
+	for _, f := range s.fields {
+		f.store.Close()
+	}
+}
+
+func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+func (s *server) fieldNames() []string {
+	names := make([]string, 0, len(s.fields))
+	for n := range s.fields {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// httpError counts and writes a JSON error response. Unknown-field 404s
+// are deliberately left out of the error counter — they are client typos
+// and scanner noise, not server faults worth alerting on.
+func (s *server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	if code != http.StatusNotFound {
+		s.errors.Add(1)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// fieldInfo is the JSON manifest of one mounted field.
+type fieldInfo struct {
+	Name       string      `json:"name"`
+	Target     string      `json:"target"`
+	Dims       []int       `json:"dims"`
+	Brick      []int       `json:"brick"`
+	Bricks     int         `json:"bricks"`
+	Points     int         `json:"points"`
+	ErrorBound float64     `json:"errorBound"`
+	Codec      string      `json:"codec"`
+	Stats      store.Stats `json:"stats"`
+}
+
+func (s *server) info(f *field) fieldInfo {
+	st := f.store
+	points := 1
+	for _, d := range st.Dims() {
+		points *= d
+	}
+	return fieldInfo{
+		Name:       f.name,
+		Target:     f.target,
+		Dims:       st.Dims(),
+		Brick:      st.BrickShape(),
+		Bricks:     st.NumBricks(),
+		Points:     points,
+		ErrorBound: st.ErrorBound(),
+		Codec:      st.Codec().Name(),
+		Stats:      st.Stats(),
+	}
+}
+
+// handleFields lists every mounted field.
+func (s *server) handleFields(w http.ResponseWriter, r *http.Request) {
+	out := make([]fieldInfo, 0, len(s.fields))
+	for _, name := range s.fieldNames() {
+		out = append(out, s.info(s.fields[name]))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"fields": out})
+}
+
+// handleField describes one field.
+func (s *server) handleField(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.fields[r.PathValue("name")]
+	if !ok {
+		s.httpError(w, http.StatusNotFound, "unknown field %q", r.PathValue("name"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.info(f))
+}
+
+// parseCorner parses "a,b,c" into region coordinates.
+func parseCorner(v string) ([]int, error) {
+	parts := strings.Split(v, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("invalid coordinate %q", p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
+
+// handleRegion decodes and returns the box [lo, hi) of one field.
+func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.fields[r.PathValue("name")]
+	if !ok {
+		s.httpError(w, http.StatusNotFound, "unknown field %q", r.PathValue("name"))
+		return
+	}
+	q := r.URL.Query()
+	if q.Get("lo") == "" || q.Get("hi") == "" {
+		s.httpError(w, http.StatusBadRequest, "region needs lo=a,b,... and hi=a,b,... query parameters")
+		return
+	}
+	lo, err := parseCorner(q.Get("lo"))
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "lo: %v", err)
+		return
+	}
+	hi, err := parseCorner(q.Get("hi"))
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, "hi: %v", err)
+		return
+	}
+	dims := f.store.Dims()
+	if len(lo) != len(dims) || len(hi) != len(dims) {
+		s.httpError(w, http.StatusBadRequest, "region rank %d/%d, field rank %d", len(lo), len(hi), len(dims))
+		return
+	}
+	points := 1
+	for i := range dims {
+		if lo[i] < 0 || hi[i] > dims[i] || lo[i] >= hi[i] {
+			s.httpError(w, http.StatusBadRequest, "region [%v,%v) outside field %v", lo, hi, dims)
+			return
+		}
+		points *= hi[i] - lo[i]
+	}
+	if s.opts.MaxPoints > 0 && points > s.opts.MaxPoints {
+		s.httpError(w, http.StatusRequestEntityTooLarge,
+			"region holds %d points, limit is %d; split the request", points, s.opts.MaxPoints)
+		return
+	}
+	format := q.Get("format")
+	if format == "" {
+		format = "raw"
+	}
+	if format != "raw" && format != "json" {
+		s.httpError(w, http.StatusBadRequest, "unknown format %q (want raw or json)", format)
+		return
+	}
+
+	// Admission control: bound concurrent decodes rather than queue
+	// unboundedly — a shed request is retryable, an OOM is not.
+	if s.inflight != nil {
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.rejected.Add(1)
+			w.Header().Set("Retry-After", "1")
+			s.httpError(w, http.StatusServiceUnavailable, "server at -max-inflight capacity")
+			return
+		}
+	}
+
+	// The request context cancels the decode — including its remote range
+	// fetches — the moment the client goes away.
+	data, err := f.store.ReadRegion(r.Context(), lo, hi)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client is gone; nobody to answer
+		}
+		s.httpError(w, http.StatusInternalServerError, "read region: %v", err)
+		return
+	}
+	s.regionPts.Add(int64(points))
+
+	outDims := make([]int, len(dims))
+	for i := range dims {
+		outDims[i] = hi[i] - lo[i]
+	}
+	dimsHeader := make([]string, len(outDims))
+	for i, d := range outDims {
+		dimsHeader[i] = strconv.Itoa(d)
+	}
+	w.Header().Set("X-Qoz-Dims", strings.Join(dimsHeader, ","))
+	w.Header().Set("X-Qoz-Error-Bound", strconv.FormatFloat(f.store.ErrorBound(), 'g', -1, 64))
+	if format == "json" {
+		// encoding/json refuses NaN/±Inf, which the escape envelope
+		// deliberately preserves in fields — marshal by hand with null for
+		// non-finite points. The body streams in bounded chunks (chunked
+		// transfer, no Content-Length): a ~12-bytes-per-point buffer of a
+		// -max-points region would dwarf the decoded data itself.
+		w.Header().Set("Content-Type", "application/json")
+		body := make([]byte, 0, 64<<10)
+		body = append(body, `{"dims":[`...)
+		for i, d := range outDims {
+			if i > 0 {
+				body = append(body, ',')
+			}
+			body = strconv.AppendInt(body, int64(d), 10)
+		}
+		body = append(body, `],"data":[`...)
+		for i, v := range data {
+			if i > 0 {
+				body = append(body, ',')
+			}
+			if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
+				body = append(body, `null`...)
+			} else {
+				body = strconv.AppendFloat(body, f, 'g', -1, 32)
+			}
+			if len(body) >= 63<<10 {
+				if _, err := w.Write(body); err != nil {
+					return // client went away mid-body
+				}
+				body = body[:0]
+			}
+		}
+		body = append(body, `]}`...)
+		w.Write(body)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(4*len(data)))
+	// Stream the payload in bounded chunks instead of materializing a
+	// second copy of the region as bytes.
+	var chunk [64 << 10]byte
+	for off := 0; off < len(data); {
+		n := min(len(chunk)/4, len(data)-off)
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(chunk[4*i:], math.Float32bits(data[off+i]))
+		}
+		if _, err := w.Write(chunk[:4*n]); err != nil {
+			return // client went away mid-body
+		}
+		off += n
+	}
+}
+
+// handleMetrics exposes Prometheus-style counters: per-field store stats
+// plus process-wide request accounting.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	emit := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	emit("qozd_requests_total", "HTTP requests received")
+	fmt.Fprintf(w, "qozd_requests_total %d\n", s.requests.Load())
+	emit("qozd_requests_rejected_total", "region requests shed at -max-inflight capacity")
+	fmt.Fprintf(w, "qozd_requests_rejected_total %d\n", s.rejected.Load())
+	emit("qozd_request_errors_total", "requests answered with an error status (unknown-field 404s excluded)")
+	fmt.Fprintf(w, "qozd_request_errors_total %d\n", s.errors.Load())
+	emit("qozd_region_points_total", "field points served by region reads")
+	fmt.Fprintf(w, "qozd_region_points_total %d\n", s.regionPts.Load())
+	fmt.Fprintf(w, "# HELP qozd_cache_bytes decoded bytes held by the shared brick cache\n# TYPE qozd_cache_bytes gauge\n")
+	fmt.Fprintf(w, "qozd_cache_bytes %d\n", s.cache.Bytes())
+
+	// One Stats snapshot per field, so the five per-field lines of a scrape
+	// reconcile with each other instead of racing active reads.
+	names := s.fieldNames()
+	snaps := make(map[string]store.Stats, len(names))
+	for _, name := range names {
+		snaps[name] = s.fields[name].store.Stats()
+	}
+	counters := []struct {
+		name, help string
+		value      func(store.Stats) int64
+	}{
+		{"qozd_store_bricks_decoded_total", "brick decompressions (cache misses)", func(st store.Stats) int64 { return st.BricksDecoded }},
+		{"qozd_store_bricks_read_total", "bricks served to region reads", func(st store.Stats) int64 { return st.BricksRead }},
+		{"qozd_store_cache_hits_total", "bricks served from the decoded-brick cache", func(st store.Stats) int64 { return st.CacheHits }},
+		{"qozd_store_remote_ranges_total", "HTTP range requests issued to remote stores", func(st store.Stats) int64 { return st.RemoteRanges }},
+		{"qozd_store_remote_bytes_total", "payload bytes fetched from remote stores", func(st store.Stats) int64 { return st.RemoteBytes }},
+	}
+	for _, m := range counters {
+		emit(m.name, m.help)
+		for _, name := range names {
+			fmt.Fprintf(w, "%s{field=%q} %d\n", m.name, name, m.value(snaps[name]))
+		}
+	}
+}

@@ -1,0 +1,273 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"qoz"
+	"qoz/datagen"
+	"qoz/store"
+)
+
+// buildStoreFile writes a small brick store to dir and returns its path
+// and the original field.
+func buildStoreFile(t *testing.T, dir string) (string, datagen.Dataset) {
+	t.Helper()
+	ds := datagen.NYX(32, 32, 32)
+	path := filepath.Join(dir, "nyx.qozb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Write(context.Background(), f, ds.Data, ds.Dims, store.WriteOptions{
+		Opts:  qoz.Options{RelBound: 1e-3},
+		Brick: []int{8, 8, 8},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, ds
+}
+
+func get(t *testing.T, url string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp, body
+}
+
+func TestServerEndpoints(t *testing.T) {
+	path, _ := buildStoreFile(t, t.TempDir())
+	srv, err := newServer([]mount{{name: "nyx", target: path}}, serverOptions{
+		CacheBytes: 32 << 20,
+		MaxPoints:  1 << 20,
+	})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	// Field listing and manifest.
+	resp, body := get(t, ts.URL+"/v1/fields")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/v1/fields: %s: %s", resp.Status, body)
+	}
+	var list struct {
+		Fields []fieldInfo `json:"fields"`
+	}
+	if err := json.Unmarshal(body, &list); err != nil {
+		t.Fatalf("/v1/fields: %v", err)
+	}
+	if len(list.Fields) != 1 || list.Fields[0].Name != "nyx" || list.Fields[0].Bricks != 64 {
+		t.Fatalf("/v1/fields listed %+v", list.Fields)
+	}
+	resp, body = get(t, ts.URL+"/v1/fields/nyx")
+	var info fieldInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatalf("/v1/fields/nyx: %v (%s)", err, body)
+	}
+	if info.Codec == "" || len(info.Dims) != 3 || info.ErrorBound <= 0 {
+		t.Fatalf("manifest incomplete: %+v", info)
+	}
+
+	// Raw region bytes must equal a local ReadRegion bit for bit.
+	local, err := store.OpenFile(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	lo, hi := []int{4, 4, 4}, []int{12, 20, 12}
+	want, err := local.ReadRegion(context.Background(), lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = get(t, ts.URL+"/v1/fields/nyx/region?lo=4,4,4&hi=12,20,12")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("region: %s: %s", resp.Status, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("region Content-Type %q", ct)
+	}
+	if d := resp.Header.Get("X-Qoz-Dims"); d != "8,16,8" {
+		t.Fatalf("X-Qoz-Dims %q", d)
+	}
+	if len(body) != 4*len(want) {
+		t.Fatalf("region body %d bytes, want %d", len(body), 4*len(want))
+	}
+	for i := range want {
+		if got := math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:])); got != want[i] {
+			t.Fatalf("region byte payload differs at point %d: %v != %v", i, got, want[i])
+		}
+	}
+
+	// JSON format carries the same values.
+	resp, body = get(t, ts.URL+"/v1/fields/nyx/region?lo=0,0,0&hi=2,2,2&format=json")
+	var jr struct {
+		Dims []int     `json:"dims"`
+		Data []float32 `json:"data"`
+	}
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatalf("json region: %v (%s)", err, body)
+	}
+	wantJSON, _ := local.ReadRegion(context.Background(), []int{0, 0, 0}, []int{2, 2, 2})
+	if len(jr.Data) != len(wantJSON) || len(jr.Dims) != 3 {
+		t.Fatalf("json region shape: %+v", jr.Dims)
+	}
+	for i := range wantJSON {
+		if math.Abs(float64(jr.Data[i]-wantJSON[i])) > 1e-6*math.Abs(float64(wantJSON[i])) {
+			t.Fatalf("json region differs at %d: %v != %v", i, jr.Data[i], wantJSON[i])
+		}
+	}
+
+	// Error contract: 404, 400s, and the region size limit.
+	for _, tc := range []struct {
+		url  string
+		code int
+	}{
+		{"/v1/fields/none", http.StatusNotFound},
+		{"/v1/fields/none/region?lo=0,0,0&hi=1,1,1", http.StatusNotFound},
+		{"/v1/fields/nyx/region", http.StatusBadRequest},
+		{"/v1/fields/nyx/region?lo=0,0&hi=1,1,1", http.StatusBadRequest},
+		{"/v1/fields/nyx/region?lo=0,0,0&hi=64,1,1", http.StatusBadRequest},
+		{"/v1/fields/nyx/region?lo=x,0,0&hi=1,1,1", http.StatusBadRequest},
+		{"/v1/fields/nyx/region?lo=0,0,0&hi=1,1,1&format=xml", http.StatusBadRequest},
+	} {
+		if resp, _ := get(t, ts.URL+tc.url); resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d", tc.url, resp.StatusCode, tc.code)
+		}
+	}
+	big, err := newServer([]mount{{name: "nyx", target: path}}, serverOptions{MaxPoints: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer big.Close()
+	tsBig := httptest.NewServer(big)
+	defer tsBig.Close()
+	if resp, _ := get(t, tsBig.URL+"/v1/fields/nyx/region?lo=0,0,0&hi=8,8,8"); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized region: status %d, want 413", resp.StatusCode)
+	}
+
+	// Metrics reflect the traffic above.
+	_, body = get(t, ts.URL+"/metrics")
+	for _, want := range []string{
+		"qozd_requests_total",
+		`qozd_store_bricks_decoded_total{field="nyx"}`,
+		"qozd_cache_bytes",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if !strings.Contains(string(body), "qozd_region_points_total 1032\n") { // 8*16*8 + 2*2*2
+		t.Errorf("/metrics points counter wrong:\n%s", body)
+	}
+}
+
+// TestServerInflightLimit verifies admission control sheds load with 503
+// once -max-inflight region decodes are running.
+func TestServerInflightLimit(t *testing.T) {
+	path, _ := buildStoreFile(t, t.TempDir())
+	srv, err := newServer([]mount{{name: "nyx", target: path}}, serverOptions{MaxInflight: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	srv.inflight <- struct{}{} // occupy the only slot
+	resp, _ := get(t, ts.URL+"/v1/fields/nyx/region?lo=0,0,0&hi=1,1,1")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated server answered %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 without Retry-After")
+	}
+	<-srv.inflight
+	if resp, _ := get(t, ts.URL+"/v1/fields/nyx/region?lo=0,0,0&hi=1,1,1"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("freed server answered %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestServerRemoteMount is the end-to-end acceptance path: qozd mounts a
+// store URL (range reads against an object server) and its region
+// endpoint must return the same bytes as a local read — the full
+// bucket → range reads → shared cache → HTTP response chain.
+func TestServerRemoteMount(t *testing.T) {
+	path, _ := buildStoreFile(t, t.TempDir())
+	content, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origin := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("ETag", `"v1"`)
+		http.ServeContent(w, req, "nyx.qozb", time.Unix(1700000000, 0), bytes.NewReader(content))
+	}))
+	defer origin.Close()
+
+	srv, err := newServer([]mount{{name: "nyx", target: origin.URL}}, serverOptions{
+		CacheBytes: 32 << 20,
+		ReadAhead:  -1, // exact ranges, so the transfer assertion below is tight
+	})
+	if err != nil {
+		t.Fatalf("newServer over URL mount: %v", err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	local, err := store.OpenFile(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	want, err := local.ReadRegion(context.Background(), []int{4, 4, 4}, []int{12, 12, 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := get(t, ts.URL+"/v1/fields/nyx/region?lo=4,4,4&hi=12,12,12")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("remote-mounted region: %s: %s", resp.Status, body)
+	}
+	if len(body) != 4*len(want) {
+		t.Fatalf("remote-mounted region body %d bytes, want %d", len(body), 4*len(want))
+	}
+	for i := range want {
+		if got := math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:])); got != want[i] {
+			t.Fatalf("remote-mounted region differs at %d: %v != %v", i, got, want[i])
+		}
+	}
+
+	// The store behind the mount fetched only ranges, and metrics show it.
+	_, metrics := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), `qozd_store_remote_ranges_total{field="nyx"}`) {
+		t.Errorf("/metrics missing remote range counter:\n%s", metrics)
+	}
+	st := srv.fields["nyx"].store.Stats()
+	if st.RemoteRanges == 0 || st.RemoteBytes >= int64(len(content)) {
+		t.Fatalf("URL mount transferred %d bytes of a %d-byte store in %d ranges — not range reads",
+			st.RemoteBytes, len(content), st.RemoteRanges)
+	}
+}

@@ -5,20 +5,52 @@ import (
 	"sync"
 )
 
-// lruCache is a byte-budgeted LRU cache of decoded bricks, keyed by brick
-// index. Repeated overlapping region reads hit the cache instead of
-// re-running the codec; eviction is least-recently-used once the decoded
-// bytes exceed the budget. Safe for concurrent use.
+// Cache is a byte-budgeted LRU cache of decoded bricks that can be shared
+// across Stores — e.g. one process-wide cache behind every field a server
+// mounts — so decoded-brick memory is bounded globally rather than per
+// store. Pass it via Options.Cache; when absent each store gets a private
+// cache sized by Options.CacheBytes. Safe for concurrent use.
+type Cache struct {
+	lru *lruCache
+}
+
+// NewCache returns a shared decoded-brick cache with the given byte
+// budget; a budget <= 0 disables caching.
+func NewCache(budget int64) *Cache {
+	return &Cache{lru: newLRUCache(budget)}
+}
+
+// Bytes returns the decoded bytes currently held across every store the
+// cache serves.
+func (c *Cache) Bytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.lru.cachedBytes()
+}
+
+// cacheKey identifies a decoded brick within a (possibly shared) cache:
+// the owning store disambiguates brick indices when one cache serves
+// several stores.
+type cacheKey struct {
+	owner *Store
+	brick int
+}
+
+// lruCache is a byte-budgeted LRU cache of decoded bricks. Repeated
+// overlapping region reads hit the cache instead of re-running the codec;
+// eviction is least-recently-used once the decoded bytes exceed the
+// budget. Safe for concurrent use.
 type lruCache struct {
 	mu     sync.Mutex
 	budget int64
 	bytes  int64
 	order  *list.List // front = most recently used; values are *cacheEntry
-	byKey  map[int]*list.Element
+	byKey  map[cacheKey]*list.Element
 }
 
 type cacheEntry struct {
-	key  int
+	key  cacheKey
 	data []float32
 }
 
@@ -26,11 +58,11 @@ func newLRUCache(budget int64) *lruCache {
 	if budget <= 0 {
 		return nil
 	}
-	return &lruCache{budget: budget, order: list.New(), byKey: map[int]*list.Element{}}
+	return &lruCache{budget: budget, order: list.New(), byKey: map[cacheKey]*list.Element{}}
 }
 
 // get returns the cached brick and marks it most recently used.
-func (c *lruCache) get(key int) ([]float32, bool) {
+func (c *lruCache) get(key cacheKey) ([]float32, bool) {
 	if c == nil {
 		return nil, false
 	}
@@ -46,7 +78,7 @@ func (c *lruCache) get(key int) ([]float32, bool) {
 
 // put inserts a decoded brick, evicting least-recently-used entries until
 // the budget holds. A brick larger than the whole budget is not cached.
-func (c *lruCache) put(key int, data []float32) {
+func (c *lruCache) put(key cacheKey, data []float32) {
 	if c == nil {
 		return
 	}
@@ -56,8 +88,12 @@ func (c *lruCache) put(key int, data []float32) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.byKey[key]; ok {
-		return // a concurrent read already cached it
+	if el, ok := c.byKey[key]; ok {
+		// A concurrent read already cached this brick. It is still the most
+		// recently touched entry, so refresh its recency; leaving it in place
+		// would let the freshest brick sit at the LRU end and be evicted next.
+		c.order.MoveToFront(el)
+		return
 	}
 	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
 	c.bytes += sz
@@ -67,6 +103,27 @@ func (c *lruCache) put(key int, data []float32) {
 		c.order.Remove(el)
 		delete(c.byKey, ent.key)
 		c.bytes -= int64(len(ent.data)) * 4
+	}
+}
+
+// evictOwner drops every entry owned by one store. A closed store's
+// bricks are unreachable (no future get carries its pointer), so leaving
+// them in a shared cache would pin dead decoded data — and the dead Store
+// itself — against the budget until churn happens to push them out.
+func (c *lruCache) evictOwner(owner *Store) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for el := c.order.Front(); el != nil; {
+		next := el.Next()
+		if ent := el.Value.(*cacheEntry); ent.key.owner == owner {
+			c.order.Remove(el)
+			delete(c.byKey, ent.key)
+			c.bytes -= int64(len(ent.data)) * 4
+		}
+		el = next
 	}
 }
 

@@ -1,0 +1,465 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Remote backend: a brick store is already laid out for partial reads —
+// header at the front, index behind a fixed footer, every brick locatable
+// in O(1) — so serving ROI queries straight from an object store needs
+// nothing more than an io.ReaderAt whose ReadAt is an HTTP Range request.
+// OpenURL composes that reader with the ordinary Open: only the header,
+// the index, and the bricks a region actually intersects ever cross the
+// network.
+
+// Defaults for RemoteOptions zero values.
+const (
+	defaultRemoteRetries = 3
+	defaultRemoteBackoff = 100 * time.Millisecond
+	defaultReadAhead     = 1 << 20 // 1 MiB
+	remoteBlockCacheLen  = 8       // fetched-range blocks kept for coalescing
+)
+
+// ErrRemoteChanged reports that the object behind a RemoteReader changed
+// between requests (the server's validator no longer matches), so ranges
+// fetched before and after would mix two versions of the store.
+var ErrRemoteChanged = errors.New("store: remote object changed mid-read")
+
+// RemoteOptions configures the HTTP range-read backend.
+type RemoteOptions struct {
+	// Client issues the requests; nil selects http.DefaultClient.
+	Client *http.Client
+	// MaxRetries is how many times a failed range request (transport error
+	// or 5xx) is retried with exponential backoff; 0 selects 3, negative
+	// disables retries.
+	MaxRetries int
+	// RetryBackoff is the initial backoff, doubled per retry; 0 selects
+	// 100ms.
+	RetryBackoff time.Duration
+	// ReadAhead coalesces adjacent small reads: each fetch is widened to at
+	// least this many bytes and cached, so consecutive bricks decoded by
+	// one region read arrive in one round trip instead of one per brick.
+	// 0 selects 1 MiB; negative disables coalescing (every ReadAt fetches
+	// exactly its range — useful for auditing transfers).
+	ReadAhead int64
+}
+
+// RemoteStats counts a RemoteReader's traffic.
+type RemoteStats struct {
+	// Ranges is the number of HTTP range requests issued (per attempt, so
+	// retries count).
+	Ranges int64
+	// Bytes is the total payload bytes fetched.
+	Bytes int64
+}
+
+// RemoteReader is an io.ReaderAt over HTTP Range requests, suitable for
+// any server that honors Range (S3, GCS, nginx, http.ServeContent, ...).
+// It validates the object's ETag across requests, retries transient
+// failures with backoff, and optionally widens reads into cached blocks
+// so adjacent brick fetches coalesce. Safe for concurrent use.
+type RemoteReader struct {
+	url       string
+	client    *http.Client
+	etag      string
+	size      int64
+	retries   int
+	backoff   time.Duration
+	readAhead int64
+
+	ranges atomic.Int64
+	bytes  atomic.Int64
+
+	// fetchSem (capacity 1) serializes coalescing fetches: concurrent brick
+	// decodes would otherwise each miss the block cache and pull their own
+	// overlapping read-ahead window — duplicating transfer exactly when
+	// ReadRegion parallelizes. A channel rather than a mutex, so a waiter
+	// whose request was cancelled leaves the queue instead of parking
+	// uncancellably behind a slow fetch. Exact-range reads (readAhead <= 0)
+	// never take it.
+	fetchSem chan struct{}
+
+	mu     sync.Mutex
+	blocks []remoteBlock // most recently used last
+}
+
+type remoteBlock struct {
+	off  int64
+	data []byte
+}
+
+// NewRemoteReader probes url (HEAD, falling back to a 1-byte range GET)
+// for the object's size and validator and returns a ReaderAt over it.
+func NewRemoteReader(url string, ro RemoteOptions) (*RemoteReader, error) {
+	return newRemoteReader(context.Background(), url, ro)
+}
+
+func newRemoteReader(ctx context.Context, url string, ro RemoteOptions) (*RemoteReader, error) {
+	r := &RemoteReader{
+		url:       url,
+		client:    ro.Client,
+		retries:   ro.MaxRetries,
+		backoff:   ro.RetryBackoff,
+		readAhead: ro.ReadAhead,
+		fetchSem:  make(chan struct{}, 1),
+	}
+	if r.client == nil {
+		r.client = http.DefaultClient
+	}
+	switch {
+	case r.retries == 0:
+		r.retries = defaultRemoteRetries
+	case r.retries < 0:
+		r.retries = 0
+	}
+	if r.backoff <= 0 {
+		r.backoff = defaultRemoteBackoff
+	}
+	if r.readAhead == 0 {
+		r.readAhead = defaultReadAhead
+	}
+	if err := r.probe(ctx); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Size returns the remote object's byte length.
+func (r *RemoteReader) Size() int64 { return r.size }
+
+// Stats returns the traffic counters accumulated since NewRemoteReader.
+func (r *RemoteReader) Stats() RemoteStats {
+	return RemoteStats{Ranges: r.ranges.Load(), Bytes: r.bytes.Load()}
+}
+
+// drainClose releases a response body for connection reuse without ever
+// pulling more than a few KiB: a disqualified response (a 200 where a
+// range was asked, an error page) may be the entire multi-terabyte
+// object, and the error path must not download it.
+func drainClose(body io.ReadCloser) {
+	io.CopyN(io.Discard, body, 4<<10)
+	body.Close()
+}
+
+// probe learns the object's size and validator.
+func (r *RemoteReader) probe(ctx context.Context) error {
+	resp, err := r.do(ctx, http.MethodHead, -1, -1)
+	if err != nil {
+		// do already spent the whole retry budget proving the origin is
+		// down; running the GET fallback's ladder on top would double the
+		// time to fail for nothing.
+		return err
+	}
+	if resp.StatusCode == http.StatusOK && resp.ContentLength >= 0 {
+		r.size = resp.ContentLength
+		r.etag = resp.Header.Get("ETag")
+		resp.Body.Close()
+		return nil
+	}
+	drainClose(resp.Body)
+	// HEAD answered but is unsupported or unsized: a 1-byte range GET
+	// carries the total length in Content-Range and proves the server
+	// honors Range at all.
+	resp, err = r.do(ctx, http.MethodGet, 0, 1)
+	if err != nil {
+		return err
+	}
+	defer drainClose(resp.Body)
+	if resp.StatusCode != http.StatusPartialContent {
+		return fmt.Errorf("store: %s does not support range requests (status %s)", r.url, resp.Status)
+	}
+	total, err := contentRangeTotal(resp.Header.Get("Content-Range"))
+	if err != nil {
+		return fmt.Errorf("store: %s: %w", r.url, err)
+	}
+	r.size = total
+	r.etag = resp.Header.Get("ETag")
+	return nil
+}
+
+// do retries doOnce on header-level transient failures; the caller owns
+// the response body. Used by probe, where the body is discarded anyway;
+// readRange runs its own loop so mid-body failures retry too.
+func (r *RemoteReader) do(ctx context.Context, method string, off, n int64) (*http.Response, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := r.doOnce(ctx, method, off, n)
+		if err == nil && resp.StatusCode < 500 {
+			return resp, nil
+		}
+		if err == nil {
+			err = fmt.Errorf("store: %s: %s", r.url, resp.Status)
+			drainClose(resp.Body)
+		}
+		if attempt >= r.retries {
+			return nil, err
+		}
+		if serr := r.sleep(ctx, attempt); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
+// doOnce issues one request. off/n select a byte range (off < 0 means no
+// Range header).
+func (r *RemoteReader) doOnce(ctx context.Context, method string, off, n int64) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, method, r.url, nil)
+	if err != nil {
+		return nil, err
+	}
+	if off >= 0 {
+		req.Header.Set("Range", fmt.Sprintf("bytes=%d-%d", off, off+n-1))
+		// If-Range degrades a stale validator to a full-body 200, which
+		// readRange turns into ErrRemoteChanged instead of serving bytes
+		// from a different version of the store. Weak validators cannot
+		// guard byte ranges, so only a strong ETag is used.
+		if r.etag != "" && !strings.HasPrefix(r.etag, "W/") {
+			req.Header.Set("If-Range", r.etag)
+		}
+	}
+	resp, err := r.client.Do(req)
+	if off >= 0 && err == nil {
+		r.ranges.Add(1)
+	}
+	return resp, err
+}
+
+// sleep backs off before retry attempt+1, or returns early on cancel.
+// The doubling is capped: an unclamped shift overflows time.Duration
+// around attempt 33 and would turn patient retries into a hot loop.
+func (r *RemoteReader) sleep(ctx context.Context, attempt int) error {
+	const maxBackoff = 30 * time.Second
+	d := maxBackoff
+	if attempt < 30 && r.backoff<<attempt < maxBackoff {
+		d = r.backoff << attempt
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// readRange fetches exactly [off, off+n) into a fresh buffer, retrying
+// transient failures — transport errors, 5xx answers, and connections
+// dropped mid-body — with exponential backoff.
+func (r *RemoteReader) readRange(ctx context.Context, off, n int64) ([]byte, error) {
+	for attempt := 0; ; attempt++ {
+		buf, retryable, err := r.tryRange(ctx, off, n)
+		if err == nil {
+			return buf, nil
+		}
+		if !retryable || attempt >= r.retries {
+			return nil, err
+		}
+		if serr := r.sleep(ctx, attempt); serr != nil {
+			return nil, serr
+		}
+	}
+}
+
+// tryRange is one readRange attempt; retryable marks faults worth another
+// attempt (protocol-level rejections like a changed object are final).
+func (r *RemoteReader) tryRange(ctx context.Context, off, n int64) (_ []byte, retryable bool, _ error) {
+	resp, err := r.doOnce(ctx, http.MethodGet, off, n)
+	if err != nil {
+		return nil, true, err
+	}
+	defer drainClose(resp.Body)
+	switch {
+	case resp.StatusCode >= 500:
+		return nil, true, fmt.Errorf("store: %s: %s", r.url, resp.Status)
+	case resp.StatusCode == http.StatusPartialContent:
+	case resp.StatusCode == http.StatusOK:
+		// Either If-Range detected a changed object or the server ignored
+		// Range. A full body is only the answer when it IS the range.
+		if off == 0 && resp.ContentLength == r.size && n == r.size {
+			break
+		}
+		// Only a present-and-different validator proves the object was
+		// swapped; a 200 with no ETag (a proxy error page, a stripped
+		// header) is a range-support failure, not a changed object.
+		if et := resp.Header.Get("ETag"); r.etag != "" && et != "" && et != r.etag {
+			return nil, false, ErrRemoteChanged
+		}
+		return nil, false, fmt.Errorf("store: %s does not support range requests", r.url)
+	default:
+		return nil, false, fmt.Errorf("store: %s: %s", r.url, resp.Status)
+	}
+	if et := resp.Header.Get("ETag"); et != "" && r.etag != "" && et != r.etag {
+		return nil, false, ErrRemoteChanged
+	}
+	if resp.StatusCode == http.StatusPartialContent {
+		start, err := contentRangeStart(resp.Header.Get("Content-Range"))
+		if err == nil && start != off {
+			return nil, false, fmt.Errorf("store: %s: server returned range at %d, requested %d", r.url, start, off)
+		}
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(resp.Body, buf); err != nil {
+		return nil, true, fmt.Errorf("store: %s: short range body: %w", r.url, err)
+	}
+	r.bytes.Add(n)
+	return buf, false, nil
+}
+
+// ReadAt implements io.ReaderAt.
+func (r *RemoteReader) ReadAt(p []byte, off int64) (int, error) {
+	return r.readAtCtx(context.Background(), p, off)
+}
+
+// readAtCtx is ReadAt under a caller's context, so a cancelled region
+// request aborts its in-flight range fetches too.
+func (r *RemoteReader) readAtCtx(ctx context.Context, p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("store: negative remote read offset %d", off)
+	}
+	if off >= r.size {
+		return 0, io.EOF // the io.ReaderAt convention at and past the end
+	}
+	n := int64(len(p))
+	short := false
+	if off+n > r.size {
+		n, short = r.size-off, true
+	}
+	done := func(err error) (int, error) {
+		if err != nil {
+			return 0, err
+		}
+		if short {
+			return int(n), io.EOF
+		}
+		return int(n), nil
+	}
+	if r.readAhead <= 0 {
+		buf, err := r.readRange(ctx, off, n)
+		if err != nil {
+			return 0, err
+		}
+		copy(p, buf)
+		return done(nil)
+	}
+	if r.fromBlocks(p[:n], off) {
+		return done(nil)
+	}
+	// One coalescing fetch at a time; whoever raced us here may have
+	// already fetched a window covering this read, so re-check first.
+	select {
+	case r.fetchSem <- struct{}{}:
+		defer func() { <-r.fetchSem }()
+	case <-ctx.Done():
+		return 0, ctx.Err()
+	}
+	if r.fromBlocks(p[:n], off) {
+		return done(nil)
+	}
+	fetch := max(n, min(r.readAhead, r.size-off))
+	buf, err := r.readRange(ctx, off, fetch)
+	if err != nil {
+		return 0, err
+	}
+	r.addBlock(off, buf)
+	copy(p, buf[:n])
+	return done(nil)
+}
+
+// fromBlocks serves p from a single cached block when one covers it.
+func (r *RemoteReader) fromBlocks(p []byte, off int64) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := len(r.blocks) - 1; i >= 0; i-- {
+		b := r.blocks[i]
+		if off >= b.off && off+int64(len(p)) <= b.off+int64(len(b.data)) {
+			copy(p, b.data[off-b.off:])
+			// Mark most recently used.
+			r.blocks = append(append(r.blocks[:i], r.blocks[i+1:]...), b)
+			return true
+		}
+	}
+	return false
+}
+
+// addBlock caches a fetched range, evicting the least recently used block.
+func (r *RemoteReader) addBlock(off int64, data []byte) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.blocks = append(r.blocks, remoteBlock{off: off, data: data})
+	if len(r.blocks) > remoteBlockCacheLen {
+		r.blocks = r.blocks[1:]
+	}
+}
+
+// contentRangeTotal parses the total length out of "bytes a-b/total".
+func contentRangeTotal(h string) (int64, error) {
+	_, after, ok := strings.Cut(h, "/")
+	if !ok {
+		return 0, fmt.Errorf("unparseable Content-Range %q", h)
+	}
+	total, err := strconv.ParseInt(after, 10, 64)
+	if err != nil || total <= 0 {
+		return 0, fmt.Errorf("unparseable Content-Range %q", h)
+	}
+	return total, nil
+}
+
+// contentRangeStart parses the range start out of "bytes a-b/total".
+func contentRangeStart(h string) (int64, error) {
+	h = strings.TrimPrefix(h, "bytes ")
+	before, _, ok := strings.Cut(h, "-")
+	if !ok {
+		return 0, fmt.Errorf("unparseable Content-Range %q", h)
+	}
+	return strconv.ParseInt(strings.TrimSpace(before), 10, 64)
+}
+
+// OpenURL opens a brick store served over HTTP: the manifest is fetched
+// with range requests and region reads fetch only the bricks they
+// intersect, so a multi-terabyte archive in a bucket serves an ROI with a
+// handful of round trips. Configure the transport via Options.Remote.
+// OpenURL blocks on the probe and manifest fetches with no deadline of
+// its own; use OpenURLContext (or a timeout-bearing http.Client) when the
+// origin may hang.
+func OpenURL(url string, opts Options) (*Store, error) {
+	return OpenURLContext(context.Background(), url, opts)
+}
+
+// OpenURLContext is OpenURL under a context: the size probe and the
+// header/index fetches observe ctx, so a mount against an unresponsive
+// origin can be cancelled or given a deadline. The returned Store is not
+// bound to ctx — region reads observe their own contexts.
+func OpenURLContext(ctx context.Context, url string, opts Options) (*Store, error) {
+	rr, err := newRemoteReader(ctx, url, opts.Remote)
+	if err != nil {
+		return nil, err
+	}
+	s, err := Open(readerAtCtx{rr, ctx}, rr.Size(), opts)
+	if err != nil {
+		return nil, err
+	}
+	s.ra = rr
+	s.remote = rr
+	return s, nil
+}
+
+// readerAtCtx threads the open-time context into the manifest fetches
+// Open performs through the plain io.ReaderAt interface.
+type readerAtCtx struct {
+	r   *RemoteReader
+	ctx context.Context
+}
+
+func (a readerAtCtx) ReadAt(p []byte, off int64) (int, error) {
+	return a.r.readAtCtx(a.ctx, p, off)
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -20,11 +21,19 @@ const DefaultCacheBytes = 256 << 20
 // Options configures an opened Store.
 type Options struct {
 	// CacheBytes is the decoded-brick LRU cache budget in bytes: 0 selects
-	// DefaultCacheBytes, negative disables caching.
+	// DefaultCacheBytes, negative disables caching. Ignored when Cache is
+	// set.
 	CacheBytes int64
+	// Cache, when non-nil, is a shared decoded-brick cache used instead of
+	// a private per-store one — the way a server bounds decoded memory
+	// across every field it mounts with one budget.
+	Cache *Cache
 	// Workers bounds concurrent brick decodes per ReadRegion call (<=0
 	// selects GOMAXPROCS).
 	Workers int
+	// Remote configures the HTTP range-read backend used by OpenURL; it is
+	// ignored by Open/OpenFile.
+	Remote RemoteOptions
 }
 
 // Stats reports a Store's decode and cache activity since Open.
@@ -35,8 +44,14 @@ type Stats struct {
 	BricksRead int64
 	// CacheHits counts bricks served from the decoded-brick cache.
 	CacheHits int64
-	// CachedBytes is the decoded bytes currently cached.
+	// CachedBytes is the decoded bytes currently cached (the whole cache's
+	// holdings when the store shares one via Options.Cache).
 	CachedBytes int64
+	// RemoteRanges and RemoteBytes count the HTTP range requests issued and
+	// payload bytes fetched by an OpenURL store; both are zero for local
+	// stores.
+	RemoteRanges int64
+	RemoteBytes  int64
 }
 
 // Store is a read handle on a brick store. All methods are safe for
@@ -51,6 +66,7 @@ type Store struct {
 	crcs    []uint32
 	cache   *lruCache
 	workers int
+	remote  *RemoteReader // non-nil for OpenURL stores
 
 	decoded atomic.Int64
 	read    atomic.Int64
@@ -77,7 +93,7 @@ func Open(ra io.ReaderAt, size int64, opts Options) (*Store, error) {
 	// against what the header implies before anything is allocated from it.
 	var foot [footerSize]byte
 	if _, err := ra.ReadAt(foot[:], size-int64(footerSize)); err != nil {
-		return nil, ErrCorrupt
+		return nil, manifestReadErr(err)
 	}
 	if string(foot[8:]) != trailerMagic {
 		return nil, ErrCorrupt
@@ -98,7 +114,7 @@ func Open(ra io.ReaderAt, size int64, opts Options) (*Store, error) {
 	}
 	idx := make([]byte, idxLen)
 	if _, err := ra.ReadAt(idx, int64(idxOff)); err != nil {
-		return nil, ErrCorrupt
+		return nil, manifestReadErr(err)
 	}
 	declared, n := binary.Uvarint(idx)
 	if n <= 0 || declared != uint64(nb) {
@@ -133,11 +149,15 @@ func Open(ra io.ReaderAt, size int64, opts Options) (*Store, error) {
 	if len(idx) != 0 || off != int64(idxOff) {
 		return nil, ErrCorrupt
 	}
-	cb := opts.CacheBytes
-	if cb == 0 {
-		cb = DefaultCacheBytes
+	if opts.Cache != nil {
+		s.cache = opts.Cache.lru
+	} else {
+		cb := opts.CacheBytes
+		if cb == 0 {
+			cb = DefaultCacheBytes
+		}
+		s.cache = newLRUCache(cb) // nil (disabled) when cb < 0
 	}
-	s.cache = newLRUCache(cb) // nil (disabled) when cb < 0
 	return s, nil
 }
 
@@ -168,14 +188,27 @@ func readHeaderAt(ra io.ReaderAt, size int64) (*header, int, error) {
 	}
 	buf := make([]byte, min(size, maxHeaderLen))
 	if _, err := ra.ReadAt(buf, 0); err != nil {
-		return nil, 0, ErrCorrupt
+		return nil, 0, manifestReadErr(err)
 	}
 	return parseHeader(buf)
 }
 
-// Close releases the underlying file when the Store was opened with
-// OpenFile; otherwise it is a no-op.
+// manifestReadErr classifies a failed manifest read. A read that came up
+// short against a local file means a truncated archive — ErrCorrupt — but
+// the remote backend routes transport faults, cancellations, and
+// validator mismatches through the same ReadAt calls, and those must
+// surface as themselves so callers can retry, time out, or re-open.
+func manifestReadErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return ErrCorrupt
+	}
+	return fmt.Errorf("store: reading manifest: %w", err)
+}
+
+// Close drops the store's bricks from its (possibly shared) cache and
+// releases the underlying file when the Store was opened with OpenFile.
 func (s *Store) Close() error {
+	s.cache.evictOwner(s)
 	if s.closer != nil {
 		return s.closer.Close()
 	}
@@ -200,12 +233,18 @@ func (s *Store) Codec() qoz.Codec { return s.codec }
 
 // Stats returns decode and cache counters accumulated since Open.
 func (s *Store) Stats() Stats {
-	return Stats{
+	st := Stats{
 		BricksDecoded: s.decoded.Load(),
 		BricksRead:    s.read.Load(),
 		CacheHits:     s.hits.Load(),
 		CachedBytes:   s.cache.cachedBytes(),
 	}
+	if s.remote != nil {
+		rs := s.remote.Stats()
+		st.RemoteRanges = rs.Ranges
+		st.RemoteBytes = rs.Bytes
+	}
+	return st
 }
 
 // ReadField decodes the whole field (every brick).
@@ -306,7 +345,8 @@ func (s *Store) intersectingBricks(lo, hi []int) []int {
 // brick returns brick i decoded, via the cache when enabled.
 func (s *Store) brick(ctx context.Context, i int) ([]float32, error) {
 	s.read.Add(1)
-	if data, ok := s.cache.get(i); ok {
+	key := cacheKey{owner: s, brick: i}
+	if data, ok := s.cache.get(key); ok {
 		s.hits.Add(1)
 		return data, nil
 	}
@@ -314,7 +354,16 @@ func (s *Store) brick(ctx context.Context, i int) ([]float32, error) {
 		return nil, err
 	}
 	payload := make([]byte, s.lengths[i])
-	if _, err := s.ra.ReadAt(payload, s.offsets[i]); err != nil {
+	var err error
+	if s.remote != nil {
+		// Thread the region read's context down into the range fetch, so a
+		// cancelled request aborts its network I/O rather than just the
+		// decode that would have followed it.
+		_, err = s.remote.readAtCtx(ctx, payload, s.offsets[i])
+	} else {
+		_, err = s.ra.ReadAt(payload, s.offsets[i])
+	}
+	if err != nil {
 		return nil, fmt.Errorf("store: brick %d: %w", i, err)
 	}
 	if crc32.ChecksumIEEE(payload) != s.crcs[i] {
@@ -339,7 +388,7 @@ func (s *Store) brick(ctx context.Context, i int) ([]float32, error) {
 		return nil, fmt.Errorf("store: brick %d: decoded shape mismatch: %w", i, ErrCorrupt)
 	}
 	s.decoded.Add(1)
-	s.cache.put(i, data)
+	s.cache.put(key, data)
 	return data, nil
 }
 

@@ -79,6 +79,11 @@ type Writer struct {
 	lengths   []int64
 	crcs      []uint32
 	closed    bool
+	// writeErr poisons the writer once bytes may have reached w from a
+	// failed band write: after a partial write the underlying stream is
+	// misaligned with the index, so a retried Append would build a store
+	// whose later bricks fail their checksums only when read.
+	writeErr error
 }
 
 // NewWriter starts a brick store over a field of the given dims. The
@@ -160,21 +165,30 @@ func (bw *Writer) Append(ctx context.Context, rows []float32) error {
 	if bw.closed {
 		return errors.New("store: writer closed")
 	}
+	if bw.writeErr != nil {
+		return fmt.Errorf("store: writer poisoned by earlier write failure: %w", bw.writeErr)
+	}
 	if len(rows)%bw.rowPoints != 0 {
 		return fmt.Errorf("store: append of %d points is not whole rows of %d", len(rows), bw.rowPoints)
 	}
 	nr := len(rows) / bw.rowPoints
-	if bw.rowsSeen+nr > bw.hdr.dims[0] {
+	total := bw.rowsSeen + nr
+	if total > bw.hdr.dims[0] {
 		return fmt.Errorf("store: append past field end (%d+%d of %d rows)", bw.rowsSeen, nr, bw.hdr.dims[0])
 	}
-	bw.rowsSeen += nr
+	// rowsSeen is only advanced as rows are actually committed — flushed in
+	// a band, or buffered in pending — never up front: after a failed or
+	// cancelled flush the uncommitted rows are not counted, so Close reports
+	// the field incomplete and a retrying caller can re-Append them without
+	// corrupting brick order.
+	//
 	// emittable returns how many rows of a `have`-row prefix form the next
 	// band: a full band, or the final clipped one once the field is done.
 	emittable := func(have int) int {
 		switch {
 		case have >= bw.hdr.brick[0]:
 			return bw.hdr.brick[0]
-		case bw.rowsSeen == bw.hdr.dims[0] && have > 0:
+		case total == bw.hdr.dims[0] && have > 0:
 			return have
 		}
 		return 0
@@ -183,9 +197,12 @@ func (bw *Writer) Append(ctx context.Context, rows []float32) error {
 	for {
 		if len(bw.pending) > 0 {
 			// Top the buffered tail up to one band, flush it, and return to
-			// the zero-copy path; pending never grows past a band.
+			// the zero-copy path; pending never grows past a band. Buffered
+			// rows count as committed: a failed flush leaves them in pending,
+			// where the next Append retries the band.
 			take := min(bandPts-len(bw.pending), len(rows))
 			bw.pending = append(bw.pending, rows[:take]...)
+			bw.rowsSeen += take / bw.rowPoints
 			rows = rows[take:]
 			n := emittable(len(bw.pending) / bw.rowPoints)
 			if n == 0 {
@@ -201,14 +218,25 @@ func (bw *Writer) Append(ctx context.Context, rows []float32) error {
 		if n == 0 {
 			// Sub-band tail: buffer it until more rows arrive.
 			bw.pending = append(bw.pending, rows...)
+			bw.rowsSeen += len(rows) / bw.rowPoints
 			return nil
 		}
 		if err := bw.flushBand(ctx, rows[:n*bw.rowPoints], n); err != nil {
 			return err
 		}
+		bw.rowsSeen += n
 		rows = rows[n*bw.rowPoints:]
 	}
 }
+
+// RowsAppended returns how many rows have been committed — flushed into
+// bricks or buffered in the current sub-band tail. After a failed Append
+// whose failure preceded any byte reaching the writer (a compression
+// error or context cancellation), a retrying caller resumes from this
+// row; once a band write itself fails the writer is poisoned and every
+// further Append and Close reports it, because the underlying stream may
+// hold partial bytes the index cannot account for.
+func (bw *Writer) RowsAppended() int { return bw.rowsSeen }
 
 // flushBand compresses and writes one band of `rows` rows held in band.
 func (bw *Writer) flushBand(ctx context.Context, band []float32, rows int) error {
@@ -252,6 +280,7 @@ func (bw *Writer) flushBand(ctx context.Context, band []float32, rows int) error
 	}
 	for _, p := range payloads {
 		if _, err := bw.w.Write(p); err != nil {
+			bw.writeErr = err
 			return err
 		}
 		bw.lengths = append(bw.lengths, int64(len(p)))
@@ -266,6 +295,9 @@ func (bw *Writer) Close() error {
 		return errors.New("store: writer closed")
 	}
 	bw.closed = true
+	if bw.writeErr != nil {
+		return fmt.Errorf("store: writer poisoned by earlier write failure: %w", bw.writeErr)
+	}
 	if bw.rowsSeen != bw.hdr.dims[0] || len(bw.pending) != 0 {
 		return fmt.Errorf("store: field incomplete: %d of %d rows appended", bw.rowsSeen, bw.hdr.dims[0])
 	}
@@ -328,10 +360,18 @@ func WriteFrom(ctx context.Context, w io.Writer, dec *qoz.Decoder, wo WriteOptio
 		return errors.New("store: float64 streams are not supported yet")
 	}
 	wo.Opts.ErrorBound, wo.Opts.RelBound = hdr.ErrorBound, 0
-	if wo.Codec == nil && hdr.CodecName != "" {
-		if c, err := qoz.LookupID(hdr.CodecID); err == nil {
-			wo.Codec = c
+	if wo.Codec == nil {
+		// Carry the stream's own codec over. Silently substituting the
+		// registry default here would re-compress every brick with a codec
+		// the caller never chose; an unregistered id must be an error.
+		if hdr.CodecName == "" {
+			return fmt.Errorf("store: stream codec id %d is not registered; pass WriteOptions.Codec explicitly", hdr.CodecID)
 		}
+		c, err := qoz.LookupID(hdr.CodecID)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		wo.Codec = c
 	}
 	bw, err := NewWriter(w, hdr.Dims, wo)
 	if err != nil {

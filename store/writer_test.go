@@ -1,0 +1,172 @@
+package store
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"qoz"
+	"qoz/datagen"
+)
+
+// TestAppendRetryAfterFailedFlush is the regression test for the row
+// accounting bug: rows must only count as appended once their band is
+// flushed or buffered, so that after a failed (here: cancelled) flush a
+// caller can retry the same rows and still produce a correct store.
+func TestAppendRetryAfterFailedFlush(t *testing.T) {
+	ds := datagen.NYX(16, 16, 16)
+	rowPts := 16 * 16
+	var buf bytes.Buffer
+	bw, err := NewWriter(&buf, ds.Dims, WriteOptions{
+		Opts:  qoz.Options{ErrorBound: 1e-3},
+		Brick: []int{4, 16, 16},
+	})
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+
+	// Buffer a sub-band tail first: these two rows are committed.
+	if err := bw.Append(context.Background(), ds.Data[:2*rowPts]); err != nil {
+		t.Fatalf("Append tail: %v", err)
+	}
+	if got := bw.RowsAppended(); got != 2 {
+		t.Fatalf("RowsAppended after buffering 2 rows = %d", got)
+	}
+
+	// Now append the rest under a cancelled context: the flush fails. The
+	// two rows that completed the pending band stay buffered (committed);
+	// everything that never reached a band or the buffer must NOT count.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := bw.Append(cancelled, ds.Data[2*rowPts:]); err == nil {
+		t.Fatal("Append under a cancelled context succeeded")
+	}
+	committed := bw.RowsAppended()
+	if committed != 4 {
+		t.Fatalf("RowsAppended after failed flush = %d, want 4 (2 buffered + 2 that completed the pending band); the old code reported all 16", committed)
+	}
+	if err := bw.Close(); err == nil {
+		t.Fatal("Close of an incomplete writer succeeded")
+	}
+
+	// The real retry: a fresh writer sees the same failure, then the caller
+	// resumes from RowsAppended with a live context and the store must come
+	// out bit-perfect.
+	buf.Reset()
+	bw, err = NewWriter(&buf, ds.Dims, WriteOptions{
+		Opts:  qoz.Options{ErrorBound: 1e-3},
+		Brick: []int{4, 16, 16},
+	})
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	if err := bw.Append(cancelled, ds.Data); err == nil {
+		t.Fatal("Append under a cancelled context succeeded")
+	}
+	resume := bw.RowsAppended() * rowPts
+	if err := bw.Append(context.Background(), ds.Data[resume:]); err != nil {
+		t.Fatalf("retry Append: %v", err)
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatalf("Close after retry: %v", err)
+	}
+
+	s, err := Open(bytes.NewReader(buf.Bytes()), int64(buf.Len()), Options{})
+	if err != nil {
+		t.Fatalf("Open of retried store: %v", err)
+	}
+	got, err := s.ReadField(context.Background())
+	if err != nil {
+		t.Fatalf("ReadField: %v", err)
+	}
+	for i := range got {
+		if math.Abs(float64(got[i])-float64(ds.Data[i])) > 1e-3 {
+			t.Fatalf("point %d off by %g after retry — brick order corrupted", i,
+				math.Abs(float64(got[i])-float64(ds.Data[i])))
+		}
+	}
+}
+
+// failAfterWriter fails the nth Write call and succeeds otherwise.
+type failAfterWriter struct {
+	w     *bytes.Buffer
+	n     int
+	calls int
+}
+
+func (f *failAfterWriter) Write(p []byte) (int, error) {
+	f.calls++
+	if f.calls == f.n {
+		half := len(p) / 2
+		f.w.Write(p[:half]) // partial bytes reach the stream before the fault
+		return half, errors.New("injected write failure")
+	}
+	return f.w.Write(p)
+}
+
+// TestWriterPoisonedAfterPartialWrite verifies that once band bytes may
+// have partially reached the underlying writer, the Writer refuses both
+// retries and Close: an index over a misaligned stream would only fail at
+// read time.
+func TestWriterPoisonedAfterPartialWrite(t *testing.T) {
+	ds := datagen.NYX(16, 16, 16)
+	fw := &failAfterWriter{w: &bytes.Buffer{}, n: 2} // header ok, first brick write fails
+	bw, err := NewWriter(fw, ds.Dims, WriteOptions{
+		Opts:  qoz.Options{ErrorBound: 1e-3},
+		Brick: []int{4, 16, 16},
+	})
+	if err != nil {
+		t.Fatalf("NewWriter: %v", err)
+	}
+	if err := bw.Append(context.Background(), ds.Data); err == nil {
+		t.Fatal("Append through a failing writer succeeded")
+	}
+	if err := bw.Append(context.Background(), ds.Data); err == nil || !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("retry after partial write returned %v, want poisoned-writer error", err)
+	}
+	if err := bw.Close(); err == nil || !strings.Contains(err.Error(), "poisoned") {
+		t.Fatalf("Close after partial write returned %v, want poisoned-writer error", err)
+	}
+}
+
+// TestWriteFromUnknownCodec verifies that re-bricking a stream whose codec
+// id is not registered errors out naming the id instead of silently
+// re-compressing with the registry default.
+func TestWriteFromUnknownCodec(t *testing.T) {
+	ds := datagen.NYX(8, 8, 8)
+	var sb bytes.Buffer
+	enc, err := qoz.NewEncoder(&sb, qoz.StreamOptions{Opts: qoz.Options{RelBound: 1e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := enc.Encode(context.Background(), ds.Data, ds.Dims); err != nil {
+		t.Fatal(err)
+	}
+	raw := sb.Bytes()
+	raw[5] = 250 // stream layout: magic(4) | version | codec id — forge an unregistered id
+
+	var out bytes.Buffer
+	err = WriteFrom(context.Background(), &out, qoz.NewDecoder(bytes.NewReader(raw)), WriteOptions{})
+	if err == nil {
+		t.Fatal("WriteFrom silently accepted an unregistered stream codec")
+	}
+	if !strings.Contains(err.Error(), "250") || !strings.Contains(err.Error(), "not registered") {
+		t.Fatalf("error %q does not name the unknown codec id", err)
+	}
+	if out.Len() != 0 {
+		t.Fatalf("WriteFrom wrote %d bytes before rejecting the stream", out.Len())
+	}
+
+	// An explicit codec is the documented escape hatch — but the payloads
+	// still carry the forged id, so decoding them must fail loudly rather
+	// than round-tripping wrong bytes.
+	out.Reset()
+	err = WriteFrom(context.Background(), &out, qoz.NewDecoder(bytes.NewReader(raw)),
+		WriteOptions{Codec: qoz.MustLookup("qoz")})
+	if err == nil {
+		t.Fatal("decoding slabs under a forged codec id succeeded")
+	}
+}

@@ -45,6 +45,12 @@ const (
 	// container.CheckDims so every parser accepts the same header space.
 	maxStreamDims  = 8
 	maxSlabPayload = 1 << 31 // decode-side sanity cap on one slab's bytes
+
+	// slabPayloadCap is maxSlabPayload clipped to what int can represent on
+	// this platform: on 32-bit builds int(1<<31) would overflow to a
+	// negative length, so a declared payload length is compared against this
+	// bound BEFORE it is ever converted to int.
+	slabPayloadCap = min(maxSlabPayload, math.MaxInt)
 )
 
 // ErrCorruptStream reports a malformed slab stream.
@@ -434,7 +440,7 @@ func (d *Decoder) NextSlab(ctx context.Context) ([]float32, []int, error) {
 		return nil, nil, err
 	}
 	n, err := binary.ReadUvarint(d.br)
-	if err != nil || n > maxSlabPayload {
+	if err != nil || n > slabPayloadCap {
 		return nil, nil, ErrCorruptStream
 	}
 	p, err := readN(d.br, int(n))
@@ -474,7 +480,7 @@ func (d *Decoder) readAll(ctx context.Context) (*StreamHeader, [][]byte, error) 
 			return nil, nil, err
 		}
 		n, err := binary.ReadUvarint(d.br)
-		if err != nil || n > maxSlabPayload {
+		if err != nil || n > slabPayloadCap {
 			return nil, nil, ErrCorruptStream
 		}
 		p, err := readN(d.br, int(n))

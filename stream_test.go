@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"errors"
 	"io"
 	"math"
 	"testing"
@@ -385,5 +386,32 @@ func TestHeaderOverflowDims(t *testing.T) {
 	dec := qoz.NewDecoder(bytes.NewReader(mk([]uint64{4, 4})))
 	if _, err := dec.Header(); err != nil {
 		t.Fatalf("valid crafted header rejected: %v", err)
+	}
+}
+
+// TestSlabPayloadLengthCap verifies a declared slab payload length above
+// the decode-side cap is rejected before any conversion to int — on
+// 32-bit platforms int(1<<31) would wrap negative, so the cap must be
+// checked in uint64 space (regression for the platform-safe bound).
+func TestSlabPayloadLengthCap(t *testing.T) {
+	mk := func(payloadLen uint64) []byte {
+		h := []byte("QOZS")
+		h = append(h, 1, 1, 0, 1)       // version, codec id, f32, 1-d
+		h = binary.AppendUvarint(h, 64) // dims
+		h = binary.LittleEndian.AppendUint64(h, math.Float64bits(1e-3))
+		h = binary.AppendUvarint(h, 64) // slab rows: one slab
+		h = binary.AppendUvarint(h, 1)  // nslabs
+		h = binary.AppendUvarint(h, payloadLen)
+		return h
+	}
+	for _, n := range []uint64{1<<31 + 1, math.MaxUint64 / 2} {
+		dec := qoz.NewDecoder(bytes.NewReader(mk(n)))
+		if _, _, err := dec.Decode(context.Background()); !errors.Is(err, qoz.ErrCorruptStream) {
+			t.Fatalf("Decode with declared slab length %d returned %v, want ErrCorruptStream", n, err)
+		}
+		dec = qoz.NewDecoder(bytes.NewReader(mk(n)))
+		if _, _, err := dec.NextSlab(context.Background()); !errors.Is(err, qoz.ErrCorruptStream) {
+			t.Fatalf("NextSlab with declared slab length %d returned %v, want ErrCorruptStream", n, err)
+		}
 	}
 }
