@@ -12,12 +12,15 @@
 //
 // -json FILE runs a full codec x dataset sweep and writes machine-readable
 // records (codec, dataset, bound, CR, PSNR, SSIM, compress/decompress
-// MB/s) so performance trajectories can be recorded across revisions,
-// e.g. as BENCH_<rev>.json. Combine with "-exp none" to emit only the
-// sweep.
+// MB/s), plus brick-store put/get/extract measurements for both element
+// types (float32 and float64), so performance trajectories can be
+// recorded across revisions, e.g. as BENCH_<rev>.json. Combine with
+// "-exp none" to emit only the sweep.
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -25,10 +28,13 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"qoz"
 	"qoz/baselines"
+	"qoz/datagen"
 	"qoz/internal/harness"
+	"qoz/store"
 )
 
 func main() {
@@ -102,9 +108,14 @@ func main() {
 }
 
 // benchRecord is one (codec, dataset, bound) measurement of the sweep.
+// Records with Op set measure the brick store (put/get/extract) rather
+// than the streaming codec path, and Dtype names the element type so both
+// float32 and float64 trajectories are tracked.
 type benchRecord struct {
 	Codec      string  `json:"codec"`
 	Dataset    string  `json:"dataset"`
+	Op         string  `json:"op,omitempty"`
+	Dtype      string  `json:"dtype,omitempty"`
 	RelBound   float64 `json:"rel_bound"`
 	AbsBound   float64 `json:"abs_bound"`
 	Bytes      int     `json:"bytes"`
@@ -153,11 +164,103 @@ func writeJSONSweep(path string, cfg harness.Config, size string) error {
 			}
 		}
 	}
+	for _, ds := range cfg.Datasets() {
+		recs, err := storeRecords(ds)
+		if err != nil {
+			return err
+		}
+		report.Records = append(report.Records, recs...)
+	}
 	buf, err := json.MarshalIndent(&report, "", "  ")
 	if err != nil {
 		return err
 	}
 	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}
+
+// storeRecords measures the brick store's put/get/extract path on one
+// dataset for both element types, so BENCH_<rev>.json tracks float32 and
+// float64 store performance side by side. The float64 variant widens the
+// synthetic float32 field; its bricks carry the escape envelope, which is
+// exactly the production double-precision path.
+func storeRecords(ds datagen.Dataset) ([]benchRecord, error) {
+	const rel = 1e-3
+	ctx := context.Background()
+	var out []benchRecord
+
+	// The extract ROI: the leading quarter of each extent (at least one
+	// point), a small box that touches only a corner of the brick grid.
+	roiLo := make([]int, len(ds.Dims))
+	roiHi := make([]int, len(ds.Dims))
+	roiPts := 1
+	for i, d := range ds.Dims {
+		roiHi[i] = max(1, d/4)
+		roiPts *= roiHi[i]
+	}
+
+	measure := func(dtype string, elem int,
+		put func(w *bytes.Buffer) error,
+		get func(s *store.Store) error,
+		extract func(s *store.Store) error) error {
+		rawMB := float64(ds.Len()*elem) / 1e6
+		var buf bytes.Buffer
+		t0 := time.Now()
+		if err := put(&buf); err != nil {
+			return err
+		}
+		putSecs := time.Since(t0).Seconds()
+		s, err := store.Open(bytes.NewReader(buf.Bytes()), int64(buf.Len()), store.Options{CacheBytes: -1})
+		if err != nil {
+			return err
+		}
+		t0 = time.Now()
+		if err := get(s); err != nil {
+			return err
+		}
+		getSecs := time.Since(t0).Seconds()
+		t0 = time.Now()
+		if err := extract(s); err != nil {
+			return err
+		}
+		extractSecs := time.Since(t0).Seconds()
+		cr := float64(ds.Len()*elem) / float64(buf.Len())
+		base := benchRecord{
+			Codec:    qoz.DefaultCodec,
+			Dataset:  ds.Name,
+			Dtype:    dtype,
+			RelBound: rel,
+			Bytes:    buf.Len(),
+			CR:       jsonSafe(cr),
+		}
+		putRec, getRec, extractRec := base, base, base
+		putRec.Op, putRec.CompMBps = "put", jsonSafe(rawMB/putSecs)
+		getRec.Op, getRec.DecompMBps = "get", jsonSafe(rawMB/getSecs)
+		extractRec.Op, extractRec.DecompMBps = "extract", jsonSafe(float64(roiPts*elem)/1e6/extractSecs)
+		out = append(out, putRec, getRec, extractRec)
+		return nil
+	}
+
+	wo := store.WriteOptions{Opts: qoz.Options{RelBound: rel}}
+	if err := measure("float32", 4,
+		func(w *bytes.Buffer) error { return store.Write(ctx, w, ds.Data, ds.Dims, wo) },
+		func(s *store.Store) error { _, err := s.ReadField(ctx); return err },
+		func(s *store.Store) error { _, err := s.ReadRegion(ctx, roiLo, roiHi); return err },
+	); err != nil {
+		return nil, err
+	}
+
+	wide := make([]float64, len(ds.Data))
+	for i, v := range ds.Data {
+		wide[i] = float64(v)
+	}
+	if err := measure("float64", 8,
+		func(w *bytes.Buffer) error { return store.WriteT(ctx, w, wide, ds.Dims, wo) },
+		func(s *store.Store) error { _, err := s.ReadFieldFloat64(ctx); return err },
+		func(s *store.Store) error { _, err := s.ReadRegionFloat64(ctx, roiLo, roiHi); return err },
+	); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // jsonSafe clamps the non-finite values JSON cannot carry (e.g. the

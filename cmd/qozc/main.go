@@ -9,10 +9,11 @@
 //	                [-workers N] [-prec 32|64] [-out data.qoz]
 //	qozc decompress -in data.qoz [-out data.f32]
 //	qozc put        -in data.f32 -dims 100,500,500 -rel 1e-3 [-abs E]
-//	                [-codec C] [-brick 64,64,64] [-workers N] [-out data.qozb]
+//	                [-codec C] [-brick 64,64,64] [-workers N] [-prec 32|64]
+//	                [-out data.qozb]
 //	qozc put        -in data.qoz [-brick ...] [-out data.qozb]
-//	qozc get        -in data.qozb [-out data.f32]
-//	qozc extract    -in data.qozb -box 0:32,128:256,0:64 [-out roi.f32]
+//	qozc get        -in data.qozb [-out data.f32|data.f64]
+//	qozc extract    -in data.qozb -box 0:32,128:256,0:64 [-out roi.f32|roi.f64]
 //	qozc info       -in data.qoz|data.qozb [-json]
 //	qozc codecs
 //
@@ -22,11 +23,13 @@
 // accepts slab streams and the legacy container formats of every
 // registered codec.
 //
-// put builds a brick store (see qoz/store): the field — a raw float32
-// file, or an existing .qoz slab stream re-bricked without materializing
-// the field — is partitioned into fixed-shape bricks compressed
-// independently, so get/extract can decode any region of interest by
-// touching only the bricks it intersects.
+// put builds a brick store (see qoz/store): the field — a raw float32 or
+// float64 file (-prec), or an existing .qoz slab stream re-bricked without
+// materializing the field — is partitioned into fixed-shape bricks
+// compressed independently, so get/extract can decode any region of
+// interest by touching only the bricks it intersects. A float64 input
+// yields a float64 store (format v2, element kind in the header); get and
+// extract then emit raw float64 back.
 package main
 
 import (
@@ -309,6 +312,7 @@ func putCmd(args []string) error {
 	codecName := fs.String("codec", "", "brick compressor (default: qoz, or the stream's codec)")
 	brickArg := fs.String("brick", "", "brick shape, e.g. 64,64,64 (default: ~1 MiB bricks)")
 	workers := fs.Int("workers", 0, "concurrent brick compressions (0 = all cores)")
+	prec := fs.Int("prec", 32, "raw input precision in bits: 32 or 64 (stream input carries its own)")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("put requires -in")
@@ -362,14 +366,25 @@ func putCmd(args []string) error {
 		if err != nil {
 			return err
 		}
-		data, err := readFloats(*in, dims)
-		if err != nil {
-			return err
-		}
 		wo.Opts = qoz.Options{ErrorBound: *abs, RelBound: *rel}
-		if err := writeAtomic(dst, func(f *os.File) error {
-			return store.Write(ctx, f, data, dims, wo)
-		}); err != nil {
+		var build func(f *os.File) error
+		switch *prec {
+		case 32:
+			data, err := readFloats(*in, dims)
+			if err != nil {
+				return err
+			}
+			build = func(f *os.File) error { return store.Write(ctx, f, data, dims, wo) }
+		case 64:
+			data, err := readFloats64(*in, dims)
+			if err != nil {
+				return err
+			}
+			build = func(f *os.File) error { return store.WriteT(ctx, f, data, dims, wo) }
+		default:
+			return fmt.Errorf("unsupported precision %d (want 32 or 64)", *prec)
+		}
+		if err := writeAtomic(dst, build); err != nil {
 			return err
 		}
 	}
@@ -386,17 +401,22 @@ func putCmd(args []string) error {
 	for _, d := range s.Dims() {
 		points *= d
 	}
-	fmt.Printf("%s: dims %v, brick %v, %d bricks, %d -> %d bytes (CR %.1f), codec=%s\n",
-		dst, s.Dims(), s.BrickShape(), s.NumBricks(), points*4, st.Size(),
-		float64(points*4)/float64(st.Size()), s.Codec().Name())
+	elem := 4
+	if s.Float64() {
+		elem = 8
+	}
+	fmt.Printf("%s: dims %v, brick %v, %d bricks, dtype=%s, %d -> %d bytes (CR %.1f), codec=%s\n",
+		dst, s.Dims(), s.BrickShape(), s.NumBricks(), s.DType(), points*elem, st.Size(),
+		float64(points*elem)/float64(st.Size()), s.Codec().Name())
 	return nil
 }
 
-// getCmd decodes a whole brick store back to raw floats.
+// getCmd decodes a whole brick store back to raw floats in the store's
+// own element type.
 func getCmd(args []string) error {
 	fs := flag.NewFlagSet("get", flag.ExitOnError)
 	in := fs.String("in", "", "input .qozb store (required)")
-	out := fs.String("out", "", "output raw float32 file (default: <in>.f32)")
+	out := fs.String("out", "", "output raw float file (default: <in>.f32 or .f64)")
 	workers := fs.Int("workers", 0, "concurrent brick decodes (0 = all cores)")
 	fs.Parse(args)
 	if *in == "" {
@@ -407,6 +427,21 @@ func getCmd(args []string) error {
 		return err
 	}
 	defer s.Close()
+	if s.Float64() {
+		data, err := s.ReadFieldFloat64(context.Background())
+		if err != nil {
+			return err
+		}
+		dst := *out
+		if dst == "" {
+			dst = *in + ".f64"
+		}
+		if err := writeRawFloats64(dst, data); err != nil {
+			return err
+		}
+		fmt.Printf("%s: dims %v, %d points (float64)\n", dst, s.Dims(), len(data))
+		return nil
+	}
 	data, err := s.ReadField(context.Background())
 	if err != nil {
 		return err
@@ -422,11 +457,12 @@ func getCmd(args []string) error {
 	return nil
 }
 
-// extractCmd decodes one region of interest out of a brick store.
+// extractCmd decodes one region of interest out of a brick store in the
+// store's own element type.
 func extractCmd(args []string) error {
 	fs := flag.NewFlagSet("extract", flag.ExitOnError)
 	in := fs.String("in", "", "input .qozb store (required)")
-	out := fs.String("out", "", "output raw float32 file (default: <in>.roi.f32)")
+	out := fs.String("out", "", "output raw float file (default: <in>.roi.f32 or .roi.f64)")
 	boxArg := fs.String("box", "", "region lo:hi per dimension, e.g. 0:32,128:256,0:64 (required)")
 	workers := fs.Int("workers", 0, "concurrent brick decodes (0 = all cores)")
 	fs.Parse(args)
@@ -442,16 +478,32 @@ func extractCmd(args []string) error {
 		return err
 	}
 	defer s.Close()
-	data, err := s.ReadRegion(context.Background(), lo, hi)
-	if err != nil {
-		return err
-	}
+	var points int
 	dst := *out
-	if dst == "" {
-		dst = *in + ".roi.f32"
-	}
-	if err := writeRawFloats(dst, data); err != nil {
-		return err
+	if s.Float64() {
+		data, err := s.ReadRegionFloat64(context.Background(), lo, hi)
+		if err != nil {
+			return err
+		}
+		if dst == "" {
+			dst = *in + ".roi.f64"
+		}
+		if err := writeRawFloats64(dst, data); err != nil {
+			return err
+		}
+		points = len(data)
+	} else {
+		data, err := s.ReadRegion(context.Background(), lo, hi)
+		if err != nil {
+			return err
+		}
+		if dst == "" {
+			dst = *in + ".roi.f32"
+		}
+		if err := writeRawFloats(dst, data); err != nil {
+			return err
+		}
+		points = len(data)
 	}
 	size := make([]int, len(lo))
 	for i := range lo {
@@ -459,7 +511,7 @@ func extractCmd(args []string) error {
 	}
 	st := s.Stats()
 	fmt.Printf("%s: region %v, dims %v, %d points (%d of %d bricks decoded)\n",
-		dst, *boxArg, size, len(data), st.BricksDecoded, s.NumBricks())
+		dst, *boxArg, size, points, st.BricksDecoded, s.NumBricks())
 	return nil
 }
 
@@ -492,6 +544,14 @@ func writeRawFloats(path string, data []float32) error {
 	return os.WriteFile(path, raw, 0o644)
 }
 
+func writeRawFloats64(path string, data []float64) error {
+	raw := make([]byte, 8*len(data))
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	return os.WriteFile(path, raw, 0o644)
+}
+
 // storeInfo prints a brick store's manifest without decoding any brick.
 func storeInfo(path string) error {
 	s, err := store.OpenFile(path, store.Options{})
@@ -507,9 +567,13 @@ func storeInfo(path string) error {
 	for _, d := range s.Dims() {
 		points *= d
 	}
-	fmt.Printf("format: brick store\ncodec: %s\ndims: %v\nbrick: %v\nbricks: %d\nerror bound: %.6g\ncompressed: %d bytes\nCR: %.1f\n",
-		s.Codec().Name(), s.Dims(), s.BrickShape(), s.NumBricks(), s.ErrorBound(),
-		st.Size(), float64(points*4)/float64(st.Size()))
+	elem := 4
+	if s.Float64() {
+		elem = 8
+	}
+	fmt.Printf("format: brick store\ncodec: %s\ndtype: %s\ndims: %v\nbrick: %v\nbricks: %d\nerror bound: %.6g\ncompressed: %d bytes\nCR: %.1f\n",
+		s.Codec().Name(), s.DType(), s.Dims(), s.BrickShape(), s.NumBricks(), s.ErrorBound(),
+		st.Size(), float64(points*elem)/float64(st.Size()))
 	return nil
 }
 
@@ -587,6 +651,7 @@ type infoReport struct {
 	Format          string  `json:"format"` // store, stream, envelope, or container
 	Codec           string  `json:"codec,omitempty"`
 	Float64         bool    `json:"float64"`
+	DType           string  `json:"dtype"`
 	Dims            []int   `json:"dims,omitempty"`
 	Points          int     `json:"points,omitempty"`
 	Brick           []int   `json:"brick,omitempty"`
@@ -623,6 +688,7 @@ func infoJSON(path string, w io.Writer) error {
 		defer s.Close()
 		rep.Format = "store"
 		rep.Codec = s.Codec().Name()
+		rep.Float64 = s.Float64()
 		rep.Dims = s.Dims()
 		rep.Brick = s.BrickShape()
 		rep.Bricks = s.NumBricks()
@@ -686,6 +752,10 @@ func infoJSON(path string, w io.Writer) error {
 				rep.Codec = fmt.Sprintf("unknown(id %d)", id)
 			}
 		}
+	}
+	rep.DType = "float32"
+	if rep.Float64 {
+		rep.DType = "float64"
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

@@ -288,3 +288,122 @@ func TestInfoJSON(t *testing.T) {
 		t.Fatalf("store report incomplete: %+v", rep)
 	}
 }
+
+// TestPutGetExtractFloat64Cycle pins the double-precision store CLI path:
+// a raw f64 file put with -prec 64 must build a float64 store, get must
+// write raw f64 back within the bound, extract must slice it
+// bit-identically, and info -json must name the dtype.
+func TestPutGetExtractFloat64Cycle(t *testing.T) {
+	dir := t.TempDir()
+	dims := []int{16, 16, 16}
+	n := 16 * 16 * 16
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Sin(float64(i)/40) + 1e-9*math.Cos(float64(i)/3)
+	}
+	in := filepath.Join(dir, "data.f64")
+	raw := make([]byte, 8*n)
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	if err := os.WriteFile(in, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	sf := filepath.Join(dir, "data.qozb")
+	if err := putCmd([]string{"-in", in, "-dims", "16,16,16", "-abs", "1e-7", "-prec", "64", "-brick", "8,8,8", "-out", sf}); err != nil {
+		t.Fatalf("put -prec 64: %v", err)
+	}
+
+	full := filepath.Join(dir, "full.f64")
+	if err := getCmd([]string{"-in", sf, "-out", full}); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	recon, err := readFloats64(full, dims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recon {
+		if e := math.Abs(recon[i] - data[i]); e > 1e-7*(1+1e-9) {
+			t.Fatalf("point %d: error %g exceeds bound (float32 narrowing would be ~1e-8 of magnitude)", i, e)
+		}
+	}
+
+	roi := filepath.Join(dir, "roi.f64")
+	if err := extractCmd([]string{"-in", sf, "-box", "2:10,4:12,0:8", "-out", roi}); err != nil {
+		t.Fatalf("extract: %v", err)
+	}
+	got, err := readFloats64(roi, []int{8, 8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := 0
+	for z := 2; z < 10; z++ {
+		for y := 4; y < 12; y++ {
+			for x := 0; x < 8; x++ {
+				want := recon[(z*16+y)*16+x]
+				if got[k] != want {
+					t.Fatalf("roi point (%d,%d,%d): %v != %v (must be bit-identical)", z, y, x, got[k], want)
+				}
+				k++
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := infoJSON(sf, &buf); err != nil {
+		t.Fatalf("infoJSON: %v", err)
+	}
+	var rep infoReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Format != "store" || !rep.Float64 || rep.DType != "float64" {
+		t.Fatalf("float64 store report: %+v", rep)
+	}
+	if err := infoCmd([]string{"-in", sf}); err != nil {
+		t.Fatalf("info on float64 store: %v", err)
+	}
+}
+
+// TestPutFromFloat64Stream re-bricks a double-precision slab stream via
+// the CLI — compress -prec 64, then put straight from the .qoz file.
+func TestPutFromFloat64Stream(t *testing.T) {
+	dir := t.TempDir()
+	n := 24 * 24
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Cos(float64(i) / 15)
+	}
+	in := filepath.Join(dir, "data.f64")
+	raw := make([]byte, 8*n)
+	for i, v := range data {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	if err := os.WriteFile(in, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	qozFile := filepath.Join(dir, "data.qoz")
+	if err := compressCmd([]string{"-in", in, "-dims", "24,24", "-rel", "1e-4", "-prec", "64", "-out", qozFile}); err != nil {
+		t.Fatalf("compress -prec 64: %v", err)
+	}
+	sf := filepath.Join(dir, "rebricked.qozb")
+	if err := putCmd([]string{"-in", qozFile, "-brick", "8,8", "-out", sf}); err != nil {
+		t.Fatalf("put from float64 stream: %v", err)
+	}
+	full := filepath.Join(dir, "full.f64")
+	if err := getCmd([]string{"-in", sf, "-out", full}); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	recon, err := readFloats64(full, []int{24, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-bricking re-compresses the reconstruction: within 2x the bound.
+	vr := 2.0 // cos range
+	for i := range recon {
+		if e := math.Abs(recon[i] - data[i]); e > 2*1e-4*vr*(1+1e-9) {
+			t.Fatalf("point %d: error %g exceeds 2x bound", i, e)
+		}
+	}
+}

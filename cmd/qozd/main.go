@@ -5,24 +5,34 @@
 // never holds the archive) and exposes:
 //
 //	GET /v1/fields                          list the mounted fields
-//	GET /v1/fields/{name}                   manifest: dims, brick, bound, codec, stats
+//	GET /v1/fields/{name}                   manifest: dims, brick, bound, codec, dtype, stats
 //	GET /v1/fields/{name}/region?lo=a,b,c&hi=d,e,f[&format=raw|json]
 //	                                        decode the half-open box [lo, hi)
 //	GET /metrics                            Prometheus-style counters
 //
-// Region responses default to raw little-endian float32 (row-major, shape
-// hi-lo, dims echoed in X-Qoz-Dims); format=json wraps the same values in
-// JSON. All mounted stores share one decoded-brick LRU cache, so the
-// process's decoded memory is bounded by -cache-bytes no matter how many
-// fields are mounted or how requests interleave. Each request observes
-// its client's disconnect through the request context, and -max-inflight
-// bounds concurrent region decodes (excess requests get 503).
+// Region responses default to raw little-endian samples in the field's
+// element type — float32 or float64, named by the manifest's dtype and
+// echoed in X-Qoz-Dtype — row-major, shape hi-lo, dims echoed in
+// X-Qoz-Dims; format=json wraps the same values in JSON (non-finite
+// points as null). Responses carry a strong ETag derived from the store
+// manifest, region, dtype, and encoding; If-None-Match answers 304
+// without decoding a brick. All mounted stores share one decoded-brick
+// LRU cache, so the process's decoded memory is bounded by -cache-bytes
+// no matter how many fields are mounted or how requests interleave. Each
+// request observes its client's disconnect through the request context,
+// and -max-inflight bounds concurrent region decodes (excess requests
+// get 503).
+//
+// -auth-token TOKEN (or the QOZD_TOKEN environment variable) requires
+// "Authorization: Bearer TOKEN" on every /v1/* endpoint, compared in
+// constant time; /metrics stays open only behind -metrics-public.
 //
 // Usage:
 //
 //	qozd -listen :8080 -mount temp=/data/temp.qozb \
 //	     -mount vx=https://bucket.example.com/vx.qozb [-cache-bytes N] \
-//	     [-workers N] [-max-inflight N] [-max-points N] [path.qozb ...]
+//	     [-workers N] [-max-inflight N] [-max-points N] \
+//	     [-auth-token T] [-metrics-public] [path.qozb ...]
 //
 // Bare positional paths are mounted under their base name without the
 // .qozb extension.
@@ -30,6 +40,7 @@ package main
 
 import (
 	"context"
+	"crypto/subtle"
 	"encoding/binary"
 	"encoding/json"
 	"flag"
@@ -45,6 +56,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"qoz"
 	"qoz/store"
 )
 
@@ -59,7 +71,12 @@ func main() {
 	maxPoints := fs.Int("max-points", 1<<26, "largest region served, in points (<=0 = unlimited)")
 	readAhead := fs.Int64("remote-read-ahead", 1<<20, "range-read coalescing window for URL mounts in bytes (<0 disables)")
 	mountTimeout := fs.Duration("mount-timeout", 30*time.Second, "deadline for opening each mount (0 = none); a hung origin must not wedge startup")
+	authToken := fs.String("auth-token", "", "bearer token required on /v1/* endpoints (default: $QOZD_TOKEN; empty disables auth)")
+	metricsPublic := fs.Bool("metrics-public", false, "serve /metrics without auth even when a token is set")
 	fs.Parse(os.Args[1:])
+	if *authToken == "" {
+		*authToken = os.Getenv("QOZD_TOKEN")
+	}
 	for _, p := range fs.Args() {
 		name := strings.TrimSuffix(filepath.Base(p), ".qozb")
 		mounts = append(mounts, mount{name: name, target: p})
@@ -70,12 +87,14 @@ func main() {
 	}
 
 	srv, err := newServer(mounts, serverOptions{
-		CacheBytes:   *cacheBytes,
-		Workers:      *workers,
-		MaxInflight:  *maxInflight,
-		MaxPoints:    *maxPoints,
-		ReadAhead:    *readAhead,
-		MountTimeout: *mountTimeout,
+		CacheBytes:    *cacheBytes,
+		Workers:       *workers,
+		MaxInflight:   *maxInflight,
+		MaxPoints:     *maxPoints,
+		ReadAhead:     *readAhead,
+		MountTimeout:  *mountTimeout,
+		AuthToken:     *authToken,
+		MetricsPublic: *metricsPublic,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qozd: %v\n", err)
@@ -129,12 +148,14 @@ func (m *mountFlags) Set(v string) error {
 
 // serverOptions configures a server.
 type serverOptions struct {
-	CacheBytes   int64
-	Workers      int
-	MaxInflight  int
-	MaxPoints    int
-	ReadAhead    int64         // remote coalescing window; 0 keeps the store default
-	MountTimeout time.Duration // per-mount open deadline; 0 = none
+	CacheBytes    int64
+	Workers       int
+	MaxInflight   int
+	MaxPoints     int
+	ReadAhead     int64         // remote coalescing window; 0 keeps the store default
+	MountTimeout  time.Duration // per-mount open deadline; 0 = none
+	AuthToken     string        // bearer token on /v1/*; "" disables auth
+	MetricsPublic bool          // keep /metrics unauthenticated when a token is set
 }
 
 // field is one mounted store.
@@ -214,7 +235,28 @@ func (s *server) Close() {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	if !s.authorized(r) {
+		w.Header().Set("WWW-Authenticate", `Bearer realm="qozd"`)
+		s.httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
+		return
+	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// authorized enforces the bearer token when one is configured. The
+// comparison is constant-time so response timing cannot be used to guess
+// the token byte by byte; /metrics bypasses the check only behind
+// -metrics-public, so scrapers can stay credential-free without exposing
+// the data endpoints.
+func (s *server) authorized(r *http.Request) bool {
+	if s.opts.AuthToken == "" {
+		return true
+	}
+	if s.opts.MetricsPublic && r.URL.Path == "/metrics" {
+		return true
+	}
+	token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
+	return ok && subtle.ConstantTimeCompare([]byte(token), []byte(s.opts.AuthToken)) == 1
 }
 
 func (s *server) fieldNames() []string {
@@ -248,6 +290,7 @@ type fieldInfo struct {
 	Points     int         `json:"points"`
 	ErrorBound float64     `json:"errorBound"`
 	Codec      string      `json:"codec"`
+	DType      string      `json:"dtype"`
 	Stats      store.Stats `json:"stats"`
 }
 
@@ -266,6 +309,7 @@ func (s *server) info(f *field) fieldInfo {
 		Points:     points,
 		ErrorBound: st.ErrorBound(),
 		Codec:      st.Codec().Name(),
+		DType:      st.DType(),
 		Stats:      st.Stats(),
 	}
 }
@@ -354,6 +398,23 @@ func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Conditional GET: the response is a pure function of (store content,
+	// region, dtype, encoding), so a strong ETag over exactly those lets a
+	// revalidating client skip the decode — and the transfer — entirely.
+	// The header is attached only to the 304 and 200 paths below: a shed
+	// or failed request carries no validator, because ETag describes the
+	// selected representation and an error body is not it. For URL mounts
+	// the fingerprint is the manifest read at mount time; once the remote
+	// object is swapped, region reads fail with ErrRemoteChanged until the
+	// store is re-mounted, so a validator from the old manifest can never
+	// be affirmed against new bytes.
+	etag := regionETag(f.store, lo, hi, format)
+	if inmMatches(r.Header.Get("If-None-Match"), etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
 	// Admission control: bound concurrent decodes rather than queue
 	// unboundedly — a shed request is retryable, an OOM is not.
 	if s.inflight != nil {
@@ -368,34 +429,114 @@ func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
-	// The request context cancels the decode — including its remote range
-	// fetches — the moment the client goes away.
-	data, err := f.store.ReadRegion(r.Context(), lo, hi)
-	if err != nil {
-		if r.Context().Err() != nil {
-			return // client is gone; nobody to answer
-		}
-		s.httpError(w, http.StatusInternalServerError, "read region: %v", err)
-		return
-	}
-	s.regionPts.Add(int64(points))
-
 	outDims := make([]int, len(dims))
 	for i := range dims {
 		outDims[i] = hi[i] - lo[i]
+	}
+
+	// The request context cancels the decode — including its remote range
+	// fetches — the moment the client goes away. The response carries the
+	// field's own element type: float64 stores answer with 8-byte samples
+	// (raw) or full-precision literals (json), float32 stores exactly as
+	// before.
+	var werr error
+	if f.store.Float64() {
+		data, err := f.store.ReadRegionFloat64(r.Context(), lo, hi)
+		if err != nil {
+			s.regionError(w, r, err)
+			return
+		}
+		w.Header().Set("ETag", etag)
+		werr = writeRegion(w, f.store, outDims, data, format)
+	} else {
+		data, err := f.store.ReadRegion(r.Context(), lo, hi)
+		if err != nil {
+			s.regionError(w, r, err)
+			return
+		}
+		w.Header().Set("ETag", etag)
+		werr = writeRegion(w, f.store, outDims, data, format)
+	}
+	if werr != nil {
+		return // client went away mid-body
+	}
+	s.regionPts.Add(int64(points))
+}
+
+// regionError answers a failed region decode, staying silent for a client
+// that already disconnected.
+func (s *server) regionError(w http.ResponseWriter, r *http.Request, err error) {
+	if r.Context().Err() != nil {
+		return // client is gone; nobody to answer
+	}
+	s.httpError(w, http.StatusInternalServerError, "read region: %v", err)
+}
+
+// regionETag derives the strong validator of a region response: the store
+// manifest fingerprint (content identity), the box, the element type, and
+// the encoding. Any of these changing changes the bytes, and nothing else
+// does.
+func regionETag(st *store.Store, lo, hi []int, format string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, `"%08x-`, st.ManifestCRC())
+	for i := range lo {
+		if i > 0 {
+			b.WriteByte('x')
+		}
+		fmt.Fprintf(&b, "%d", lo[i])
+	}
+	b.WriteByte('-')
+	for i := range hi {
+		if i > 0 {
+			b.WriteByte('x')
+		}
+		fmt.Fprintf(&b, "%d", hi[i])
+	}
+	fmt.Fprintf(&b, "-%s-%s"+`"`, st.DType(), format)
+	return b.String()
+}
+
+// inmMatches reports whether an If-None-Match header matches etag: the
+// wildcard, or a list containing it under the weak comparison RFC 9110
+// §13.1.2 prescribes for If-None-Match — a W/ prefix on the client's
+// validator (e.g. added by a transforming intermediary) is ignored, so
+// revalidation still short-circuits to 304.
+func inmMatches(inm, etag string) bool {
+	if inm == "" {
+		return false
+	}
+	if strings.TrimSpace(inm) == "*" {
+		return true
+	}
+	for _, c := range strings.Split(inm, ",") {
+		c = strings.TrimSpace(c)
+		c = strings.TrimPrefix(c, "W/")
+		if c == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// writeRegion streams a decoded region in the requested format. Raw is
+// little-endian samples at the field's element width; json marshals by
+// hand because encoding/json refuses the NaN/±Inf the escape envelope
+// deliberately preserves — non-finite points become null. Both paths
+// stream in bounded chunks instead of materializing a second copy of the
+// region as bytes.
+func writeRegion[T qoz.Float](w http.ResponseWriter, st *store.Store, outDims []int, data []T, format string) error {
+	elem := 4
+	if st.Float64() {
+		elem = 8
 	}
 	dimsHeader := make([]string, len(outDims))
 	for i, d := range outDims {
 		dimsHeader[i] = strconv.Itoa(d)
 	}
 	w.Header().Set("X-Qoz-Dims", strings.Join(dimsHeader, ","))
-	w.Header().Set("X-Qoz-Error-Bound", strconv.FormatFloat(f.store.ErrorBound(), 'g', -1, 64))
+	w.Header().Set("X-Qoz-Dtype", st.DType())
+	w.Header().Set("X-Qoz-Error-Bound", strconv.FormatFloat(st.ErrorBound(), 'g', -1, 64))
 	if format == "json" {
-		// encoding/json refuses NaN/±Inf, which the escape envelope
-		// deliberately preserves in fields — marshal by hand with null for
-		// non-finite points. The body streams in bounded chunks (chunked
-		// transfer, no Content-Length): a ~12-bytes-per-point buffer of a
-		// -max-points region would dwarf the decoded data itself.
 		w.Header().Set("Content-Type", "application/json")
 		body := make([]byte, 0, 64<<10)
 		body = append(body, `{"dims":[`...)
@@ -405,7 +546,9 @@ func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
 			}
 			body = strconv.AppendInt(body, int64(d), 10)
 		}
-		body = append(body, `],"data":[`...)
+		body = append(body, `],"dtype":"`...)
+		body = append(body, st.DType()...)
+		body = append(body, `","data":[`...)
 		for i, v := range data {
 			if i > 0 {
 				body = append(body, ',')
@@ -413,34 +556,37 @@ func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
 			if f := float64(v); math.IsNaN(f) || math.IsInf(f, 0) {
 				body = append(body, `null`...)
 			} else {
-				body = strconv.AppendFloat(body, f, 'g', -1, 32)
+				body = strconv.AppendFloat(body, f, 'g', -1, elem*8)
 			}
 			if len(body) >= 63<<10 {
 				if _, err := w.Write(body); err != nil {
-					return // client went away mid-body
+					return err
 				}
 				body = body[:0]
 			}
 		}
 		body = append(body, `]}`...)
-		w.Write(body)
-		return
+		_, err := w.Write(body)
+		return err
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	w.Header().Set("Content-Length", strconv.Itoa(4*len(data)))
-	// Stream the payload in bounded chunks instead of materializing a
-	// second copy of the region as bytes.
+	w.Header().Set("Content-Length", strconv.Itoa(elem*len(data)))
 	var chunk [64 << 10]byte
 	for off := 0; off < len(data); {
-		n := min(len(chunk)/4, len(data)-off)
+		n := min(len(chunk)/elem, len(data)-off)
 		for i := 0; i < n; i++ {
-			binary.LittleEndian.PutUint32(chunk[4*i:], math.Float32bits(data[off+i]))
+			if elem == 8 {
+				binary.LittleEndian.PutUint64(chunk[8*i:], math.Float64bits(float64(data[off+i])))
+			} else {
+				binary.LittleEndian.PutUint32(chunk[4*i:], math.Float32bits(float32(data[off+i])))
+			}
 		}
-		if _, err := w.Write(chunk[:4*n]); err != nil {
-			return // client went away mid-body
+		if _, err := w.Write(chunk[:elem*n]); err != nil {
+			return err
 		}
 		off += n
 	}
+	return nil
 }
 
 // handleMetrics exposes Prometheus-style counters: per-field store stats

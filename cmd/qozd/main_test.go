@@ -205,6 +205,9 @@ func TestServerInflightLimit(t *testing.T) {
 	if resp.Header.Get("Retry-After") == "" {
 		t.Error("503 without Retry-After")
 	}
+	if resp.Header.Get("ETag") != "" {
+		t.Error("503 carries an ETag; validators belong only to the selected representation")
+	}
 	<-srv.inflight
 	if resp, _ := get(t, ts.URL+"/v1/fields/nyx/region?lo=0,0,0&hi=1,1,1"); resp.StatusCode != http.StatusOK {
 		t.Fatalf("freed server answered %d, want 200", resp.StatusCode)
@@ -269,5 +272,270 @@ func TestServerRemoteMount(t *testing.T) {
 	if st.RemoteRanges == 0 || st.RemoteBytes >= int64(len(content)) {
 		t.Fatalf("URL mount transferred %d bytes of a %d-byte store in %d ranges — not range reads",
 			st.RemoteBytes, len(content), st.RemoteRanges)
+	}
+}
+
+// buildStoreFile64 writes a small float64 brick store (with a NaN the
+// JSON path must turn into null) and returns its path and original field.
+func buildStoreFile64(t *testing.T, dir string) (string, []float64, []int) {
+	t.Helper()
+	dims := []int{16, 16, 16}
+	n := 16 * 16 * 16
+	data := make([]float64, n)
+	for i := range data {
+		data[i] = math.Sin(float64(i)/40) + 1e-9*math.Cos(float64(i)/3)
+	}
+	data[5] = math.NaN()
+	path := filepath.Join(dir, "wave64.qozb")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.WriteT(context.Background(), f, data, dims, store.WriteOptions{
+		Opts:  qoz.Options{ErrorBound: 1e-7},
+		Brick: []int{8, 8, 8},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, data, dims
+}
+
+// TestServerFloat64Field serves a float64 store: the manifest must name
+// the dtype, the raw region endpoint must return 8-byte little-endian
+// samples bit-identical to a local read, and the JSON format must carry
+// full-precision values with NaN as null.
+func TestServerFloat64Field(t *testing.T) {
+	path, _, _ := buildStoreFile64(t, t.TempDir())
+	srv, err := newServer([]mount{{name: "wave", target: path}}, serverOptions{CacheBytes: 32 << 20})
+	if err != nil {
+		t.Fatalf("newServer: %v", err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	_, body := get(t, ts.URL+"/v1/fields/wave")
+	var info fieldInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatalf("manifest: %v (%s)", err, body)
+	}
+	if info.DType != "float64" {
+		t.Fatalf("manifest dtype = %q, want float64", info.DType)
+	}
+
+	local, err := store.OpenFile(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+	lo, hi := []int{0, 0, 0}, []int{8, 12, 8}
+	want, err := local.ReadRegionFloat64(context.Background(), lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := get(t, ts.URL+"/v1/fields/wave/region?lo=0,0,0&hi=8,12,8")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("region: %s: %s", resp.Status, body)
+	}
+	if dt := resp.Header.Get("X-Qoz-Dtype"); dt != "float64" {
+		t.Fatalf("X-Qoz-Dtype %q", dt)
+	}
+	if len(body) != 8*len(want) {
+		t.Fatalf("region body %d bytes, want %d (8 per point)", len(body), 8*len(want))
+	}
+	for i := range want {
+		got := math.Float64frombits(binary.LittleEndian.Uint64(body[8*i:]))
+		same := got == want[i] || (math.IsNaN(got) && math.IsNaN(want[i]))
+		if !same {
+			t.Fatalf("raw f64 region differs at %d: %v != %v", i, got, want[i])
+		}
+	}
+
+	// JSON: full float64 precision, NaN as null. Point 5 of the field is
+	// the NaN; it lies inside [0,0,0)-[2,2,8).
+	resp, body = get(t, ts.URL+"/v1/fields/wave/region?lo=0,0,0&hi=2,2,8&format=json")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("json region: %s: %s", resp.Status, body)
+	}
+	var jr struct {
+		Dims  []int      `json:"dims"`
+		DType string     `json:"dtype"`
+		Data  []*float64 `json:"data"`
+	}
+	if err := json.Unmarshal(body, &jr); err != nil {
+		t.Fatalf("json region: %v (%s)", err, body)
+	}
+	if jr.DType != "float64" {
+		t.Fatalf("json region dtype %q", jr.DType)
+	}
+	wantJSON, _ := local.ReadRegionFloat64(context.Background(), []int{0, 0, 0}, []int{2, 2, 8})
+	if len(jr.Data) != len(wantJSON) {
+		t.Fatalf("json region %d points, want %d", len(jr.Data), len(wantJSON))
+	}
+	for i, p := range jr.Data {
+		if math.IsNaN(wantJSON[i]) {
+			if p != nil {
+				t.Fatalf("json point %d: NaN served as %v, want null", i, *p)
+			}
+			continue
+		}
+		if p == nil || *p != wantJSON[i] {
+			t.Fatalf("json point %d: %v != %v (float64 precision must survive)", i, p, wantJSON[i])
+		}
+	}
+}
+
+// TestServerConditionalGet exercises the ETag contract: region responses
+// carry a strong validator, If-None-Match revalidation answers 304 with no
+// body and no decode, and the validator moves with region, format, and
+// store content.
+func TestServerConditionalGet(t *testing.T) {
+	path, _ := buildStoreFile(t, t.TempDir())
+	srv, err := newServer([]mount{{name: "nyx", target: path}}, serverOptions{CacheBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	url := ts.URL + "/v1/fields/nyx/region?lo=0,0,0&hi=4,4,4"
+	resp, _ := get(t, url)
+	etag := resp.Header.Get("ETag")
+	if etag == "" || strings.HasPrefix(etag, "W/") || !strings.HasPrefix(etag, `"`) {
+		t.Fatalf("region ETag %q is not a strong quoted validator", etag)
+	}
+	resp2, _ := get(t, url)
+	if resp2.Header.Get("ETag") != etag {
+		t.Fatalf("ETag unstable across identical requests: %q then %q", etag, resp2.Header.Get("ETag"))
+	}
+	respJSON, _ := get(t, url+"&format=json")
+	if respJSON.Header.Get("ETag") == etag {
+		t.Fatal("json and raw encodings share an ETag; a cache would serve the wrong body")
+	}
+	respOther, _ := get(t, ts.URL+"/v1/fields/nyx/region?lo=0,0,0&hi=4,4,5")
+	if respOther.Header.Get("ETag") == etag {
+		t.Fatal("different regions share an ETag")
+	}
+
+	decodedBefore := srv.fields["nyx"].store.Stats().BricksDecoded
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match revalidation answered %d, want 304", resp3.StatusCode)
+	}
+	if len(body) != 0 {
+		t.Fatalf("304 carried %d body bytes", len(body))
+	}
+	if resp3.Header.Get("ETag") != etag {
+		t.Fatalf("304 ETag %q, want %q", resp3.Header.Get("ETag"), etag)
+	}
+	if after := srv.fields["nyx"].store.Stats().BricksDecoded; after != decodedBefore {
+		t.Fatalf("revalidation decoded %d bricks; 304 must not decode", after-decodedBefore)
+	}
+
+	// A stale validator (or a list not containing ours) re-sends the body.
+	req, _ = http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", `"stale", "also-stale"`)
+	resp4, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp4.Body)
+	resp4.Body.Close()
+	if resp4.StatusCode != http.StatusOK {
+		t.Fatalf("stale If-None-Match answered %d, want 200", resp4.StatusCode)
+	}
+	// If-None-Match: * matches any representation.
+	req, _ = http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", "*")
+	resp5, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp5.Body.Close()
+	if resp5.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match: * answered %d, want 304", resp5.StatusCode)
+	}
+	// If-None-Match uses the weak comparison: a W/-prefixed copy of our
+	// validator (a transforming intermediary's doing) still revalidates.
+	req, _ = http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", "W/"+etag)
+	resp6, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp6.Body.Close()
+	if resp6.StatusCode != http.StatusNotModified {
+		t.Fatalf("weakened If-None-Match answered %d, want 304 (weak comparison)", resp6.StatusCode)
+	}
+}
+
+// TestServerAuth locks the API behind a bearer token: /v1/* must refuse
+// missing and wrong tokens with 401, accept the right one, and /metrics
+// opens up only behind MetricsPublic.
+func TestServerAuth(t *testing.T) {
+	path, _ := buildStoreFile(t, t.TempDir())
+	const token = "s3cr3t-token"
+
+	for _, tc := range []struct {
+		name          string
+		metricsPublic bool
+		metricsWant   int
+	}{
+		{"metrics guarded", false, http.StatusUnauthorized},
+		{"metrics public", true, http.StatusOK},
+	} {
+		srv, err := newServer([]mount{{name: "nyx", target: path}}, serverOptions{
+			AuthToken:     token,
+			MetricsPublic: tc.metricsPublic,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(srv)
+
+		do := func(path, auth string) int {
+			req, _ := http.NewRequest(http.MethodGet, ts.URL+path, nil)
+			if auth != "" {
+				req.Header.Set("Authorization", auth)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusUnauthorized && resp.Header.Get("WWW-Authenticate") == "" {
+				t.Errorf("%s: 401 without WWW-Authenticate", path)
+			}
+			return resp.StatusCode
+		}
+		if got := do("/v1/fields", ""); got != http.StatusUnauthorized {
+			t.Errorf("%s: unauthenticated /v1/fields: %d, want 401", tc.name, got)
+		}
+		if got := do("/v1/fields", "Bearer wrong-token"); got != http.StatusUnauthorized {
+			t.Errorf("%s: wrong token: %d, want 401", tc.name, got)
+		}
+		if got := do("/v1/fields/nyx/region?lo=0,0,0&hi=1,1,1", ""); got != http.StatusUnauthorized {
+			t.Errorf("%s: unauthenticated region: %d, want 401", tc.name, got)
+		}
+		if got := do("/v1/fields", "Bearer "+token); got != http.StatusOK {
+			t.Errorf("%s: correct token: %d, want 200", tc.name, got)
+		}
+		if got := do("/metrics", ""); got != tc.metricsWant {
+			t.Errorf("%s: unauthenticated /metrics: %d, want %d", tc.name, got, tc.metricsWant)
+		}
+		ts.Close()
+		srv.Close()
 	}
 }

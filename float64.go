@@ -6,6 +6,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"qoz/internal/container"
 )
 
 // Float64 support. The core pipelines quantize float32 payloads (the
@@ -36,6 +38,74 @@ func absBound64(data []float64, opts Options) (float64, error) {
 		return 0, errors.New("qoz: a positive ErrorBound or RelBound is required")
 	}
 	return eb, nil
+}
+
+// CompressEnvelope compresses a float64 field through codec c (nil selects
+// the registry default) inside the escape envelope: magic | eb | nEscapes |
+// delta-varint indices | exact f64 values | inner float32 stream. This is
+// the bare per-payload form used for every double-precision unit this
+// module stores — one slab of a float64 slab stream, or one brick of a
+// float64 brick store — as opposed to Encode, which frames the envelope in
+// the slab stream format.
+func CompressEnvelope(ctx context.Context, c Codec, data []float64, dims []int, opts Options) ([]byte, error) {
+	if c == nil {
+		var err error
+		if c, err = Lookup(DefaultCodec); err != nil {
+			return nil, err
+		}
+	}
+	return compressFloat64With(ctx, c, data, dims, opts)
+}
+
+// DecompressEnvelope reverses CompressEnvelope, routing the inner stream to
+// the registered codec named in its container header and restoring escaped
+// double-precision points exactly.
+func DecompressEnvelope(ctx context.Context, buf []byte) ([]float64, []int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return decodeFloat64Envelope(ctx, buf)
+}
+
+// PeekEnvelope parses a float64 escape envelope just far enough to return
+// the inner container's codec id and declared dimensions, without decoding
+// any payload — the envelope analog of container.PeekHeader, letting a
+// reader validate a declared shape before the codec allocates anything
+// from it.
+func PeekEnvelope(buf []byte) (codecID uint8, dims []int, err error) {
+	inner, err := envelopeInner(buf)
+	if err != nil {
+		return 0, nil, err
+	}
+	return container.PeekHeader(inner)
+}
+
+// envelopeInner skips the envelope prefix (bound, escape indices, escape
+// values) and returns the inner container stream.
+func envelopeInner(buf []byte) ([]byte, error) {
+	if len(buf) < len(f64Magic)+8 || string(buf[:len(f64Magic)]) != f64Magic {
+		return nil, errors.New("qoz: not a float64 stream")
+	}
+	buf = buf[len(f64Magic)+8:]
+	nEsc, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, errors.New("qoz: corrupt float64 envelope")
+	}
+	buf = buf[n:]
+	if nEsc > uint64(len(buf))/9 {
+		return nil, fmt.Errorf("qoz: escape count %d exceeds payload size %d", nEsc, len(buf))
+	}
+	for i := uint64(0); i < nEsc; i++ {
+		_, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, errors.New("qoz: corrupt escape index")
+		}
+		buf = buf[n:]
+	}
+	if uint64(len(buf)) < 8*nEsc {
+		return nil, errors.New("qoz: truncated escape values")
+	}
+	return buf[8*nEsc:], nil
 }
 
 // compressFloat64With compresses a float64 field through codec c inside

@@ -127,6 +127,38 @@ func (o Options) ResolveAbs(data []float32) (Options, error) {
 	return o, nil
 }
 
+// ResolveAbsT is Options.ResolveAbs generalized over the sample types of
+// the typed API: it resolves the error bound to an absolute one over a
+// float32 or float64 field (or any type defined on them), with RelBound
+// folded in and cleared.
+func ResolveAbsT[T Float](o Options, data []T) (Options, error) {
+	switch d := any(data).(type) {
+	case []float32:
+		return o.ResolveAbs(d)
+	case []float64:
+		eb, err := absBound64(d, o)
+		if err != nil {
+			return Options{}, err
+		}
+		o.ErrorBound, o.RelBound = eb, 0
+		return o, nil
+	}
+	// T is a type defined on float32 or float64: convert and resolve
+	// through the matching branch above.
+	if elemSize[T]() == 4 {
+		tmp := make([]float32, len(data))
+		for i, v := range data {
+			tmp[i] = float32(v)
+		}
+		return ResolveAbsT(o, tmp)
+	}
+	tmp := make([]float64, len(data))
+	for i, v := range data {
+		tmp[i] = float64(v)
+	}
+	return ResolveAbsT(o, tmp)
+}
+
 func (o Options) resolve(data []float32) (core.Options, float64, error) {
 	eb, err := o.absBound(data)
 	if err != nil {

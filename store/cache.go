@@ -8,8 +8,11 @@ import (
 // Cache is a byte-budgeted LRU cache of decoded bricks that can be shared
 // across Stores — e.g. one process-wide cache behind every field a server
 // mounts — so decoded-brick memory is bounded globally rather than per
-// store. Pass it via Options.Cache; when absent each store gets a private
-// cache sized by Options.CacheBytes. Safe for concurrent use.
+// store. Entries are accounted at their actual decoded size (4 bytes per
+// float32 point, 8 per float64 point), so float32 and float64 stores share
+// one byte budget honestly. Pass it via Options.Cache; when absent each
+// store gets a private cache sized by Options.CacheBytes. Safe for
+// concurrent use.
 type Cache struct {
 	lru *lruCache
 }
@@ -40,7 +43,10 @@ type cacheKey struct {
 // lruCache is a byte-budgeted LRU cache of decoded bricks. Repeated
 // overlapping region reads hit the cache instead of re-running the codec;
 // eviction is least-recently-used once the decoded bytes exceed the
-// budget. Safe for concurrent use.
+// budget. Values are stored untyped ([]float32 or []float64, matching the
+// owning store's element kind) with their byte size carried alongside, so
+// one budget accounts mixed-precision stores accurately. Safe for
+// concurrent use.
 type lruCache struct {
 	mu     sync.Mutex
 	budget int64
@@ -50,8 +56,9 @@ type lruCache struct {
 }
 
 type cacheEntry struct {
-	key  cacheKey
-	data []float32
+	key   cacheKey
+	data  any // []float32 or []float64
+	bytes int64
 }
 
 func newLRUCache(budget int64) *lruCache {
@@ -62,7 +69,7 @@ func newLRUCache(budget int64) *lruCache {
 }
 
 // get returns the cached brick and marks it most recently used.
-func (c *lruCache) get(key cacheKey) ([]float32, bool) {
+func (c *lruCache) get(key cacheKey) (any, bool) {
 	if c == nil {
 		return nil, false
 	}
@@ -76,14 +83,14 @@ func (c *lruCache) get(key cacheKey) ([]float32, bool) {
 	return el.Value.(*cacheEntry).data, true
 }
 
-// put inserts a decoded brick, evicting least-recently-used entries until
-// the budget holds. A brick larger than the whole budget is not cached.
-func (c *lruCache) put(key cacheKey, data []float32) {
+// put inserts a decoded brick of the given byte size, evicting
+// least-recently-used entries until the budget holds. A brick larger than
+// the whole budget is not cached.
+func (c *lruCache) put(key cacheKey, data any, bytes int64) {
 	if c == nil {
 		return
 	}
-	sz := int64(len(data)) * 4
-	if sz > c.budget {
+	if bytes > c.budget {
 		return
 	}
 	c.mu.Lock()
@@ -95,14 +102,14 @@ func (c *lruCache) put(key cacheKey, data []float32) {
 		c.order.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, data: data})
-	c.bytes += sz
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, data: data, bytes: bytes})
+	c.bytes += bytes
 	for c.bytes > c.budget {
 		el := c.order.Back()
 		ent := el.Value.(*cacheEntry)
 		c.order.Remove(el)
 		delete(c.byKey, ent.key)
-		c.bytes -= int64(len(ent.data)) * 4
+		c.bytes -= ent.bytes
 	}
 }
 
@@ -121,7 +128,7 @@ func (c *lruCache) evictOwner(owner *Store) {
 		if ent := el.Value.(*cacheEntry); ent.key.owner == owner {
 			c.order.Remove(el)
 			delete(c.byKey, ent.key)
-			c.bytes -= int64(len(ent.data)) * 4
+			c.bytes -= ent.bytes
 		}
 		el = next
 	}

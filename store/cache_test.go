@@ -18,13 +18,14 @@ import (
 // brick sits at the LRU end and is evicted next.
 func TestCachePutRefreshesRecency(t *testing.T) {
 	data := make([]float32, 100)
-	c := newLRUCache(2 * 4 * 100) // room for exactly two entries
+	sz := int64(4 * 100)
+	c := newLRUCache(2 * sz) // room for exactly two entries
 	k := func(i int) cacheKey { return cacheKey{brick: i} }
 
-	c.put(k(1), data)
-	c.put(k(2), data)
-	c.put(k(1), data) // duplicate put: brick 1 was just touched again
-	c.put(k(3), data) // over budget: must evict brick 2, the true LRU
+	c.put(k(1), data, sz)
+	c.put(k(2), data, sz)
+	c.put(k(1), data, sz) // duplicate put: brick 1 was just touched again
+	c.put(k(3), data, sz) // over budget: must evict brick 2, the true LRU
 
 	if _, ok := c.get(k(1)); !ok {
 		t.Fatal("duplicate put did not refresh recency: brick 1 was evicted as LRU")

@@ -8,12 +8,18 @@
 // File layout (integers are unsigned varints unless noted):
 //
 //	header:  magic "QOZB" | version u8 | format id u8 (container.CodecBrick) |
-//	         codec id u8 | kind u8 (0=f32) | ndims u8 |
+//	         codec id u8 | kind u8 (0=f32, 1=f64) | ndims u8 |
 //	         dims... | brick shape... | absBound f64 LE
-//	bricks:  nbricks consecutive codec containers, row-major in brick-grid
-//	         order (first dimension slowest)
+//	bricks:  nbricks consecutive payloads, row-major in brick-grid order
+//	         (first dimension slowest): the codec's own container for a
+//	         float32 field, the float64 escape envelope wrapping one for a
+//	         float64 field
 //	index:   nbricks | nbricks × (payloadLen | crc32 u32 LE)
 //	footer:  index offset u64 LE | trailer magic "QOZBIDX1" (8 bytes)
+//
+// Format v1 is identical except that the kind byte is always 0 (float32);
+// v2 legitimizes kind 1 (float64). Both versions open and read through the
+// same parser, so pre-v2 archives stay readable bit-identically.
 //
 // Brick payload offsets are implied by the cumulative lengths, so the
 // index stays small; the fixed-size footer makes the index — and from it
@@ -26,15 +32,21 @@ import (
 	"fmt"
 	"math"
 
+	"qoz"
 	"qoz/internal/container"
 )
 
 const (
-	magic         = "QOZB"
-	trailerMagic  = "QOZBIDX1"
-	formatVersion = 1
+	magic        = "QOZB"
+	trailerMagic = "QOZBIDX1"
+
+	// formatVersion is what the writer emits; formatVersionV1 files (kind
+	// always float32) still open and read unchanged.
+	formatVersion   = 2
+	formatVersionV1 = 1
 
 	kindFloat32 = 0
+	kindFloat64 = 1
 
 	footerSize = 8 + len(trailerMagic)
 
@@ -42,36 +54,56 @@ const (
 	// most 8 varint dims, 8 varint brick extents, and the bound.
 	maxHeaderLen = 9 + 2*8*binary.MaxVarintLen64 + 8
 
-	// maxBrickPoints caps one brick's decoded size (2^26 points = 256 MiB
-	// of float32), keeping the unit of random access — and the worst-case
-	// allocation a corrupt index can force — small relative to the field.
-	maxBrickPoints = 1 << 26
+	// maxBrickBytes caps one brick's decoded size (256 MiB: 2^26 float32
+	// points, 2^25 float64 points), keeping the unit of random access — and
+	// the worst-case allocation a corrupt index can force — small relative
+	// to the field.
+	maxBrickBytes = 1 << 28
 
 	// maxBrickPayload caps one compressed brick's declared byte length.
 	maxBrickPayload = 1 << 31
 )
 
+// kindSize returns the element byte width of a sample kind.
+func kindSize(kind uint8) int {
+	if kind == kindFloat64 {
+		return 8
+	}
+	return 4
+}
+
+// kindName returns the dtype name of a sample kind.
+func kindName(kind uint8) string {
+	if kind == kindFloat64 {
+		return "float64"
+	}
+	return "float32"
+}
+
 // ErrCorrupt reports a malformed store file.
 var ErrCorrupt = errors.New("store: corrupt brick store")
 
-// IsStore reports whether buf begins a brick store file.
+// IsStore reports whether buf begins a brick store file (any supported
+// format version).
 func IsStore(buf []byte) bool {
 	return len(buf) >= len(magic)+2 && string(buf[:len(magic)]) == magic &&
-		buf[len(magic)] == formatVersion && buf[len(magic)+1] == container.CodecBrick
+		(buf[len(magic)] == formatVersion || buf[len(magic)] == formatVersionV1) &&
+		buf[len(magic)+1] == container.CodecBrick
 }
 
 // header is the decoded store header.
 type header struct {
 	codecID uint8
+	kind    uint8 // kindFloat32 or kindFloat64
 	dims    []int
 	brick   []int
 	bound   float64
 }
 
-// appendHeader serializes h.
+// appendHeader serializes h in the current format version.
 func appendHeader(dst []byte, h *header) []byte {
 	dst = append(dst, magic...)
-	dst = append(dst, formatVersion, container.CodecBrick, h.codecID, kindFloat32, uint8(len(h.dims)))
+	dst = append(dst, formatVersion, container.CodecBrick, h.codecID, h.kind, uint8(len(h.dims)))
 	for _, d := range h.dims {
 		dst = binary.AppendUvarint(dst, uint64(d))
 	}
@@ -87,15 +119,20 @@ func parseHeader(buf []byte) (*header, int, error) {
 	if len(buf) < len(magic)+5 || string(buf[:len(magic)]) != magic {
 		return nil, 0, ErrCorrupt
 	}
-	if buf[len(magic)] != formatVersion {
-		return nil, 0, fmt.Errorf("store: unsupported version %d", buf[len(magic)])
+	version := buf[len(magic)]
+	if version != formatVersion && version != formatVersionV1 {
+		return nil, 0, fmt.Errorf("store: unsupported version %d", version)
 	}
 	if buf[len(magic)+1] != container.CodecBrick {
 		return nil, 0, ErrCorrupt
 	}
-	h := &header{codecID: buf[len(magic)+2]}
-	if buf[len(magic)+3] != kindFloat32 {
-		return nil, 0, fmt.Errorf("store: unsupported sample kind %d", buf[len(magic)+3])
+	h := &header{codecID: buf[len(magic)+2], kind: buf[len(magic)+3]}
+	switch {
+	case version == formatVersionV1 && h.kind != kindFloat32:
+		// v1 reserved the kind byte but only ever wrote float32.
+		return nil, 0, fmt.Errorf("store: unsupported sample kind %d in v1 store", h.kind)
+	case h.kind != kindFloat32 && h.kind != kindFloat64:
+		return nil, 0, fmt.Errorf("store: unsupported sample kind %d", h.kind)
 	}
 	nd := int(buf[len(magic)+4])
 	if nd == 0 || nd > 8 {
@@ -126,8 +163,9 @@ func parseHeader(buf []byte) (*header, int, error) {
 	if h.brick, err = readDims(); err != nil {
 		return nil, 0, err
 	}
-	if p := clippedBrickPoints(h.dims, h.brick); p > maxBrickPoints {
-		return nil, 0, fmt.Errorf("store: brick shape %v holds %d points (max %d)", h.brick, p, maxBrickPoints)
+	if p := clippedBrickPoints(h.dims, h.brick); p > maxBrickBytes/kindSize(h.kind) {
+		return nil, 0, fmt.Errorf("store: brick shape %v holds %d %s points (max %d)",
+			h.brick, p, kindName(h.kind), maxBrickBytes/kindSize(h.kind))
 	}
 	if len(buf[pos:]) < 8 {
 		return nil, 0, ErrCorrupt
@@ -210,7 +248,7 @@ func strides(dims []int) []int {
 // box origin srcLo) into dst (shape dstDims, box origin dstLo). The last
 // dimension is contiguous in both layouts, so the copy proceeds in
 // whole-row runs.
-func copyBox(dst []float32, dstDims, dstLo []int, src []float32, srcDims, srcLo []int, size []int) {
+func copyBox[T qoz.Float](dst []T, dstDims, dstLo []int, src []T, srcDims, srcLo []int, size []int) {
 	n := len(size)
 	run := size[n-1]
 	if run == 0 {

@@ -36,19 +36,61 @@ func FuzzOpen(f *testing.F) {
 	}
 	f.Add(mut)
 
+	// A valid v2 float64 store, so the fuzzer explores the envelope brick
+	// path too.
+	d64 := make([]float64, 12*12*12)
+	for i := range d64 {
+		d64[i] = float64(ds.Data[i]) + 1e-9*float64(i%7)
+	}
+	var buf64 bytes.Buffer
+	if err := WriteT(context.Background(), &buf64, d64, ds.Dims,
+		WriteOptions{Opts: qoz.Options{ErrorBound: 1e-6}, Brick: []int{8, 8, 8}}); err != nil {
+		f.Fatal(err)
+	}
+	valid64 := buf64.Bytes()
+	f.Add(valid64)
+	f.Add(valid64[:len(valid64)/2])
+	// Element-kind mutations: the kind byte at magic+3 flipped on both
+	// stores (f32 header claiming f64 bricks and vice versa — payload
+	// framing then contradicts the manifest), a hostile kind value, and a
+	// version downgrade on an f64 store (v1 never carried kind 1 and must
+	// be rejected at parse).
+	kindOff := len(magic) + 3
+	for _, seed := range [][]byte{valid, valid64} {
+		for _, k := range []byte{0, 1, 2, 0xff} {
+			mut = append([]byte(nil), seed...)
+			mut[kindOff] = k
+			f.Add(mut)
+		}
+	}
+	mut = append([]byte(nil), valid64...)
+	mut[len(magic)] = formatVersionV1
+	f.Add(mut)
+
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := Open(bytes.NewReader(data), int64(len(data)), Options{CacheBytes: -1})
 		if err != nil {
 			return
 		}
-		// An accepted manifest must still read back sanely or error cleanly.
-		got, err := s.ReadField(context.Background())
-		if err != nil {
-			return
-		}
+		// An accepted manifest must still read back sanely or error cleanly,
+		// through the read path matching its declared element kind.
 		n := 1
 		for _, d := range s.Dims() {
 			n *= d
+		}
+		if s.Float64() {
+			got, err := s.ReadFieldFloat64(context.Background())
+			if err != nil {
+				return
+			}
+			if len(got) != n {
+				t.Fatalf("ReadFieldFloat64 returned %d points for dims %v", len(got), s.Dims())
+			}
+			return
+		}
+		got, err := s.ReadField(context.Background())
+		if err != nil {
+			return
 		}
 		if len(got) != n {
 			t.Fatalf("ReadField returned %d points for dims %v", len(got), s.Dims())

@@ -9,6 +9,7 @@ import (
 	"io"
 	"os"
 	"sync/atomic"
+	"unsafe"
 
 	"qoz"
 	"qoz/internal/container"
@@ -67,6 +68,7 @@ type Store struct {
 	cache   *lruCache
 	workers int
 	remote  *RemoteReader // non-nil for OpenURL stores
+	fp      uint32        // manifest fingerprint (header + index CRC)
 
 	decoded atomic.Int64
 	read    atomic.Int64
@@ -116,6 +118,11 @@ func Open(ra io.ReaderAt, size int64, opts Options) (*Store, error) {
 	if _, err := ra.ReadAt(idx, int64(idxOff)); err != nil {
 		return nil, manifestReadErr(err)
 	}
+	// Manifest fingerprint: the header's logical content plus the raw index
+	// bytes. Two stores with identical fields, bricking, bound, and brick
+	// payloads share it; any content change moves it — the basis for strong
+	// ETags on responses derived from this store.
+	fp := crc32.Update(crc32.ChecksumIEEE(appendHeader(nil, hdr)), crc32.IEEETable, idx)
 	declared, n := binary.Uvarint(idx)
 	if n <= 0 || declared != uint64(nb) {
 		return nil, ErrCorrupt
@@ -129,6 +136,7 @@ func Open(ra io.ReaderAt, size int64, opts Options) (*Store, error) {
 		lengths: make([]int64, nb),
 		crcs:    make([]uint32, nb),
 		workers: opts.Workers,
+		fp:      fp,
 	}
 	off := int64(headerLen)
 	for i := 0; i < nb; i++ {
@@ -231,6 +239,18 @@ func (s *Store) ErrorBound() float64 { return s.hdr.bound }
 // Codec returns the per-brick codec.
 func (s *Store) Codec() qoz.Codec { return s.codec }
 
+// Float64 reports whether the store holds double-precision samples.
+func (s *Store) Float64() bool { return s.hdr.kind == kindFloat64 }
+
+// DType returns the store's element type name: "float32" or "float64".
+func (s *Store) DType() string { return kindName(s.hdr.kind) }
+
+// ManifestCRC returns a CRC32 fingerprint of the store's manifest (header
+// content plus the per-brick length/checksum index). It identifies the
+// store's content: serving layers derive strong validators (ETags) for
+// responses computed from the store's bricks from it.
+func (s *Store) ManifestCRC() uint32 { return s.fp }
+
 // Stats returns decode and cache counters accumulated since Open.
 func (s *Store) Stats() Stats {
 	st := Stats{
@@ -247,17 +267,74 @@ func (s *Store) Stats() Stats {
 	return st
 }
 
-// ReadField decodes the whole field (every brick).
+// ReadField decodes the whole field (every brick). The store must hold
+// float32 samples; use ReadFieldFloat64 for double precision (it also
+// widens float32 stores).
 func (s *Store) ReadField(ctx context.Context) ([]float32, error) {
 	lo := make([]int, len(s.hdr.dims))
 	return s.ReadRegion(ctx, lo, s.Dims())
 }
 
+// ReadFieldFloat64 decodes the whole field as float64.
+func (s *Store) ReadFieldFloat64(ctx context.Context) ([]float64, error) {
+	lo := make([]int, len(s.hdr.dims))
+	return s.ReadRegionFloat64(ctx, lo, s.Dims())
+}
+
 // ReadRegion decodes the half-open box [lo, hi) of the field, touching
 // only the bricks the box intersects. Bricks are decoded concurrently on
 // a bounded worker pool, observe ctx, and pass through the decoded-brick
-// LRU cache; the result is row-major with shape hi-lo.
+// LRU cache; the result is row-major with shape hi-lo. A float64 store is
+// refused, since narrowing could break the error bound; use
+// ReadRegionFloat64.
 func (s *Store) ReadRegion(ctx context.Context, lo, hi []int) ([]float32, error) {
+	if s.hdr.kind == kindFloat64 {
+		return nil, errors.New("store: float64 store cannot be narrowed to float32 without breaking the error bound; use ReadRegionFloat64")
+	}
+	return readRegionTyped(ctx, s, lo, hi, s.brick32)
+}
+
+// ReadRegionFloat64 is ReadRegion for double precision: it decodes the box
+// [lo, hi) of a float64 store, restoring escaped double-precision points
+// exactly, and widens float32 stores losslessly.
+func (s *Store) ReadRegionFloat64(ctx context.Context, lo, hi []int) ([]float64, error) {
+	if s.hdr.kind == kindFloat64 {
+		return readRegionTyped(ctx, s, lo, hi, s.brick64)
+	}
+	v, err := readRegionTyped(ctx, s, lo, hi, s.brick32)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out, nil
+}
+
+// ReadRegionT is the generic entry point over the two typed region reads:
+// ReadRegionT[float32] is ReadRegion, ReadRegionT[float64] is
+// ReadRegionFloat64. (Go methods cannot be generic, hence the free
+// function.)
+func ReadRegionT[T qoz.Float](ctx context.Context, s *Store, lo, hi []int) ([]T, error) {
+	if elemBytes[T]() == 8 {
+		v, err := s.ReadRegionFloat64(ctx, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		return convertSamples[float64, T](v), nil
+	}
+	v, err := s.ReadRegion(ctx, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return convertSamples[float32, T](v), nil
+}
+
+// readRegionTyped decodes the box [lo, hi) from bricks of element type T
+// fetched by brick — the shared implementation behind both typed reads.
+func readRegionTyped[T qoz.Float](ctx context.Context, s *Store, lo, hi []int,
+	brick func(context.Context, int) ([]T, error)) ([]T, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -274,13 +351,13 @@ func (s *Store) ReadRegion(ctx context.Context, lo, hi []int) ([]float32, error)
 	for i := range dims {
 		outDims[i] = hi[i] - lo[i]
 	}
-	out := make([]float32, boxPoints(lo, hi))
+	out := make([]T, boxPoints(lo, hi))
 
 	bricks := s.intersectingBricks(lo, hi)
 	err := pool.RunErr(ctx, len(bricks), s.workers, func(k int) error {
 		bi := bricks[k]
 		blo, bhi := s.hdr.brickBox(bi)
-		data, err := s.brick(ctx, bi)
+		data, err := brick(ctx, bi)
 		if err != nil {
 			return err
 		}
@@ -342,13 +419,27 @@ func (s *Store) intersectingBricks(lo, hi []int) []int {
 	}
 }
 
-// brick returns brick i decoded, via the cache when enabled.
-func (s *Store) brick(ctx context.Context, i int) ([]float32, error) {
+// brick32 returns brick i of a float32 store decoded, via the cache when
+// enabled.
+func (s *Store) brick32(ctx context.Context, i int) ([]float32, error) {
+	return brickTyped[float32](ctx, s, i, s.codec.Decompress)
+}
+
+// brick64 returns brick i of a float64 store decoded (the escape envelope
+// unwrapped), via the cache when enabled.
+func (s *Store) brick64(ctx context.Context, i int) ([]float64, error) {
+	return brickTyped[float64](ctx, s, i, qoz.DecompressEnvelope)
+}
+
+// brickTyped returns brick i decoded to element type T, via the cache when
+// enabled. decode reverses the brick payload format of the store's kind.
+func brickTyped[T qoz.Float](ctx context.Context, s *Store, i int,
+	decode func(context.Context, []byte) ([]T, []int, error)) ([]T, error) {
 	s.read.Add(1)
 	key := cacheKey{owner: s, brick: i}
 	if data, ok := s.cache.get(key); ok {
 		s.hits.Add(1)
-		return data, nil
+		return data.([]T), nil
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -358,7 +449,9 @@ func (s *Store) brick(ctx context.Context, i int) ([]float32, error) {
 	if s.remote != nil {
 		// Thread the region read's context down into the range fetch, so a
 		// cancelled request aborts its network I/O rather than just the
-		// decode that would have followed it.
+		// decode that would have followed it. The element kind never touches
+		// this path: remote reads move payload bytes as-is, and the kind only
+		// matters once those bytes reach the decoder below.
 		_, err = s.remote.readAtCtx(ctx, payload, s.offsets[i])
 	} else {
 		_, err = s.ra.ReadAt(payload, s.offsets[i])
@@ -375,12 +468,13 @@ func (s *Store) brick(ctx context.Context, i int) ([]float32, error) {
 		want[k] = bhi[k] - blo[k]
 	}
 	// Validate the payload's declared shape against the manifest before the
-	// codec allocates anything from it.
-	id, pdims, err := container.PeekHeader(payload)
+	// codec allocates anything from it: the container header directly for a
+	// float32 brick, the envelope's inner container for a float64 one.
+	id, pdims, err := peekBrick(s.hdr.kind, payload)
 	if err != nil || id != s.hdr.codecID || !equalInts(pdims, want) {
 		return nil, fmt.Errorf("store: brick %d: payload shape mismatch: %w", i, ErrCorrupt)
 	}
-	data, dims, err := s.codec.Decompress(ctx, payload)
+	data, dims, err := decode(ctx, payload)
 	if err != nil {
 		return nil, fmt.Errorf("store: brick %d: %w", i, err)
 	}
@@ -388,8 +482,36 @@ func (s *Store) brick(ctx context.Context, i int) ([]float32, error) {
 		return nil, fmt.Errorf("store: brick %d: decoded shape mismatch: %w", i, ErrCorrupt)
 	}
 	s.decoded.Add(1)
-	s.cache.put(key, data)
+	s.cache.put(key, data, int64(len(data))*int64(kindSize(s.hdr.kind)))
 	return data, nil
+}
+
+// peekBrick validates a brick payload's framing for the given element kind
+// and returns the declared codec id and dimensions without decoding.
+func peekBrick(kind uint8, payload []byte) (uint8, []int, error) {
+	if kind == kindFloat64 {
+		return qoz.PeekEnvelope(payload)
+	}
+	return container.PeekHeader(payload)
+}
+
+// elemBytes returns the byte width of a sample type.
+func elemBytes[T qoz.Float]() int {
+	var z T
+	return int(unsafe.Sizeof(z))
+}
+
+// convertSamples converts between sample slices, returning the input
+// unchanged when F and T are the same underlying type.
+func convertSamples[F, T qoz.Float](v []F) []T {
+	if out, ok := any(v).([]T); ok {
+		return out
+	}
+	out := make([]T, len(v))
+	for i, x := range v {
+		out[i] = T(x)
+	}
+	return out
 }
 
 func equalInts(a, b []int) bool {

@@ -33,9 +33,9 @@ type WriteOptions struct {
 
 // DefaultBrick picks a brick shape for a field: the largest power-of-two
 // cube (clipped per-dimension to the field) holding at most 2^18 points,
-// i.e. 1 MiB of float32 per brick — small enough that a region of interest
-// touches little excess data, large enough that per-brick compression
-// overhead stays negligible.
+// i.e. 1 MiB of float32 (2 MiB of float64) per brick — small enough that
+// a region of interest touches little excess data, large enough that
+// per-brick compression overhead stays negligible.
 func DefaultBrick(dims []int) []int {
 	const targetPoints = 1 << 18
 	n := len(dims)
@@ -65,8 +65,10 @@ func DefaultBrick(dims []int) []int {
 // dimension are appended in order, and each time a full band of brick[0]
 // rows accumulates it is cut into bricks, compressed concurrently, and
 // flushed, so peak memory is one band regardless of field size. Close
-// writes the index and footer.
-type Writer struct {
+// writes the index and footer. The type parameter is the element type of
+// the field being written: float32 bricks hold the codec's own container,
+// float64 bricks the escape envelope wrapping one.
+type Writer[T qoz.Float] struct {
 	w       io.Writer
 	hdr     *header
 	codec   qoz.Codec
@@ -75,7 +77,7 @@ type Writer struct {
 
 	rowPoints int
 	rowsSeen  int
-	pending   []float32
+	pending   []T
 	lengths   []int64
 	crcs      []uint32
 	closed    bool
@@ -86,10 +88,19 @@ type Writer struct {
 	writeErr error
 }
 
-// NewWriter starts a brick store over a field of the given dims. The
-// error bound in wo.Opts must be absolute; use qoz.Options.ResolveAbs (or
-// the Write convenience) to fold a relative bound first.
-func NewWriter(w io.Writer, dims []int, wo WriteOptions) (*Writer, error) {
+// NewWriter starts a float32 brick store over a field of the given dims;
+// NewWriterT generalizes it over the element type. The error bound in
+// wo.Opts must be absolute; use qoz.Options.ResolveAbs (or the Write
+// convenience) to fold a relative bound first.
+func NewWriter(w io.Writer, dims []int, wo WriteOptions) (*Writer[float32], error) {
+	return NewWriterT[float32](w, dims, wo)
+}
+
+// NewWriterT starts a brick store of element type T over a field of the
+// given dims. The error bound in wo.Opts must be absolute; use
+// qoz.ResolveAbsT (or the WriteT convenience) to fold a relative bound
+// first.
+func NewWriterT[T qoz.Float](w io.Writer, dims []int, wo WriteOptions) (*Writer[T], error) {
 	if w == nil {
 		return nil, errors.New("store: nil writer")
 	}
@@ -128,11 +139,17 @@ func NewWriter(w io.Writer, dims []int, wo WriteOptions) (*Writer, error) {
 			brick[i] = dims[i]
 		}
 	}
-	if p := clippedBrickPoints(dims, brick); p > maxBrickPoints {
-		return nil, fmt.Errorf("store: brick shape %v holds %d points (max %d)", brick, p, maxBrickPoints)
+	kind := uint8(kindFloat32)
+	if elemBytes[T]() == 8 {
+		kind = kindFloat64
+	}
+	if p := clippedBrickPoints(dims, brick); p > maxBrickBytes/kindSize(kind) {
+		return nil, fmt.Errorf("store: brick shape %v holds %d %s points (max %d)",
+			brick, p, kindName(kind), maxBrickBytes/kindSize(kind))
 	}
 	hdr := &header{
 		codecID: codec.ID(),
+		kind:    kind,
 		dims:    append([]int(nil), dims...),
 		brick:   append([]int(nil), brick...),
 		bound:   wo.Opts.ErrorBound,
@@ -144,7 +161,7 @@ func NewWriter(w io.Writer, dims []int, wo WriteOptions) (*Writer, error) {
 	for _, d := range dims[1:] {
 		rowPoints *= d
 	}
-	return &Writer{
+	return &Writer[T]{
 		w:         w,
 		hdr:       hdr,
 		codec:     codec,
@@ -161,7 +178,7 @@ func NewWriter(w io.Writer, dims []int, wo WriteOptions) (*Writer, error) {
 // straight from the caller's slice; only a sub-band tail is ever buffered,
 // so the writer's peak state stays at one band regardless of how much is
 // appended at once.
-func (bw *Writer) Append(ctx context.Context, rows []float32) error {
+func (bw *Writer[T]) Append(ctx context.Context, rows []T) error {
 	if bw.closed {
 		return errors.New("store: writer closed")
 	}
@@ -236,10 +253,10 @@ func (bw *Writer) Append(ctx context.Context, rows []float32) error {
 // row; once a band write itself fails the writer is poisoned and every
 // further Append and Close reports it, because the underlying stream may
 // hold partial bytes the index cannot account for.
-func (bw *Writer) RowsAppended() int { return bw.rowsSeen }
+func (bw *Writer[T]) RowsAppended() int { return bw.rowsSeen }
 
 // flushBand compresses and writes one band of `rows` rows held in band.
-func (bw *Writer) flushBand(ctx context.Context, band []float32, rows int) error {
+func (bw *Writer[T]) flushBand(ctx context.Context, band []T, rows int) error {
 	bandDims := append([]int{rows}, bw.hdr.dims[1:]...)
 
 	// Bricks of this band: the full cross-product of the grid over
@@ -266,9 +283,9 @@ func (bw *Writer) flushBand(ctx context.Context, band []float32, rows int) error
 			srcLo[i] = coord[i] * bw.hdr.brick[i]
 			size[i] = min(bw.hdr.brick[i], bw.hdr.dims[i]-srcLo[i])
 		}
-		buf := make([]float32, boxPoints(make([]int, len(size)), size))
+		buf := make([]T, boxPoints(make([]int, len(size)), size))
 		copyBox(buf, size, make([]int, len(size)), band, bandDims, srcLo, size)
-		p, err := bw.codec.Compress(ctx, buf, size, bw.opts)
+		p, err := compressBrick(ctx, bw.codec, buf, size, bw.opts)
 		if err != nil {
 			return fmt.Errorf("store: brick %d: %w", len(bw.lengths)+k, err)
 		}
@@ -290,7 +307,7 @@ func (bw *Writer) flushBand(ctx context.Context, band []float32, rows int) error
 }
 
 // Close verifies the field is complete and writes the index and footer.
-func (bw *Writer) Close() error {
+func (bw *Writer[T]) Close() error {
 	if bw.closed {
 		return errors.New("store: writer closed")
 	}
@@ -320,22 +337,46 @@ func (bw *Writer) Close() error {
 	return err
 }
 
-// Write builds a brick store from an in-memory field in one call,
-// resolving a relative bound over the whole field first.
+// compressBrick compresses one brick of element type T: the codec's own
+// container for float32 samples, the float64 escape envelope wrapping one
+// for double precision.
+func compressBrick[T qoz.Float](ctx context.Context, c qoz.Codec, data []T, dims []int, opts qoz.Options) ([]byte, error) {
+	switch d := any(data).(type) {
+	case []float32:
+		return c.Compress(ctx, d, dims, opts)
+	case []float64:
+		return qoz.CompressEnvelope(ctx, c, d, dims, opts)
+	}
+	// T is a type defined on float32 or float64: convert.
+	if elemBytes[T]() == 4 {
+		return c.Compress(ctx, convertSamples[T, float32](data), dims, opts)
+	}
+	return qoz.CompressEnvelope(ctx, c, convertSamples[T, float64](data), dims, opts)
+}
+
+// Write builds a float32 brick store from an in-memory field in one call,
+// resolving a relative bound over the whole field first; WriteT
+// generalizes it over the element type.
 func Write(ctx context.Context, w io.Writer, data []float32, dims []int, wo WriteOptions) error {
-	// Validate shape before NewWriter emits the header, so a rejected call
+	return WriteT(ctx, w, data, dims, wo)
+}
+
+// WriteT builds a brick store of element type T from an in-memory field in
+// one call, resolving a relative bound over the whole field first.
+func WriteT[T qoz.Float](ctx context.Context, w io.Writer, data []T, dims []int, wo WriteOptions) error {
+	// Validate shape before NewWriterT emits the header, so a rejected call
 	// never leaves partial bytes in the caller's writer.
 	if p, err := container.CheckDims(dims); err != nil {
 		return fmt.Errorf("store: %w", err)
 	} else if p != len(data) {
 		return fmt.Errorf("store: dims %v describe %d points, data has %d", dims, p, len(data))
 	}
-	opts, err := wo.Opts.ResolveAbs(data)
+	opts, err := qoz.ResolveAbsT(wo.Opts, data)
 	if err != nil {
 		return err
 	}
 	wo.Opts = opts
-	bw, err := NewWriter(w, dims, wo)
+	bw, err := NewWriterT[T](w, dims, wo)
 	if err != nil {
 		return err
 	}
@@ -345,19 +386,17 @@ func Write(ctx context.Context, w io.Writer, data []float32, dims []int, wo Writ
 	return bw.Close()
 }
 
-// WriteFrom re-bricks a slab stream into a store without materializing the
-// whole field: slabs are decoded one at a time and appended. The stream's
-// absolute bound is carried over, and its codec is used when wo.Codec is
-// nil. Note that re-bricking re-compresses the stream's reconstruction
-// under the same bound, so values in the store lie within at most twice
-// the original bound of the original field.
+// WriteFrom re-bricks a slab stream — float32 or float64 — into a store of
+// the same element type without materializing the whole field: slabs are
+// decoded one at a time and appended. The stream's absolute bound is
+// carried over, and its codec is used when wo.Codec is nil. Note that
+// re-bricking re-compresses the stream's reconstruction under the same
+// bound, so values in the store lie within at most twice the original
+// bound of the original field.
 func WriteFrom(ctx context.Context, w io.Writer, dec *qoz.Decoder, wo WriteOptions) error {
 	hdr, err := dec.Header()
 	if err != nil {
 		return err
-	}
-	if hdr.Float64 {
-		return errors.New("store: float64 streams are not supported yet")
 	}
 	wo.Opts.ErrorBound, wo.Opts.RelBound = hdr.ErrorBound, 0
 	if wo.Codec == nil {
@@ -373,12 +412,25 @@ func WriteFrom(ctx context.Context, w io.Writer, dec *qoz.Decoder, wo WriteOptio
 		}
 		wo.Codec = c
 	}
-	bw, err := NewWriter(w, hdr.Dims, wo)
+	if hdr.Float64 {
+		return writeFromSlabs(ctx, w, hdr.Dims, wo, func(ctx context.Context) ([]float64, []int, error) {
+			return dec.NextSlabFloat64(ctx)
+		})
+	}
+	return writeFromSlabs(ctx, w, hdr.Dims, wo, func(ctx context.Context) ([]float32, []int, error) {
+		return dec.NextSlab(ctx)
+	})
+}
+
+// writeFromSlabs drains next into a Writer of matching element type.
+func writeFromSlabs[T qoz.Float](ctx context.Context, w io.Writer, dims []int, wo WriteOptions,
+	next func(context.Context) ([]T, []int, error)) error {
+	bw, err := NewWriterT[T](w, dims, wo)
 	if err != nil {
 		return err
 	}
 	for {
-		data, _, err := dec.NextSlab(ctx)
+		data, _, err := next(ctx)
 		if err == io.EOF {
 			break
 		}

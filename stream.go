@@ -417,7 +417,9 @@ func (d *Decoder) DecodeFloat64(ctx context.Context) ([]float64, []int, error) {
 // index*SlabRows of the whole field. It returns io.EOF after the last
 // slab. NextSlab lets consumers such as the brick store re-partition a
 // huge stream without ever materializing the whole field; it cannot be
-// mixed with Decode/DecodeFloat64 on the same Decoder.
+// mixed with Decode/DecodeFloat64 on the same Decoder. As with Decode,
+// a float64 stream is refused (narrowing could break the error bound);
+// use NextSlabFloat64, which also widens float32 streams.
 func (d *Decoder) NextSlab(ctx context.Context) ([]float32, []int, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -427,31 +429,16 @@ func (d *Decoder) NextSlab(ctx context.Context) ([]float32, []int, error) {
 		return nil, nil, err
 	}
 	if hdr.Float64 {
-		return nil, nil, errors.New("qoz: float64 stream; NextSlab reads float32 streams")
-	}
-	if d.used && d.next == 0 {
-		return nil, nil, errors.New("qoz: stream already decoded")
-	}
-	d.used = true
-	if d.next >= hdr.NumSlabs {
-		return nil, nil, io.EOF
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, nil, err
-	}
-	n, err := binary.ReadUvarint(d.br)
-	if err != nil || n > slabPayloadCap {
-		return nil, nil, ErrCorruptStream
-	}
-	p, err := readN(d.br, int(n))
-	if err != nil {
-		return nil, nil, ErrCorruptStream
+		return nil, nil, errors.New("qoz: float64 stream; use NextSlabFloat64")
 	}
 	c, err := LookupID(hdr.CodecID)
 	if err != nil {
 		return nil, nil, err
 	}
-	i := d.next
+	i, p, err := d.nextSlabPayload(ctx, hdr)
+	if err != nil {
+		return nil, nil, err
+	}
 	lo, hi, sdims := slabRange(hdr, i)
 	data, dims, err := c.Decompress(ctx, p)
 	if err != nil {
@@ -462,6 +449,73 @@ func (d *Decoder) NextSlab(ctx context.Context) ([]float32, []int, error) {
 	}
 	d.next++
 	return data, sdims, nil
+}
+
+// NextSlabFloat64 is NextSlab for double precision: it decodes the next
+// slab of a float64 stream (restoring escaped points exactly), or widens
+// the next slab of a float32 stream losslessly. It is how the brick store
+// re-bricks a double-precision stream without materializing the field.
+func (d *Decoder) NextSlabFloat64(ctx context.Context) ([]float64, []int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	hdr, err := d.Header()
+	if err != nil {
+		return nil, nil, err
+	}
+	if !hdr.Float64 {
+		v, sdims, err := d.NextSlab(ctx)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := make([]float64, len(v))
+		for i, x := range v {
+			out[i] = float64(x)
+		}
+		return out, sdims, nil
+	}
+	if _, err := LookupID(hdr.CodecID); err != nil {
+		return nil, nil, err
+	}
+	i, p, err := d.nextSlabPayload(ctx, hdr)
+	if err != nil {
+		return nil, nil, err
+	}
+	lo, hi, sdims := slabRange(hdr, i)
+	data, dims, err := decodeFloat64Envelope(ctx, p)
+	if err != nil {
+		return nil, nil, fmt.Errorf("qoz: slab %d: %w", i, err)
+	}
+	if !equalDims(dims, sdims) || len(data) != hi-lo {
+		return nil, nil, ErrCorruptStream
+	}
+	d.next++
+	return data, sdims, nil
+}
+
+// nextSlabPayload reads the next slab's framed payload bytes, shared by
+// the two typed NextSlab entry points; it returns the slab's index and
+// does not advance d.next (the caller commits only after a clean decode).
+func (d *Decoder) nextSlabPayload(ctx context.Context, hdr *StreamHeader) (int, []byte, error) {
+	if d.used && d.next == 0 {
+		return 0, nil, errors.New("qoz: stream already decoded")
+	}
+	d.used = true
+	if d.next >= hdr.NumSlabs {
+		return 0, nil, io.EOF
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	n, err := binary.ReadUvarint(d.br)
+	if err != nil || n > slabPayloadCap {
+		return 0, nil, ErrCorruptStream
+	}
+	p, err := readN(d.br, int(n))
+	if err != nil {
+		return 0, nil, ErrCorruptStream
+	}
+	return d.next, p, nil
 }
 
 // readAll consumes the header and every slab payload from the reader.
