@@ -10,8 +10,10 @@
 //	qozc decompress -in data.qoz [-out data.f32]
 //	qozc put        -in data.f32 -dims 100,500,500 -rel 1e-3 [-abs E]
 //	                [-codec C] [-brick 64,64,64] [-workers N] [-prec 32|64]
-//	                [-out data.qozb]
-//	qozc put        -in data.qoz [-brick ...] [-out data.qozb]
+//	                [-mutable] [-out data.qozb]
+//	qozc put        -in data.qoz [-brick ...] [-mutable] [-out data.qozb]
+//	qozc append     -store data.qozb -in steps.f32 [-workers N]
+//	qozc compact    -store data.qozb
 //	qozc get        -in data.qozb [-out data.f32|data.f64]
 //	qozc extract    -in data.qozb -box 0:32,128:256,0:64 [-out roi.f32|roi.f64]
 //	qozc info       -in data.qoz|data.qozb [-json]
@@ -30,6 +32,12 @@
 // interest by touching only the bricks it intersects. A float64 input
 // yields a float64 store (format v2, element kind in the header); get and
 // extract then emit raw float64 back.
+//
+// put -mutable builds a format v3 (generation-based) store instead:
+// append then grows it by whole time steps — each append commits a new
+// generation journal-style, so readers and qozd pick the steps up without
+// the file ever being rewritten — and compact reclaims the space of
+// superseded generations. See docs/FORMAT.md for the on-disk format.
 package main
 
 import (
@@ -64,6 +72,10 @@ func main() {
 		err = decompressCmd(os.Args[2:])
 	case "put":
 		err = putCmd(os.Args[2:])
+	case "append":
+		err = appendCmd(os.Args[2:])
+	case "compact":
+		err = compactCmd(os.Args[2:])
 	case "get":
 		err = getCmd(os.Args[2:])
 	case "extract":
@@ -84,7 +96,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qozc compress|decompress|put|get|extract|info|compare|codecs [flags] (see -h per subcommand)")
+	fmt.Fprintln(os.Stderr, "usage: qozc compress|decompress|put|append|compact|get|extract|info|compare|codecs [flags] (see -h per subcommand)")
 	os.Exit(2)
 }
 
@@ -313,6 +325,7 @@ func putCmd(args []string) error {
 	brickArg := fs.String("brick", "", "brick shape, e.g. 64,64,64 (default: ~1 MiB bricks)")
 	workers := fs.Int("workers", 0, "concurrent brick compressions (0 = all cores)")
 	prec := fs.Int("prec", 32, "raw input precision in bits: 32 or 64 (stream input carries its own)")
+	mutable := fs.Bool("mutable", false, "build a mutable (format v3) store that qozc append can grow")
 	fs.Parse(args)
 	if *in == "" {
 		return fmt.Errorf("put requires -in")
@@ -353,7 +366,11 @@ func putCmd(args []string) error {
 	if qoz.IsStream(head[:n]) {
 		// Re-brick the stream slab by slab, straight off the file; bound
 		// and codec carry over.
-		if err := writeAtomic(dst, func(f *os.File) error {
+		if *mutable {
+			if err := putMutableFromStream(ctx, dst, qoz.NewDecoder(inF), wo); err != nil {
+				return err
+			}
+		} else if err := writeAtomic(dst, func(f *os.File) error {
 			return store.WriteFrom(ctx, f, qoz.NewDecoder(inF), wo)
 		}); err != nil {
 			return err
@@ -367,25 +384,45 @@ func putCmd(args []string) error {
 			return err
 		}
 		wo.Opts = qoz.Options{ErrorBound: *abs, RelBound: *rel}
-		var build func(f *os.File) error
-		switch *prec {
-		case 32:
+		switch {
+		case *prec != 32 && *prec != 64:
+			return fmt.Errorf("unsupported precision %d (want 32 or 64)", *prec)
+		case *mutable && *prec == 32:
 			data, err := readFloats(*in, dims)
 			if err != nil {
 				return err
 			}
-			build = func(f *os.File) error { return store.Write(ctx, f, data, dims, wo) }
-		case 64:
+			err = putMutableRaw(ctx, dst, data, dims, wo)
+			if err != nil {
+				return err
+			}
+		case *mutable:
 			data, err := readFloats64(*in, dims)
 			if err != nil {
 				return err
 			}
-			build = func(f *os.File) error { return store.WriteT(ctx, f, data, dims, wo) }
+			wo.Float64 = true
+			if err := putMutableRaw(ctx, dst, data, dims, wo); err != nil {
+				return err
+			}
 		default:
-			return fmt.Errorf("unsupported precision %d (want 32 or 64)", *prec)
-		}
-		if err := writeAtomic(dst, build); err != nil {
-			return err
+			var build func(f *os.File) error
+			if *prec == 32 {
+				data, err := readFloats(*in, dims)
+				if err != nil {
+					return err
+				}
+				build = func(f *os.File) error { return store.Write(ctx, f, data, dims, wo) }
+			} else {
+				data, err := readFloats64(*in, dims)
+				if err != nil {
+					return err
+				}
+				build = func(f *os.File) error { return store.WriteT(ctx, f, data, dims, wo) }
+			}
+			if err := writeAtomic(dst, build); err != nil {
+				return err
+			}
 		}
 	}
 	s, err := store.OpenFile(dst, store.Options{})
@@ -408,6 +445,172 @@ func putCmd(args []string) error {
 	fmt.Printf("%s: dims %v, brick %v, %d bricks, dtype=%s, %d -> %d bytes (CR %.1f), codec=%s\n",
 		dst, s.Dims(), s.BrickShape(), s.NumBricks(), s.DType(), points*elem, st.Size(),
 		float64(points*elem)/float64(st.Size()), s.Codec().Name())
+	return nil
+}
+
+// putMutableRaw builds a mutable (v3) store at dst from an in-memory
+// field: created empty along the slowest dimension, then grown to dims[0]
+// steps in one appended generation. dst must not exist (mutable stores
+// are grown in place, so there is no atomic-rename temp path).
+func putMutableRaw[T qoz.Float](ctx context.Context, dst string, data []T, dims []int, wo store.WriteOptions) error {
+	opts, err := qoz.ResolveAbsT(wo.Opts, data)
+	if err != nil {
+		return err
+	}
+	wo.Opts = opts
+	mdims := append([]int{0}, dims[1:]...)
+	m, err := store.CreateMutable(dst, mdims, wo)
+	if err != nil {
+		return err
+	}
+	if err := store.AppendStepsT(ctx, m, data); err != nil {
+		m.Close()
+		os.Remove(dst)
+		return err
+	}
+	return m.Close()
+}
+
+// putMutableFromStream builds a mutable (v3) store at dst from a slab
+// stream, slab by slab — each slab is whole rows of the slowest
+// dimension, which is exactly what AppendSteps takes. Bound and codec
+// carry over like store.WriteFrom.
+func putMutableFromStream(ctx context.Context, dst string, dec *qoz.Decoder, wo store.WriteOptions) error {
+	hdr, err := dec.Header()
+	if err != nil {
+		return err
+	}
+	wo.Opts.ErrorBound, wo.Opts.RelBound = hdr.ErrorBound, 0
+	if wo.Codec == nil {
+		if hdr.CodecName == "" {
+			return fmt.Errorf("stream codec id %d is not registered; pass -codec explicitly", hdr.CodecID)
+		}
+		c, err := qoz.LookupID(hdr.CodecID)
+		if err != nil {
+			return err
+		}
+		wo.Codec = c
+	}
+	wo.Float64 = hdr.Float64
+	mdims := append([]int{0}, hdr.Dims[1:]...)
+	m, err := store.CreateMutable(dst, mdims, wo)
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		m.Close()
+		os.Remove(dst)
+		return err
+	}
+	for {
+		var aerr error
+		if hdr.Float64 {
+			var slab []float64
+			slab, _, aerr = dec.NextSlabFloat64(ctx)
+			if aerr == nil {
+				aerr = m.AppendStepsFloat64(ctx, slab)
+			}
+		} else {
+			var slab []float32
+			slab, _, aerr = dec.NextSlab(ctx)
+			if aerr == nil {
+				aerr = m.AppendSteps(ctx, slab)
+			}
+		}
+		if aerr == io.EOF {
+			break
+		}
+		if aerr != nil {
+			return fail(aerr)
+		}
+	}
+	return m.Close()
+}
+
+// appendCmd appends time steps from a raw float file to a mutable store,
+// committing them as one new generation.
+func appendCmd(args []string) error {
+	fs := flag.NewFlagSet("append", flag.ExitOnError)
+	st := fs.String("store", "", "mutable .qozb store to append to (required)")
+	in := fs.String("in", "", "raw float file holding whole steps in the store's dtype (required)")
+	workers := fs.Int("workers", 0, "concurrent brick compressions (0 = all cores)")
+	fs.Parse(args)
+	if *st == "" || *in == "" {
+		return fmt.Errorf("append requires -store and -in")
+	}
+	m, err := store.OpenMutable(*st, store.Options{Workers: *workers, CacheBytes: -1})
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	dims := m.Dims()
+	rowPoints := 1
+	for _, d := range dims[1:] {
+		rowPoints *= d
+	}
+	elem := 4
+	if m.Float64() {
+		elem = 8
+	}
+	fi, err := os.Stat(*in)
+	if err != nil {
+		return err
+	}
+	stepBytes := int64(rowPoints) * int64(elem)
+	if fi.Size() == 0 || fi.Size()%stepBytes != 0 {
+		return fmt.Errorf("%s holds %d bytes; one %s step of %v is %d bytes",
+			*in, fi.Size(), m.DType(), dims[1:], stepBytes)
+	}
+	steps := int(fi.Size() / stepBytes)
+	stepDims := append([]int{steps}, dims[1:]...)
+	ctx := context.Background()
+	if m.Float64() {
+		data, err := readFloats64(*in, stepDims)
+		if err != nil {
+			return err
+		}
+		if err := m.AppendStepsFloat64(ctx, data); err != nil {
+			return err
+		}
+	} else {
+		data, err := readFloats(*in, stepDims)
+		if err != nil {
+			return err
+		}
+		if err := m.AppendSteps(ctx, data); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("%s: +%d steps -> dims %v, generation %d\n", *st, steps, m.Dims(), m.Generation())
+	return nil
+}
+
+// compactCmd rewrites a mutable store down to its single latest
+// generation, reclaiming superseded brick payloads and old manifests.
+func compactCmd(args []string) error {
+	fs := flag.NewFlagSet("compact", flag.ExitOnError)
+	st := fs.String("store", "", "mutable .qozb store to compact (required)")
+	fs.Parse(args)
+	if *st == "" {
+		return fmt.Errorf("compact requires -store")
+	}
+	before, err := os.Stat(*st)
+	if err != nil {
+		return err
+	}
+	m, err := store.OpenMutable(*st, store.Options{CacheBytes: -1})
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	if err := m.Compact(context.Background()); err != nil {
+		return err
+	}
+	after, err := os.Stat(*st)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d -> %d bytes, generation %d\n", *st, before.Size(), after.Size(), m.Generation())
 	return nil
 }
 
@@ -574,6 +777,9 @@ func storeInfo(path string) error {
 	fmt.Printf("format: brick store\ncodec: %s\ndtype: %s\ndims: %v\nbrick: %v\nbricks: %d\nerror bound: %.6g\ncompressed: %d bytes\nCR: %.1f\n",
 		s.Codec().Name(), s.DType(), s.Dims(), s.BrickShape(), s.NumBricks(), s.ErrorBound(),
 		st.Size(), float64(points*elem)/float64(st.Size()))
+	if gen := s.Generation(); gen > 0 {
+		fmt.Printf("mutable: generation %d\n", gen)
+	}
 	return nil
 }
 
@@ -660,6 +866,10 @@ type infoReport struct {
 	SlabRows        int     `json:"slabRows,omitempty"`
 	ErrorBound      float64 `json:"errorBound,omitempty"`
 	CompressedBytes int64   `json:"compressedBytes"`
+	// Mutable and Generation describe v3 stores: Generation is the latest
+	// committed generation this manifest reflects.
+	Mutable    bool   `json:"mutable,omitempty"`
+	Generation uint64 `json:"generation,omitempty"`
 }
 
 // infoJSON describes an archive from its headers only — unlike the human
@@ -693,6 +903,8 @@ func infoJSON(path string, w io.Writer) error {
 		rep.Brick = s.BrickShape()
 		rep.Bricks = s.NumBricks()
 		rep.ErrorBound = s.ErrorBound()
+		rep.Generation = s.Generation()
+		rep.Mutable = rep.Generation > 0
 		rep.Points = 1
 		for _, d := range rep.Dims {
 			rep.Points *= d

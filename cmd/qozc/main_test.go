@@ -407,3 +407,73 @@ func TestPutFromFloat64Stream(t *testing.T) {
 		}
 	}
 }
+
+// TestMutableStoreCycle: put -mutable, append steps, read them back with
+// get, compact, and confirm the data and manifest survive every stage.
+func TestMutableStoreCycle(t *testing.T) {
+	dir := t.TempDir()
+	ds := datagen.NYX(4, 16, 16)
+	in := filepath.Join(dir, "data.f32")
+	writeF32(t, in, ds.Data)
+	storeFile := filepath.Join(dir, "data.qozb")
+	if err := putCmd([]string{"-in", in, "-dims", "4,16,16", "-abs", "1e-3",
+		"-brick", "2,8,8", "-mutable", "-out", storeFile}); err != nil {
+		t.Fatalf("put -mutable: %v", err)
+	}
+
+	// Append two more steps (reuse the first two planes of the dataset).
+	stepFile := filepath.Join(dir, "steps.f32")
+	writeF32(t, stepFile, ds.Data[:2*16*16])
+	if err := appendCmd([]string{"-store", storeFile, "-in", stepFile}); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+
+	// info -json must describe the grown mutable store.
+	var rep infoReport
+	var buf bytes.Buffer
+	if err := infoJSON(storeFile, &buf); err != nil {
+		t.Fatalf("info -json: %v", err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Mutable || rep.Generation == 0 {
+		t.Fatalf("info -json does not mark the store mutable: %+v", rep)
+	}
+	if len(rep.Dims) != 3 || rep.Dims[0] != 6 {
+		t.Fatalf("info -json dims %v, want [6 16 16]", rep.Dims)
+	}
+
+	check := func(label string) {
+		t.Helper()
+		outFile := filepath.Join(dir, label+".f32")
+		if err := getCmd([]string{"-in", storeFile, "-out", outFile}); err != nil {
+			t.Fatalf("%s get: %v", label, err)
+		}
+		recon, err := readFloats(outFile, []int{6, 16, 16})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := append(append([]float32(nil), ds.Data...), ds.Data[:2*16*16]...)
+		for i := range recon {
+			if math.Abs(float64(recon[i])-float64(want[i])) > 1e-3+1e-9 {
+				t.Fatalf("%s: bound violated at %d: %v vs %v", label, i, recon[i], want[i])
+			}
+		}
+	}
+	check("grown")
+
+	if err := compactCmd([]string{"-store", storeFile}); err != nil {
+		t.Fatalf("compact: %v", err)
+	}
+	check("compacted")
+
+	// Appending to a write-once v2 store must fail with guidance.
+	v2 := filepath.Join(dir, "v2.qozb")
+	if err := putCmd([]string{"-in", in, "-dims", "4,16,16", "-abs", "1e-3", "-out", v2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := appendCmd([]string{"-store", v2, "-in", stepFile}); err == nil {
+		t.Fatal("append to a v2 store did not fail")
+	}
+}

@@ -14,14 +14,22 @@
 // element type — float32 or float64, named by the manifest's dtype and
 // echoed in X-Qoz-Dtype — row-major, shape hi-lo, dims echoed in
 // X-Qoz-Dims; format=json wraps the same values in JSON (non-finite
-// points as null). Responses carry a strong ETag derived from the store
-// manifest, region, dtype, and encoding; If-None-Match answers 304
-// without decoding a brick. All mounted stores share one decoded-brick
-// LRU cache, so the process's decoded memory is bounded by -cache-bytes
-// no matter how many fields are mounted or how requests interleave. Each
-// request observes its client's disconnect through the request context,
-// and -max-inflight bounds concurrent region decodes (excess requests
-// get 503).
+// points as null), gzip-compressed when the client sends Accept-Encoding:
+// gzip (raw responses are never content-coded: freshly decoded brick
+// bytes barely compress). Responses carry a strong ETag derived from the
+// store's (manifest CRC, generation) pair, the region, dtype, and
+// encoding; If-None-Match answers 304 without decoding a brick. All
+// mounted stores share one decoded-brick LRU cache, so the process's
+// decoded memory is bounded by -cache-bytes no matter how many fields are
+// mounted or how requests interleave. Each request observes its client's
+// disconnect through the request context, and -max-inflight bounds
+// concurrent region decodes (excess requests get 503).
+//
+// Mutable (format v3) stores are served live: -poll N polls every mount
+// for newly committed generations — steps appended by a simulation, brick
+// rewrites, compactions — and adopts them atomically, so a growing
+// dataset serves without remounts. A client revalidating with a
+// pre-append ETag gets the full fresh response, not a 304.
 //
 // -auth-token TOKEN (or the QOZD_TOKEN environment variable) requires
 // "Authorization: Bearer TOKEN" on every /v1/* endpoint, compared in
@@ -31,7 +39,7 @@
 //
 //	qozd -listen :8080 -mount temp=/data/temp.qozb \
 //	     -mount vx=https://bucket.example.com/vx.qozb [-cache-bytes N] \
-//	     [-workers N] [-max-inflight N] [-max-points N] \
+//	     [-workers N] [-max-inflight N] [-max-points N] [-poll 5s] \
 //	     [-auth-token T] [-metrics-public] [path.qozb ...]
 //
 // Bare positional paths are mounted under their base name without the
@@ -39,12 +47,14 @@
 package main
 
 import (
+	"compress/gzip"
 	"context"
 	"crypto/subtle"
 	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"math"
 	"net/http"
@@ -73,6 +83,7 @@ func main() {
 	mountTimeout := fs.Duration("mount-timeout", 30*time.Second, "deadline for opening each mount (0 = none); a hung origin must not wedge startup")
 	authToken := fs.String("auth-token", "", "bearer token required on /v1/* endpoints (default: $QOZD_TOKEN; empty disables auth)")
 	metricsPublic := fs.Bool("metrics-public", false, "serve /metrics without auth even when a token is set")
+	poll := fs.Duration("poll", 0, "interval for polling mounts for new committed generations of mutable (v3) stores (0 disables)")
 	fs.Parse(os.Args[1:])
 	if *authToken == "" {
 		*authToken = os.Getenv("QOZD_TOKEN")
@@ -101,6 +112,10 @@ func main() {
 		os.Exit(1)
 	}
 	defer srv.Close()
+	if *poll > 0 {
+		go srv.refreshLoop(*poll)
+		log.Printf("polling mounts for new generations every %v", *poll)
+	}
 	for _, name := range srv.fieldNames() {
 		f := srv.fields[name]
 		log.Printf("mounted %s: %s (dims %v, %d bricks)", name, f.target, f.store.Dims(), f.store.NumBricks())
@@ -174,10 +189,43 @@ type server struct {
 	opts     serverOptions
 	inflight chan struct{} // nil when unlimited
 
-	requests  atomic.Int64
-	rejected  atomic.Int64
-	errors    atomic.Int64
-	regionPts atomic.Int64
+	requests    atomic.Int64
+	rejected    atomic.Int64
+	errors      atomic.Int64
+	regionPts   atomic.Int64
+	refreshErrs atomic.Int64
+}
+
+// refreshLoop polls every mount for newly committed generations of
+// mutable (v3) stores. Region reads keep flowing during a poll: Refresh
+// swaps manifests atomically, and the shared cache keys bricks by payload
+// offset, so unchanged bricks stay hot across generations.
+func (s *server) refreshLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for range t.C {
+		ctx, cancel := context.WithTimeout(context.Background(), interval)
+		s.refreshMounts(ctx)
+		cancel()
+	}
+}
+
+// refreshMounts runs one poll pass over every mount.
+func (s *server) refreshMounts(ctx context.Context) {
+	for _, name := range s.fieldNames() {
+		f := s.fields[name]
+		advanced, err := f.store.Refresh(ctx)
+		if err != nil {
+			// A failed refresh leaves the previous generation serving; keep
+			// polling — ErrRemoteChanged, though, will repeat until remount.
+			s.refreshErrs.Add(1)
+			log.Printf("refresh %s: %v", name, err)
+			continue
+		}
+		if advanced {
+			log.Printf("refresh %s: generation %d, dims %v", name, f.store.Generation(), f.store.Dims())
+		}
+	}
 }
 
 // newServer opens every mount (files via OpenFile, http(s) URLs via
@@ -282,15 +330,19 @@ func (s *server) httpError(w http.ResponseWriter, code int, format string, args 
 
 // fieldInfo is the JSON manifest of one mounted field.
 type fieldInfo struct {
-	Name       string      `json:"name"`
-	Target     string      `json:"target"`
-	Dims       []int       `json:"dims"`
-	Brick      []int       `json:"brick"`
-	Bricks     int         `json:"bricks"`
-	Points     int         `json:"points"`
-	ErrorBound float64     `json:"errorBound"`
-	Codec      string      `json:"codec"`
-	DType      string      `json:"dtype"`
+	Name       string  `json:"name"`
+	Target     string  `json:"target"`
+	Dims       []int   `json:"dims"`
+	Brick      []int   `json:"brick"`
+	Bricks     int     `json:"bricks"`
+	Points     int     `json:"points"`
+	ErrorBound float64 `json:"errorBound"`
+	Codec      string  `json:"codec"`
+	DType      string  `json:"dtype"`
+	// Mutable marks a v3 store; Generation is the committed generation
+	// currently served (it advances when -poll picks up new commits).
+	Mutable    bool        `json:"mutable,omitempty"`
+	Generation uint64      `json:"generation,omitempty"`
 	Stats      store.Stats `json:"stats"`
 }
 
@@ -300,6 +352,7 @@ func (s *server) info(f *field) fieldInfo {
 	for _, d := range st.Dims() {
 		points *= d
 	}
+	gen := st.Generation()
 	return fieldInfo{
 		Name:       f.name,
 		Target:     f.target,
@@ -310,8 +363,44 @@ func (s *server) info(f *field) fieldInfo {
 		ErrorBound: st.ErrorBound(),
 		Codec:      st.Codec().Name(),
 		DType:      st.DType(),
+		Mutable:    gen > 0,
+		Generation: gen,
 		Stats:      st.Stats(),
 	}
+}
+
+// acceptsGzip reports whether the request's Accept-Encoding negotiates
+// gzip (present, and not refused with q=0).
+func acceptsGzip(r *http.Request) bool {
+	for _, part := range strings.Split(r.Header.Get("Accept-Encoding"), ",") {
+		enc, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if !strings.EqualFold(strings.TrimSpace(enc), "gzip") {
+			continue
+		}
+		if q, ok := strings.CutPrefix(strings.TrimSpace(params), "q="); ok {
+			if v, err := strconv.ParseFloat(strings.TrimSpace(q), 64); err == nil && v <= 0 {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// jsonBody negotiates the body writer for a JSON response: gzip when the
+// client accepts it, identity otherwise. JSON region payloads compress
+// several-fold (decimal literals are redundancy the decoder already
+// removed once); raw little-endian brick bytes are never wrapped — they
+// are served straight from the codec's output and barely compress.
+func jsonBody(w http.ResponseWriter, r *http.Request) (io.Writer, func() error) {
+	w.Header().Add("Vary", "Accept-Encoding")
+	w.Header().Set("Content-Type", "application/json")
+	if !acceptsGzip(r) {
+		return w, func() error { return nil }
+	}
+	w.Header().Set("Content-Encoding", "gzip")
+	gz := gzip.NewWriter(w)
+	return gz, gz.Close
 }
 
 // handleFields lists every mounted field.
@@ -320,8 +409,9 @@ func (s *server) handleFields(w http.ResponseWriter, r *http.Request) {
 	for _, name := range s.fieldNames() {
 		out = append(out, s.info(s.fields[name]))
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(map[string]any{"fields": out})
+	body, finish := jsonBody(w, r)
+	json.NewEncoder(body).Encode(map[string]any{"fields": out})
+	finish()
 }
 
 // handleField describes one field.
@@ -331,8 +421,9 @@ func (s *server) handleField(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusNotFound, "unknown field %q", r.PathValue("name"))
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(s.info(f))
+	body, finish := jsonBody(w, r)
+	json.NewEncoder(body).Encode(s.info(f))
+	finish()
 }
 
 // parseCorner parses "a,b,c" into region coordinates.
@@ -401,14 +492,21 @@ func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
 	// Conditional GET: the response is a pure function of (store content,
 	// region, dtype, encoding), so a strong ETag over exactly those lets a
 	// revalidating client skip the decode — and the transfer — entirely.
-	// The header is attached only to the 304 and 200 paths below: a shed
-	// or failed request carries no validator, because ETag describes the
-	// selected representation and an error body is not it. For URL mounts
-	// the fingerprint is the manifest read at mount time; once the remote
-	// object is swapped, region reads fail with ErrRemoteChanged until the
-	// store is re-mounted, so a validator from the old manifest can never
-	// be affirmed against new bytes.
-	etag := regionETag(f.store, lo, hi, format)
+	// The validator is derived from the (manifest CRC, generation) pair of
+	// the store's current committed generation: a mutable store that
+	// advanced (poll-refreshed append, rewrite, compaction) moves the ETag,
+	// so a client revalidating with the old one gets the full fresh
+	// response, never a 304 affirming stale data. The header is attached
+	// only to the 304 and 200 paths below: a shed or failed request
+	// carries no validator, because ETag describes the selected
+	// representation and an error body is not it. The gzip variant of the
+	// JSON encoding is its own representation and gets its own validator.
+	gz := format == "json" && acceptsGzip(r)
+	variant := format
+	if gz {
+		variant += "+gzip"
+	}
+	etag := regionETag(f.store, lo, hi, variant)
 	if inmMatches(r.Header.Get("If-None-Match"), etag) {
 		w.Header().Set("ETag", etag)
 		w.WriteHeader(http.StatusNotModified)
@@ -447,7 +545,7 @@ func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.Header().Set("ETag", etag)
-		werr = writeRegion(w, f.store, outDims, data, format)
+		werr = writeRegion(w, f.store, outDims, data, format, gz)
 	} else {
 		data, err := f.store.ReadRegion(r.Context(), lo, hi)
 		if err != nil {
@@ -455,7 +553,7 @@ func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		w.Header().Set("ETag", etag)
-		werr = writeRegion(w, f.store, outDims, data, format)
+		werr = writeRegion(w, f.store, outDims, data, format, gz)
 	}
 	if werr != nil {
 		return // client went away mid-body
@@ -473,12 +571,14 @@ func (s *server) regionError(w http.ResponseWriter, r *http.Request, err error) 
 }
 
 // regionETag derives the strong validator of a region response: the store
-// manifest fingerprint (content identity), the box, the element type, and
-// the encoding. Any of these changing changes the bytes, and nothing else
-// does.
-func regionETag(st *store.Store, lo, hi []int, format string) string {
+// manifest fingerprint and generation (content identity, read as one
+// consistent pair), the box, the element type, and the encoding variant
+// (including gzip). Any of these changing changes the bytes, and nothing
+// else does.
+func regionETag(st *store.Store, lo, hi []int, variant string) string {
+	crc, gen := st.ManifestVersion()
 	var b strings.Builder
-	fmt.Fprintf(&b, `"%08x-`, st.ManifestCRC())
+	fmt.Fprintf(&b, `"%08x-g%d-`, crc, gen)
 	for i := range lo {
 		if i > 0 {
 			b.WriteByte('x')
@@ -492,7 +592,7 @@ func regionETag(st *store.Store, lo, hi []int, format string) string {
 		}
 		fmt.Fprintf(&b, "%d", hi[i])
 	}
-	fmt.Fprintf(&b, "-%s-%s"+`"`, st.DType(), format)
+	fmt.Fprintf(&b, "-%s-%s"+`"`, st.DType(), variant)
 	return b.String()
 }
 
@@ -519,12 +619,15 @@ func inmMatches(inm, etag string) bool {
 }
 
 // writeRegion streams a decoded region in the requested format. Raw is
-// little-endian samples at the field's element width; json marshals by
-// hand because encoding/json refuses the NaN/±Inf the escape envelope
-// deliberately preserves — non-finite points become null. Both paths
+// little-endian samples at the field's element width, never
+// content-coded — those bytes are freshly decoded output and barely
+// compress; json marshals by hand because encoding/json refuses the
+// NaN/±Inf the escape envelope deliberately preserves — non-finite points
+// become null — and is gzip-wrapped when gz is set (negotiated via
+// Accept-Encoding: decimal literals compress several-fold). Both paths
 // stream in bounded chunks instead of materializing a second copy of the
 // region as bytes.
-func writeRegion[T qoz.Float](w http.ResponseWriter, st *store.Store, outDims []int, data []T, format string) error {
+func writeRegion[T qoz.Float](w http.ResponseWriter, st *store.Store, outDims []int, data []T, format string, gz bool) error {
 	elem := 4
 	if st.Float64() {
 		elem = 8
@@ -537,7 +640,15 @@ func writeRegion[T qoz.Float](w http.ResponseWriter, st *store.Store, outDims []
 	w.Header().Set("X-Qoz-Dtype", st.DType())
 	w.Header().Set("X-Qoz-Error-Bound", strconv.FormatFloat(st.ErrorBound(), 'g', -1, 64))
 	if format == "json" {
+		w.Header().Add("Vary", "Accept-Encoding")
 		w.Header().Set("Content-Type", "application/json")
+		out := io.Writer(w)
+		var zw *gzip.Writer
+		if gz {
+			w.Header().Set("Content-Encoding", "gzip")
+			zw = gzip.NewWriter(w)
+			out = zw
+		}
 		body := make([]byte, 0, 64<<10)
 		body = append(body, `{"dims":[`...)
 		for i, d := range outDims {
@@ -559,15 +670,20 @@ func writeRegion[T qoz.Float](w http.ResponseWriter, st *store.Store, outDims []
 				body = strconv.AppendFloat(body, f, 'g', -1, elem*8)
 			}
 			if len(body) >= 63<<10 {
-				if _, err := w.Write(body); err != nil {
+				if _, err := out.Write(body); err != nil {
 					return err
 				}
 				body = body[:0]
 			}
 		}
 		body = append(body, `]}`...)
-		_, err := w.Write(body)
-		return err
+		if _, err := out.Write(body); err != nil {
+			return err
+		}
+		if zw != nil {
+			return zw.Close()
+		}
+		return nil
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("Content-Length", strconv.Itoa(elem*len(data)))
@@ -604,8 +720,14 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "qozd_request_errors_total %d\n", s.errors.Load())
 	emit("qozd_region_points_total", "field points served by region reads")
 	fmt.Fprintf(w, "qozd_region_points_total %d\n", s.regionPts.Load())
+	emit("qozd_refresh_errors_total", "failed generation-refresh polls across all mounts")
+	fmt.Fprintf(w, "qozd_refresh_errors_total %d\n", s.refreshErrs.Load())
 	fmt.Fprintf(w, "# HELP qozd_cache_bytes decoded bytes held by the shared brick cache\n# TYPE qozd_cache_bytes gauge\n")
 	fmt.Fprintf(w, "qozd_cache_bytes %d\n", s.cache.Bytes())
+	fmt.Fprintf(w, "# HELP qozd_store_generation committed generation served per field (0 = write-once store)\n# TYPE qozd_store_generation gauge\n")
+	for _, name := range s.fieldNames() {
+		fmt.Fprintf(w, "qozd_store_generation{field=%q} %d\n", name, s.fields[name].store.Generation())
+	}
 
 	// One Stats snapshot per field, so the five per-field lines of a scrape
 	// reconcile with each other instead of racing active reads.

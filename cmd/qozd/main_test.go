@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"compress/gzip"
 	"context"
 	"encoding/binary"
 	"encoding/json"
@@ -537,5 +538,237 @@ func TestServerAuth(t *testing.T) {
 		}
 		ts.Close()
 		srv.Close()
+	}
+}
+
+// buildMutableStoreFile writes a mutable v3 store with `steps` committed
+// time steps of shape ny×nx and returns its path.
+func buildMutableStoreFile(t *testing.T, dir string, steps, ny, nx int) (string, []float32) {
+	t.Helper()
+	path := filepath.Join(dir, "live.qozb")
+	m, err := store.CreateMutable(path, []int{0, ny, nx}, store.WriteOptions{
+		Opts:  qoz.Options{ErrorBound: 1e-3},
+		Brick: []int{2, 8, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var field []float32
+	for s := 0; s < steps; s++ {
+		plane := make([]float32, ny*nx)
+		for i := range plane {
+			plane[i] = float32(s)*5 + float32(i%7)
+		}
+		field = append(field, plane...)
+		if err := m.AppendSteps(context.Background(), plane); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path, field
+}
+
+// TestServerGzip: JSON responses negotiate gzip via Accept-Encoding; raw
+// little-endian region bytes never do; the gzip variant carries its own
+// ETag.
+func TestServerGzip(t *testing.T) {
+	path, _ := buildStoreFile(t, t.TempDir())
+	srv, err := newServer([]mount{{name: "nyx", target: path}}, serverOptions{CacheBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	getEnc := func(url, enc string) (*http.Response, []byte) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, url, nil)
+		if enc != "" {
+			req.Header.Set("Accept-Encoding", enc)
+		}
+		// A plain transport without DisableCompression would transparently
+		// gunzip and hide the Content-Encoding header.
+		tr := &http.Transport{DisableCompression: true}
+		resp, err := tr.RoundTrip(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, body
+	}
+
+	regionURL := ts.URL + "/v1/fields/nyx/region?lo=0,0,0&hi=2,2,2&format=json"
+	plain, plainBody := getEnc(regionURL, "")
+	if plain.Header.Get("Content-Encoding") != "" {
+		t.Fatalf("identity request answered with Content-Encoding %q", plain.Header.Get("Content-Encoding"))
+	}
+	gz, gzBody := getEnc(regionURL, "gzip")
+	if gz.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatalf("gzip request answered with Content-Encoding %q", gz.Header.Get("Content-Encoding"))
+	}
+	if !strings.Contains(gz.Header.Get("Vary"), "Accept-Encoding") {
+		t.Fatalf("gzip response missing Vary: Accept-Encoding (got %q)", gz.Header.Get("Vary"))
+	}
+	if gz.Header.Get("ETag") == plain.Header.Get("ETag") {
+		t.Fatal("gzip and identity JSON variants share an ETag")
+	}
+	zr, err := gzip.NewReader(bytes.NewReader(gzBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	unzipped, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(unzipped, plainBody) {
+		t.Fatal("gzip body does not decompress to the identity body")
+	}
+	// q=0 explicitly refuses gzip.
+	refuse, _ := getEnc(regionURL, "gzip;q=0")
+	if refuse.Header.Get("Content-Encoding") != "" {
+		t.Fatal("Accept-Encoding: gzip;q=0 was answered with gzip")
+	}
+
+	// Raw LE samples are never content-coded.
+	rawURL := ts.URL + "/v1/fields/nyx/region?lo=0,0,0&hi=2,2,2"
+	raw, rawBody := getEnc(rawURL, "gzip")
+	if raw.Header.Get("Content-Encoding") != "" {
+		t.Fatalf("raw region answered with Content-Encoding %q", raw.Header.Get("Content-Encoding"))
+	}
+	if len(rawBody) != 2*2*2*4 {
+		t.Fatalf("raw region body %d bytes, want 32", len(rawBody))
+	}
+
+	// The fields listing negotiates too.
+	fl, flBody := getEnc(ts.URL+"/v1/fields", "gzip")
+	if fl.Header.Get("Content-Encoding") != "gzip" {
+		t.Fatal("/v1/fields did not negotiate gzip")
+	}
+	zr2, err := gzip.NewReader(bytes.NewReader(flBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dec, err := io.ReadAll(zr2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Fields []fieldInfo `json:"fields"`
+	}
+	if err := json.Unmarshal(dec, &list); err != nil {
+		t.Fatalf("gunzipped /v1/fields is not JSON: %v", err)
+	}
+}
+
+// TestServerGenerationPickup: qozd serves a mutable store, the simulation
+// appends a step, and a poll pass picks the new generation up — new dims,
+// new data, moved ETag (a stale If-None-Match gets the full response, not
+// a 304).
+func TestServerGenerationPickup(t *testing.T) {
+	dir := t.TempDir()
+	const ny, nx = 16, 16
+	path, _ := buildMutableStoreFile(t, dir, 2, ny, nx)
+	srv, err := newServer([]mount{{name: "live", target: path}}, serverOptions{CacheBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	resp, body := get(t, ts.URL+"/v1/fields/live")
+	var info fieldInfo
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if !info.Mutable || info.Generation != 3 || info.Dims[0] != 2 {
+		t.Fatalf("mounted mutable manifest: %+v", info)
+	}
+
+	regionURL := ts.URL + "/v1/fields/live/region?lo=0,0,0&hi=2,4,4"
+	resp, _ = get(t, regionURL)
+	oldTag := resp.Header.Get("ETag")
+	if oldTag == "" {
+		t.Fatal("region response missing ETag")
+	}
+
+	// The simulation commits another step out of process.
+	m, err := store.OpenMutable(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := make([]float32, ny*nx)
+	for i := range plane {
+		plane[i] = 777
+	}
+	if err := m.AppendSteps(context.Background(), plane); err != nil {
+		t.Fatal(err)
+	}
+	m.Close()
+
+	// Until a poll pass runs, qozd serves the old generation.
+	resp, _ = get(t, regionURL)
+	if got := resp.Header.Get("ETag"); got != oldTag {
+		t.Fatalf("ETag moved before refresh: %q -> %q", oldTag, got)
+	}
+	srv.refreshMounts(context.Background())
+
+	resp, body = get(t, ts.URL+"/v1/fields/live")
+	if err := json.Unmarshal(body, &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Generation != 4 || info.Dims[0] != 3 {
+		t.Fatalf("after refresh: %+v", info)
+	}
+
+	// A client revalidating with the stale ETag must get 200 + data.
+	req, _ := http.NewRequest(http.MethodGet, regionURL, nil)
+	req.Header.Set("If-None-Match", oldTag)
+	cond, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	condBody, _ := io.ReadAll(cond.Body)
+	cond.Body.Close()
+	if cond.StatusCode != http.StatusOK {
+		t.Fatalf("stale If-None-Match answered %s, want 200 with fresh data", cond.Status)
+	}
+	if len(condBody) != 2*4*4*4 {
+		t.Fatalf("stale revalidation body %d bytes, want %d", len(condBody), 2*4*4*4)
+	}
+	newTag := cond.Header.Get("ETag")
+	if newTag == "" || newTag == oldTag {
+		t.Fatalf("refreshed region ETag %q did not move from %q", newTag, oldTag)
+	}
+	// And the fresh validator revalidates to 304.
+	req2, _ := http.NewRequest(http.MethodGet, regionURL, nil)
+	req2.Header.Set("If-None-Match", newTag)
+	cond2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, cond2.Body)
+	cond2.Body.Close()
+	if cond2.StatusCode != http.StatusNotModified {
+		t.Fatalf("fresh If-None-Match answered %s, want 304", cond2.Status)
+	}
+
+	// The appended step's data is served.
+	resp, body = get(t, ts.URL+"/v1/fields/live/region?lo=2,0,0&hi=3,1,4")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("appended-step region: %s", resp.Status)
+	}
+	for i := 0; i < 4; i++ {
+		v := math.Float32frombits(binary.LittleEndian.Uint32(body[4*i:]))
+		if math.Abs(float64(v)-777) > 1e-3+1e-6 {
+			t.Fatalf("appended step point %d = %v, want ~777", i, v)
+		}
 	}
 }

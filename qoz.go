@@ -1,34 +1,3 @@
-// Package qoz is a from-scratch Go implementation of QoZ, the dynamic
-// quality-metric-oriented error-bounded lossy compressor for scientific
-// floating-point datasets (Liu et al., SC'22).
-//
-// QoZ guarantees a point-wise absolute error bound while letting the caller
-// pick which quality metric the compressor should optimize online:
-// compression ratio, PSNR, SSIM, or the autocorrelation of compression
-// errors. Internally it uses a multi-level spline-interpolation predictor
-// with grid-wise anchor points, level-adapted interpolator selection, and
-// auto-tuned level-wise error bounds.
-//
-// Quick start — every compressor (QoZ and the paper's baselines) is
-// resolved from one registry and spoken to through one generic,
-// context-aware API:
-//
-//	c := qoz.MustLookup("qoz") // or "sz2", "sz3", "zfp", "mgard"
-//	buf, err := qoz.Encode(ctx, c, data, []int{nz, ny, nx}, qoz.Options{
-//		RelBound: 1e-3,          // 1e-3 of the value range
-//		Metric:   qoz.TunePSNR,  // optimize rate–PSNR (QoZ only)
-//	})
-//	...
-//	recon, dims, err := qoz.Decode[float32](ctx, buf)
-//
-// Encode and Decode are generic over float32 and float64 fields; the
-// streaming Encoder/Decoder chunk large fields into independently
-// compressed slabs and run them concurrently. The legacy free functions
-// (Compress, Decompress, CompressFloat64, ...) remain as thin wrappers.
-//
-// The companion packages provide the paper's comparison baselines
-// (qoz/baselines), quality metrics (qoz/metrics), synthetic scientific
-// datasets (qoz/datagen), and the parallel-I/O model (qoz/parallelio).
 package qoz
 
 import (

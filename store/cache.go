@@ -34,10 +34,16 @@ func (c *Cache) Bytes() int64 {
 
 // cacheKey identifies a decoded brick within a (possibly shared) cache:
 // the owning store disambiguates brick indices when one cache serves
-// several stores.
+// several stores, and the payload offset makes the key generation-aware —
+// a brick rewritten by a later generation of a mutable store lands at a
+// fresh offset (commits only append), so its stale decode can never be
+// served again, while unchanged bricks keep hitting. Entries orphaned by
+// a rewrite age out through ordinary LRU eviction.
 type cacheKey struct {
 	owner *Store
+	epoch uint64
 	brick int
+	off   int64
 }
 
 // lruCache is a byte-budgeted LRU cache of decoded bricks. Repeated

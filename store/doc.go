@@ -1,0 +1,47 @@
+// Package store implements a persistent, random-access compressed field
+// store: a field is partitioned into fixed-shape N-d bricks, each brick
+// independently compressed through the qoz.Codec registry, so that any
+// region of interest can be decoded by touching only the bricks it
+// intersects — the partial-read regime a multi-terabyte simulation
+// archive needs, which the whole-field and streaming codecs cannot serve.
+//
+// # Building and reading stores
+//
+// [Write] builds a store from an in-memory field in one call; the
+// incremental [Writer] appends whole rows and flushes brick bands as they
+// complete, so peak memory is one band regardless of field size; and
+// [WriteFrom] re-bricks a slab stream without materializing the field.
+// Element type is a first-class axis: [WriteT] and [NewWriterT] are
+// generic over float32 and float64, and float64 bricks carry the escape
+// envelope so non-finite points round-trip exactly.
+//
+// [Open], [OpenFile], and [OpenURL] return a read handle. Region reads —
+// [Store.ReadRegion], [Store.ReadRegionFloat64], the generic
+// [ReadRegionT] — decode only the bricks the requested box intersects,
+// concurrently, through a byte-budgeted LRU cache of decoded bricks that
+// can be shared across stores ([Cache], Options.Cache). OpenURL serves
+// the same reads over HTTP range requests, fetching only the header, the
+// manifest, and intersecting bricks.
+//
+// # Mutable stores
+//
+// Stores written by Write/Writer are write-once (format v2). For in-situ
+// workflows where a simulation emits time steps continuously, format v3
+// adds generation-based mutability: [CreateMutable] starts a store with
+// zero committed steps, [Mutable.AppendSteps] grows it along the slowest
+// dimension, [Mutable.RewriteBricks] replaces brick-aligned regions, and
+// every mutation commits journal-style — new payloads, a fresh manifest,
+// and a generation footer are appended; nothing already written is
+// touched. A torn commit (crash mid-append) costs at most the
+// uncommitted generation: the store re-opens at the previous one.
+//
+// Old generations remain readable (Options.Generation) until
+// [Mutable.Compact] rewrites the store down to its latest generation and
+// reclaims their space. Readers follow a growing store with
+// [Store.Refresh], which atomically adopts newly committed generations —
+// locally or over HTTP, where the origin's validator guards against the
+// object being swapped for a different store (ErrRemoteChanged).
+//
+// The byte-level layout of every version is specified normatively in
+// docs/FORMAT.md and pinned by the golden fixtures under testdata/.
+package store

@@ -1,35 +1,15 @@
-// Package store implements a persistent, random-access compressed field
-// store: a field is partitioned into fixed-shape N-d bricks, each brick
-// independently compressed through the qoz.Codec registry, so that any
-// region of interest can be decoded by touching only the bricks it
-// intersects — the partial-read regime a multi-terabyte simulation archive
-// needs, which the whole-field and streaming codecs cannot serve.
-//
-// File layout (integers are unsigned varints unless noted):
-//
-//	header:  magic "QOZB" | version u8 | format id u8 (container.CodecBrick) |
-//	         codec id u8 | kind u8 (0=f32, 1=f64) | ndims u8 |
-//	         dims... | brick shape... | absBound f64 LE
-//	bricks:  nbricks consecutive payloads, row-major in brick-grid order
-//	         (first dimension slowest): the codec's own container for a
-//	         float32 field, the float64 escape envelope wrapping one for a
-//	         float64 field
-//	index:   nbricks | nbricks × (payloadLen | crc32 u32 LE)
-//	footer:  index offset u64 LE | trailer magic "QOZBIDX1" (8 bytes)
-//
-// Format v1 is identical except that the kind byte is always 0 (float32);
-// v2 legitimizes kind 1 (float64). Both versions open and read through the
-// same parser, so pre-v2 archives stay readable bit-identically.
-//
-// Brick payload offsets are implied by the cumulative lengths, so the
-// index stays small; the fixed-size footer makes the index — and from it
-// any brick — seekable in O(1) from the end of the file.
+// On-disk format primitives: headers, the v1/v2 index, and the v3
+// generation manifest/footer. The normative byte-level specification of
+// everything in this file is docs/FORMAT.md; store/format_spec_test.go
+// pins the two against each other through the golden fixtures in
+// testdata/.
 package store
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 
 	"qoz"
@@ -40,15 +20,40 @@ const (
 	magic        = "QOZB"
 	trailerMagic = "QOZBIDX1"
 
-	// formatVersion is what the writer emits; formatVersionV1 files (kind
-	// always float32) still open and read unchanged.
+	// genTrailerMagic terminates every v3 generation footer. It is distinct
+	// from trailerMagic so a v3 tail can never be misparsed as a v1/v2
+	// index footer (and vice versa), and so the torn-commit backward scan
+	// has an unambiguous needle.
+	genTrailerMagic = "QOZBGEN3"
+
+	// manifestMagic prefixes every v3 generation manifest, purely as a
+	// debugging landmark; integrity comes from the footer's manifest CRC.
+	manifestMagic = "QZM3"
+
+	// formatVersion is what the write-once Writer emits; formatVersionV1
+	// files (kind always float32) still open and read unchanged, and
+	// formatVersionV3 files are the generation-based mutable stores
+	// created by CreateMutable.
 	formatVersion   = 2
 	formatVersionV1 = 1
+	formatVersionV3 = 3
 
 	kindFloat32 = 0
 	kindFloat64 = 1
 
 	footerSize = 8 + len(trailerMagic)
+
+	// genFooterSize is the fixed size of a v3 generation footer:
+	// manifestOff u64 | manifestLen u64 | gen u64 | prevFooterOff u64 |
+	// manifestCRC u32 | footerCRC u32 | genTrailerMagic (8 bytes).
+	genFooterSize = 8 + 8 + 8 + 8 + 4 + 4 + len(genTrailerMagic)
+
+	// maxManifestLen bounds one generation manifest's declared byte length
+	// (magic + gen + dims + per-brick explicit offset/length/crc entries).
+	// With entries at most 24 bytes each this admits ~44M bricks — far past
+	// any field the point caps allow — while keeping the allocation a
+	// hostile footer can force bounded.
+	maxManifestLen = 1 << 30
 
 	// maxHeaderLen bounds the variable-length header: fixed prefix plus at
 	// most 8 varint dims, 8 varint brick extents, and the bound.
@@ -87,12 +92,14 @@ var ErrCorrupt = errors.New("store: corrupt brick store")
 // format version).
 func IsStore(buf []byte) bool {
 	return len(buf) >= len(magic)+2 && string(buf[:len(magic)]) == magic &&
-		(buf[len(magic)] == formatVersion || buf[len(magic)] == formatVersionV1) &&
+		(buf[len(magic)] == formatVersion || buf[len(magic)] == formatVersionV1 ||
+			buf[len(magic)] == formatVersionV3) &&
 		buf[len(magic)+1] == container.CodecBrick
 }
 
 // header is the decoded store header.
 type header struct {
+	version uint8 // formatVersionV1, formatVersion, or formatVersionV3
 	codecID uint8
 	kind    uint8 // kindFloat32 or kindFloat64
 	dims    []int
@@ -100,10 +107,10 @@ type header struct {
 	bound   float64
 }
 
-// appendHeader serializes h in the current format version.
+// appendHeader serializes h in its own format version.
 func appendHeader(dst []byte, h *header) []byte {
 	dst = append(dst, magic...)
-	dst = append(dst, formatVersion, container.CodecBrick, h.codecID, h.kind, uint8(len(h.dims)))
+	dst = append(dst, h.version, container.CodecBrick, h.codecID, h.kind, uint8(len(h.dims)))
 	for _, d := range h.dims {
 		dst = binary.AppendUvarint(dst, uint64(d))
 	}
@@ -113,6 +120,27 @@ func appendHeader(dst []byte, h *header) []byte {
 	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(h.bound))
 }
 
+// checkDimsV3 validates a v3 dimension vector, where the slowest (time)
+// dimension may be 0 — a mutable store starts with zero committed steps.
+// The remaining extents obey the shared container.CheckDims rules.
+func checkDimsV3(dims []int) error {
+	if len(dims) == 0 || len(dims) > 8 {
+		return fmt.Errorf("store: need 1..8 dimensions, got %d", len(dims))
+	}
+	if dims[0] < 0 || dims[0] > math.MaxInt32 {
+		return fmt.Errorf("store: invalid dimension %d", dims[0])
+	}
+	if dims[0] == 0 {
+		if len(dims) == 1 {
+			return nil
+		}
+		_, err := container.CheckDims(dims[1:])
+		return err
+	}
+	_, err := container.CheckDims(dims)
+	return err
+}
+
 // parseHeader decodes a store header from the start of buf, returning the
 // header and its encoded length.
 func parseHeader(buf []byte) (*header, int, error) {
@@ -120,13 +148,13 @@ func parseHeader(buf []byte) (*header, int, error) {
 		return nil, 0, ErrCorrupt
 	}
 	version := buf[len(magic)]
-	if version != formatVersion && version != formatVersionV1 {
+	if version != formatVersion && version != formatVersionV1 && version != formatVersionV3 {
 		return nil, 0, fmt.Errorf("store: unsupported version %d", version)
 	}
 	if buf[len(magic)+1] != container.CodecBrick {
 		return nil, 0, ErrCorrupt
 	}
-	h := &header{codecID: buf[len(magic)+2], kind: buf[len(magic)+3]}
+	h := &header{version: version, codecID: buf[len(magic)+2], kind: buf[len(magic)+3]}
 	switch {
 	case version == formatVersionV1 && h.kind != kindFloat32:
 		// v1 reserved the kind byte but only ever wrote float32.
@@ -139,31 +167,44 @@ func parseHeader(buf []byte) (*header, int, error) {
 		return nil, 0, ErrCorrupt
 	}
 	pos := len(magic) + 5
-	readDims := func() ([]int, error) {
+	readDims := func(zeroFirstOK bool) ([]int, error) {
 		out := make([]int, nd)
 		for i := range out {
 			v, n := binary.Uvarint(buf[pos:])
-			if n <= 0 || v == 0 || v > math.MaxInt32 {
+			if n <= 0 || v > math.MaxInt32 || (v == 0 && !(zeroFirstOK && i == 0)) {
 				return nil, ErrCorrupt
 			}
 			out[i] = int(v)
 			pos += n
 		}
 		// The shared overflow-safe product guard: huge declared extents
-		// error out before anything is allocated from them.
-		if _, err := container.CheckDims(out); err != nil {
+		// error out before anything is allocated from them. A v3 header may
+		// declare a zero time extent (a mutable store created empty).
+		if zeroFirstOK {
+			if err := checkDimsV3(out); err != nil {
+				return nil, ErrCorrupt
+			}
+		} else if _, err := container.CheckDims(out); err != nil {
 			return nil, ErrCorrupt
 		}
 		return out, nil
 	}
 	var err error
-	if h.dims, err = readDims(); err != nil {
+	if h.dims, err = readDims(version == formatVersionV3); err != nil {
 		return nil, 0, err
 	}
-	if h.brick, err = readDims(); err != nil {
+	if h.brick, err = readDims(false); err != nil {
 		return nil, 0, err
 	}
-	if p := clippedBrickPoints(h.dims, h.brick); p > maxBrickBytes/kindSize(h.kind) {
+	// The brick-size cap is checked against the interior brick a grown
+	// store will hold: a v3 header declares the extents at creation (often
+	// zero committed steps), so its time extent is taken as at least one
+	// full brick. v1/v2 extents are final and checked exactly as written.
+	capDims := h.dims
+	if h.version == formatVersionV3 && h.dims[0] < h.brick[0] {
+		capDims = append([]int{h.brick[0]}, h.dims[1:]...)
+	}
+	if p := clippedBrickPoints(capDims, h.brick); p > maxBrickBytes/kindSize(h.kind) {
 		return nil, 0, fmt.Errorf("store: brick shape %v holds %d %s points (max %d)",
 			h.brick, p, kindName(h.kind), maxBrickBytes/kindSize(h.kind))
 	}
@@ -176,6 +217,171 @@ func parseHeader(buf []byte) (*header, int, error) {
 		return nil, 0, ErrCorrupt
 	}
 	return h, pos, nil
+}
+
+// genFooter is the decoded fixed-size footer that commits one v3
+// generation. A commit appends brick payloads, then the generation
+// manifest, then this footer; the footer is the commit point — a file
+// whose tail holds a torn manifest or half-written footer simply opens at
+// the previous generation.
+type genFooter struct {
+	manifestOff int64  // absolute offset of this generation's manifest
+	manifestLen int64  // manifest byte length
+	gen         uint64 // generation number, 1-based and strictly increasing
+	prevOff     int64  // absolute offset of the previous generation's footer; 0 = none
+	manifestCRC uint32 // crc32(manifest bytes)
+}
+
+// appendGenFooter serializes ft, self-checksummed so a backward scan over
+// a torn tail can validate candidate footers without any other context.
+func appendGenFooter(dst []byte, ft *genFooter) []byte {
+	start := len(dst)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(ft.manifestOff))
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(ft.manifestLen))
+	dst = binary.LittleEndian.AppendUint64(dst, ft.gen)
+	dst = binary.LittleEndian.AppendUint64(dst, uint64(ft.prevOff))
+	dst = binary.LittleEndian.AppendUint32(dst, ft.manifestCRC)
+	dst = binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+	return append(dst, genTrailerMagic...)
+}
+
+// parseGenFooter decodes and validates one candidate footer. It checks
+// only self-consistency (magic and self-CRC); positional plausibility is
+// the caller's to verify against the file it came from.
+func parseGenFooter(buf []byte) (*genFooter, error) {
+	if len(buf) != genFooterSize || string(buf[genFooterSize-len(genTrailerMagic):]) != genTrailerMagic {
+		return nil, ErrCorrupt
+	}
+	if crc32.ChecksumIEEE(buf[:36]) != binary.LittleEndian.Uint32(buf[36:40]) {
+		return nil, ErrCorrupt
+	}
+	ft := &genFooter{
+		manifestOff: int64(binary.LittleEndian.Uint64(buf[0:])),
+		manifestLen: int64(binary.LittleEndian.Uint64(buf[8:])),
+		gen:         binary.LittleEndian.Uint64(buf[16:]),
+		prevOff:     int64(binary.LittleEndian.Uint64(buf[24:])),
+		manifestCRC: binary.LittleEndian.Uint32(buf[32:]),
+	}
+	if ft.manifestOff < 0 || ft.manifestLen <= 0 || ft.manifestLen > maxManifestLen ||
+		ft.prevOff < 0 || ft.gen == 0 {
+		return nil, ErrCorrupt
+	}
+	return ft, nil
+}
+
+// appendManifest serializes one v3 generation manifest: the generation
+// number, the field extents as of this generation, and an explicit
+// (offset, length, crc32) entry per brick — explicit offsets, unlike the
+// cumulative v1/v2 index, because a rewritten brick's payload lives at the
+// file tail, not in grid order.
+func appendManifest(dst []byte, gen uint64, dims []int, offs, lens []int64, crcs []uint32) []byte {
+	dst = append(dst, manifestMagic...)
+	dst = binary.AppendUvarint(dst, gen)
+	dst = append(dst, uint8(len(dims)))
+	for _, d := range dims {
+		dst = binary.AppendUvarint(dst, uint64(d))
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(offs)))
+	for i := range offs {
+		dst = binary.AppendUvarint(dst, uint64(offs[i]))
+		dst = binary.AppendUvarint(dst, uint64(lens[i]))
+		dst = binary.LittleEndian.AppendUint32(dst, crcs[i])
+	}
+	return dst
+}
+
+// parseManifest decodes a generation manifest against the store's header:
+// the declared extents must agree with the header on every dimension but
+// the first (only time grows), the brick count must match the grid those
+// extents imply, and every entry must lie inside [minOff, maxOff) — the
+// span between the header and the manifest itself.
+func parseManifest(buf []byte, hdr *header, minOff, maxOff int64) (gen uint64, dims []int, offs, lens []int64, crcs []uint32, err error) {
+	fail := func() (uint64, []int, []int64, []int64, []uint32, error) {
+		return 0, nil, nil, nil, nil, ErrCorrupt
+	}
+	if len(buf) < len(manifestMagic)+3 || string(buf[:len(manifestMagic)]) != manifestMagic {
+		return fail()
+	}
+	buf = buf[len(manifestMagic):]
+	gen, n := binary.Uvarint(buf)
+	if n <= 0 || gen == 0 {
+		return fail()
+	}
+	buf = buf[n:]
+	if len(buf) < 1 || int(buf[0]) != len(hdr.dims) {
+		return fail()
+	}
+	nd := int(buf[0])
+	buf = buf[1:]
+	dims = make([]int, nd)
+	for i := range dims {
+		v, n := binary.Uvarint(buf)
+		if n <= 0 || v > math.MaxInt32 {
+			return fail()
+		}
+		dims[i] = int(v)
+		buf = buf[n:]
+	}
+	if err := checkDimsV3(dims); err != nil {
+		return fail()
+	}
+	for i := 1; i < nd; i++ {
+		if dims[i] != hdr.dims[i] {
+			return fail()
+		}
+	}
+	// The interior brick under the declared extents must stay within the
+	// decoded-size cap (the header-parse check may have seen a zero time
+	// extent).
+	if p := clippedBrickPoints(dims, hdr.brick); p > maxBrickBytes/kindSize(hdr.kind) {
+		return fail()
+	}
+	nb, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return fail()
+	}
+	buf = buf[n:]
+	genHdr := header{dims: dims, brick: hdr.brick}
+	if nb != uint64(genHdr.numBricks()) {
+		return fail()
+	}
+	// Each entry is at least 6 bytes (two 1-byte varints + crc32): a
+	// manifest shorter than that bound cannot hold the declared count, so
+	// the check rejects hostile counts before the per-brick allocations.
+	if int64(len(buf)) < int64(nb)*6 {
+		return fail()
+	}
+	offs = make([]int64, nb)
+	lens = make([]int64, nb)
+	crcs = make([]uint32, nb)
+	for i := range offs {
+		o, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return fail()
+		}
+		buf = buf[n:]
+		l, n := binary.Uvarint(buf)
+		if n <= 0 || l == 0 || l > maxBrickPayload {
+			return fail()
+		}
+		buf = buf[n:]
+		if len(buf) < 4 {
+			return fail()
+		}
+		offs[i] = int64(o)
+		lens[i] = int64(l)
+		crcs[i] = binary.LittleEndian.Uint32(buf)
+		buf = buf[4:]
+		// Subtract rather than add: a hostile offset near MaxInt64 would
+		// wrap offs[i]+lens[i] negative and slip past an additive check.
+		if offs[i] < minOff || offs[i] > maxOff-lens[i] {
+			return fail()
+		}
+	}
+	if len(buf) != 0 {
+		return fail()
+	}
+	return gen, dims, offs, lens, crcs, nil
 }
 
 // grid returns the brick-grid extent per dimension: ceil(dims/brick).

@@ -1,0 +1,368 @@
+package store
+
+// This file pins docs/FORMAT.md: it decodes the golden fixtures in
+// testdata/ with a hand-rolled parser that follows ONLY the offsets and
+// rules documented there — deliberately sharing no code with format.go —
+// and then cross-checks what the real reader produces. If a format
+// change moves a documented byte, this fails before any golden data
+// comparison does. Update docs/FORMAT.md and this file together, and
+// only when introducing a new format version.
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"hash/crc32"
+	"math"
+	"os"
+	"testing"
+)
+
+// specHeader is the §1.1 header as the spec documents it.
+type specHeader struct {
+	version byte
+	codecID byte
+	kind    byte
+	dims    []int
+	brick   []int
+	bound   float64
+	end     int // offset one past the header
+}
+
+// specParseHeader decodes §1.1 byte by byte.
+func specParseHeader(t *testing.T, buf []byte) specHeader {
+	t.Helper()
+	if string(buf[0:4]) != "QOZB" {
+		t.Fatalf("offset 0: magic %q, spec says \"QOZB\"", buf[0:4])
+	}
+	h := specHeader{version: buf[4], codecID: buf[6], kind: buf[7]}
+	if buf[5] != 8 {
+		t.Fatalf("offset 5: format id %d, spec says 8 (CodecBrick)", buf[5])
+	}
+	nd := int(buf[8])
+	if nd < 1 || nd > 8 {
+		t.Fatalf("offset 8: ndims %d outside 1..8", nd)
+	}
+	pos := 9
+	read := func() []int {
+		out := make([]int, nd)
+		for i := range out {
+			v, n := binary.Uvarint(buf[pos:])
+			if n <= 0 {
+				t.Fatalf("offset %d: bad uvarint", pos)
+			}
+			out[i] = int(v)
+			pos += n
+		}
+		return out
+	}
+	h.dims = read()
+	h.brick = read()
+	h.bound = math.Float64frombits(binary.LittleEndian.Uint64(buf[pos:]))
+	h.end = pos + 8
+	return h
+}
+
+// specNumBricks computes the §1.2 brick-grid size.
+func specNumBricks(dims, brick []int) int {
+	n := 1
+	for i := range dims {
+		n *= (dims[i] + brick[i] - 1) / brick[i]
+	}
+	return n
+}
+
+// specEntry is one brick's manifest entry.
+type specEntry struct {
+	off, length int64
+	crc         uint32
+}
+
+// specParseV12 walks the §1.3 index and footer of a write-once store,
+// returning per-brick entries with their implied offsets.
+func specParseV12(t *testing.T, buf []byte, h specHeader) []specEntry {
+	t.Helper()
+	foot := buf[len(buf)-16:]
+	if string(foot[8:]) != "QOZBIDX1" {
+		t.Fatalf("trailer magic %q, spec says \"QOZBIDX1\"", foot[8:])
+	}
+	idxOff := binary.LittleEndian.Uint64(foot[:8])
+	idx := buf[idxOff : len(buf)-16]
+	nb, n := binary.Uvarint(idx)
+	if n <= 0 || int(nb) != specNumBricks(h.dims, h.brick) {
+		t.Fatalf("index declares %d bricks, grid implies %d", nb, specNumBricks(h.dims, h.brick))
+	}
+	idx = idx[n:]
+	entries := make([]specEntry, nb)
+	off := int64(h.end) // §1.3: brick 0 starts at the end of the header
+	for i := range entries {
+		l, n := binary.Uvarint(idx)
+		if n <= 0 {
+			t.Fatalf("brick %d: bad length uvarint", i)
+		}
+		idx = idx[n:]
+		entries[i] = specEntry{off: off, length: int64(l), crc: binary.LittleEndian.Uint32(idx)}
+		idx = idx[4:]
+		off += int64(l)
+	}
+	if len(idx) != 0 {
+		t.Fatalf("%d trailing bytes after the last index entry", len(idx))
+	}
+	if off != int64(idxOff) {
+		t.Fatalf("cumulative payload lengths end at %d, index starts at %d", off, idxOff)
+	}
+	return entries
+}
+
+// specFooter is the §1.4 48-byte generation footer.
+type specFooter struct {
+	manifestOff, manifestLen int64
+	gen                      uint64
+	prevOff                  int64
+	manifestCRC              uint32
+}
+
+// specParseGenFooter decodes and validates the 48 bytes ending at end.
+func specParseGenFooter(t *testing.T, buf []byte, end int64) specFooter {
+	t.Helper()
+	f := buf[end-48 : end]
+	if string(f[40:]) != "QOZBGEN3" {
+		t.Fatalf("footer at %d: trailer magic %q, spec says \"QOZBGEN3\"", end-48, f[40:])
+	}
+	if crc32.ChecksumIEEE(f[:36]) != binary.LittleEndian.Uint32(f[36:40]) {
+		t.Fatalf("footer at %d: footerCRC mismatch", end-48)
+	}
+	ft := specFooter{
+		manifestOff: int64(binary.LittleEndian.Uint64(f[0:])),
+		manifestLen: int64(binary.LittleEndian.Uint64(f[8:])),
+		gen:         binary.LittleEndian.Uint64(f[16:]),
+		prevOff:     int64(binary.LittleEndian.Uint64(f[24:])),
+		manifestCRC: binary.LittleEndian.Uint32(f[32:]),
+	}
+	if ft.manifestOff+ft.manifestLen != end-48 {
+		t.Fatalf("footer at %d: manifest [%d,+%d) does not end at the footer", end-48, ft.manifestOff, ft.manifestLen)
+	}
+	return ft
+}
+
+// specParseManifest decodes a §1.4 generation manifest.
+func specParseManifest(t *testing.T, man []byte, h specHeader) (gen uint64, dims []int, entries []specEntry) {
+	t.Helper()
+	if string(man[:4]) != "QZM3" {
+		t.Fatalf("manifest magic %q, spec says \"QZM3\"", man[:4])
+	}
+	man = man[4:]
+	gen, n := binary.Uvarint(man)
+	man = man[n:]
+	nd := int(man[0])
+	if nd != len(h.dims) {
+		t.Fatalf("manifest ndims %d, header has %d", nd, len(h.dims))
+	}
+	man = man[1:]
+	dims = make([]int, nd)
+	for i := range dims {
+		v, n := binary.Uvarint(man)
+		dims[i] = int(v)
+		man = man[n:]
+	}
+	for i := 1; i < nd; i++ {
+		if dims[i] != h.dims[i] {
+			t.Fatalf("manifest extent %d = %d differs from the header's %d (only extent 0 may grow)", i, dims[i], h.dims[i])
+		}
+	}
+	nb, n := binary.Uvarint(man)
+	man = man[n:]
+	if int(nb) != specNumBricks(dims, h.brick) {
+		t.Fatalf("manifest declares %d bricks, committed extents imply %d", nb, specNumBricks(dims, h.brick))
+	}
+	entries = make([]specEntry, nb)
+	for i := range entries {
+		o, n := binary.Uvarint(man)
+		man = man[n:]
+		l, n := binary.Uvarint(man)
+		man = man[n:]
+		entries[i] = specEntry{off: int64(o), length: int64(l), crc: binary.LittleEndian.Uint32(man)}
+		man = man[4:]
+	}
+	if len(man) != 0 {
+		t.Fatalf("%d trailing bytes after the last manifest entry", len(man))
+	}
+	return gen, dims, entries
+}
+
+// specCheckPayloads verifies every entry's bounds, checksum, and §1.2
+// payload framing magic.
+func specCheckPayloads(t *testing.T, buf []byte, h specHeader, entries []specEntry, maxOff int64) {
+	t.Helper()
+	wantMagic := "QOZG" // §3 codec container
+	if h.kind == 1 {
+		wantMagic = "QZD1" // §4 float64 escape envelope
+	}
+	for i, e := range entries {
+		if e.off < int64(h.end) || e.off+e.length > maxOff {
+			t.Fatalf("brick %d: payload [%d,+%d) outside (header end %d, manifest %d)", i, e.off, e.length, h.end, maxOff)
+		}
+		p := buf[e.off : e.off+e.length]
+		if crc32.ChecksumIEEE(p) != e.crc {
+			t.Fatalf("brick %d: payload crc32 mismatch", i)
+		}
+		if string(p[:4]) != wantMagic {
+			t.Fatalf("brick %d: payload magic %q, spec says %q for kind %d", i, p[:4], wantMagic, h.kind)
+		}
+	}
+}
+
+// readFixture loads a fixture pair.
+func readFixture(t *testing.T, name, expected string) ([]byte, []byte) {
+	t.Helper()
+	buf, err := os.ReadFile("testdata/" + name)
+	if err != nil {
+		t.Fatalf("golden fixture missing: %v", err)
+	}
+	exp, err := os.ReadFile("testdata/" + expected)
+	if err != nil {
+		t.Fatalf("golden expectation missing: %v", err)
+	}
+	return buf, exp
+}
+
+// TestFormatSpecV1 decodes the v1 golden fixture at documented offsets.
+func TestFormatSpecV1(t *testing.T) {
+	buf, exp := readFixture(t, "v1_f32.qozb", "v1_f32.expected.f32")
+	h := specParseHeader(t, buf)
+	if h.version != 1 || h.kind != 0 {
+		t.Fatalf("v1 fixture: version %d kind %d", h.version, h.kind)
+	}
+	entries := specParseV12(t, buf, h)
+	specCheckPayloads(t, buf, h, entries, int64(len(buf))-16)
+
+	// The real reader agrees with the documented layout, bit-identically.
+	s, err := Open(bytes.NewReader(buf), int64(len(buf)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, err := s.ReadField(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got)*4 != len(exp) {
+		t.Fatalf("reconstruction holds %d points, expectation %d", len(got), len(exp)/4)
+	}
+	for i, v := range got {
+		if math.Float32bits(v) != binary.LittleEndian.Uint32(exp[4*i:]) {
+			t.Fatalf("point %d differs from the golden reconstruction", i)
+		}
+	}
+}
+
+// TestFormatSpecV2 decodes the v2 float64 golden fixture at documented
+// offsets.
+func TestFormatSpecV2(t *testing.T) {
+	buf, exp := readFixture(t, "v2_f64.qozb", "v2_f64.expected.f64")
+	h := specParseHeader(t, buf)
+	if h.version != 2 || h.kind != 1 {
+		t.Fatalf("v2 fixture: version %d kind %d", h.version, h.kind)
+	}
+	entries := specParseV12(t, buf, h)
+	specCheckPayloads(t, buf, h, entries, int64(len(buf))-16)
+
+	s, err := Open(bytes.NewReader(buf), int64(len(buf)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, err := s.ReadFieldFloat64(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got)*8 != len(exp) {
+		t.Fatalf("reconstruction holds %d points, expectation %d", len(got), len(exp)/8)
+	}
+	for i, v := range got {
+		if math.Float64bits(v) != binary.LittleEndian.Uint64(exp[8*i:]) {
+			t.Fatalf("point %d differs from the golden reconstruction", i)
+		}
+	}
+}
+
+// TestFormatSpecV3 walks the v3 golden fixture's generation journal at
+// documented offsets: the tail footer, the manifest, and the whole
+// prevFooterOff chain back to generation 1.
+func TestFormatSpecV3(t *testing.T) {
+	buf, exp := readFixture(t, "v3_gen4.qozb", "v3_gen4.expected.f32")
+	h := specParseHeader(t, buf)
+	if h.version != 3 || h.kind != 0 {
+		t.Fatalf("v3 fixture: version %d kind %d", h.version, h.kind)
+	}
+	// §1.1: a v3 header may declare zero committed steps at creation.
+	if h.dims[0] != 0 {
+		t.Fatalf("v3 fixture header extent 0 = %d, fixture was created empty", h.dims[0])
+	}
+
+	// §1.4: the clean-commit fast path — 48 bytes ending at EOF.
+	ft := specParseGenFooter(t, buf, int64(len(buf)))
+	if ft.gen != 4 {
+		t.Fatalf("latest generation %d, fixture committed 4", ft.gen)
+	}
+	man := buf[ft.manifestOff : ft.manifestOff+ft.manifestLen]
+	if crc32.ChecksumIEEE(man) != ft.manifestCRC {
+		t.Fatal("manifestCRC mismatch on the latest generation")
+	}
+	gen, dims, entries := specParseManifest(t, man, h)
+	if gen != ft.gen {
+		t.Fatalf("manifest gen %d, footer gen %d", gen, ft.gen)
+	}
+	if dims[0] != 5 {
+		t.Fatalf("latest generation commits %d steps, fixture appended 5", dims[0])
+	}
+	specCheckPayloads(t, buf, h, entries, ft.manifestOff)
+
+	// Walk the generation chain to its start: 4 → 3 → 2 → 1, prevOff 0.
+	wantGen := ft.gen
+	for ft.prevOff != 0 {
+		ft = specParseGenFooter(t, buf, ft.prevOff+48)
+		wantGen--
+		if ft.gen != wantGen {
+			t.Fatalf("chain visits generation %d, want %d (strictly decreasing by construction here)", ft.gen, wantGen)
+		}
+		man := buf[ft.manifestOff : ft.manifestOff+ft.manifestLen]
+		if crc32.ChecksumIEEE(man) != ft.manifestCRC {
+			t.Fatalf("generation %d: manifestCRC mismatch", ft.gen)
+		}
+		g, gdims, gentries := specParseManifest(t, man, h)
+		if g != ft.gen {
+			t.Fatalf("generation %d: manifest disagrees (%d)", ft.gen, g)
+		}
+		specCheckPayloads(t, buf, h, gentries, ft.manifestOff)
+		if ft.gen == 1 && (gdims[0] != 0 || len(gentries) != 0) {
+			t.Fatalf("generation 1 of a created-empty store: dims %v, %d bricks", gdims, len(gentries))
+		}
+	}
+	if wantGen != 1 {
+		t.Fatalf("chain ended at generation %d, spec says it ends at the oldest in the file (1 here)", wantGen)
+	}
+
+	// The real reader opens the same latest generation and reproduces the
+	// golden reconstruction bit-identically.
+	s, err := Open(bytes.NewReader(buf), int64(len(buf)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if s.Generation() != 4 {
+		t.Fatalf("reader opened generation %d", s.Generation())
+	}
+	got, err := s.ReadField(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got)*4 != len(exp) {
+		t.Fatalf("reconstruction holds %d points, expectation %d", len(got), len(exp)/4)
+	}
+	for i, v := range got {
+		if math.Float32bits(v) != binary.LittleEndian.Uint32(exp[4*i:]) {
+			t.Fatalf("point %d differs from the golden reconstruction", i)
+		}
+	}
+}

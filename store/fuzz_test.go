@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/binary"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"qoz"
@@ -65,6 +67,54 @@ func FuzzOpen(f *testing.F) {
 	}
 	mut = append([]byte(nil), valid64...)
 	mut[len(magic)] = formatVersionV1
+	f.Add(mut)
+
+	// A valid v3 mutable store with a three-generation history (create,
+	// append, append-across-a-band-boundary), plus torn and mangled
+	// variants of its generation tail: a truncated footer must fall back
+	// to the previous generation, mangled footer/manifest bytes must
+	// never panic or over-allocate, and a version downgrade must reject
+	// the zero time extent v3 legitimizes.
+	v3Path := filepath.Join(f.TempDir(), "v3.qozb")
+	m, err := CreateMutable(v3Path, []int{0, 12, 12}, WriteOptions{
+		Opts:  qoz.Options{ErrorBound: 1e-2},
+		Brick: []int{2, 8, 8},
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	rows := make([]float32, 3*12*12)
+	for i := range rows {
+		rows[i] = float32(i % 17)
+	}
+	if err := m.AppendSteps(context.Background(), rows); err != nil {
+		f.Fatal(err)
+	}
+	if err := m.AppendSteps(context.Background(), rows[:2*12*12]); err != nil {
+		f.Fatal(err)
+	}
+	m.Close()
+	valid3, err := os.ReadFile(v3Path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid3)
+	// Truncations tearing the final commit at every interesting depth:
+	// inside the footer, exactly before it, and into its payloads.
+	for _, cut := range []int{1, genFooterSize / 2, genFooterSize, genFooterSize + 7, genFooterSize + 200} {
+		if cut < len(valid3) {
+			f.Add(append([]byte(nil), valid3[:len(valid3)-cut]...))
+		}
+	}
+	// Bit flips across the footer fields (offsets, gen, prev, CRCs) and
+	// the manifest magic.
+	for off := len(valid3) - genFooterSize; off < len(valid3); off += 4 {
+		mut = append([]byte(nil), valid3...)
+		mut[off] ^= 0xff
+		f.Add(mut)
+	}
+	mut = append([]byte(nil), valid3...)
+	mut[len(magic)] = formatVersion // v2 never allows a zero time extent
 	f.Add(mut)
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -1,0 +1,597 @@
+package store
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"qoz"
+)
+
+// Mutable is a read-write handle on a v3 (generation-based) brick store.
+// It embeds a *Store, so every read — ReadRegion, Stats, Dims — works
+// exactly as on a read-only handle and always serves the latest committed
+// generation, while AppendSteps, RewriteBricks, and Compact mutate the
+// store journal-style: each mutation appends new brick payloads, a fresh
+// manifest, and a generation footer, and the footer write is the commit
+// point. A crash mid-commit leaves a torn tail that the next open simply
+// ignores (the store reopens at the previous generation); old generations
+// stay readable via Options.Generation until Compact reclaims them.
+//
+// Reads are safe concurrently with mutations: a region read captures one
+// committed generation up front and is never served a mix. Mutations are
+// serialized internally; the handle itself must not be used concurrently
+// with Close. A store admits one Mutable at a time across all processes
+// — see OpenMutable for the single-writer contract.
+type Mutable struct {
+	*Store
+	f    *os.File
+	opts qoz.Options // per-brick compression options (bound from the header)
+
+	mu  sync.Mutex // serializes mutations
+	end int64      // committed file end = next append offset
+}
+
+// CreateMutable creates a new mutable brick store at path. The store
+// starts empty along the slowest (time) dimension: dims[0] must be 0, and
+// AppendSteps grows it one or more steps at a time. The error bound in
+// wo.Opts must be absolute (there is no data yet to resolve a relative
+// bound against). The file is created exclusively — an existing path is
+// an error, not an overwrite.
+func CreateMutable(path string, dims []int, wo WriteOptions) (*Mutable, error) {
+	if len(dims) == 0 || len(dims) > 8 {
+		return nil, fmt.Errorf("store: need 1..8 dimensions, got %d", len(dims))
+	}
+	if dims[0] != 0 {
+		return nil, fmt.Errorf("store: a mutable store starts with zero steps; dims[0] must be 0, got %d (append the initial field with AppendSteps)", dims[0])
+	}
+	if err := checkDimsV3(dims); err != nil {
+		return nil, err
+	}
+	if wo.Opts.RelBound > 0 {
+		return nil, errors.New("store: CreateMutable needs an absolute ErrorBound; a relative bound cannot be resolved before any data exists")
+	}
+	if eb := wo.Opts.ErrorBound; eb <= 0 || math.IsNaN(eb) || math.IsInf(eb, 0) {
+		return nil, errors.New("store: a positive, finite ErrorBound is required")
+	}
+	codec := wo.Codec
+	if codec == nil {
+		c, err := qoz.Lookup(qoz.DefaultCodec)
+		if err != nil {
+			return nil, err
+		}
+		codec = c
+	}
+	brick := append([]int(nil), wo.Brick...)
+	if wo.Brick == nil {
+		// Pick the default brick as if the time extent were unbounded, so
+		// the time brick extent is the full default edge rather than the
+		// current (zero) step count.
+		surrogate := append([]int{math.MaxInt32}, dims[1:]...)
+		brick = DefaultBrick(surrogate)
+	}
+	if len(brick) != len(dims) {
+		return nil, fmt.Errorf("store: brick rank %d, field rank %d", len(brick), len(dims))
+	}
+	for i, b := range brick {
+		if b <= 0 {
+			return nil, fmt.Errorf("store: invalid brick extent %d", b)
+		}
+		// Clip the fixed dimensions to the field; the time extent is
+		// unbounded and keeps its brick as given.
+		if i > 0 && b > dims[i] {
+			brick[i] = dims[i]
+		}
+	}
+	capDims := append([]int{brick[0]}, dims[1:]...)
+	kind := uint8(kindFloat32)
+	if wo.Float64 {
+		kind = kindFloat64
+	}
+	if p := clippedBrickPoints(capDims, brick); p > maxBrickBytes/kindSize(kind) {
+		return nil, fmt.Errorf("store: brick shape %v holds %d %s points (max %d)",
+			brick, p, kindName(kind), maxBrickBytes/kindSize(kind))
+	}
+	hdr := &header{
+		version: formatVersionV3,
+		codecID: codec.ID(),
+		kind:    kind,
+		dims:    append([]int(nil), dims...),
+		brick:   brick,
+		bound:   wo.Opts.ErrorBound,
+	}
+
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(err error) (*Mutable, error) {
+		f.Close()
+		os.Remove(path)
+		return nil, err
+	}
+	// Header, then generation 1: an empty manifest and its footer. The
+	// file is a complete, openable store from its first commit on.
+	hb := appendHeader(nil, hdr)
+	manBytes := appendManifest(nil, 1, hdr.dims, nil, nil, nil)
+	ft := &genFooter{
+		manifestOff: int64(len(hb)),
+		manifestLen: int64(len(manBytes)),
+		gen:         1,
+		prevOff:     0,
+		manifestCRC: crc32.ChecksumIEEE(manBytes),
+	}
+	blob := append(append(hb, manBytes...), appendGenFooter(nil, ft)...)
+	if _, err := f.Write(blob); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
+	}
+	m, err := newMutable(f, path, Options{Workers: wo.Workers}, wo.Opts)
+	if err != nil {
+		return fail(err)
+	}
+	return m, nil
+}
+
+// OpenMutable opens an existing v3 brick store at path for reading and
+// mutation. A torn final commit (crash mid-append) is reclaimed here: the
+// file is truncated back to its last committed generation. v1/v2 stores
+// are refused — they predate the generation journal; rebuild them as
+// mutable stores with CreateMutable + AppendSteps (or qozc put -mutable).
+//
+// Only the error bound persists in the file, so mutations through a
+// reopened handle compress with the stored bound and default tuning;
+// other qoz.Options set at CreateMutable (e.g. Metric) apply to that
+// handle's lifetime only.
+//
+// A store must have at most one Mutable at a time, in one process:
+// commits assume they own the committed end of the file, and there is no
+// cross-process lock yet (see ROADMAP), so two concurrent writers would
+// overwrite each other's commits. Any number of read-only handles
+// (OpenFile/OpenURL + Refresh) are safe alongside the one writer.
+func OpenMutable(path string, opts Options) (*Mutable, error) {
+	if opts.Generation != 0 {
+		return nil, errors.New("store: a mutable handle always tracks the latest generation; open old generations read-only via OpenFile with Options.Generation")
+	}
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	m, err := newMutable(f, path, opts, qoz.Options{})
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// newMutable builds the Mutable over an already-open read-write file:
+// locate the newest committed generation, drop any torn tail beyond it,
+// and open the store state at the now-clean end. copts carries the
+// caller's compression tuning; the bound always comes from the store
+// header (it is part of the format's guarantee, not a per-handle knob).
+func newMutable(f *os.File, path string, opts Options, copts qoz.Options) (*Mutable, error) {
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	hdr, headerLen, err := readHeaderAt(f, size)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.version != formatVersionV3 {
+		return nil, fmt.Errorf("store: version %d store is write-once; only v3 stores are mutable (create one with CreateMutable or qozc put -mutable)", hdr.version)
+	}
+	footOff, err := findLatestFooter(f, size, headerLen)
+	if err != nil {
+		return nil, err
+	}
+	end := footOff + int64(genFooterSize)
+	if end < size {
+		// A torn commit's partial payloads/manifest past the last footer:
+		// reclaim them now so the next commit appends at the committed end.
+		if err := f.Truncate(end); err != nil {
+			return nil, err
+		}
+	}
+	s, err := Open(f, end, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.closer = f
+	s.file = f
+	s.path = path
+	s.mutable = true
+	copts.ErrorBound, copts.RelBound = s.man.Load().hdr.bound, 0
+	return &Mutable{
+		Store: s,
+		f:     f,
+		opts:  copts,
+		end:   end,
+	}, nil
+}
+
+// AppendSteps appends whole steps — slices along the slowest dimension —
+// to a float32 mutable store and commits them as one new generation.
+// len(rows) must be a whole number of steps. Appending is brick-granular:
+// when the committed step count is not a multiple of the time brick
+// extent, the bricks of the final partial band are rewritten (their
+// reconstruction is re-compressed together with the new rows under the
+// same bound, so those points can drift up to twice the bound from the
+// original field — append in multiples of BrickShape()[0] steps to avoid
+// any recompression). Use AppendStepsFloat64 on float64 stores.
+func (m *Mutable) AppendSteps(ctx context.Context, rows []float32) error {
+	return appendStepsImpl(ctx, m, kindFloat32, rows, m.readRegion32)
+}
+
+// AppendStepsFloat64 is AppendSteps for float64 stores.
+func (m *Mutable) AppendStepsFloat64(ctx context.Context, rows []float64) error {
+	return appendStepsImpl(ctx, m, kindFloat64, rows, m.readRegion64)
+}
+
+// AppendStepsT is the generic entry point over the two typed appends,
+// mirroring ReadRegionT: AppendStepsT[float32] is AppendSteps,
+// AppendStepsT[float64] is AppendStepsFloat64.
+func AppendStepsT[T qoz.Float](ctx context.Context, m *Mutable, rows []T) error {
+	if elemBytes[T]() == 8 {
+		return m.AppendStepsFloat64(ctx, convertSamples[T, float64](rows))
+	}
+	return m.AppendSteps(ctx, convertSamples[T, float32](rows))
+}
+
+// appendStepsImpl is the shared append path: cut the appended rows (plus
+// the re-read rows of a trailing partial band) into bands, compress, and
+// commit one new generation.
+func appendStepsImpl[T qoz.Float](ctx context.Context, m *Mutable, kind uint8, rows []T,
+	read func(context.Context, *manifest, []int, []int) ([]T, error)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	man := m.man.Load()
+	hdr := man.hdr
+	if hdr.kind != kind {
+		return fmt.Errorf("store: cannot append %s steps to a %s store", kindName(kind), kindName(hdr.kind))
+	}
+	rowPoints := 1
+	for _, d := range hdr.dims[1:] {
+		rowPoints *= d
+	}
+	if len(rows) == 0 {
+		return nil
+	}
+	if len(rows)%rowPoints != 0 {
+		return fmt.Errorf("store: append of %d points is not whole steps of %d", len(rows), rowPoints)
+	}
+	steps := len(rows) / rowPoints
+	oldT := hdr.dims[0]
+	newDims := append([]int{oldT + steps}, hdr.dims[1:]...)
+	if err := checkDimsV3(newDims); err != nil {
+		return fmt.Errorf("store: appending %d steps: %w", steps, err)
+	}
+
+	b0 := hdr.brick[0]
+	bandStart := oldT / b0
+	combined := rows
+	if partial := oldT % b0; partial != 0 {
+		// The last committed band is partial: its bricks are about to be
+		// rewritten, extended by the new rows, so read their reconstruction
+		// back first.
+		lo := make([]int, len(hdr.dims))
+		lo[0] = bandStart * b0
+		hi := append([]int{oldT}, hdr.dims[1:]...)
+		old, err := read(ctx, man, lo, hi)
+		if err != nil {
+			return fmt.Errorf("store: re-reading partial band for append: %w", err)
+		}
+		combined = make([]T, 0, len(old)+len(rows))
+		combined = append(combined, old...)
+		combined = append(combined, rows...)
+	}
+
+	newHdr := *hdr
+	newHdr.dims = newDims
+	newGrid0 := (newDims[0] + b0 - 1) / b0
+	nbPerBand := 1
+	for _, g := range newHdr.grid()[1:] {
+		nbPerBand *= g
+	}
+	keep := bandStart * nbPerBand
+	nb := newGrid0 * nbPerBand
+	offs := make([]int64, nb)
+	lens := make([]int64, nb)
+	crcs := make([]uint32, nb)
+	copy(offs, man.offsets[:keep])
+	copy(lens, man.lengths[:keep])
+	copy(crcs, man.crcs[:keep])
+
+	// Compress and append band by band, so peak memory holds one band's
+	// payloads. Nothing is committed until the footer below: a failure
+	// here leaves a garbage tail that the next commit overwrites.
+	cur := m.end
+	next := keep
+	for b := bandStart; b < newGrid0; b++ {
+		bandRows := min(b0, newDims[0]-b*b0)
+		start := (b - bandStart) * b0 * rowPoints
+		band := combined[start : start+bandRows*rowPoints]
+		payloads, err := compressBand(ctx, &newHdr, m.codec, m.opts, m.workers, band, bandRows, b*nbPerBand)
+		if err != nil {
+			return err
+		}
+		for _, p := range payloads {
+			if _, err := m.f.WriteAt(p, cur); err != nil {
+				return err
+			}
+			offs[next] = cur
+			lens[next] = int64(len(p))
+			crcs[next] = crc32.ChecksumIEEE(p)
+			next++
+			cur += int64(len(p))
+		}
+	}
+	return m.commit(&newHdr, offs, lens, crcs, cur)
+}
+
+// RewriteBricks replaces the data inside the brick-aligned box [lo, hi)
+// of a float32 mutable store and commits the change as one new
+// generation. The box must be brick-aligned — every lo a multiple of the
+// brick extent, every hi a multiple or the field edge — so the rewrite is
+// exactly a set of whole bricks and no surrounding data is re-encoded.
+// data is row-major with shape hi-lo. Readers holding the previous
+// generation (or any earlier one, via Options.Generation) still see the
+// old bricks; Compact reclaims them. Use RewriteBricksFloat64 on float64
+// stores.
+func (m *Mutable) RewriteBricks(ctx context.Context, lo, hi []int, data []float32) error {
+	return rewriteBricksImpl(ctx, m, kindFloat32, lo, hi, data)
+}
+
+// RewriteBricksFloat64 is RewriteBricks for float64 stores.
+func (m *Mutable) RewriteBricksFloat64(ctx context.Context, lo, hi []int, data []float64) error {
+	return rewriteBricksImpl(ctx, m, kindFloat64, lo, hi, data)
+}
+
+// RewriteBricksT is the generic entry point over the two typed rewrites.
+func RewriteBricksT[T qoz.Float](ctx context.Context, m *Mutable, lo, hi []int, data []T) error {
+	if elemBytes[T]() == 8 {
+		return m.RewriteBricksFloat64(ctx, lo, hi, convertSamples[T, float64](data))
+	}
+	return m.RewriteBricks(ctx, lo, hi, convertSamples[T, float32](data))
+}
+
+// rewriteBricksImpl validates the brick-aligned box, compresses its
+// bricks, and commits a generation whose manifest points the rewritten
+// bricks at the appended payloads.
+func rewriteBricksImpl[T qoz.Float](ctx context.Context, m *Mutable, kind uint8, lo, hi []int, data []T) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	man := m.man.Load()
+	hdr := man.hdr
+	if hdr.kind != kind {
+		return fmt.Errorf("store: cannot rewrite %s bricks of a %s store", kindName(kind), kindName(hdr.kind))
+	}
+	dims := hdr.dims
+	if len(lo) != len(dims) || len(hi) != len(dims) {
+		return fmt.Errorf("store: region rank %d/%d, field rank %d", len(lo), len(hi), len(dims))
+	}
+	for i := range dims {
+		if lo[i] < 0 || hi[i] > dims[i] || lo[i] >= hi[i] {
+			return fmt.Errorf("store: region [%v,%v) outside field %v", lo, hi, dims)
+		}
+		if lo[i]%hdr.brick[i] != 0 || (hi[i]%hdr.brick[i] != 0 && hi[i] != dims[i]) {
+			return fmt.Errorf("store: rewrite box [%v,%v) is not aligned to bricks %v", lo, hi, hdr.brick)
+		}
+	}
+	if want := boxPoints(lo, hi); len(data) != want {
+		return fmt.Errorf("store: box %v..%v holds %d points, data has %d", lo, hi, want, len(data))
+	}
+
+	boxDims := make([]int, len(dims))
+	for i := range dims {
+		boxDims[i] = hi[i] - lo[i]
+	}
+	bricks := man.intersectingBricks(lo, hi)
+	payloads := make([][]byte, len(bricks))
+	for k, bi := range bricks {
+		blo, bhi := hdr.brickBox(bi)
+		size := make([]int, len(dims))
+		srcLo := make([]int, len(dims))
+		for i := range dims {
+			size[i] = bhi[i] - blo[i]
+			srcLo[i] = blo[i] - lo[i]
+		}
+		buf := make([]T, boxPoints(blo, bhi))
+		copyBox(buf, size, make([]int, len(size)), data, boxDims, srcLo, size)
+		p, err := compressBrick(ctx, m.codec, buf, size, m.opts)
+		if err != nil {
+			return fmt.Errorf("store: brick %d: %w", bi, err)
+		}
+		payloads[k] = p
+	}
+
+	offs := append([]int64(nil), man.offsets...)
+	lens := append([]int64(nil), man.lengths...)
+	crcs := append([]uint32(nil), man.crcs...)
+	cur := m.end
+	for k, bi := range bricks {
+		p := payloads[k]
+		if _, err := m.f.WriteAt(p, cur); err != nil {
+			return err
+		}
+		offs[bi] = cur
+		lens[bi] = int64(len(p))
+		crcs[bi] = crc32.ChecksumIEEE(p)
+		cur += int64(len(p))
+	}
+	newHdr := *hdr
+	return m.commit(&newHdr, offs, lens, crcs, cur)
+}
+
+// commit finishes a mutation: the generation manifest is appended at end
+// (payloads already written below it), everything is synced, and only
+// then is the footer — the commit point — written and synced. The
+// in-memory snapshot swaps last, so concurrent readers move atomically
+// from the old generation to the new.
+func (m *Mutable) commit(newHdr *header, offs, lens []int64, crcs []uint32, end int64) error {
+	man := m.man.Load()
+	gen := man.gen + 1
+	manBytes := appendManifest(nil, gen, newHdr.dims, offs, lens, crcs)
+	if _, err := m.f.WriteAt(manBytes, end); err != nil {
+		return err
+	}
+	// First barrier: payloads and manifest must be durable before the
+	// footer can declare them committed — otherwise a crash could persist
+	// the footer but not the bytes it vouches for.
+	if err := m.f.Sync(); err != nil {
+		return err
+	}
+	footOff := end + int64(len(manBytes))
+	ft := &genFooter{
+		manifestOff: end,
+		manifestLen: int64(len(manBytes)),
+		gen:         gen,
+		prevOff:     man.footOff,
+		manifestCRC: crc32.ChecksumIEEE(manBytes),
+	}
+	if _, err := m.f.WriteAt(appendGenFooter(nil, ft), footOff); err != nil {
+		return err
+	}
+	if err := m.f.Sync(); err != nil {
+		return err
+	}
+	m.man.Store(&manifest{
+		hdr:     newHdr,
+		ra:      m.f,
+		gen:     gen,
+		epoch:   man.epoch,
+		footOff: footOff,
+		prevOff: man.footOff,
+		offsets: offs,
+		lengths: lens,
+		crcs:    crcs,
+		fp:      manifestFingerprint(newHdr, manBytes),
+	})
+	m.end = footOff + int64(genFooterSize)
+	return nil
+}
+
+// Compact rewrites the store down to its single latest generation,
+// reclaiming the space of superseded brick payloads, orphaned manifests,
+// and the generation chain. Live payloads are copied verbatim (no
+// re-compression, checksum-verified in transit) into a fresh file that
+// atomically replaces the store via rename; the compacted store carries
+// the next generation number, so pollers observe compaction as an
+// ordinary generation advance. Earlier generations stop being readable —
+// that is the point. Readers inside this process keep working across the
+// swap; other processes keep their already-open file until they Refresh
+// or reopen.
+func (m *Mutable) Compact(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	man := m.man.Load()
+
+	newHdr := *man.hdr // the compacted header carries the current extents
+	hb := appendHeader(nil, &newHdr)
+	tmp, err := os.CreateTemp(filepath.Dir(m.path), filepath.Base(m.path)+".compact*")
+	if err != nil {
+		return err
+	}
+	fail := func(err error) error {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	// CreateTemp creates 0600; the file is about to replace a store that
+	// other processes (a serving qozd, other readers) may open by path, so
+	// restore the permissions CreateMutable established.
+	if err := tmp.Chmod(0o644); err != nil {
+		return fail(err)
+	}
+	if _, err := tmp.Write(hb); err != nil {
+		return fail(err)
+	}
+	nb := len(man.offsets)
+	offs := make([]int64, nb)
+	lens := make([]int64, nb)
+	cur := int64(len(hb))
+	for i := 0; i < nb; i++ {
+		if err := ctx.Err(); err != nil {
+			return fail(err)
+		}
+		p := make([]byte, man.lengths[i])
+		if _, err := man.ra.ReadAt(p, man.offsets[i]); err != nil {
+			return fail(fmt.Errorf("store: brick %d: %w", i, err))
+		}
+		if crc32.ChecksumIEEE(p) != man.crcs[i] {
+			return fail(fmt.Errorf("store: brick %d: checksum mismatch: %w", i, ErrCorrupt))
+		}
+		if _, err := tmp.Write(p); err != nil {
+			return fail(err)
+		}
+		offs[i] = cur
+		lens[i] = man.lengths[i]
+		cur += man.lengths[i]
+	}
+	gen := man.gen + 1
+	manBytes := appendManifest(nil, gen, newHdr.dims, offs, lens, man.crcs)
+	ft := &genFooter{
+		manifestOff: cur,
+		manifestLen: int64(len(manBytes)),
+		gen:         gen,
+		prevOff:     0,
+		manifestCRC: crc32.ChecksumIEEE(manBytes),
+	}
+	blob := append(manBytes, appendGenFooter(nil, ft)...)
+	if _, err := tmp.Write(blob); err != nil {
+		return fail(err)
+	}
+	if err := tmp.Sync(); err != nil {
+		return fail(err)
+	}
+	if err := os.Rename(tmp.Name(), m.path); err != nil {
+		return fail(err)
+	}
+
+	// The old file handle stays open (readers may be mid-region on the old
+	// generation) and is retired for Close to release; the snapshot swap
+	// moves new reads to the compacted file. The epoch bump kills every
+	// cached brick wholesale: the new file's offsets are a fresh space
+	// that could collide with stale entries from the old one.
+	old := m.f
+	m.f = tmp
+	m.refreshMu.Lock()
+	m.retired = append(m.retired, old)
+	m.closer = tmp
+	m.file = tmp
+	m.refreshMu.Unlock()
+	crcs := append([]uint32(nil), man.crcs...)
+	m.man.Store(&manifest{
+		hdr:     &newHdr,
+		ra:      tmp,
+		gen:     gen,
+		epoch:   man.epoch + 1,
+		footOff: ft.manifestOff + ft.manifestLen,
+		prevOff: 0,
+		offsets: offs,
+		lengths: lens,
+		crcs:    crcs,
+		fp:      manifestFingerprint(&newHdr, manBytes),
+	})
+	m.end = ft.manifestOff + ft.manifestLen + int64(genFooterSize)
+	m.cache.evictOwner(m.Store)
+	return nil
+}

@@ -29,10 +29,13 @@ const (
 	remoteBlockCacheLen  = 8       // fetched-range blocks kept for coalescing
 )
 
-// ErrRemoteChanged reports that the object behind a RemoteReader changed
-// between requests (the server's validator no longer matches), so ranges
-// fetched before and after would mix two versions of the store.
-var ErrRemoteChanged = errors.New("store: remote object changed mid-read")
+// ErrRemoteChanged reports that the object behind a store changed
+// incompatibly: mid-read, the server's validator no longer matches, so
+// ranges fetched before and after would mix two versions of the store;
+// under Refresh, the backing object's committed generation regressed or
+// its identity (codec, element kind, bricking, bound, fixed extents)
+// moved — either way the store must be re-opened, not patched up.
+var ErrRemoteChanged = errors.New("store: backing object changed incompatibly")
 
 // RemoteOptions configures the HTTP range-read backend.
 type RemoteOptions struct {
@@ -70,11 +73,17 @@ type RemoteStats struct {
 type RemoteReader struct {
 	url       string
 	client    *http.Client
-	etag      string
-	size      int64
 	retries   int
 	backoff   time.Duration
 	readAhead int64
+
+	// stateMu guards the object's validator, which moves when Refresh
+	// picks up a new committed generation of a mutable store: reprobe
+	// swaps etag and size together and clears the block cache, so no read
+	// can pair an old validator with new bytes.
+	stateMu sync.RWMutex
+	etag    string
+	size    int64
 
 	ranges atomic.Int64
 	bytes  atomic.Int64
@@ -133,8 +142,31 @@ func newRemoteReader(ctx context.Context, url string, ro RemoteOptions) (*Remote
 	return r, nil
 }
 
-// Size returns the remote object's byte length.
-func (r *RemoteReader) Size() int64 { return r.size }
+// Size returns the remote object's byte length (as of the last probe or
+// Refresh).
+func (r *RemoteReader) Size() int64 {
+	_, size := r.state()
+	return size
+}
+
+// state returns the validator pair under the lock.
+func (r *RemoteReader) state() (etag string, size int64) {
+	r.stateMu.RLock()
+	defer r.stateMu.RUnlock()
+	return r.etag, r.size
+}
+
+// setState swaps the validator pair and drops the block cache: cached
+// blocks belong to the object version the old validator named.
+func (r *RemoteReader) setState(etag string, size int64) {
+	r.stateMu.Lock()
+	r.etag = etag
+	r.size = size
+	r.stateMu.Unlock()
+	r.mu.Lock()
+	r.blocks = nil
+	r.mu.Unlock()
+}
 
 // Stats returns the traffic counters accumulated since NewRemoteReader.
 func (r *RemoteReader) Stats() RemoteStats {
@@ -152,18 +184,29 @@ func drainClose(body io.ReadCloser) {
 
 // probe learns the object's size and validator.
 func (r *RemoteReader) probe(ctx context.Context) error {
+	etag, size, err := r.fetchMeta(ctx)
+	if err != nil {
+		return err
+	}
+	r.setState(etag, size)
+	return nil
+}
+
+// fetchMeta asks the origin for the object's current size and validator
+// without touching the reader's state.
+func (r *RemoteReader) fetchMeta(ctx context.Context) (etag string, size int64, _ error) {
 	resp, err := r.do(ctx, http.MethodHead, -1, -1)
 	if err != nil {
 		// do already spent the whole retry budget proving the origin is
 		// down; running the GET fallback's ladder on top would double the
 		// time to fail for nothing.
-		return err
+		return "", 0, err
 	}
 	if resp.StatusCode == http.StatusOK && resp.ContentLength >= 0 {
-		r.size = resp.ContentLength
-		r.etag = resp.Header.Get("ETag")
+		etag = resp.Header.Get("ETag")
+		size = resp.ContentLength
 		resp.Body.Close()
-		return nil
+		return etag, size, nil
 	}
 	drainClose(resp.Body)
 	// HEAD answered but is unsupported or unsized: a 1-byte range GET
@@ -171,27 +214,66 @@ func (r *RemoteReader) probe(ctx context.Context) error {
 	// honors Range at all.
 	resp, err = r.do(ctx, http.MethodGet, 0, 1)
 	if err != nil {
-		return err
+		return "", 0, err
 	}
 	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusPartialContent {
-		return fmt.Errorf("store: %s does not support range requests (status %s)", r.url, resp.Status)
+		return "", 0, fmt.Errorf("store: %s does not support range requests (status %s)", r.url, resp.Status)
 	}
 	total, err := contentRangeTotal(resp.Header.Get("Content-Range"))
 	if err != nil {
-		return fmt.Errorf("store: %s: %w", r.url, err)
+		return "", 0, fmt.Errorf("store: %s: %w", r.url, err)
 	}
-	r.size = total
-	r.etag = resp.Header.Get("ETag")
-	return nil
+	return resp.Header.Get("ETag"), total, nil
+}
+
+// versionReader is an io.ReaderAt over one explicit version of the
+// remote object, pinned by (etag, size) instead of the reader's adopted
+// state. Refresh inspects a candidate version through it BEFORE adopting
+// anything: exact ranges only, no block cache (the cache belongs to the
+// adopted version), every range guarded by If-Range on the candidate's
+// validator. A rejected candidate therefore leaves the reader's state —
+// and every in-flight read — exactly as it was.
+type versionReader struct {
+	r    *RemoteReader
+	ctx  context.Context
+	etag string
+	size int64
+}
+
+func (v versionReader) ReadAt(p []byte, off int64) (int, error) {
+	if len(p) == 0 {
+		return 0, nil
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("store: negative remote read offset %d", off)
+	}
+	if off >= v.size {
+		return 0, io.EOF
+	}
+	n := int64(len(p))
+	short := false
+	if off+n > v.size {
+		n, short = v.size-off, true
+	}
+	buf, err := v.r.readRange(v.ctx, off, n, v.etag, v.size)
+	if err != nil {
+		return 0, err
+	}
+	copy(p, buf)
+	if short {
+		return int(n), io.EOF
+	}
+	return int(n), nil
 }
 
 // do retries doOnce on header-level transient failures; the caller owns
-// the response body. Used by probe, where the body is discarded anyway;
+// the response body. Used by probe, where the body is discarded anyway
+// (and no validator is pinned — probing measures whatever is there);
 // readRange runs its own loop so mid-body failures retry too.
 func (r *RemoteReader) do(ctx context.Context, method string, off, n int64) (*http.Response, error) {
 	for attempt := 0; ; attempt++ {
-		resp, err := r.doOnce(ctx, method, off, n)
+		resp, err := r.doOnce(ctx, method, off, n, "")
 		if err == nil && resp.StatusCode < 500 {
 			return resp, nil
 		}
@@ -209,8 +291,9 @@ func (r *RemoteReader) do(ctx context.Context, method string, off, n int64) (*ht
 }
 
 // doOnce issues one request. off/n select a byte range (off < 0 means no
-// Range header).
-func (r *RemoteReader) doOnce(ctx context.Context, method string, off, n int64) (*http.Response, error) {
+// Range header); etag, when non-empty, pins the range to one object
+// version via If-Range.
+func (r *RemoteReader) doOnce(ctx context.Context, method string, off, n int64, etag string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, method, r.url, nil)
 	if err != nil {
 		return nil, err
@@ -221,8 +304,8 @@ func (r *RemoteReader) doOnce(ctx context.Context, method string, off, n int64) 
 		// readRange turns into ErrRemoteChanged instead of serving bytes
 		// from a different version of the store. Weak validators cannot
 		// guard byte ranges, so only a strong ETag is used.
-		if r.etag != "" && !strings.HasPrefix(r.etag, "W/") {
-			req.Header.Set("If-Range", r.etag)
+		if etag != "" && !strings.HasPrefix(etag, "W/") {
+			req.Header.Set("If-Range", etag)
 		}
 	}
 	resp, err := r.client.Do(req)
@@ -249,12 +332,13 @@ func (r *RemoteReader) sleep(ctx context.Context, attempt int) error {
 	}
 }
 
-// readRange fetches exactly [off, off+n) into a fresh buffer, retrying
-// transient failures — transport errors, 5xx answers, and connections
-// dropped mid-body — with exponential backoff.
-func (r *RemoteReader) readRange(ctx context.Context, off, n int64) ([]byte, error) {
+// readRange fetches exactly [off, off+n) of the object version (etag,
+// size) into a fresh buffer, retrying transient failures — transport
+// errors, 5xx answers, and connections dropped mid-body — with
+// exponential backoff.
+func (r *RemoteReader) readRange(ctx context.Context, off, n int64, etag string, size int64) ([]byte, error) {
 	for attempt := 0; ; attempt++ {
-		buf, retryable, err := r.tryRange(ctx, off, n)
+		buf, retryable, err := r.tryRange(ctx, off, n, etag, size)
 		if err == nil {
 			return buf, nil
 		}
@@ -269,8 +353,8 @@ func (r *RemoteReader) readRange(ctx context.Context, off, n int64) ([]byte, err
 
 // tryRange is one readRange attempt; retryable marks faults worth another
 // attempt (protocol-level rejections like a changed object are final).
-func (r *RemoteReader) tryRange(ctx context.Context, off, n int64) (_ []byte, retryable bool, _ error) {
-	resp, err := r.doOnce(ctx, http.MethodGet, off, n)
+func (r *RemoteReader) tryRange(ctx context.Context, off, n int64, etag string, size int64) (_ []byte, retryable bool, _ error) {
+	resp, err := r.doOnce(ctx, http.MethodGet, off, n, etag)
 	if err != nil {
 		return nil, true, err
 	}
@@ -282,20 +366,20 @@ func (r *RemoteReader) tryRange(ctx context.Context, off, n int64) (_ []byte, re
 	case resp.StatusCode == http.StatusOK:
 		// Either If-Range detected a changed object or the server ignored
 		// Range. A full body is only the answer when it IS the range.
-		if off == 0 && resp.ContentLength == r.size && n == r.size {
+		if off == 0 && resp.ContentLength == size && n == size {
 			break
 		}
 		// Only a present-and-different validator proves the object was
 		// swapped; a 200 with no ETag (a proxy error page, a stripped
 		// header) is a range-support failure, not a changed object.
-		if et := resp.Header.Get("ETag"); r.etag != "" && et != "" && et != r.etag {
+		if et := resp.Header.Get("ETag"); etag != "" && et != "" && et != etag {
 			return nil, false, ErrRemoteChanged
 		}
 		return nil, false, fmt.Errorf("store: %s does not support range requests", r.url)
 	default:
 		return nil, false, fmt.Errorf("store: %s: %s", r.url, resp.Status)
 	}
-	if et := resp.Header.Get("ETag"); et != "" && r.etag != "" && et != r.etag {
+	if et := resp.Header.Get("ETag"); et != "" && etag != "" && et != etag {
 		return nil, false, ErrRemoteChanged
 	}
 	if resp.StatusCode == http.StatusPartialContent {
@@ -326,13 +410,16 @@ func (r *RemoteReader) readAtCtx(ctx context.Context, p []byte, off int64) (int,
 	if off < 0 {
 		return 0, fmt.Errorf("store: negative remote read offset %d", off)
 	}
-	if off >= r.size {
+	// One consistent validator pair for the whole read: a Refresh adopting
+	// a new version mid-call cannot pair the old size with the new etag.
+	etag, size := r.state()
+	if off >= size {
 		return 0, io.EOF // the io.ReaderAt convention at and past the end
 	}
 	n := int64(len(p))
 	short := false
-	if off+n > r.size {
-		n, short = r.size-off, true
+	if off+n > size {
+		n, short = size-off, true
 	}
 	done := func(err error) (int, error) {
 		if err != nil {
@@ -344,7 +431,7 @@ func (r *RemoteReader) readAtCtx(ctx context.Context, p []byte, off int64) (int,
 		return int(n), nil
 	}
 	if r.readAhead <= 0 {
-		buf, err := r.readRange(ctx, off, n)
+		buf, err := r.readRange(ctx, off, n, etag, size)
 		if err != nil {
 			return 0, err
 		}
@@ -365,8 +452,8 @@ func (r *RemoteReader) readAtCtx(ctx context.Context, p []byte, off int64) (int,
 	if r.fromBlocks(p[:n], off) {
 		return done(nil)
 	}
-	fetch := max(n, min(r.readAhead, r.size-off))
-	buf, err := r.readRange(ctx, off, fetch)
+	fetch := max(n, min(r.readAhead, size-off))
+	buf, err := r.readRange(ctx, off, fetch, etag, size)
 	if err != nil {
 		return 0, err
 	}
@@ -448,7 +535,10 @@ func OpenURLContext(ctx context.Context, url string, opts Options) (*Store, erro
 	if err != nil {
 		return nil, err
 	}
-	s.ra = rr
+	// Region reads route brick fetches through s.remote with their own
+	// contexts; the manifest's reader is rebound off the open-time context
+	// so any later manifest access (Refresh fallbacks) is not tied to it.
+	s.man.Load().ra = rr
 	s.remote = rr
 	return s, nil
 }

@@ -154,7 +154,8 @@ func TestOpenURLRoundTrip(t *testing.T) {
 	// intersecting bricks' payload bytes crossed the network.
 	size := int64(len(content))
 	nb := local.NumBricks()
-	idxOff := local.offsets[nb-1] + local.lengths[nb-1]
+	lman := local.man.Load()
+	idxOff := lman.offsets[nb-1] + lman.lengths[nb-1]
 	allowed := make([]bool, size)
 	mark := func(lo, hi int64) {
 		for i := lo; i < hi; i++ {
@@ -163,12 +164,13 @@ func TestOpenURLRoundTrip(t *testing.T) {
 	}
 	mark(0, min(size, int64(maxHeaderLen))) // header probe
 	mark(idxOff, size)                      // index + footer
-	hit := local.intersectingBricks(lo, hi)
+	hit := local.man.Load().intersectingBricks(lo, hi)
 	if len(hit) != 8 {
 		t.Fatalf("expected the region to intersect 8 bricks, got %d", len(hit))
 	}
 	for _, b := range hit {
-		mark(local.offsets[b], local.offsets[b]+local.lengths[b])
+		man := local.man.Load()
+		mark(man.offsets[b], man.offsets[b]+man.lengths[b])
 	}
 	fetched := make([]bool, size)
 	for _, rg := range log.snapshot() {
@@ -180,7 +182,8 @@ func TestOpenURLRoundTrip(t *testing.T) {
 		}
 	}
 	for _, b := range hit {
-		for i := local.offsets[b]; i < local.offsets[b]+local.lengths[b]; i++ {
+		man := local.man.Load()
+		for i := man.offsets[b]; i < man.offsets[b]+man.lengths[b]; i++ {
 			if !fetched[i] {
 				t.Fatalf("byte %d of intersecting brick %d was never fetched", i, b)
 			}
@@ -357,7 +360,7 @@ func TestRemoteCorruptRange(t *testing.T) {
 		t.Fatal(err)
 	}
 	bad := append([]byte(nil), content...)
-	bad[local.offsets[0]+2] ^= 0x40
+	bad[local.man.Load().offsets[0]+2] ^= 0x40
 	srv := serveRanges(t, &servedObject{content: bad, etag: `"v1"`}, nil)
 
 	s, err := OpenURL(srv.URL, Options{Remote: RemoteOptions{ReadAhead: -1}})

@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"sync"
 	"sync/atomic"
 	"unsafe"
 
@@ -35,6 +36,12 @@ type Options struct {
 	// Remote configures the HTTP range-read backend used by OpenURL; it is
 	// ignored by Open/OpenFile.
 	Remote RemoteOptions
+	// Generation pins a v3 store to one committed generation instead of
+	// the latest: old generations remain readable until Compact reclaims
+	// them. 0 selects the latest generation; a non-zero value errors on
+	// v1/v2 stores (which have no generations) and on generations the
+	// footer chain no longer reaches.
+	Generation uint64
 }
 
 // Stats reports a Store's decode and cache activity since Open.
@@ -55,20 +62,42 @@ type Stats struct {
 	RemoteBytes  int64
 }
 
-// Store is a read handle on a brick store. All methods are safe for
-// concurrent use.
-type Store struct {
+// manifest is one immutable snapshot of a store's committed state: the
+// extents, the per-brick payload locations, and the reader those offsets
+// are valid against. Reads capture one snapshot up front, so a region read
+// racing a commit sees either generation wholly — never a mix. v1/v2
+// stores hold a single snapshot forever (gen 0); v3 stores swap in a new
+// one per committed generation.
+type manifest struct {
+	hdr     *header // dims as of this generation; brick/kind/codec/bound fixed
 	ra      io.ReaderAt
-	closer  io.Closer
-	hdr     *header
-	codec   qoz.Codec
+	gen     uint64 // 0 for v1/v2 (non-generational) stores
+	epoch   uint64 // cache epoch: bumped when prior payload offsets stop being authoritative
+	footOff int64  // offset of this generation's footer; -1 for v1/v2
+	prevOff int64  // previous generation's footer offset; 0 = none
 	offsets []int64
 	lengths []int64
 	crcs    []uint32
+	fp      uint32 // manifest fingerprint (header content + manifest bytes)
+}
+
+// Store is a read handle on a brick store. All methods are safe for
+// concurrent use.
+type Store struct {
+	man     atomic.Pointer[manifest]
+	closer  io.Closer
+	file    *os.File // backing file when opened by path (enables Refresh)
+	path    string   // backing path when opened by path
+	size    int64    // byte length of the committed file as last loaded
+	codec   qoz.Codec
 	cache   *lruCache
 	workers int
 	remote  *RemoteReader // non-nil for OpenURL stores
-	fp      uint32        // manifest fingerprint (header + index CRC)
+	mutable bool          // owned by a Mutable handle; Refresh is a no-op
+	pinned  bool          // opened at a fixed Options.Generation; Refresh never advances it
+
+	refreshMu sync.Mutex  // serializes Refresh and protects retired/size
+	retired   []io.Closer // superseded file handles kept open for in-flight reads
 
 	decoded atomic.Int64
 	read    atomic.Int64
@@ -76,8 +105,11 @@ type Store struct {
 }
 
 // Open parses the manifest of a brick store held in ra (size bytes long)
-// and returns a random-access handle. Only the header and index are read;
-// bricks are fetched lazily by region reads.
+// and returns a random-access handle. Only the header and manifest are
+// read; bricks are fetched lazily by region reads. A v3 store opens at its
+// latest committed generation (or Options.Generation): a torn final
+// commit — truncated manifest, half-written footer — falls back to the
+// previous generation rather than failing.
 func Open(ra io.ReaderAt, size int64, opts Options) (*Store, error) {
 	if ra == nil {
 		return nil, fmt.Errorf("store: nil reader")
@@ -90,9 +122,41 @@ func Open(ra io.ReaderAt, size int64, opts Options) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("store: %w", err)
 	}
+	var man *manifest
+	if hdr.version == formatVersionV3 {
+		man, err = loadGenManifest(ra, size, hdr, headerLen, opts.Generation)
+	} else {
+		if opts.Generation != 0 {
+			return nil, fmt.Errorf("store: version %d stores have no generations (Options.Generation applies to v3)", hdr.version)
+		}
+		man, err = loadIndexManifest(ra, size, hdr, headerLen)
+	}
+	if err != nil {
+		return nil, err
+	}
+	s := &Store{
+		codec:   codec,
+		workers: opts.Workers,
+		size:    size,
+		pinned:  opts.Generation != 0,
+	}
+	s.man.Store(man)
+	if opts.Cache != nil {
+		s.cache = opts.Cache.lru
+	} else {
+		cb := opts.CacheBytes
+		if cb == 0 {
+			cb = DefaultCacheBytes
+		}
+		s.cache = newLRUCache(cb) // nil (disabled) when cb < 0
+	}
+	return s, nil
+}
 
-	// Footer → index offset → index. Every declared quantity is validated
-	// against what the header implies before anything is allocated from it.
+// loadIndexManifest reads the classic v1/v2 manifest: the cumulative-length
+// index behind the fixed footer. Every declared quantity is validated
+// against what the header implies before anything is allocated from it.
+func loadIndexManifest(ra io.ReaderAt, size int64, hdr *header, headerLen int) (*manifest, error) {
 	var foot [footerSize]byte
 	if _, err := ra.ReadAt(foot[:], size-int64(footerSize)); err != nil {
 		return nil, manifestReadErr(err)
@@ -128,14 +192,13 @@ func Open(ra io.ReaderAt, size int64, opts Options) (*Store, error) {
 		return nil, ErrCorrupt
 	}
 	idx = idx[n:]
-	s := &Store{
-		ra:      ra,
+	m := &manifest{
 		hdr:     hdr,
-		codec:   codec,
+		ra:      ra,
+		footOff: -1,
 		offsets: make([]int64, nb),
 		lengths: make([]int64, nb),
 		crcs:    make([]uint32, nb),
-		workers: opts.Workers,
 		fp:      fp,
 	}
 	off := int64(headerLen)
@@ -148,25 +211,157 @@ func Open(ra io.ReaderAt, size int64, opts Options) (*Store, error) {
 		if len(idx) < 4 {
 			return nil, ErrCorrupt
 		}
-		s.offsets[i] = off
-		s.lengths[i] = int64(l)
-		s.crcs[i] = binary.LittleEndian.Uint32(idx)
+		m.offsets[i] = off
+		m.lengths[i] = int64(l)
+		m.crcs[i] = binary.LittleEndian.Uint32(idx)
 		idx = idx[4:]
 		off += int64(l)
 	}
 	if len(idx) != 0 || off != int64(idxOff) {
 		return nil, ErrCorrupt
 	}
-	if opts.Cache != nil {
-		s.cache = opts.Cache.lru
-	} else {
-		cb := opts.CacheBytes
-		if cb == 0 {
-			cb = DefaultCacheBytes
-		}
-		s.cache = newLRUCache(cb) // nil (disabled) when cb < 0
+	return m, nil
+}
+
+// loadGenManifest locates the newest committed generation of a v3 store
+// (or, when generation is non-zero, that specific generation via the
+// footer chain) and loads its manifest.
+func loadGenManifest(ra io.ReaderAt, size int64, hdr *header, headerLen int, generation uint64) (*manifest, error) {
+	footOff, err := findLatestFooter(ra, size, headerLen)
+	if err != nil {
+		return nil, err
 	}
-	return s, nil
+	for {
+		m, err := loadManifestAt(ra, size, hdr, headerLen, footOff)
+		if err == nil {
+			switch {
+			case generation == 0 || m.gen == generation:
+				return m, nil
+			case m.gen < generation:
+				return nil, fmt.Errorf("store: generation %d not committed (latest reachable is %d)", generation, m.gen)
+			case m.prevOff == 0:
+				return nil, fmt.Errorf("store: generation %d no longer reachable (compacted?)", generation)
+			}
+			footOff = m.prevOff
+			continue
+		}
+		// A committed generation whose manifest fails its CRC (torn or
+		// bit-rotted): fall back down the chain while one exists.
+		ft, ferr := readGenFooterAt(ra, size, footOff)
+		if ferr != nil || ft.prevOff == 0 {
+			return nil, err
+		}
+		footOff = ft.prevOff
+	}
+}
+
+// readGenFooterAt reads and validates the fixed-size generation footer at
+// off, additionally checking positional plausibility against the file.
+func readGenFooterAt(ra io.ReaderAt, size, off int64) (*genFooter, error) {
+	if off < 0 || off+int64(genFooterSize) > size {
+		return nil, ErrCorrupt
+	}
+	var buf [genFooterSize]byte
+	if _, err := ra.ReadAt(buf[:], off); err != nil {
+		return nil, manifestReadErr(err)
+	}
+	ft, err := parseGenFooter(buf[:])
+	if err != nil {
+		return nil, err
+	}
+	if ft.manifestOff+ft.manifestLen != off || ft.prevOff >= off {
+		return nil, ErrCorrupt
+	}
+	return ft, nil
+}
+
+// findLatestFooter returns the offset of the newest valid generation
+// footer: at the file tail after a clean commit, or — after a torn one —
+// found by scanning backward for the footer trailer magic and validating
+// candidates by their self-CRC.
+func findLatestFooter(ra io.ReaderAt, size int64, headerLen int) (int64, error) {
+	tail := size - int64(genFooterSize)
+	if tail < int64(headerLen) {
+		return 0, ErrCorrupt
+	}
+	if _, err := readGenFooterAt(ra, size, tail); err == nil {
+		return tail, nil
+	}
+	// Torn tail: scan backward in chunks, overlapping by one footer so a
+	// footer straddling a chunk boundary is still seen.
+	const chunk = 256 << 10
+	end := size
+	for end > int64(headerLen) {
+		start := max(int64(headerLen), end-chunk)
+		buf := make([]byte, end-start)
+		if _, err := ra.ReadAt(buf, start); err != nil {
+			return 0, manifestReadErr(err)
+		}
+		for i := len(buf) - len(genTrailerMagic); i >= 0; i-- {
+			if string(buf[i:i+len(genTrailerMagic)]) != genTrailerMagic {
+				continue
+			}
+			footOff := start + int64(i) + int64(len(genTrailerMagic)) - int64(genFooterSize)
+			if footOff < int64(headerLen) {
+				continue
+			}
+			if _, err := readGenFooterAt(ra, size, footOff); err == nil {
+				return footOff, nil
+			}
+		}
+		if start == int64(headerLen) {
+			break
+		}
+		end = start + int64(genFooterSize) - 1
+	}
+	return 0, ErrCorrupt
+}
+
+// loadManifestAt loads and validates the generation manifest committed by
+// the footer at footOff.
+func loadManifestAt(ra io.ReaderAt, size int64, hdr *header, headerLen int, footOff int64) (*manifest, error) {
+	ft, err := readGenFooterAt(ra, size, footOff)
+	if err != nil {
+		return nil, err
+	}
+	if ft.manifestOff < int64(headerLen) {
+		return nil, ErrCorrupt
+	}
+	raw := make([]byte, ft.manifestLen)
+	if _, err := ra.ReadAt(raw, ft.manifestOff); err != nil {
+		return nil, manifestReadErr(err)
+	}
+	if crc32.ChecksumIEEE(raw) != ft.manifestCRC {
+		return nil, ErrCorrupt
+	}
+	gen, dims, offs, lens, crcs, err := parseManifest(raw, hdr, int64(headerLen), ft.manifestOff)
+	if err != nil {
+		return nil, err
+	}
+	if gen != ft.gen {
+		return nil, ErrCorrupt
+	}
+	genHdr := *hdr
+	genHdr.dims = dims
+	return &manifest{
+		hdr:     &genHdr,
+		ra:      ra,
+		gen:     gen,
+		footOff: footOff,
+		prevOff: ft.prevOff,
+		offsets: offs,
+		lengths: lens,
+		crcs:    crcs,
+		fp:      manifestFingerprint(&genHdr, raw),
+	}, nil
+}
+
+// manifestFingerprint derives a generation's content fingerprint: the
+// header's logical content under the generation's extents, plus the raw
+// manifest bytes. It moves on every commit (offsets alone distinguish
+// generations), which is exactly what serving-layer validators need.
+func manifestFingerprint(genHdr *header, manifestBytes []byte) uint32 {
+	return crc32.Update(crc32.ChecksumIEEE(appendHeader(nil, genHdr)), crc32.IEEETable, manifestBytes)
 }
 
 // OpenFile opens a brick store file; Close releases the file handle.
@@ -186,6 +381,8 @@ func OpenFile(path string, opts Options) (*Store, error) {
 		return nil, err
 	}
 	s.closer = f
+	s.file = f
+	s.path = path
 	return s, nil
 }
 
@@ -214,42 +411,72 @@ func manifestReadErr(err error) error {
 }
 
 // Close drops the store's bricks from its (possibly shared) cache and
-// releases the underlying file when the Store was opened with OpenFile.
+// releases the underlying file when the Store was opened with OpenFile,
+// along with any superseded handles Refresh retired. The handle fields
+// are read under the same lock Refresh mutates them under, so a Close
+// racing a final poll neither races nor leaks the reopened handle.
 func (s *Store) Close() error {
 	s.cache.evictOwner(s)
-	if s.closer != nil {
-		return s.closer.Close()
+	s.refreshMu.Lock()
+	retired := s.retired
+	closer := s.closer
+	s.retired = nil
+	s.closer = nil
+	s.file = nil
+	s.refreshMu.Unlock()
+	for _, c := range retired {
+		c.Close()
+	}
+	if closer != nil {
+		return closer.Close()
 	}
 	return nil
 }
 
-// Dims returns the stored field's dimensions.
-func (s *Store) Dims() []int { return append([]int(nil), s.hdr.dims...) }
+// Dims returns the stored field's dimensions (of the current generation:
+// a mutable store's slowest extent grows as steps are appended).
+func (s *Store) Dims() []int { return append([]int(nil), s.man.Load().hdr.dims...) }
 
 // BrickShape returns the brick partition shape.
-func (s *Store) BrickShape() []int { return append([]int(nil), s.hdr.brick...) }
+func (s *Store) BrickShape() []int { return append([]int(nil), s.man.Load().hdr.brick...) }
 
-// NumBricks returns the total brick count.
-func (s *Store) NumBricks() int { return s.hdr.numBricks() }
+// NumBricks returns the total brick count of the current generation.
+func (s *Store) NumBricks() int { return s.man.Load().hdr.numBricks() }
 
 // ErrorBound returns the absolute error bound every brick was compressed
 // under; reads are guaranteed within it point-wise.
-func (s *Store) ErrorBound() float64 { return s.hdr.bound }
+func (s *Store) ErrorBound() float64 { return s.man.Load().hdr.bound }
 
 // Codec returns the per-brick codec.
 func (s *Store) Codec() qoz.Codec { return s.codec }
 
 // Float64 reports whether the store holds double-precision samples.
-func (s *Store) Float64() bool { return s.hdr.kind == kindFloat64 }
+func (s *Store) Float64() bool { return s.man.Load().hdr.kind == kindFloat64 }
 
 // DType returns the store's element type name: "float32" or "float64".
-func (s *Store) DType() string { return kindName(s.hdr.kind) }
+func (s *Store) DType() string { return kindName(s.man.Load().hdr.kind) }
 
-// ManifestCRC returns a CRC32 fingerprint of the store's manifest (header
-// content plus the per-brick length/checksum index). It identifies the
-// store's content: serving layers derive strong validators (ETags) for
-// responses computed from the store's bricks from it.
-func (s *Store) ManifestCRC() uint32 { return s.fp }
+// ManifestCRC returns a CRC32 fingerprint of the store's current manifest
+// (header content plus the per-brick location/checksum entries). It
+// identifies the store's committed content: serving layers derive strong
+// validators (ETags) for responses computed from the store's bricks from
+// it, and every committed generation moves it.
+func (s *Store) ManifestCRC() uint32 { return s.man.Load().fp }
+
+// Generation returns the store's committed generation number: 0 for a
+// write-once v1/v2 store, and the 1-based generation a v3 store is
+// currently serving (which advances as commits land, via a Mutable in
+// this process or Refresh picking them up from the backing object).
+func (s *Store) Generation() uint64 { return s.man.Load().gen }
+
+// ManifestVersion returns the manifest fingerprint and generation as one
+// consistent pair — unlike calling ManifestCRC and Generation separately,
+// which could straddle a concurrent commit or Refresh. Serving layers
+// derive response validators from exactly this pair.
+func (s *Store) ManifestVersion() (crc uint32, gen uint64) {
+	m := s.man.Load()
+	return m.fp, m.gen
+}
 
 // Stats returns decode and cache counters accumulated since Open.
 func (s *Store) Stats() Stats {
@@ -271,14 +498,16 @@ func (s *Store) Stats() Stats {
 // float32 samples; use ReadFieldFloat64 for double precision (it also
 // widens float32 stores).
 func (s *Store) ReadField(ctx context.Context) ([]float32, error) {
-	lo := make([]int, len(s.hdr.dims))
-	return s.ReadRegion(ctx, lo, s.Dims())
+	m := s.man.Load()
+	lo := make([]int, len(m.hdr.dims))
+	return s.readRegion32(ctx, m, lo, m.hdr.dims)
 }
 
 // ReadFieldFloat64 decodes the whole field as float64.
 func (s *Store) ReadFieldFloat64(ctx context.Context) ([]float64, error) {
-	lo := make([]int, len(s.hdr.dims))
-	return s.ReadRegionFloat64(ctx, lo, s.Dims())
+	m := s.man.Load()
+	lo := make([]int, len(m.hdr.dims))
+	return s.readRegion64(ctx, m, lo, m.hdr.dims)
 }
 
 // ReadRegion decodes the half-open box [lo, hi) of the field, touching
@@ -286,22 +515,31 @@ func (s *Store) ReadFieldFloat64(ctx context.Context) ([]float64, error) {
 // a bounded worker pool, observe ctx, and pass through the decoded-brick
 // LRU cache; the result is row-major with shape hi-lo. A float64 store is
 // refused, since narrowing could break the error bound; use
-// ReadRegionFloat64.
+// ReadRegionFloat64. The read serves one committed generation wholly: a
+// commit landing mid-read is picked up by the next call, never mixed in.
 func (s *Store) ReadRegion(ctx context.Context, lo, hi []int) ([]float32, error) {
-	if s.hdr.kind == kindFloat64 {
+	return s.readRegion32(ctx, s.man.Load(), lo, hi)
+}
+
+func (s *Store) readRegion32(ctx context.Context, m *manifest, lo, hi []int) ([]float32, error) {
+	if m.hdr.kind == kindFloat64 {
 		return nil, errors.New("store: float64 store cannot be narrowed to float32 without breaking the error bound; use ReadRegionFloat64")
 	}
-	return readRegionTyped(ctx, s, lo, hi, s.brick32)
+	return readRegionTyped(ctx, s, m, lo, hi, s.brick32)
 }
 
 // ReadRegionFloat64 is ReadRegion for double precision: it decodes the box
 // [lo, hi) of a float64 store, restoring escaped double-precision points
 // exactly, and widens float32 stores losslessly.
 func (s *Store) ReadRegionFloat64(ctx context.Context, lo, hi []int) ([]float64, error) {
-	if s.hdr.kind == kindFloat64 {
-		return readRegionTyped(ctx, s, lo, hi, s.brick64)
+	return s.readRegion64(ctx, s.man.Load(), lo, hi)
+}
+
+func (s *Store) readRegion64(ctx context.Context, m *manifest, lo, hi []int) ([]float64, error) {
+	if m.hdr.kind == kindFloat64 {
+		return readRegionTyped(ctx, s, m, lo, hi, s.brick64)
 	}
-	v, err := readRegionTyped(ctx, s, lo, hi, s.brick32)
+	v, err := readRegionTyped(ctx, s, m, lo, hi, s.brick32)
 	if err != nil {
 		return nil, err
 	}
@@ -333,12 +571,14 @@ func ReadRegionT[T qoz.Float](ctx context.Context, s *Store, lo, hi []int) ([]T,
 
 // readRegionTyped decodes the box [lo, hi) from bricks of element type T
 // fetched by brick — the shared implementation behind both typed reads.
-func readRegionTyped[T qoz.Float](ctx context.Context, s *Store, lo, hi []int,
-	brick func(context.Context, int) ([]T, error)) ([]T, error) {
+// Every access goes through the manifest snapshot m, so the whole read is
+// served from one committed generation.
+func readRegionTyped[T qoz.Float](ctx context.Context, s *Store, m *manifest, lo, hi []int,
+	brick func(context.Context, *manifest, int) ([]T, error)) ([]T, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	dims := s.hdr.dims
+	dims := m.hdr.dims
 	if len(lo) != len(dims) || len(hi) != len(dims) {
 		return nil, fmt.Errorf("store: region rank %d/%d, field rank %d", len(lo), len(hi), len(dims))
 	}
@@ -353,11 +593,11 @@ func readRegionTyped[T qoz.Float](ctx context.Context, s *Store, lo, hi []int,
 	}
 	out := make([]T, boxPoints(lo, hi))
 
-	bricks := s.intersectingBricks(lo, hi)
+	bricks := m.intersectingBricks(lo, hi)
 	err := pool.RunErr(ctx, len(bricks), s.workers, func(k int) error {
 		bi := bricks[k]
-		blo, bhi := s.hdr.brickBox(bi)
-		data, err := brick(ctx, bi)
+		blo, bhi := m.hdr.brickBox(bi)
+		data, err := brick(ctx, m, bi)
 		if err != nil {
 			return err
 		}
@@ -387,14 +627,14 @@ func readRegionTyped[T qoz.Float](ctx context.Context, s *Store, lo, hi []int,
 
 // intersectingBricks returns the indices of the bricks the box [lo, hi)
 // intersects, in brick order.
-func (s *Store) intersectingBricks(lo, hi []int) []int {
-	g := s.hdr.grid()
+func (m *manifest) intersectingBricks(lo, hi []int) []int {
+	g := m.hdr.grid()
 	cLo := make([]int, len(g))
 	cHi := make([]int, len(g))
 	n := 1
 	for i := range g {
-		cLo[i] = lo[i] / s.hdr.brick[i]
-		cHi[i] = (hi[i]-1)/s.hdr.brick[i] + 1
+		cLo[i] = lo[i] / m.hdr.brick[i]
+		cHi[i] = (hi[i]-1)/m.hdr.brick[i] + 1
 		n *= cHi[i] - cLo[i]
 	}
 	out := make([]int, 0, n)
@@ -421,22 +661,29 @@ func (s *Store) intersectingBricks(lo, hi []int) []int {
 
 // brick32 returns brick i of a float32 store decoded, via the cache when
 // enabled.
-func (s *Store) brick32(ctx context.Context, i int) ([]float32, error) {
-	return brickTyped[float32](ctx, s, i, s.codec.Decompress)
+func (s *Store) brick32(ctx context.Context, m *manifest, i int) ([]float32, error) {
+	return brickTyped[float32](ctx, s, m, i, s.codec.Decompress)
 }
 
 // brick64 returns brick i of a float64 store decoded (the escape envelope
 // unwrapped), via the cache when enabled.
-func (s *Store) brick64(ctx context.Context, i int) ([]float64, error) {
-	return brickTyped[float64](ctx, s, i, qoz.DecompressEnvelope)
+func (s *Store) brick64(ctx context.Context, m *manifest, i int) ([]float64, error) {
+	return brickTyped[float64](ctx, s, m, i, qoz.DecompressEnvelope)
 }
 
 // brickTyped returns brick i decoded to element type T, via the cache when
 // enabled. decode reverses the brick payload format of the store's kind.
-func brickTyped[T qoz.Float](ctx context.Context, s *Store, i int,
+func brickTyped[T qoz.Float](ctx context.Context, s *Store, m *manifest, i int,
 	decode func(context.Context, []byte) ([]T, []int, error)) ([]T, error) {
 	s.read.Add(1)
-	key := cacheKey{owner: s, brick: i}
+	// The key carries the payload offset, so a brick rewritten by a later
+	// generation can never be served from the old generation's cached
+	// decode: the new manifest's offset differs (commits only append),
+	// while unchanged bricks keep their entries — and their cache hits.
+	// The epoch covers the complement: when a compaction or refresh makes
+	// old offsets non-authoritative, it bumps the epoch and every earlier
+	// entry goes dead at once.
+	key := cacheKey{owner: s, epoch: m.epoch, brick: i, off: m.offsets[i]}
 	if data, ok := s.cache.get(key); ok {
 		s.hits.Add(1)
 		return data.([]T), nil
@@ -444,7 +691,7 @@ func brickTyped[T qoz.Float](ctx context.Context, s *Store, i int,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	payload := make([]byte, s.lengths[i])
+	payload := make([]byte, m.lengths[i])
 	var err error
 	if s.remote != nil {
 		// Thread the region read's context down into the range fetch, so a
@@ -452,17 +699,17 @@ func brickTyped[T qoz.Float](ctx context.Context, s *Store, i int,
 		// decode that would have followed it. The element kind never touches
 		// this path: remote reads move payload bytes as-is, and the kind only
 		// matters once those bytes reach the decoder below.
-		_, err = s.remote.readAtCtx(ctx, payload, s.offsets[i])
+		_, err = s.remote.readAtCtx(ctx, payload, m.offsets[i])
 	} else {
-		_, err = s.ra.ReadAt(payload, s.offsets[i])
+		_, err = m.ra.ReadAt(payload, m.offsets[i])
 	}
 	if err != nil {
 		return nil, fmt.Errorf("store: brick %d: %w", i, err)
 	}
-	if crc32.ChecksumIEEE(payload) != s.crcs[i] {
+	if crc32.ChecksumIEEE(payload) != m.crcs[i] {
 		return nil, fmt.Errorf("store: brick %d: checksum mismatch: %w", i, ErrCorrupt)
 	}
-	blo, bhi := s.hdr.brickBox(i)
+	blo, bhi := m.hdr.brickBox(i)
 	want := make([]int, len(blo))
 	for k := range blo {
 		want[k] = bhi[k] - blo[k]
@@ -470,8 +717,8 @@ func brickTyped[T qoz.Float](ctx context.Context, s *Store, i int,
 	// Validate the payload's declared shape against the manifest before the
 	// codec allocates anything from it: the container header directly for a
 	// float32 brick, the envelope's inner container for a float64 one.
-	id, pdims, err := peekBrick(s.hdr.kind, payload)
-	if err != nil || id != s.hdr.codecID || !equalInts(pdims, want) {
+	id, pdims, err := peekBrick(m.hdr.kind, payload)
+	if err != nil || id != m.hdr.codecID || !equalInts(pdims, want) {
 		return nil, fmt.Errorf("store: brick %d: payload shape mismatch: %w", i, ErrCorrupt)
 	}
 	data, dims, err := decode(ctx, payload)
@@ -482,7 +729,7 @@ func brickTyped[T qoz.Float](ctx context.Context, s *Store, i int,
 		return nil, fmt.Errorf("store: brick %d: decoded shape mismatch: %w", i, ErrCorrupt)
 	}
 	s.decoded.Add(1)
-	s.cache.put(key, data, int64(len(data))*int64(kindSize(s.hdr.kind)))
+	s.cache.put(key, data, int64(len(data))*int64(kindSize(m.hdr.kind)))
 	return data, nil
 }
 

@@ -1,0 +1,103 @@
+//go:build ignore
+
+// gen_fixtures regenerates the golden store fixtures in this directory.
+// Run it from the repository root:
+//
+//	go run ./store/testdata/gen_fixtures.go
+//
+// The fixtures pin on-disk compatibility, so regenerate them ONLY when
+// introducing a new format version — never to "fix" a failing golden
+// test, which is the test doing its job. v1_f32.qozb predates this
+// generator and must never be rewritten (no current writer emits v1).
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+
+	"qoz"
+	"qoz/store"
+)
+
+// plane synthesizes one deterministic 12×12 step.
+func plane(t int) []float32 {
+	out := make([]float32, 12*12)
+	for y := 0; y < 12; y++ {
+		for x := 0; x < 12; x++ {
+			out[y*12+x] = float32(t)*10 + float32(math.Sin(float64(y)/3)+math.Cos(float64(x)/2))
+		}
+	}
+	return out
+}
+
+func main() {
+	ctx := context.Background()
+
+	// v2 float64 store: 12^3 points, brick 8^3, bound 1e-6.
+	d64 := make([]float64, 12*12*12)
+	for i := range d64 {
+		d64[i] = math.Sin(float64(i)/11) + 1e-9*float64(i%13)
+	}
+	f, err := os.Create("store/testdata/v2_f64.qozb")
+	check(err)
+	check(store.WriteT(ctx, f, d64, []int{12, 12, 12}, store.WriteOptions{
+		Opts:  qoz.Options{ErrorBound: 1e-6},
+		Brick: []int{8, 8, 8},
+	}))
+	check(f.Close())
+	s, err := store.OpenFile("store/testdata/v2_f64.qozb", store.Options{})
+	check(err)
+	recon64, err := s.ReadFieldFloat64(ctx)
+	check(err)
+	s.Close()
+	raw := make([]byte, 8*len(recon64))
+	for i, v := range recon64 {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	}
+	check(os.WriteFile("store/testdata/v2_f64.expected.f64", raw, 0o644))
+
+	// v3 mutable store with a 4-generation history:
+	//   gen 1: created empty, dims {0,12,12}, brick {2,8,8}
+	//   gen 2: 3 steps appended (full band + partial band)
+	//   gen 3: 2 more steps (partial band extended across a boundary)
+	//   gen 4: brick box [0,0,0)..(2,8,8) rewritten
+	os.Remove("store/testdata/v3_gen4.qozb")
+	m, err := store.CreateMutable("store/testdata/v3_gen4.qozb", []int{0, 12, 12}, store.WriteOptions{
+		Opts:  qoz.Options{ErrorBound: 1e-3},
+		Brick: []int{2, 8, 8},
+	})
+	check(err)
+	var steps []float32
+	for t := 0; t < 3; t++ {
+		steps = append(steps, plane(t)...)
+	}
+	check(m.AppendSteps(ctx, steps))
+	steps = steps[:0]
+	for t := 3; t < 5; t++ {
+		steps = append(steps, plane(t)...)
+	}
+	check(m.AppendSteps(ctx, steps))
+	patch := make([]float32, 2*8*8)
+	for i := range patch {
+		patch[i] = 500 + float32(i%9)
+	}
+	check(m.RewriteBricks(ctx, []int{0, 0, 0}, []int{2, 8, 8}, patch))
+	recon32, err := m.ReadField(ctx)
+	check(err)
+	check(m.Close())
+	raw = make([]byte, 4*len(recon32))
+	for i, v := range recon32 {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	}
+	check(os.WriteFile("store/testdata/v3_gen4.expected.f32", raw, 0o644))
+	fmt.Println("fixtures regenerated")
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

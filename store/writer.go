@@ -29,6 +29,11 @@ type WriteOptions struct {
 	// Workers bounds concurrent brick compressions (<=0 selects
 	// GOMAXPROCS).
 	Workers int
+	// Float64 selects double-precision elements for CreateMutable, whose
+	// element type cannot come from a type parameter (the store it creates
+	// is empty). The generic Writer and WriteT derive the element type
+	// from T and ignore this field.
+	Float64 bool
 }
 
 // DefaultBrick picks a brick shape for a field: the largest power-of-two
@@ -61,13 +66,17 @@ func DefaultBrick(dims []int) []int {
 	return out
 }
 
-// Writer builds a brick store incrementally: whole rows of the slowest
-// dimension are appended in order, and each time a full band of brick[0]
-// rows accumulates it is cut into bricks, compressed concurrently, and
-// flushed, so peak memory is one band regardless of field size. Close
-// writes the index and footer. The type parameter is the element type of
-// the field being written: float32 bricks hold the codec's own container,
-// float64 bricks the escape envelope wrapping one.
+// Writer builds a write-once (format v2) brick store incrementally:
+// whole rows of the slowest dimension are appended in order, and each
+// time a full band of brick[0] rows accumulates it is cut into bricks,
+// compressed concurrently, and flushed, so peak memory is one band
+// regardless of field size. Close writes the index and footer, after
+// which the store is final — for a store that keeps growing after it is
+// first opened (new time steps committed while readers serve), build a
+// mutable store with CreateMutable instead. The type parameter is the
+// element type of the field being written: float32 bricks hold the
+// codec's own container, float64 bricks the escape envelope wrapping
+// one.
 type Writer[T qoz.Float] struct {
 	w       io.Writer
 	hdr     *header
@@ -148,6 +157,7 @@ func NewWriterT[T qoz.Float](w io.Writer, dims []int, wo WriteOptions) (*Writer[
 			brick, p, kindName(kind), maxBrickBytes/kindSize(kind))
 	}
 	hdr := &header{
+		version: formatVersion,
 		codecID: codec.ID(),
 		kind:    kind,
 		dims:    append([]int(nil), dims...),
@@ -257,41 +267,7 @@ func (bw *Writer[T]) RowsAppended() int { return bw.rowsSeen }
 
 // flushBand compresses and writes one band of `rows` rows held in band.
 func (bw *Writer[T]) flushBand(ctx context.Context, band []T, rows int) error {
-	bandDims := append([]int{rows}, bw.hdr.dims[1:]...)
-
-	// Bricks of this band: the full cross-product of the grid over
-	// dims[1:], in row-major order — the global brick order visits all of
-	// band k before band k+1, so appending per band preserves it.
-	g := bw.hdr.grid()
-	nb := 1
-	for _, x := range g[1:] {
-		nb *= x
-	}
-	payloads := make([][]byte, nb)
-	err := pool.RunErr(ctx, nb, bw.workers, func(k int) error {
-		// Decompose k over g[1:] into the brick's box within the band.
-		coord := make([]int, len(g))
-		rem := k
-		for i := len(g) - 1; i >= 1; i-- {
-			coord[i] = rem % g[i]
-			rem /= g[i]
-		}
-		srcLo := make([]int, len(bandDims))
-		size := make([]int, len(bandDims))
-		size[0] = rows
-		for i := 1; i < len(bandDims); i++ {
-			srcLo[i] = coord[i] * bw.hdr.brick[i]
-			size[i] = min(bw.hdr.brick[i], bw.hdr.dims[i]-srcLo[i])
-		}
-		buf := make([]T, boxPoints(make([]int, len(size)), size))
-		copyBox(buf, size, make([]int, len(size)), band, bandDims, srcLo, size)
-		p, err := compressBrick(ctx, bw.codec, buf, size, bw.opts)
-		if err != nil {
-			return fmt.Errorf("store: brick %d: %w", len(bw.lengths)+k, err)
-		}
-		payloads[k] = p
-		return nil
-	})
+	payloads, err := compressBand(ctx, bw.hdr, bw.codec, bw.opts, bw.workers, band, rows, len(bw.lengths))
 	if err != nil {
 		return err
 	}
@@ -304,6 +280,51 @@ func (bw *Writer[T]) flushBand(ctx context.Context, band []T, rows int) error {
 		bw.crcs = append(bw.crcs, crc32.ChecksumIEEE(p))
 	}
 	return nil
+}
+
+// compressBand compresses one band of `rows` rows into its per-brick
+// payloads, in brick order. The band is the full cross-product of the
+// grid over dims[1:] — the global brick order visits all of band k before
+// band k+1, so emitting per band preserves it. brickBase numbers error
+// messages in global brick indices. Shared by the write-once Writer and
+// the mutable append path.
+func compressBand[T qoz.Float](ctx context.Context, hdr *header, codec qoz.Codec, opts qoz.Options,
+	workers int, band []T, rows, brickBase int) ([][]byte, error) {
+	bandDims := append([]int{rows}, hdr.dims[1:]...)
+	g := hdr.grid()
+	nb := 1
+	for _, x := range g[1:] {
+		nb *= x
+	}
+	payloads := make([][]byte, nb)
+	err := pool.RunErr(ctx, nb, workers, func(k int) error {
+		// Decompose k over g[1:] into the brick's box within the band.
+		coord := make([]int, len(g))
+		rem := k
+		for i := len(g) - 1; i >= 1; i-- {
+			coord[i] = rem % g[i]
+			rem /= g[i]
+		}
+		srcLo := make([]int, len(bandDims))
+		size := make([]int, len(bandDims))
+		size[0] = rows
+		for i := 1; i < len(bandDims); i++ {
+			srcLo[i] = coord[i] * hdr.brick[i]
+			size[i] = min(hdr.brick[i], hdr.dims[i]-srcLo[i])
+		}
+		buf := make([]T, boxPoints(make([]int, len(size)), size))
+		copyBox(buf, size, make([]int, len(size)), band, bandDims, srcLo, size)
+		p, err := compressBrick(ctx, codec, buf, size, opts)
+		if err != nil {
+			return fmt.Errorf("store: brick %d: %w", brickBase+k, err)
+		}
+		payloads[k] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return payloads, nil
 }
 
 // Close verifies the field is complete and writes the index and footer.
