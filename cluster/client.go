@@ -1,0 +1,524 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"qoz/internal/pool"
+	"qoz/store"
+)
+
+// Field is one entry of a cluster catalog: everything a gateway needs to
+// plan, verify, and stitch region reads for a field, learned from the
+// shards' own manifest endpoints. Dims and Brick define the brick grid
+// (the placement domain); ManifestCRC and Generation pin the exact store
+// content every sub-read must come from.
+type Field struct {
+	Name        string
+	Dims        []int
+	Brick       []int
+	DType       string // "float32" or "float64"
+	Codec       string
+	ErrorBound  float64
+	ManifestCRC uint32
+	Generation  uint64
+	// Shards are the base URLs of the shards that report this field. The
+	// placement spans exactly these, so fields mounted on a subset of the
+	// fleet still route correctly.
+	Shards []string
+}
+
+// ElemSize returns the field's element width in bytes.
+func (f *Field) ElemSize() int {
+	if f.DType == "float64" {
+		return 8
+	}
+	return 4
+}
+
+// Points returns the field's total point count.
+func (f *Field) Points() int {
+	n := 1
+	for _, d := range f.Dims {
+		n *= d
+	}
+	return n
+}
+
+// ErrStale reports that a shard answered a sub-read from a different
+// committed generation than the catalog expects. Stitching it in would
+// mix two versions of the store into one response, so the sub-read is
+// refused; the caller should refresh its catalog and retry.
+var ErrStale = errors.New("cluster: shard serves a different store generation than the catalog")
+
+// ErrNoShards reports a fan-out whose every candidate shard failed.
+var ErrNoShards = errors.New("cluster: no shard could serve the sub-region")
+
+// ShardError wraps a failure from one shard with its identity, so
+// multi-node failures stay attributable in logs and error bodies.
+type ShardError struct {
+	Shard  string
+	Status int // HTTP status when the shard answered; 0 on transport error
+	Err    error
+}
+
+func (e *ShardError) Error() string {
+	if e.Status != 0 {
+		return fmt.Sprintf("shard %s: status %d: %v", e.Shard, e.Status, e.Err)
+	}
+	return fmt.Sprintf("shard %s: %v", e.Shard, e.Err)
+}
+
+func (e *ShardError) Unwrap() error { return e.Err }
+
+// ShardTraffic is the per-shard slice of a fan-out's accounting.
+type ShardTraffic struct {
+	Reads   int64   // sub-reads answered successfully
+	Errors  int64   // sub-read attempts that failed
+	Seconds float64 // wall time spent in successful sub-reads
+}
+
+// FanoutStats accounts one ReadRegionRaw call.
+type FanoutStats struct {
+	SubReads int // sub-regions the request was split into
+	Retries  int // failover attempts beyond each sub-region's first
+	ByShard  map[string]*ShardTraffic
+}
+
+// Client is the gateway-side fan-out engine over a fleet of qozd shards.
+// The zero value works; configure the fields before first use and treat
+// the Client as immutable afterward (it is then safe for concurrent use).
+type Client struct {
+	// HTTP issues the shard requests; nil selects http.DefaultClient.
+	// Give it a timeout or rely on per-request contexts.
+	HTTP *http.Client
+	// Token, when non-empty, is sent as a bearer token on every shard
+	// request — the gateway's credential for a token-protected fleet.
+	Token string
+	// Attempts bounds how many distinct shards one sub-region is tried on
+	// (1 = no failover); <= 0 selects 2.
+	Attempts int
+	// Workers bounds concurrent sub-reads per region request; <= 0 lets
+	// every sub-read fly at once.
+	Workers int
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) attempts() int {
+	if c.Attempts <= 0 {
+		return 2
+	}
+	return c.Attempts
+}
+
+// Catalog asks every shard for its field listing and merges the answers
+// into one catalog. A field reported by several shards adopts the
+// highest-generation report (the fleet mid-refresh converges there), and
+// its placement spans every shard that reports it — shards still serving
+// an older generation fail the per-sub-read generation check and are
+// failed over, never stitched. Shards that cannot be reached are skipped;
+// only a fleet with no reachable shard at all is an error.
+func (c *Client) Catalog(ctx context.Context, shards []string) (map[string]*Field, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	type shardList struct {
+		shard  string
+		fields []shardFieldJSON
+		err    error
+	}
+	lists := make([]shardList, len(shards))
+	pool.Run(len(shards), 0, func(i int) {
+		lists[i].shard = shards[i]
+		lists[i].fields, lists[i].err = c.fetchFields(ctx, shards[i])
+	})
+	catalog := make(map[string]*Field)
+	var errs []error
+	reachable := 0
+	for _, l := range lists {
+		if l.err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", l.shard, l.err))
+			continue
+		}
+		reachable++
+		for _, fi := range l.fields {
+			f, ok := catalog[fi.Name]
+			if !ok || fi.Generation > f.Generation {
+				nf := &Field{
+					Name:        fi.Name,
+					Dims:        fi.Dims,
+					Brick:       fi.Brick,
+					DType:       fi.DType,
+					Codec:       fi.Codec,
+					ErrorBound:  fi.ErrorBound,
+					ManifestCRC: fi.ManifestCRC,
+					Generation:  fi.Generation,
+				}
+				if ok {
+					nf.Shards = f.Shards
+				}
+				catalog[fi.Name] = nf
+				f = nf
+			}
+			f.Shards = append(f.Shards, l.shard)
+		}
+	}
+	if reachable == 0 {
+		return nil, fmt.Errorf("cluster: no shard reachable: %w", errors.Join(errs...))
+	}
+	return catalog, nil
+}
+
+// shardFieldJSON is the subset of qozd's field manifest JSON the catalog
+// needs.
+type shardFieldJSON struct {
+	Name        string  `json:"name"`
+	Dims        []int   `json:"dims"`
+	Brick       []int   `json:"brick"`
+	DType       string  `json:"dtype"`
+	Codec       string  `json:"codec"`
+	ErrorBound  float64 `json:"errorBound"`
+	ManifestCRC uint32  `json:"manifestCRC"`
+	Generation  uint64  `json:"generation"`
+}
+
+// fetchFields GETs one shard's /v1/fields.
+func (c *Client) fetchFields(ctx context.Context, shard string) ([]shardFieldJSON, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, shard+"/v1/fields", nil)
+	if err != nil {
+		return nil, err
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		io.CopyN(io.Discard, resp.Body, 4<<10)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("listing fields: status %s", resp.Status)
+	}
+	var out struct {
+		Fields []shardFieldJSON `json:"fields"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("listing fields: %w", err)
+	}
+	return out.Fields, nil
+}
+
+// subRegion is one box of the fan-out plan: an axis-aligned run of
+// same-owner bricks intersected with the requested region, plus the
+// shard preference order its reads follow.
+type subRegion struct {
+	lo, hi []int
+	rank   []int // indices into Field.Shards, owner first
+}
+
+// planSubRegions splits the box [lo, hi) along brick-ownership
+// boundaries. Each intersecting brick is routed to its placement owner;
+// consecutive bricks along the innermost axis with the same owner merge
+// into one sub-region, so a request over a row of co-owned bricks costs
+// one round trip, not one per brick. The plan is a partition: sub-regions
+// are disjoint and cover [lo, hi) exactly, which is what makes the
+// stitch a pure scatter with no overlap to reconcile.
+func planSubRegions(f *Field, lo, hi []int) ([]subRegion, error) {
+	place, err := NewPlacement(f.Shards)
+	if err != nil {
+		return nil, err
+	}
+	bricks, err := store.IntersectingBricksIn(f.Dims, f.Brick, lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	var subs []subRegion
+	for _, bi := range bricks {
+		blo, bhi, err := store.BrickBoxIn(f.Dims, f.Brick, bi)
+		if err != nil {
+			return nil, err
+		}
+		clo := make([]int, len(lo))
+		chi := make([]int, len(lo))
+		for i := range lo {
+			clo[i] = max(lo[i], blo[i])
+			chi[i] = min(hi[i], bhi[i])
+		}
+		owner := place.Owner(f.Name, bi)
+		n := len(subs)
+		last := len(lo) - 1
+		if n > 0 && subs[n-1].rank[0] == owner && mergeable(subs[n-1], clo, chi, last) {
+			subs[n-1].hi[last] = chi[last]
+			continue
+		}
+		subs = append(subs, subRegion{lo: clo, hi: chi, rank: place.Rank(f.Name, bi)})
+	}
+	return subs, nil
+}
+
+// mergeable reports whether the box [clo, chi) extends s contiguously
+// along axis `last` with every other axis identical.
+func mergeable(s subRegion, clo, chi []int, last int) bool {
+	if s.hi[last] != clo[last] {
+		return false
+	}
+	for i := 0; i < last; i++ {
+		if s.lo[i] != clo[i] || s.hi[i] != chi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ReadRegionRaw reads the box [lo, hi) of f by fanning sub-regions out to
+// their owning shards and stitching the answers, returning raw
+// little-endian samples (f.ElemSize() bytes per point, row-major, shape
+// hi-lo) — byte-identical to what a single qozd holding the whole store
+// would serve. Sub-reads run concurrently, observe ctx, fail over along
+// each brick's preference order, and every sub-response is verified
+// against the catalog's (manifest CRC, generation) pair before a byte of
+// it is stitched — a response can never mix store generations. A
+// correlation id attached with WithRequestID is propagated to every shard
+// as X-Qoz-Request-Id.
+func (c *Client) ReadRegionRaw(ctx context.Context, f *Field, lo, hi []int) ([]byte, FanoutStats, error) {
+	stats := FanoutStats{ByShard: make(map[string]*ShardTraffic)}
+	subs, err := planSubRegions(f, lo, hi)
+	if err != nil {
+		return nil, stats, err
+	}
+	stats.SubReads = len(subs)
+	elem := f.ElemSize()
+	outDims := make([]int, len(lo))
+	points := 1
+	for i := range lo {
+		outDims[i] = hi[i] - lo[i]
+		points *= outDims[i]
+	}
+	out := make([]byte, points*elem)
+	var mu sync.Mutex // guards stats during the fan-out
+	err = pool.RunErr(ctx, len(subs), c.Workers, func(k int) error {
+		sub := subs[k]
+		body, shard, retries, secs, err := c.readSub(ctx, f, sub, &mu, &stats)
+		mu.Lock()
+		stats.Retries += retries
+		mu.Unlock()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		t := stats.ByShard[shard]
+		if t == nil {
+			t = &ShardTraffic{}
+			stats.ByShard[shard] = t
+		}
+		t.Reads++
+		t.Seconds += secs
+		mu.Unlock()
+		// Scatter the sub-slab into the output. Sub-regions partition the
+		// box, so writers touch disjoint bytes — no synchronization.
+		srcDims := make([]int, len(lo))
+		dstLo := make([]int, len(lo))
+		for i := range lo {
+			srcDims[i] = sub.hi[i] - sub.lo[i]
+			dstLo[i] = sub.lo[i] - lo[i]
+		}
+		stitchBytes(out, outDims, dstLo, body, srcDims, elem)
+		return nil
+	})
+	if err != nil {
+		return nil, stats, err
+	}
+	return out, stats, nil
+}
+
+// readSub fetches one sub-region, failing over along the preference order
+// on shard faults. It returns the raw body, the shard that served it, the
+// failover attempts spent, and the successful attempt's wall time.
+func (c *Client) readSub(ctx context.Context, f *Field, sub subRegion,
+	mu *sync.Mutex, stats *FanoutStats) (body []byte, shard string, retries int, secs float64, err error) {
+	attempts := min(c.attempts(), len(sub.rank))
+	var lastErr error
+	for a := 0; a < attempts; a++ {
+		if err := ctx.Err(); err != nil {
+			return nil, "", retries, 0, err
+		}
+		shard = f.Shards[sub.rank[a]]
+		if a > 0 {
+			retries++
+		}
+		t0 := time.Now()
+		body, err := c.fetchSub(ctx, shard, f, sub)
+		if err == nil {
+			return body, shard, retries, time.Since(t0).Seconds(), nil
+		}
+		mu.Lock()
+		t := stats.ByShard[shard]
+		if t == nil {
+			t = &ShardTraffic{}
+			stats.ByShard[shard] = t
+		}
+		t.Errors++
+		mu.Unlock()
+		lastErr = err
+		// Client-level mistakes (4xx) will repeat identically on every
+		// shard; only shard faults and stale generations are worth retrying
+		// elsewhere.
+		var se *ShardError
+		if errors.As(err, &se) && se.Status >= 400 && se.Status < 500 && se.Status != http.StatusTooManyRequests {
+			break
+		}
+	}
+	return nil, "", retries, 0, fmt.Errorf("%w: %w", ErrNoShards, lastErr)
+}
+
+// fetchSub issues one region sub-read against one shard and validates the
+// answer: status, element type, exact body length, and the catalog's
+// (manifest CRC, generation) pair via the shard's strong ETag prefix.
+func (c *Client) fetchSub(ctx context.Context, shard string, f *Field, sub subRegion) ([]byte, error) {
+	u := fmt.Sprintf("%s/v1/fields/%s/region?lo=%s&hi=%s",
+		shard, url.PathEscape(f.Name), corner(sub.lo), corner(sub.hi))
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return nil, &ShardError{Shard: shard, Err: err}
+	}
+	if c.Token != "" {
+		req.Header.Set("Authorization", "Bearer "+c.Token)
+	}
+	if id := requestIDFrom(ctx); id != "" {
+		req.Header.Set("X-Qoz-Request-Id", id)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, &ShardError{Shard: shard, Err: err}
+	}
+	defer func() {
+		io.CopyN(io.Discard, resp.Body, 4<<10)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, &ShardError{Shard: shard, Status: resp.StatusCode,
+			Err: fmt.Errorf("region sub-read failed: %s", strings.TrimSpace(string(msg)))}
+	}
+	// The generation gate: the shard's region ETag begins with its store's
+	// (manifest CRC, generation) pair. A shard mid-refresh (or serving a
+	// different copy) fails here and the sub-read fails over, so a stitched
+	// response is always one generation wholly.
+	wantPrefix := fmt.Sprintf(`"%08x-g%d-`, f.ManifestCRC, f.Generation)
+	if et := resp.Header.Get("ETag"); !strings.HasPrefix(et, wantPrefix) {
+		return nil, &ShardError{Shard: shard, Err: fmt.Errorf("%w (ETag %s, want prefix %s)", ErrStale, et, wantPrefix)}
+	}
+	if dt := resp.Header.Get("X-Qoz-Dtype"); dt != "" && dt != f.DType {
+		return nil, &ShardError{Shard: shard, Err: fmt.Errorf("sub-read dtype %q, want %q", dt, f.DType)}
+	}
+	want := f.ElemSize()
+	for i := range sub.lo {
+		want *= sub.hi[i] - sub.lo[i]
+	}
+	body := make([]byte, want)
+	if _, err := io.ReadFull(resp.Body, body); err != nil {
+		return nil, &ShardError{Shard: shard, Err: fmt.Errorf("short sub-read body: %w", err)}
+	}
+	var extra [1]byte
+	if n, _ := resp.Body.Read(extra[:]); n != 0 {
+		return nil, &ShardError{Shard: shard, Err: fmt.Errorf("sub-read body longer than its region")}
+	}
+	return body, nil
+}
+
+// corner formats region coordinates as qozd's "a,b,c" query syntax.
+func corner(v []int) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = strconv.Itoa(x)
+	}
+	return strings.Join(parts, ",")
+}
+
+// stitchBytes copies a row-major sub-slab (shape srcDims, elem bytes per
+// point) into the row-major output (shape dstDims) at origin dstLo. The
+// innermost axis is contiguous in both layouts, so the copy proceeds in
+// whole-row byte runs.
+func stitchBytes(dst []byte, dstDims, dstLo []int, src []byte, srcDims []int, elem int) {
+	n := len(dstDims)
+	run := srcDims[n-1] * elem
+	if run == 0 {
+		return
+	}
+	// Byte strides of each axis in dst and src.
+	ds := make([]int, n)
+	ss := make([]int, n)
+	acc := elem
+	for i := n - 1; i >= 0; i-- {
+		ds[i] = acc
+		acc *= dstDims[i]
+	}
+	acc = elem
+	for i := n - 1; i >= 0; i-- {
+		ss[i] = acc
+		acc *= srcDims[i]
+	}
+	do := 0
+	for i := 0; i < n; i++ {
+		do += dstLo[i] * ds[i]
+	}
+	if n == 1 {
+		copy(dst[do:do+run], src[:run])
+		return
+	}
+	so := 0
+	idx := make([]int, n-1)
+	for {
+		copy(dst[do:do+run], src[so:so+run])
+		k := n - 2
+		for ; k >= 0; k-- {
+			idx[k]++
+			so += ss[k]
+			do += ds[k]
+			if idx[k] < srcDims[k] {
+				break
+			}
+			so -= srcDims[k] * ss[k]
+			do -= srcDims[k] * ds[k]
+			idx[k] = 0
+		}
+		if k < 0 {
+			return
+		}
+	}
+}
+
+// requestIDKey carries a request id through a context, so the fan-out
+// engine tags shard sub-requests without threading an extra parameter
+// through every call.
+type requestIDKey struct{}
+
+// WithRequestID returns ctx carrying a request correlation id; the
+// fan-out engine forwards it to shards as X-Qoz-Request-Id.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// requestIDFrom extracts the id WithRequestID stored, or "".
+func requestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

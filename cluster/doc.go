@@ -1,0 +1,29 @@
+// Package cluster turns single-process qozd serving into sharded,
+// fanned-out serving. It holds the pieces that are useful on both sides
+// of the gateway/shard split and deliberately contains no HTTP handlers —
+// cmd/qozd wires these into endpoints:
+//
+//   - Placement: deterministic rendezvous (highest-random-weight) hashing
+//     of brick indices onto shard names. It is a pure function of the
+//     field's manifest (extents + brick shape, via qoz/store's exported
+//     brick-geometry helpers) and the shard list, so a gateway and its
+//     shards agree on who owns which bricks with no coordination service.
+//   - Client: the fan-out engine. It discovers the fields a shard fleet
+//     serves, splits one region read into per-shard sub-regions along
+//     brick-ownership boundaries, fans the sub-reads out over HTTP with
+//     per-request context propagation and failover, verifies every
+//     sub-response against the catalog's (manifest CRC, generation) pair
+//     so a stitched response can never mix store generations, and
+//     stitches the sub-slabs back into one row-major byte buffer.
+//   - Flight: request-layer single-flight. A thundering herd of identical
+//     region requests decodes (or fans out) once; followers share the
+//     leader's result. The leader's work is cancelled only when every
+//     coalesced caller has gone away.
+//   - Limiter: per-tenant token buckets for 429 + Retry-After rate
+//     limiting layered on bearer-token auth.
+//
+// The protocol between gateway and shards is qozd's ordinary public API —
+// GET /v1/fields for discovery and GET /v1/fields/{name}/region for
+// sub-reads — so any mix of gateways, plain clients, and shards
+// interoperates, and a shard is just a normal qozd process.
+package cluster

@@ -1,0 +1,113 @@
+package cluster
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Limiter is a set of per-tenant token buckets. Each tenant (a bearer
+// token's name, or "anon" for unauthenticated traffic) refills at its
+// configured rate up to its burst; a request costs one token. When the
+// bucket is dry, Allow reports how long until the next token — the
+// Retry-After a 429 should carry — so well-behaved clients back off
+// precisely instead of hammering.
+//
+// Time is passed in by the caller, which keeps the arithmetic exact and
+// the tests clock-free. Safe for concurrent use.
+type Limiter struct {
+	rate  float64 // default tokens per second; <= 0 means unlimited
+	burst float64 // default bucket capacity
+
+	mu       sync.Mutex
+	tenants  map[string]*bucket
+	override map[string]RateConfig
+
+	limited int64 // requests refused, for metrics
+}
+
+// RateConfig is one tenant's bucket shape.
+type RateConfig struct {
+	// RPS is the sustained refill rate in requests per second; <= 0 means
+	// this tenant is unlimited.
+	RPS float64
+	// Burst is the bucket capacity — how many requests may land at once
+	// after idle. <= 0 selects max(1, ceil(RPS)).
+	Burst float64
+}
+
+type bucket struct {
+	cfg    RateConfig
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter returns a limiter whose tenants each refill at rps with the
+// given burst (the per-tenant default; SetTenant overrides individuals).
+// rps <= 0 builds a limiter that allows everything — callers need no
+// special case for "rate limiting off".
+func NewLimiter(rps, burst float64) *Limiter {
+	return &Limiter{rate: rps, burst: burst, tenants: map[string]*bucket{}, override: map[string]RateConfig{}}
+}
+
+// SetTenant gives one tenant its own bucket shape, replacing the default
+// for that tenant (including RPS <= 0 to exempt it entirely).
+func (l *Limiter) SetTenant(tenant string, cfg RateConfig) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.override[tenant] = cfg
+	delete(l.tenants, tenant) // rebuilt with the new shape on next Allow
+}
+
+// config resolves the bucket shape for a tenant.
+func (l *Limiter) config(tenant string) RateConfig {
+	cfg, ok := l.override[tenant]
+	if !ok {
+		cfg = RateConfig{RPS: l.rate, Burst: l.burst}
+	}
+	if cfg.RPS > 0 && cfg.Burst <= 0 {
+		cfg.Burst = math.Max(1, math.Ceil(cfg.RPS))
+	}
+	return cfg
+}
+
+// Allow spends one token from tenant's bucket at time now. When the
+// bucket is dry it reports ok=false and the wait until one token will
+// have refilled — round it up into a Retry-After header. now must not
+// run backward per tenant; a backward step is treated as no time passing.
+func (l *Limiter) Allow(tenant string, now time.Time) (ok bool, retryAfter time.Duration) {
+	if l == nil {
+		return true, 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b := l.tenants[tenant]
+	if b == nil {
+		cfg := l.config(tenant)
+		b = &bucket{cfg: cfg, tokens: cfg.Burst, last: now}
+		l.tenants[tenant] = b
+	}
+	if b.cfg.RPS <= 0 {
+		return true, 0
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(b.cfg.Burst, b.tokens+dt*b.cfg.RPS)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	l.limited++
+	return false, time.Duration((1 - b.tokens) / b.cfg.RPS * float64(time.Second))
+}
+
+// Limited returns how many requests the limiter has refused.
+func (l *Limiter) Limited() int64 {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.limited
+}

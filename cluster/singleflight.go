@@ -1,0 +1,115 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Flight coalesces concurrent identical requests: the first caller of a
+// key becomes the leader and runs the function; callers arriving while it
+// runs wait and share its result. This is the request-layer mirror of the
+// byte-range coalescing in store's remote reader — there, concurrent
+// brick fetches collapse into one transfer; here, a thundering herd on
+// one hot region collapses into one decode (or, at a gateway, one
+// fan-out).
+//
+// Cancellation is refcounted: the leader's function runs under a context
+// that is cancelled only when every coalesced caller has cancelled. One
+// impatient client among a herd therefore cannot kill the decode the rest
+// are waiting on, but work nobody wants anymore stops promptly.
+//
+// The zero value is ready to use. Safe for concurrent use.
+type Flight struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+
+	leads     atomic.Int64
+	coalesced atomic.Int64
+}
+
+// flightCall is one in-flight execution and its waiters.
+type flightCall struct {
+	done    chan struct{} // closed when val/err are set
+	cancel  context.CancelFunc
+	waiters int // callers still interested; guarded by Flight.mu
+	val     any
+	err     error
+}
+
+// FlightStats reports a Flight's lifetime activity.
+type FlightStats struct {
+	// Leads counts executions actually run.
+	Leads int64
+	// Coalesced counts callers served by someone else's execution.
+	Coalesced int64
+}
+
+// Stats returns the counters accumulated since the zero value.
+func (f *Flight) Stats() FlightStats {
+	return FlightStats{Leads: f.leads.Load(), Coalesced: f.coalesced.Load()}
+}
+
+// Do returns the result of fn for key, executing it at most once among
+// concurrent callers. shared reports whether the result came from another
+// caller's execution. fn receives a context that stays live until every
+// coalesced caller has cancelled; a caller whose own ctx ends stops
+// waiting (and gets ctx's error) without disturbing the rest.
+//
+// Results are not cached: once fn returns and its waiters are served, the
+// next Do with the same key executes fn again. Coalescing is therefore
+// purely about concurrency, never staleness.
+func (f *Flight) Do(ctx context.Context, key string, fn func(context.Context) (any, error)) (val any, shared bool, err error) {
+	f.mu.Lock()
+	if f.calls == nil {
+		f.calls = make(map[string]*flightCall)
+	}
+	if c, ok := f.calls[key]; ok {
+		c.waiters++
+		f.mu.Unlock()
+		f.coalesced.Add(1)
+		return f.wait(ctx, key, c, true)
+	}
+	runCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	c := &flightCall{done: make(chan struct{}), cancel: cancel, waiters: 1}
+	f.calls[key] = c
+	f.mu.Unlock()
+	f.leads.Add(1)
+
+	go func() {
+		c.val, c.err = fn(runCtx)
+		// Forget before announcing: a request arriving after completion
+		// must start a fresh execution, not adopt a finished one.
+		f.mu.Lock()
+		if f.calls[key] == c {
+			delete(f.calls, key)
+		}
+		f.mu.Unlock()
+		cancel()
+		close(c.done)
+	}()
+	return f.wait(ctx, key, c, false)
+}
+
+// wait blocks until the call completes or the caller's ctx ends. A
+// departing caller decrements the waiter count and, as the last one out,
+// cancels the execution and forgets the key so the next request starts
+// clean.
+func (f *Flight) wait(ctx context.Context, key string, c *flightCall, shared bool) (any, bool, error) {
+	select {
+	case <-c.done:
+		return c.val, shared, c.err
+	case <-ctx.Done():
+		f.mu.Lock()
+		c.waiters--
+		last := c.waiters == 0
+		if last && f.calls[key] == c {
+			delete(f.calls, key)
+		}
+		f.mu.Unlock()
+		if last {
+			c.cancel()
+		}
+		return nil, shared, ctx.Err()
+	}
+}

@@ -21,18 +21,23 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"math"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
 	"qoz"
 	"qoz/baselines"
+	"qoz/cluster"
 	"qoz/datagen"
 	"qoz/internal/harness"
 	"qoz/store"
@@ -266,7 +271,114 @@ func storeRecords(ds datagen.Dataset) ([]benchRecord, error) {
 		return nil, err
 	}
 	out = append(out, appendRec)
+	fanoutRec, err := gatewayFanoutRecord(ctx, ds)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, fanoutRec)
 	return out, nil
+}
+
+// gatewayFanoutRecord measures the cluster serving path: a full-field
+// region read split across two in-process HTTP shards by the rendezvous
+// placement, fetched concurrently, generation-gated, and stitched back —
+// the qoz/cluster fan-out engine end to end over real HTTP, minus only
+// the network. Tracked as op "gateway_get" against plain "get" so the
+// fan-out tax (round trips, stitch, verification) stays visible across
+// revisions.
+func gatewayFanoutRecord(ctx context.Context, ds datagen.Dataset) (benchRecord, error) {
+	const rel = 1e-3
+	var buf bytes.Buffer
+	if err := store.Write(ctx, &buf, ds.Data, ds.Dims, store.WriteOptions{Opts: qoz.Options{RelBound: rel}}); err != nil {
+		return benchRecord{}, err
+	}
+	// Two shards over the same bytes; each serves the minimal slice of the
+	// qozd region API the fan-out client consumes (raw LE body plus the
+	// ETag generation gate).
+	shards := make([]*httptest.Server, 2)
+	for i := range shards {
+		st, err := store.Open(bytes.NewReader(buf.Bytes()), int64(buf.Len()), store.Options{CacheBytes: -1})
+		if err != nil {
+			return benchRecord{}, err
+		}
+		crc, gen := st.ManifestVersion()
+		shards[i] = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			lo, hi, err := parseBox(r.URL.Query().Get("lo"), r.URL.Query().Get("hi"))
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			data, err := st.ReadRegion(r.Context(), lo, hi)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("ETag", fmt.Sprintf(`"%08x-g%d-bench"`, crc, gen))
+			w.Header().Set("X-Qoz-Dtype", "float32")
+			le := make([]byte, 4*len(data))
+			for j, v := range data {
+				binary.LittleEndian.PutUint32(le[4*j:], math.Float32bits(v))
+			}
+			w.Write(le)
+		}))
+		defer shards[i].Close()
+	}
+	st, err := store.Open(bytes.NewReader(buf.Bytes()), int64(buf.Len()), store.Options{CacheBytes: -1})
+	if err != nil {
+		return benchRecord{}, err
+	}
+	crc, gen := st.ManifestVersion()
+	f := &cluster.Field{
+		Name: ds.Name, Dims: st.Dims(), Brick: st.BrickShape(), DType: "float32",
+		ManifestCRC: crc, Generation: gen,
+		Shards: []string{shards[0].URL, shards[1].URL},
+	}
+	lo := make([]int, len(ds.Dims))
+	client := &cluster.Client{}
+	t0 := time.Now()
+	body, _, err := client.ReadRegionRaw(ctx, f, lo, ds.Dims)
+	if err != nil {
+		return benchRecord{}, err
+	}
+	secs := time.Since(t0).Seconds()
+	if len(body) != ds.Len()*4 {
+		return benchRecord{}, fmt.Errorf("gateway fan-out returned %d bytes, want %d", len(body), ds.Len()*4)
+	}
+	return benchRecord{
+		Codec:      qoz.DefaultCodec,
+		Dataset:    ds.Name,
+		Op:         "gateway_get",
+		Dtype:      "float32",
+		RelBound:   rel,
+		Bytes:      buf.Len(),
+		CR:         jsonSafe(float64(ds.Len()*4) / float64(buf.Len())),
+		DecompMBps: jsonSafe(float64(ds.Len()*4) / 1e6 / secs),
+	}, nil
+}
+
+// parseBox parses the region query corners of the shard API.
+func parseBox(lo, hi string) ([]int, []int, error) {
+	parse := func(v string) ([]int, error) {
+		parts := strings.Split(v, ",")
+		out := make([]int, len(parts))
+		for i, p := range parts {
+			n, err := strconv.Atoi(p)
+			if err != nil {
+				return nil, fmt.Errorf("bad coordinate %q", p)
+			}
+			out[i] = n
+		}
+		return out, nil
+	}
+	l, err := parse(lo)
+	if err != nil {
+		return nil, nil, err
+	}
+	h, err := parse(hi)
+	if err != nil {
+		return nil, nil, err
+	}
+	return l, h, nil
 }
 
 // mutableAppendRecord measures the in-situ ingest path: a mutable (v3)

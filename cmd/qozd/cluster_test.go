@@ -1,0 +1,624 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"qoz/cluster"
+	"qoz/store"
+)
+
+// startShards spins n ordinary qozd servers, each mounting every store in
+// mounts (data is fully replicated; the placement decides which shard
+// serves which brick). wrap, when non-nil, wraps each shard's handler —
+// tests use it to count, capture, or block shard traffic.
+func startShards(t *testing.T, mounts []mount, n int, opts serverOptions,
+	wrap func(i int, h http.Handler) http.Handler) ([]*httptest.Server, []*server) {
+	t.Helper()
+	shards := make([]*httptest.Server, n)
+	srvs := make([]*server, n)
+	for i := 0; i < n; i++ {
+		srv, err := newServer(mounts, opts)
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		t.Cleanup(srv.Close)
+		h := http.Handler(srv)
+		if wrap != nil {
+			h = wrap(i, h)
+		}
+		shards[i] = httptest.NewServer(h)
+		t.Cleanup(shards[i].Close)
+		srvs[i] = srv
+	}
+	return shards, srvs
+}
+
+func shardURLs(shards []*httptest.Server) []string {
+	urls := make([]string, len(shards))
+	for i, s := range shards {
+		urls[i] = s.URL
+	}
+	return urls
+}
+
+// startGateway builds a gateway over the shards and serves it.
+func startGateway(t *testing.T, opts gatewayOptions) (*gateway, *httptest.Server) {
+	t.Helper()
+	gw, err := newGateway(opts)
+	if err != nil {
+		t.Fatalf("newGateway: %v", err)
+	}
+	ts := httptest.NewServer(gw)
+	t.Cleanup(ts.Close)
+	return gw, ts
+}
+
+// TestClusterGatewayStitch is the core acceptance test: a region spanning
+// shard-ownership boundaries read through the gateway must be
+// byte-identical to the same read against a single node holding the whole
+// store — raw and JSON, float32 and float64 — with the same ETag, and the
+// fan-out must actually have used more than one shard.
+func TestClusterGatewayStitch(t *testing.T) {
+	dir := t.TempDir()
+	p32, _ := buildStoreFile(t, dir)
+	p64, _, _ := buildStoreFile64(t, dir)
+	mounts := []mount{{name: "nyx", target: p32}, {name: "wave", target: p64}}
+	shards, _ := startShards(t, mounts, 2, serverOptions{CacheBytes: 32 << 20}, nil)
+	gw, gts := startGateway(t, gatewayOptions{Shards: shardURLs(shards)})
+
+	for _, tc := range []struct {
+		field, region string
+	}{
+		// 32^3 field of 8^3 bricks: [1,31)^3 crosses every brick boundary.
+		{"nyx", "lo=1,2,3&hi=31,30,29"},
+		// 16^3 float64 field of 8^3 bricks (with a NaN in brick 0).
+		{"wave", "lo=0,1,2&hi=15,16,14"},
+	} {
+		for _, format := range []string{"", "&format=json"} {
+			url := "/v1/fields/" + tc.field + "/region?" + tc.region + format
+			wantResp, want := get(t, shards[0].URL+url)
+			gotResp, got := get(t, gts.URL+url)
+			if gotResp.StatusCode != http.StatusOK {
+				t.Fatalf("gateway %s: %s: %s", url, gotResp.Status, got)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: gateway body differs from single-node body (%d vs %d bytes)", url, len(got), len(want))
+			}
+			if ge, se := gotResp.Header.Get("ETag"), wantResp.Header.Get("ETag"); ge != se {
+				t.Errorf("%s: gateway ETag %s, single-node ETag %s", url, ge, se)
+			}
+			for _, h := range []string{"X-Qoz-Dims", "X-Qoz-Dtype", "X-Qoz-Error-Bound"} {
+				if gotResp.Header.Get(h) != wantResp.Header.Get(h) {
+					t.Errorf("%s: header %s: gateway %q, single-node %q", url, h, gotResp.Header.Get(h), wantResp.Header.Get(h))
+				}
+			}
+		}
+	}
+
+	// The reads must have fanned out: both shards served sub-reads.
+	gw.trafficMu.Lock()
+	served := 0
+	for _, tr := range gw.traffic {
+		if tr.Reads > 0 {
+			served++
+		}
+	}
+	gw.trafficMu.Unlock()
+	if served != 2 {
+		t.Errorf("%d shards served sub-reads, want 2 (region should span ownership boundaries)", served)
+	}
+
+	// Conditional GET through the gateway: revalidating with the gateway's
+	// ETag answers 304.
+	url := gts.URL + "/v1/fields/nyx/region?lo=1,2,3&hi=31,30,29"
+	resp, _ := get(t, url)
+	req, _ := http.NewRequest(http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", resp.Header.Get("ETag"))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Errorf("revalidation answered %d, want 304", resp2.StatusCode)
+	}
+}
+
+// TestClusterGatewayFailover kills one of two shards. With failover
+// enabled the gateway must still produce byte-identical responses; with
+// failover disabled (-fanout-attempts 1) it must answer a clean, prompt
+// 502 with Retry-After — never a hang or a partially-stitched body.
+func TestClusterGatewayFailover(t *testing.T) {
+	dir := t.TempDir()
+	p32, _ := buildStoreFile(t, dir)
+	mounts := []mount{{name: "nyx", target: p32}}
+	shards, _ := startShards(t, mounts, 2, serverOptions{CacheBytes: 32 << 20}, nil)
+	const region = "/v1/fields/nyx/region?lo=0,0,0&hi=32,32,32"
+	_, want := get(t, shards[0].URL+region)
+
+	gwFail, tsFail := startGateway(t, gatewayOptions{Shards: shardURLs(shards), Attempts: 2})
+	gwNone, tsNone := startGateway(t, gatewayOptions{Shards: shardURLs(shards), Attempts: 1})
+
+	shards[1].Close() // kill one shard; its bricks' owner is now unreachable
+
+	resp, got := get(t, tsFail.URL+region)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("failover read: %s: %s", resp.Status, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("failover read differs from pre-kill single-node read")
+	}
+	if gwFail.retries.Load() == 0 {
+		t.Error("failover read reported zero retries; the dead shard owned nothing?")
+	}
+
+	start := time.Now()
+	resp, body := get(t, tsNone.URL+region)
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("no-failover read with a dead shard: %d, want 502 (body %s)", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("502 without Retry-After")
+	}
+	var errBody struct {
+		Error     string `json:"error"`
+		RequestID string `json:"requestId"`
+	}
+	if err := json.Unmarshal(body, &errBody); err != nil {
+		t.Fatalf("502 body is not the JSON error shape: %s", body)
+	}
+	if errBody.RequestID == "" {
+		t.Error("502 body missing requestId")
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Errorf("502 took %v; a dead shard must fail fast, not hang", elapsed)
+	}
+	_ = gwNone
+}
+
+// TestClusterGatewaySingleFlight piles N identical concurrent requests on
+// one hot region while the shards are blocked, then releases them: the
+// gateway must run exactly one fan-out, every client must get the full
+// correct bytes, and the shards must have seen one fan-out's worth of
+// sub-reads — not N.
+func TestClusterGatewaySingleFlight(t *testing.T) {
+	dir := t.TempDir()
+	p32, _ := buildStoreFile(t, dir)
+	mounts := []mount{{name: "nyx", target: p32}}
+
+	release := make(chan struct{})
+	var shardRegionReqs atomic.Int64
+	shards, _ := startShards(t, mounts, 2, serverOptions{CacheBytes: 32 << 20},
+		func(i int, h http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if strings.HasSuffix(r.URL.Path, "/region") {
+					shardRegionReqs.Add(1)
+					<-release
+				}
+				h.ServeHTTP(w, r)
+			})
+		})
+	gw, gts := startGateway(t, gatewayOptions{Shards: shardURLs(shards)})
+
+	const region = "/v1/fields/nyx/region?lo=0,0,0&hi=16,16,16"
+	const clients = 8
+	bodies := make([][]byte, clients)
+	status := make([]int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(gts.URL + region)
+			if err != nil {
+				t.Errorf("client %d: %v", i, err)
+				return
+			}
+			bodies[i], _ = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			status[i] = resp.StatusCode
+		}()
+	}
+	// Wait until the whole herd is coalesced behind the one blocked leader,
+	// then let the shards answer.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st := gw.flight.Stats()
+		if st.Leads == 1 && st.Coalesced == clients-1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("herd never coalesced: %+v", st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	close(release)
+	wg.Wait()
+
+	if st := gw.flight.Stats(); st.Leads != 1 {
+		t.Errorf("%d fan-outs for %d identical concurrent requests, want 1", st.Leads, clients)
+	}
+	for i := 1; i < clients; i++ {
+		if status[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d", i, status[i])
+		}
+		if !bytes.Equal(bodies[i], bodies[0]) {
+			t.Fatalf("client %d got different bytes than client 0", i)
+		}
+	}
+	if want := 16 * 16 * 16 * 4; len(bodies[0]) != want {
+		t.Fatalf("body is %d bytes, want %d", len(bodies[0]), want)
+	}
+	// The shards saw exactly one fan-out's sub-reads.
+	if got, want := shardRegionReqs.Load(), gw.subReads.Load(); got != want {
+		t.Errorf("shards saw %d region requests, gateway planned %d sub-reads", got, want)
+	}
+	if shardRegionReqs.Load() >= clients {
+		t.Errorf("shards saw %d region requests for %d coalesced clients; single-flight did nothing", shardRegionReqs.Load(), clients)
+	}
+}
+
+// TestClusterTenantRateLimit puts named tenants behind token buckets at
+// the gateway: the throttled tenant's second burst request gets 429 with
+// Retry-After while another tenant keeps flowing, and the 429 shows up in
+// the per-tenant metric.
+func TestClusterTenantRateLimit(t *testing.T) {
+	dir := t.TempDir()
+	p32, _ := buildStoreFile(t, dir)
+	mounts := []mount{{name: "nyx", target: p32}}
+	shards, _ := startShards(t, mounts, 2, serverOptions{CacheBytes: 32 << 20}, nil)
+	_, gts := startGateway(t, gatewayOptions{
+		Shards: shardURLs(shards),
+		Guard: guardOptions{
+			Tenants: []tenantCred{
+				{name: "alice", token: "a-tok", rate: cluster.RateConfig{RPS: 0.1, Burst: 1}},
+				{name: "bob", token: "b-tok"},
+			},
+		},
+	})
+
+	do := func(token string) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodGet, gts.URL+"/v1/fields", nil)
+		req.Header.Set("Authorization", "Bearer "+token)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp
+	}
+
+	if resp := do("a-tok"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("alice's first request: %d, want 200", resp.StatusCode)
+	}
+	resp := do("a-tok")
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alice's burst-exceeding request: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	// Bob's bucket is independent of alice's dry one.
+	for i := 0; i < 3; i++ {
+		if resp := do("b-tok"); resp.StatusCode != http.StatusOK {
+			t.Fatalf("bob's request %d: %d, want 200", i, resp.StatusCode)
+		}
+	}
+	// No token at all: 401, not 429.
+	req, _ := http.NewRequest(http.MethodGet, gts.URL+"/v1/fields", nil)
+	r2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, r2.Body)
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusUnauthorized {
+		t.Fatalf("tokenless request: %d, want 401", r2.StatusCode)
+	}
+
+	mreq, _ := http.NewRequest(http.MethodGet, gts.URL+"/metrics", nil)
+	mreq.Header.Set("Authorization", "Bearer b-tok")
+	mresp, err := http.DefaultClient.Do(mreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metrics, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(metrics), `qozd_rate_limited_total{tenant="alice"} 1`) {
+		t.Errorf("metrics missing alice's 429:\n%s", metrics)
+	}
+}
+
+// TestClusterShardAuth verifies the gateway's shard-facing credential: a
+// token-protected fleet serves through a gateway holding the shard token,
+// and the client's own tenant token never leaks through to shards.
+func TestClusterShardAuth(t *testing.T) {
+	dir := t.TempDir()
+	p32, _ := buildStoreFile(t, dir)
+	mounts := []mount{{name: "nyx", target: p32}}
+	shards, _ := startShards(t, mounts, 2,
+		serverOptions{CacheBytes: 32 << 20, Guard: guardOptions{AuthToken: "fleet-secret"}}, nil)
+	_, gts := startGateway(t, gatewayOptions{
+		Shards:     shardURLs(shards),
+		ShardToken: "fleet-secret",
+		Guard:      guardOptions{AuthToken: "client-secret"},
+	})
+
+	req, _ := http.NewRequest(http.MethodGet, gts.URL+"/v1/fields/nyx/region?lo=0,0,0&hi=4,4,4", nil)
+	req.Header.Set("Authorization", "Bearer client-secret")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("authenticated read through token-protected fleet: %s: %s", resp.Status, body)
+	}
+	if len(body) != 4*4*4*4 {
+		t.Fatalf("body is %d bytes, want %d", len(body), 4*4*4*4)
+	}
+}
+
+// TestClusterRequestID pins request-id correlation end to end: a
+// client-supplied id is echoed by the gateway and presented to every
+// shard; an absent or hostile id is replaced with a generated one; error
+// bodies carry the id.
+func TestClusterRequestID(t *testing.T) {
+	dir := t.TempDir()
+	p32, _ := buildStoreFile(t, dir)
+	mounts := []mount{{name: "nyx", target: p32}}
+
+	var mu sync.Mutex
+	seen := map[string]bool{} // ids observed at the shards
+	shards, _ := startShards(t, mounts, 2, serverOptions{CacheBytes: 32 << 20},
+		func(i int, h http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				if strings.HasSuffix(r.URL.Path, "/region") {
+					mu.Lock()
+					seen[r.Header.Get("X-Qoz-Request-Id")] = true
+					mu.Unlock()
+				}
+				h.ServeHTTP(w, r)
+			})
+		})
+	_, gts := startGateway(t, gatewayOptions{Shards: shardURLs(shards)})
+
+	req, _ := http.NewRequest(http.MethodGet, gts.URL+"/v1/fields/nyx/region?lo=0,0,0&hi=32,32,32", nil)
+	req.Header.Set("X-Qoz-Request-Id", "trace-abc-123")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Qoz-Request-Id"); got != "trace-abc-123" {
+		t.Errorf("gateway echoed id %q, want trace-abc-123", got)
+	}
+	mu.Lock()
+	propagated := seen["trace-abc-123"]
+	mu.Unlock()
+	if !propagated {
+		t.Error("shards never saw the client's request id")
+	}
+
+	// No id supplied: the gateway generates one (16 hex chars).
+	resp2, _ := get(t, gts.URL+"/v1/fields")
+	gen := resp2.Header.Get("X-Qoz-Request-Id")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(gen) {
+		t.Errorf("generated id %q, want 16 hex chars", gen)
+	}
+
+	// A hostile id is dropped, not propagated.
+	req3, _ := http.NewRequest(http.MethodGet, gts.URL+"/v1/fields", nil)
+	req3.Header.Set("X-Qoz-Request-Id", "bad id{}%")
+	resp3, err := http.DefaultClient.Do(req3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if got := resp3.Header.Get("X-Qoz-Request-Id"); got == "bad id{}%" || got == "" {
+		t.Errorf("hostile id handled as %q, want a fresh generated id", got)
+	}
+
+	// Error bodies carry the id.
+	req4, _ := http.NewRequest(http.MethodGet, gts.URL+"/v1/fields/nosuch", nil)
+	req4.Header.Set("X-Qoz-Request-Id", "err-trace-9")
+	resp4, err := http.DefaultClient.Do(req4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body4, _ := io.ReadAll(resp4.Body)
+	resp4.Body.Close()
+	var errBody struct {
+		RequestID string `json:"requestId"`
+	}
+	if err := json.Unmarshal(body4, &errBody); err != nil || errBody.RequestID != "err-trace-9" {
+		t.Errorf("404 body %s: requestId %q, want err-trace-9", body4, errBody.RequestID)
+	}
+}
+
+// TestClusterProbes checks /healthz and /readyz on both roles: always
+// credential-free, healthz always 200, gateway readyz degrading to 503
+// naming the unreachable shard.
+func TestClusterProbes(t *testing.T) {
+	dir := t.TempDir()
+	p32, _ := buildStoreFile(t, dir)
+	mounts := []mount{{name: "nyx", target: p32}}
+	// Shards behind auth: probes must not need the token.
+	shards, _ := startShards(t, mounts, 2,
+		serverOptions{CacheBytes: 32 << 20, Guard: guardOptions{AuthToken: "secret"}}, nil)
+	_, gts := startGateway(t, gatewayOptions{
+		Shards:     shardURLs(shards),
+		ShardToken: "secret",
+		Guard:      guardOptions{AuthToken: "secret"},
+	})
+
+	for _, url := range []string{shards[0].URL + "/healthz", shards[0].URL + "/readyz",
+		gts.URL + "/healthz", gts.URL + "/readyz"} {
+		resp, body := get(t, url)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("%s: %s: %s (probes must not need credentials)", url, resp.Status, body)
+		}
+	}
+
+	shards[1].Close()
+	resp, body := get(t, gts.URL+"/readyz")
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("readyz with a dead shard: %d, want 503", resp.StatusCode)
+	}
+	var ready struct {
+		Unreachable []string `json:"unreachableShards"`
+	}
+	if err := json.Unmarshal(body, &ready); err != nil {
+		t.Fatal(err)
+	}
+	if len(ready.Unreachable) != 1 || ready.Unreachable[0] != shards[1].URL {
+		t.Errorf("unreachableShards %v, want [%s]", ready.Unreachable, shards[1].URL)
+	}
+	// Liveness is unaffected.
+	if resp, _ := get(t, gts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Error("healthz failed because a shard died; liveness must not depend on the fleet")
+	}
+}
+
+// TestClusterStaleRetry advances a mutable store on the shards past the
+// gateway's catalog: the per-sub-read generation gate must refuse the
+// mixed state, and the gateway must refresh its catalog and serve the new
+// generation — never stitch two generations into one body.
+func TestClusterStaleRetry(t *testing.T) {
+	dir := t.TempDir()
+	path, _ := buildMutableStoreFile(t, dir, 4, 16, 16)
+	mounts := []mount{{name: "live", target: path}}
+	shards, srvs := startShards(t, mounts, 2, serverOptions{CacheBytes: 32 << 20}, nil)
+	gw, gts := startGateway(t, gatewayOptions{Shards: shardURLs(shards)})
+	oldGen := (*gw.catalog.Load())["live"].Generation
+
+	// Append a generation and let the shards adopt it; the gateway's
+	// catalog still names the old one.
+	m, err := store.OpenMutable(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plane := make([]float32, 16*16)
+	for i := range plane {
+		plane[i] = 99
+	}
+	if err := m.AppendSteps(context.Background(), plane); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for _, srv := range srvs {
+		srv.refreshMounts(context.Background())
+	}
+
+	resp, body := get(t, gts.URL+"/v1/fields/live/region?lo=0,0,0&hi=4,16,16")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read across a generation bump: %s: %s", resp.Status, body)
+	}
+	_, want := get(t, shards[0].URL+"/v1/fields/live/region?lo=0,0,0&hi=4,16,16")
+	if !bytes.Equal(body, want) {
+		t.Fatal("post-refresh gateway body differs from shard body")
+	}
+	newGen := (*gw.catalog.Load())["live"].Generation
+	if newGen <= oldGen {
+		t.Fatalf("gateway catalog generation %d after stale retry, want > %d", newGen, oldGen)
+	}
+	if !strings.Contains(resp.Header.Get("ETag"), fmt.Sprintf("-g%d-", newGen)) {
+		t.Errorf("response ETag %s does not name the new generation %d", resp.Header.Get("ETag"), newGen)
+	}
+	// The new step is reachable through the gateway too.
+	resp2, body2 := get(t, gts.URL+"/v1/fields/live/region?lo=4,0,0&hi=5,16,16")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("read of appended step: %s: %s", resp2.Status, body2)
+	}
+}
+
+// TestTenantFlagParsing pins the -tenant name=token[:rps[:burst]] syntax.
+func TestTenantFlagParsing(t *testing.T) {
+	var tf tenantFlags
+	for _, ok := range []string{"alice=tok", "bob=tok2:5", "carol=tok3:2.5:10", "dave=tok4:0"} {
+		if err := tf.Set(ok); err != nil {
+			t.Errorf("Set(%q): %v", ok, err)
+		}
+	}
+	for _, bad := range []string{"", "noequals", "=tok", "x=", "x=t:abc", "x=t:1:0", "x=t:1:2:3"} {
+		var f tenantFlags
+		if err := f.Set(bad); err == nil {
+			t.Errorf("Set(%q) accepted", bad)
+		}
+	}
+	if tf[1].rate.RPS != 5 || tf[2].rate != (cluster.RateConfig{RPS: 2.5, Burst: 10}) {
+		t.Errorf("parsed rates wrong: %+v", tf)
+	}
+	if tf[3].rate.RPS != -1 {
+		t.Errorf("explicit rate 0 should mark the tenant exempt (RPS -1), got %v", tf[3].rate.RPS)
+	}
+	if tf[0].rate.RPS != 0 {
+		t.Errorf("no rate suffix should leave the default (RPS 0), got %v", tf[0].rate.RPS)
+	}
+}
+
+// TestShardSingleFlightMetrics drives concurrent identical requests at a
+// single shard and checks the shard-side flight counters move — the
+// request-layer mirror of the store's remote coalescing.
+func TestShardSingleFlightMetrics(t *testing.T) {
+	dir := t.TempDir()
+	p32, _ := buildStoreFile(t, dir)
+	srv, err := newServer([]mount{{name: "nyx", target: p32}}, serverOptions{CacheBytes: 32 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	const clients = 16
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/v1/fields/nyx/region?lo=0,0,0&hi=32,32,32")
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d", resp.StatusCode)
+			}
+		}()
+	}
+	wg.Wait()
+	st := srv.flight.Stats()
+	if st.Leads+st.Coalesced != clients {
+		t.Fatalf("flight accounted %d+%d requests, want %d", st.Leads, st.Coalesced, clients)
+	}
+	if st.Leads == 0 {
+		t.Fatal("no flight leads recorded")
+	}
+	_, metrics := get(t, ts.URL+"/metrics")
+	if !strings.Contains(string(metrics), "qozd_flight_leads_total") {
+		t.Error("metrics missing qozd_flight_leads_total")
+	}
+}

@@ -1,0 +1,498 @@
+// The gateway role of qozd: the same public API as a mounted server, but
+// answered by fanning region reads out over a fleet of ordinary qozd
+// shards and stitching the sub-region slabs back together (qoz/cluster
+// does the planning, routing, and stitching). The gateway holds no store —
+// its only state is the catalog it learns from the shards' own manifest
+// endpoints — so gateways are stateless, horizontally scalable, and
+// restartable at will.
+package main
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"qoz/cluster"
+	"qoz/store"
+)
+
+// gatewayOptions configures a gateway.
+type gatewayOptions struct {
+	Shards     []string // shard base URLs; also the placement domain
+	ShardToken string   // bearer token presented to shards
+	Attempts   int      // distinct shards tried per sub-region (1 = no failover)
+	Workers    int      // concurrent sub-reads per region request (<=0 = all)
+	MaxPoints  int      // largest region served, in points (<=0 = unlimited)
+	Guard      guardOptions
+	// HTTP overrides the shard-facing client (tests inject a
+	// httptest-backed transport); nil selects a timeoutful default.
+	HTTP *http.Client
+}
+
+// gateway is the fan-out HTTP handler. The catalog pointer swaps
+// atomically on refresh, so requests racing a refresh see either the old
+// or the new catalog wholly — and the per-sub-read generation gate in
+// qoz/cluster guarantees the stitched bytes match whichever one they saw.
+type gateway struct {
+	mux     *http.ServeMux
+	opts    gatewayOptions
+	client  *cluster.Client
+	guard   *guard
+	flight  cluster.Flight // coalesces identical concurrent fan-outs
+	catalog atomic.Pointer[map[string]*cluster.Field]
+
+	requests    atomic.Int64
+	errors      atomic.Int64
+	regionPts   atomic.Int64
+	refreshErrs atomic.Int64
+	subReads    atomic.Int64
+	retries     atomic.Int64
+
+	trafficMu sync.Mutex
+	traffic   map[string]*cluster.ShardTraffic // lifetime per-shard totals
+}
+
+// newGateway builds the fan-out engine and learns the initial catalog
+// from the shards; with no shard reachable at startup there is nothing to
+// serve and construction fails.
+func newGateway(opts gatewayOptions) (*gateway, error) {
+	g := &gateway{opts: opts, traffic: make(map[string]*cluster.ShardTraffic)}
+	var err error
+	if g.guard, err = newGuard(opts.Guard); err != nil {
+		return nil, err
+	}
+	hc := opts.HTTP
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Minute}
+	}
+	g.client = &cluster.Client{
+		HTTP:     hc,
+		Token:    opts.ShardToken,
+		Attempts: opts.Attempts,
+		Workers:  opts.Workers,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := g.refreshCatalog(ctx); err != nil {
+		return nil, fmt.Errorf("gateway: initial catalog: %w", err)
+	}
+	g.mux = http.NewServeMux()
+	g.mux.HandleFunc("GET /v1/fields", g.handleFields)
+	g.mux.HandleFunc("GET /v1/fields/{name}", g.handleField)
+	g.mux.HandleFunc("GET /v1/fields/{name}/region", g.handleRegion)
+	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
+	g.mux.HandleFunc("GET /healthz", handleHealthz)
+	g.mux.HandleFunc("GET /readyz", g.handleReadyz)
+	return g, nil
+}
+
+func (g *gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.requests.Add(1)
+	ensureRequestID(w, r)
+	// Probes bypass auth and rate limits: see handleHealthz.
+	if r.URL.Path != "/healthz" && r.URL.Path != "/readyz" {
+		if _, ok := g.guard.admit(w, r); !ok {
+			return
+		}
+	}
+	g.mux.ServeHTTP(w, r)
+}
+
+// httpError mirrors server.httpError for the gateway's counters.
+func (g *gateway) httpError(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
+	if code != http.StatusNotFound {
+		g.errors.Add(1)
+	}
+	jsonError(w, r, code, format, args...)
+}
+
+// fields returns the current catalog (never nil after construction).
+func (g *gateway) fields() map[string]*cluster.Field { return *g.catalog.Load() }
+
+func (g *gateway) fieldNames() []string {
+	cat := g.fields()
+	names := make([]string, 0, len(cat))
+	for n := range cat {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// refreshCatalog re-learns the fleet's fields. A failed refresh keeps the
+// previous catalog serving — a gateway would rather serve a slightly old
+// generation (failing over stale shards per sub-read) than nothing.
+func (g *gateway) refreshCatalog(ctx context.Context) error {
+	cat, err := g.client.Catalog(ctx, g.opts.Shards)
+	if err != nil {
+		g.refreshErrs.Add(1)
+		return err
+	}
+	g.catalog.Store(&cat)
+	return nil
+}
+
+// refreshLoop polls the shard catalog, the gateway-side analogue of the
+// server's mount refresh: mutable stores advancing on their shards become
+// visible here, moving the gateway's ETags with them.
+func (g *gateway) refreshLoop(interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for range t.C {
+		ctx, cancel := context.WithTimeout(context.Background(), interval)
+		if err := g.refreshCatalog(ctx); err != nil {
+			log.Printf("gateway: catalog refresh: %v", err)
+		}
+		cancel()
+	}
+}
+
+// gatewayFieldInfo is the gateway's field manifest JSON: the same core
+// fields a shard reports, plus where the bricks live.
+type gatewayFieldInfo struct {
+	Name        string   `json:"name"`
+	Dims        []int    `json:"dims"`
+	Brick       []int    `json:"brick"`
+	Bricks      int      `json:"bricks"`
+	Points      int      `json:"points"`
+	ErrorBound  float64  `json:"errorBound"`
+	Codec       string   `json:"codec"`
+	DType       string   `json:"dtype"`
+	Generation  uint64   `json:"generation,omitempty"`
+	ManifestCRC uint32   `json:"manifestCRC"`
+	Shards      []string `json:"shards"`
+}
+
+func (g *gateway) info(f *cluster.Field) gatewayFieldInfo {
+	bricks, _ := store.NumBricksIn(f.Dims, f.Brick)
+	return gatewayFieldInfo{
+		Name:        f.Name,
+		Dims:        f.Dims,
+		Brick:       f.Brick,
+		Bricks:      bricks,
+		Points:      f.Points(),
+		ErrorBound:  f.ErrorBound,
+		Codec:       f.Codec,
+		DType:       f.DType,
+		Generation:  f.Generation,
+		ManifestCRC: f.ManifestCRC,
+		Shards:      f.Shards,
+	}
+}
+
+func (g *gateway) handleFields(w http.ResponseWriter, r *http.Request) {
+	cat := g.fields()
+	out := make([]gatewayFieldInfo, 0, len(cat))
+	for _, name := range g.fieldNames() {
+		out = append(out, g.info(cat[name]))
+	}
+	body, finish := jsonBody(w, r)
+	json.NewEncoder(body).Encode(map[string]any{"fields": out})
+	finish()
+}
+
+func (g *gateway) handleField(w http.ResponseWriter, r *http.Request) {
+	f, ok := g.fields()[r.PathValue("name")]
+	if !ok {
+		g.httpError(w, r, http.StatusNotFound, "unknown field %q", r.PathValue("name"))
+		return
+	}
+	body, finish := jsonBody(w, r)
+	json.NewEncoder(body).Encode(g.info(f))
+	finish()
+}
+
+// handleRegion answers a region read by fan-out: plan sub-regions along
+// brick-ownership boundaries, read each from its owning shard (failing
+// over along the placement's preference order), and stitch the slabs into
+// one response byte-identical to a single qozd holding the whole store.
+func (g *gateway) handleRegion(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	if q.Get("lo") == "" || q.Get("hi") == "" {
+		g.httpError(w, r, http.StatusBadRequest, "region needs lo=a,b,... and hi=a,b,... query parameters")
+		return
+	}
+	lo, err := parseCorner(q.Get("lo"))
+	if err != nil {
+		g.httpError(w, r, http.StatusBadRequest, "lo: %v", err)
+		return
+	}
+	hi, err := parseCorner(q.Get("hi"))
+	if err != nil {
+		g.httpError(w, r, http.StatusBadRequest, "hi: %v", err)
+		return
+	}
+	format := q.Get("format")
+	if format == "" {
+		format = "raw"
+	}
+	if format != "raw" && format != "json" {
+		g.httpError(w, r, http.StatusBadRequest, "unknown format %q (want raw or json)", format)
+		return
+	}
+	gz := format == "json" && acceptsGzip(r)
+	variant := format
+	if gz {
+		variant += "+gzip"
+	}
+
+	// The stale-retry loop: a fan-out can fail with ErrStale when the
+	// shards have advanced past the gateway's catalog (the generation gate
+	// refuses every candidate). One catalog refresh re-resolves the field —
+	// dims, generation, ETag and all — and the read is retried against the
+	// fleet's present, so a client racing an append sees the new data, not
+	// an error.
+	for attempt := 0; ; attempt++ {
+		f, ok := g.fields()[r.PathValue("name")]
+		if !ok {
+			g.httpError(w, r, http.StatusNotFound, "unknown field %q", r.PathValue("name"))
+			return
+		}
+		dims := f.Dims
+		if len(lo) != len(dims) || len(hi) != len(dims) {
+			g.httpError(w, r, http.StatusBadRequest, "region rank %d/%d, field rank %d", len(lo), len(hi), len(dims))
+			return
+		}
+		points := 1
+		for i := range dims {
+			if lo[i] < 0 || hi[i] > dims[i] || lo[i] >= hi[i] {
+				g.httpError(w, r, http.StatusBadRequest, "region [%v,%v) outside field %v", lo, hi, dims)
+				return
+			}
+			points *= hi[i] - lo[i]
+		}
+		if g.opts.MaxPoints > 0 && points > g.opts.MaxPoints {
+			g.httpError(w, r, http.StatusRequestEntityTooLarge,
+				"region holds %d points, limit is %d; split the request", points, g.opts.MaxPoints)
+			return
+		}
+
+		// Same validator a single-node qozd would mint for this (crc, gen):
+		// a client can revalidate against gateway or shard interchangeably.
+		etag := regionETag(f.ManifestCRC, f.Generation, f.DType, lo, hi, variant)
+		if inmMatches(r.Header.Get("If-None-Match"), etag) {
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+
+		// Single-flight over the stitched raw bytes. The key carries the
+		// catalog's (crc, gen) so herds spanning a catalog refresh never
+		// share bytes across generations; it omits the format because raw
+		// and json responses render from the same slab.
+		key := fmt.Sprintf("%s|%08x-%d|%v|%v", f.Name, f.ManifestCRC, f.Generation, lo, hi)
+		v, _, err := g.flight.Do(r.Context(), key, func(ctx context.Context) (any, error) {
+			ctx = cluster.WithRequestID(ctx, r.Header.Get(requestIDHeader))
+			body, stats, err := g.client.ReadRegionRaw(ctx, f, lo, hi)
+			g.subReads.Add(int64(stats.SubReads))
+			g.retries.Add(int64(stats.Retries))
+			g.trafficMu.Lock()
+			for shard, t := range stats.ByShard {
+				acc := g.traffic[shard]
+				if acc == nil {
+					acc = &cluster.ShardTraffic{}
+					g.traffic[shard] = acc
+				}
+				acc.Reads += t.Reads
+				acc.Errors += t.Errors
+				acc.Seconds += t.Seconds
+			}
+			g.trafficMu.Unlock()
+			return body, err
+		})
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client is gone; nobody to answer
+			}
+			if errors.Is(err, cluster.ErrStale) && attempt == 0 {
+				rctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+				rerr := g.refreshCatalog(rctx)
+				cancel()
+				if rerr == nil {
+					continue
+				}
+			}
+			// Failed fan-out: every candidate shard for some sub-region is
+			// down, erroring, or stale. The region is retryable the moment a
+			// shard recovers, so answer 502 + Retry-After, never a hang or a
+			// partially-stitched body.
+			w.Header().Set("Retry-After", "1")
+			g.httpError(w, r, http.StatusBadGateway, "fan-out failed: %v", err)
+			return
+		}
+		body := v.([]byte)
+
+		outDims := make([]int, len(dims))
+		for i := range dims {
+			outDims[i] = hi[i] - lo[i]
+		}
+		w.Header().Set("ETag", etag)
+		var werr error
+		if format == "json" {
+			// JSON renders from the shared raw slab, so a herd mixing raw and
+			// json clients still coalesces into one fan-out.
+			if f.DType == "float64" {
+				werr = writeRegion(w, outDims, f.DType, f.ErrorBound, leFloat64(body), format, gz)
+			} else {
+				werr = writeRegion(w, outDims, f.DType, f.ErrorBound, leFloat32(body), format, gz)
+			}
+		} else {
+			// Raw fast path: the stitched slab already is the response body —
+			// little-endian samples, row-major, shape hi-lo — so it streams
+			// out without a decode/re-encode round trip.
+			werr = writeRawBytes(w, outDims, f.DType, f.ErrorBound, body)
+		}
+		if werr == nil {
+			g.regionPts.Add(int64(points))
+		}
+		return
+	}
+}
+
+// writeRawBytes streams a stitched raw slab with the same headers a
+// single-node writeRegion would attach, so gateway and shard raw
+// responses are indistinguishable on the wire.
+func writeRawBytes(w http.ResponseWriter, outDims []int, dtype string, bound float64, body []byte) error {
+	dimsHeader := make([]string, len(outDims))
+	for i, d := range outDims {
+		dimsHeader[i] = strconv.Itoa(d)
+	}
+	w.Header().Set("X-Qoz-Dims", strings.Join(dimsHeader, ","))
+	w.Header().Set("X-Qoz-Dtype", dtype)
+	w.Header().Set("X-Qoz-Error-Bound", strconv.FormatFloat(bound, 'g', -1, 64))
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", strconv.Itoa(len(body)))
+	_, err := w.Write(body)
+	return err
+}
+
+// leFloat32 reinterprets a little-endian raw slab as samples.
+func leFloat32(b []byte) []float32 {
+	out := make([]float32, len(b)/4)
+	for i := range out {
+		out[i] = math.Float32frombits(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// leFloat64 reinterprets a little-endian raw slab as samples.
+func leFloat64(b []byte) []float64 {
+	out := make([]float64, len(b)/8)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// handleReadyz is the gateway's readiness probe: a non-empty catalog and
+// every configured shard answering its own liveness probe. A gateway in
+// front of an unreachable fleet stays alive (healthz) but not ready, so a
+// balancer drains it instead of feeding it requests that will all 502.
+func (g *gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), 2*time.Second)
+	defer cancel()
+	var mu sync.Mutex
+	var unreachable []string
+	var wg sync.WaitGroup
+	for _, shard := range g.opts.Shards {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, shard+"/healthz", nil)
+			var resp *http.Response
+			if err == nil {
+				resp, err = g.client.HTTP.Do(req)
+			}
+			if err == nil {
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					err = fmt.Errorf("status %s", resp.Status)
+				}
+			}
+			if err != nil {
+				mu.Lock()
+				unreachable = append(unreachable, shard)
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	sort.Strings(unreachable)
+	w.Header().Set("Content-Type", "application/json")
+	if len(g.fields()) == 0 || len(unreachable) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{
+			"status": "not ready", "fields": len(g.fields()), "unreachableShards": unreachable,
+		})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"status": "ok", "fields": len(g.fields()), "shards": len(g.opts.Shards),
+	})
+}
+
+// handleMetrics exposes the gateway's counters, including per-shard
+// fan-out traffic so a hot or flapping shard shows up in one scrape.
+func (g *gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	emit := func(name, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+	}
+	emit("qozd_requests_total", "HTTP requests received")
+	fmt.Fprintf(w, "qozd_requests_total %d\n", g.requests.Load())
+	emit("qozd_request_errors_total", "requests answered with an error status (unknown-field 404s excluded)")
+	fmt.Fprintf(w, "qozd_request_errors_total %d\n", g.errors.Load())
+	emit("qozd_region_points_total", "field points served by region reads")
+	fmt.Fprintf(w, "qozd_region_points_total %d\n", g.regionPts.Load())
+	emit("qozd_refresh_errors_total", "failed shard-catalog refreshes")
+	fmt.Fprintf(w, "qozd_refresh_errors_total %d\n", g.refreshErrs.Load())
+	fs := g.flight.Stats()
+	emit("qozd_flight_leads_total", "region fan-outs actually executed (single-flight leaders)")
+	fmt.Fprintf(w, "qozd_flight_leads_total %d\n", fs.Leads)
+	emit("qozd_flight_coalesced_total", "region requests served by another request's fan-out")
+	fmt.Fprintf(w, "qozd_flight_coalesced_total %d\n", fs.Coalesced)
+	emit("qozd_rate_limited_total", "requests refused with 429, by tenant")
+	limitedTenants, limitedCounts := g.guard.limitedByTenant()
+	for _, tenant := range limitedTenants {
+		fmt.Fprintf(w, "qozd_rate_limited_total{tenant=%q} %d\n", tenant, limitedCounts[tenant])
+	}
+	emit("qozd_gateway_subreads_total", "shard sub-reads planned across all fan-outs")
+	fmt.Fprintf(w, "qozd_gateway_subreads_total %d\n", g.subReads.Load())
+	emit("qozd_gateway_retries_total", "sub-read failover attempts beyond the owner shard")
+	fmt.Fprintf(w, "qozd_gateway_retries_total %d\n", g.retries.Load())
+	fmt.Fprintf(w, "# HELP qozd_gateway_fields fields in the shard catalog\n# TYPE qozd_gateway_fields gauge\n")
+	fmt.Fprintf(w, "qozd_gateway_fields %d\n", len(g.fields()))
+
+	g.trafficMu.Lock()
+	shards := make([]string, 0, len(g.traffic))
+	snap := make(map[string]cluster.ShardTraffic, len(g.traffic))
+	for shard, t := range g.traffic {
+		shards = append(shards, shard)
+		snap[shard] = *t
+	}
+	g.trafficMu.Unlock()
+	sort.Strings(shards)
+	emit("qozd_gateway_shard_reads_total", "successful sub-reads by shard")
+	for _, s := range shards {
+		fmt.Fprintf(w, "qozd_gateway_shard_reads_total{shard=%q} %d\n", s, snap[s].Reads)
+	}
+	emit("qozd_gateway_shard_errors_total", "failed sub-read attempts by shard")
+	for _, s := range shards {
+		fmt.Fprintf(w, "qozd_gateway_shard_errors_total{shard=%q} %d\n", s, snap[s].Errors)
+	}
+	fmt.Fprintf(w, "# HELP qozd_gateway_shard_seconds_total wall time in successful sub-reads by shard\n# TYPE qozd_gateway_shard_seconds_total counter\n")
+	for _, s := range shards {
+		fmt.Fprintf(w, "qozd_gateway_shard_seconds_total{shard=%q} %g\n", s, snap[s].Seconds)
+	}
+}

@@ -34,13 +34,31 @@
 // -auth-token TOKEN (or the QOZD_TOKEN environment variable) requires
 // "Authorization: Bearer TOKEN" on every /v1/* endpoint, compared in
 // constant time; /metrics stays open only behind -metrics-public.
+// -tenant name=token[:rps[:burst]] adds further named credentials, and
+// -rate/-burst give every tenant its own token bucket — a tenant over its
+// rate gets 429 with Retry-After while other tenants keep flowing.
+// Concurrent identical region requests are single-flighted: one decode
+// serves the whole herd. GET /healthz answers liveness and GET /readyz
+// answers readiness (mounts refreshing cleanly), both without auth.
+// Every response echoes an X-Qoz-Request-Id (client-supplied or
+// generated), which error bodies also carry.
+//
+// With -gateway, qozd serves the same API without mounting anything:
+// it discovers fields from -shard URLs (ordinary qozd processes), routes
+// each brick to its owner by rendezvous hashing, fans region reads out
+// over the shards, and stitches the sub-regions back into one response —
+// see qoz/cluster and docs/CLUSTER.md.
 //
 // Usage:
 //
 //	qozd -listen :8080 -mount temp=/data/temp.qozb \
 //	     -mount vx=https://bucket.example.com/vx.qozb [-cache-bytes N] \
 //	     [-workers N] [-max-inflight N] [-max-points N] [-poll 5s] \
-//	     [-auth-token T] [-metrics-public] [path.qozb ...]
+//	     [-auth-token T] [-tenant name=token[:rps[:burst]]] [-rate R -burst B] \
+//	     [-metrics-public] [path.qozb ...]
+//	qozd -gateway -listen :8080 -shard http://shard0:8080 \
+//	     -shard http://shard1:8080 [-shard-token T] [-fanout-attempts N] \
+//	     [-poll 5s] [-auth-token T] [-rate R] ...
 //
 // Bare positional paths are mounted under their base name without the
 // .qozb extension.
@@ -49,9 +67,9 @@ package main
 import (
 	"compress/gzip"
 	"context"
-	"crypto/subtle"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -63,15 +81,19 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"qoz"
+	"qoz/cluster"
 	"qoz/store"
 )
 
 func main() {
 	var mounts mountFlags
+	var shards stringsFlag
+	var tenants tenantFlags
 	fs := flag.NewFlagSet("qozd", flag.ExitOnError)
 	fs.Var(&mounts, "mount", "field to serve, as name=path-or-url (repeatable)")
 	listen := fs.String("listen", ":8080", "address to serve on")
@@ -82,12 +104,72 @@ func main() {
 	readAhead := fs.Int64("remote-read-ahead", 1<<20, "range-read coalescing window for URL mounts in bytes (<0 disables)")
 	mountTimeout := fs.Duration("mount-timeout", 30*time.Second, "deadline for opening each mount (0 = none); a hung origin must not wedge startup")
 	authToken := fs.String("auth-token", "", "bearer token required on /v1/* endpoints (default: $QOZD_TOKEN; empty disables auth)")
+	fs.Var(&tenants, "tenant", "named tenant credential, as name=token[:rps[:burst]] (repeatable; adds to -auth-token's tenant \"default\")")
+	rate := fs.Float64("rate", 0, "per-tenant sustained request rate on /v1/* in requests/second (0 disables rate limiting)")
+	burst := fs.Float64("burst", 0, "per-tenant burst size for -rate (0 selects max(1, rate))")
 	metricsPublic := fs.Bool("metrics-public", false, "serve /metrics without auth even when a token is set")
-	poll := fs.Duration("poll", 0, "interval for polling mounts for new committed generations of mutable (v3) stores (0 disables)")
+	poll := fs.Duration("poll", 0, "interval for polling mounts for new committed generations of mutable (v3) stores (0 disables; in -gateway mode, polls the shard catalog)")
+	gatewayMode := fs.Bool("gateway", false, "run as a fan-out gateway over -shard URLs instead of serving mounts")
+	fs.Var(&shards, "shard", "shard qozd base URL for -gateway mode (repeatable)")
+	shardToken := fs.String("shard-token", "", "bearer token the gateway presents to shards (default: $QOZD_SHARD_TOKEN)")
+	fanoutAttempts := fs.Int("fanout-attempts", 2, "distinct shards tried per sub-region before the gateway gives up (1 disables failover)")
+	fanoutWorkers := fs.Int("fanout-workers", 0, "concurrent shard sub-reads per region request (0 = one per sub-region)")
 	fs.Parse(os.Args[1:])
 	if *authToken == "" {
 		*authToken = os.Getenv("QOZD_TOKEN")
 	}
+	if *shardToken == "" {
+		*shardToken = os.Getenv("QOZD_SHARD_TOKEN")
+	}
+	guardOpts := guardOptions{
+		AuthToken:     *authToken,
+		Tenants:       tenants,
+		MetricsPublic: *metricsPublic,
+		RateRPS:       *rate,
+		RateBurst:     *burst,
+	}
+
+	hs := &http.Server{
+		Addr: *listen,
+		// Stalled clients must not hold connections — or -max-inflight
+		// slots — forever: reap trickled headers quickly, idle keep-alives
+		// eventually, and bound even the largest region download.
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+		WriteTimeout:      10 * time.Minute,
+	}
+
+	if *gatewayMode {
+		if len(mounts) > 0 || len(fs.Args()) > 0 {
+			fmt.Fprintln(os.Stderr, "qozd: -gateway serves shards, not mounts; drop -mount and positional paths")
+			os.Exit(2)
+		}
+		if len(shards) == 0 {
+			fmt.Fprintln(os.Stderr, "qozd: -gateway needs at least one -shard URL")
+			os.Exit(2)
+		}
+		gw, err := newGateway(gatewayOptions{
+			Shards:     shards,
+			ShardToken: *shardToken,
+			Attempts:   *fanoutAttempts,
+			Workers:    *fanoutWorkers,
+			MaxPoints:  *maxPoints,
+			Guard:      guardOpts,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qozd: %v\n", err)
+			os.Exit(1)
+		}
+		if *poll > 0 {
+			go gw.refreshLoop(*poll)
+			log.Printf("polling shard catalog every %v", *poll)
+		}
+		log.Printf("qozd gateway listening on %s (%d shards, %d fields)",
+			*listen, len(shards), len(gw.fieldNames()))
+		hs.Handler = gw
+		log.Fatal(hs.ListenAndServe())
+	}
+
 	for _, p := range fs.Args() {
 		name := strings.TrimSuffix(filepath.Base(p), ".qozb")
 		mounts = append(mounts, mount{name: name, target: p})
@@ -98,14 +180,13 @@ func main() {
 	}
 
 	srv, err := newServer(mounts, serverOptions{
-		CacheBytes:    *cacheBytes,
-		Workers:       *workers,
-		MaxInflight:   *maxInflight,
-		MaxPoints:     *maxPoints,
-		ReadAhead:     *readAhead,
-		MountTimeout:  *mountTimeout,
-		AuthToken:     *authToken,
-		MetricsPublic: *metricsPublic,
+		CacheBytes:   *cacheBytes,
+		Workers:      *workers,
+		MaxInflight:  *maxInflight,
+		MaxPoints:    *maxPoints,
+		ReadAhead:    *readAhead,
+		MountTimeout: *mountTimeout,
+		Guard:        guardOpts,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qozd: %v\n", err)
@@ -122,16 +203,7 @@ func main() {
 	}
 	log.Printf("qozd listening on %s (%d fields, %d MiB shared cache)",
 		*listen, len(srv.fields), *cacheBytes>>20)
-	hs := &http.Server{
-		Addr:    *listen,
-		Handler: srv,
-		// Stalled clients must not hold connections — or -max-inflight
-		// slots — forever: reap trickled headers quickly, idle keep-alives
-		// eventually, and bound even the largest region download.
-		ReadHeaderTimeout: 10 * time.Second,
-		IdleTimeout:       2 * time.Minute,
-		WriteTimeout:      10 * time.Minute,
-	}
+	hs.Handler = srv
 	log.Fatal(hs.ListenAndServe())
 }
 
@@ -163,14 +235,13 @@ func (m *mountFlags) Set(v string) error {
 
 // serverOptions configures a server.
 type serverOptions struct {
-	CacheBytes    int64
-	Workers       int
-	MaxInflight   int
-	MaxPoints     int
-	ReadAhead     int64         // remote coalescing window; 0 keeps the store default
-	MountTimeout  time.Duration // per-mount open deadline; 0 = none
-	AuthToken     string        // bearer token on /v1/*; "" disables auth
-	MetricsPublic bool          // keep /metrics unauthenticated when a token is set
+	CacheBytes   int64
+	Workers      int
+	MaxInflight  int
+	MaxPoints    int
+	ReadAhead    int64         // remote coalescing window; 0 keeps the store default
+	MountTimeout time.Duration // per-mount open deadline; 0 = none
+	Guard        guardOptions  // auth tenants and rate limits
 }
 
 // field is one mounted store.
@@ -187,13 +258,21 @@ type server struct {
 	fields   map[string]*field
 	cache    *store.Cache
 	opts     serverOptions
-	inflight chan struct{} // nil when unlimited
+	guard    *guard
+	inflight chan struct{}  // nil when unlimited
+	flight   cluster.Flight // coalesces identical concurrent region decodes
 
 	requests    atomic.Int64
 	rejected    atomic.Int64
 	errors      atomic.Int64
 	regionPts   atomic.Int64
 	refreshErrs atomic.Int64
+
+	// refreshBad tracks mounts whose last generation-refresh poll failed,
+	// for /readyz: a shard that cannot follow its stores should be rotated
+	// out of a gateway's traffic before it serves stale generations.
+	refreshMu  sync.Mutex
+	refreshBad map[string]string // mount name → last refresh error
 }
 
 // refreshLoop polls every mount for newly committed generations of
@@ -215,6 +294,13 @@ func (s *server) refreshMounts(ctx context.Context) {
 	for _, name := range s.fieldNames() {
 		f := s.fields[name]
 		advanced, err := f.store.Refresh(ctx)
+		s.refreshMu.Lock()
+		if err != nil {
+			s.refreshBad[name] = err.Error()
+		} else {
+			delete(s.refreshBad, name)
+		}
+		s.refreshMu.Unlock()
 		if err != nil {
 			// A failed refresh leaves the previous generation serving; keep
 			// polling — ErrRemoteChanged, though, will repeat until remount.
@@ -232,9 +318,14 @@ func (s *server) refreshMounts(ctx context.Context) {
 // OpenURL) over one shared decoded-brick cache and builds the route table.
 func newServer(mounts []mount, opts serverOptions) (*server, error) {
 	s := &server{
-		fields: make(map[string]*field, len(mounts)),
-		cache:  store.NewCache(opts.CacheBytes),
-		opts:   opts,
+		fields:     make(map[string]*field, len(mounts)),
+		cache:      store.NewCache(opts.CacheBytes),
+		opts:       opts,
+		refreshBad: make(map[string]string),
+	}
+	var err error
+	if s.guard, err = newGuard(opts.Guard); err != nil {
+		return nil, err
 	}
 	if opts.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInflight)
@@ -271,7 +362,36 @@ func newServer(mounts []mount, opts serverOptions) (*server, error) {
 	s.mux.HandleFunc("GET /v1/fields/{name}", s.handleField)
 	s.mux.HandleFunc("GET /v1/fields/{name}/region", s.handleRegion)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return s, nil
+}
+
+// handleHealthz is the liveness probe: the process is up and serving
+// HTTP. Deliberately credential-free and rate-limit-free — an orchestrator
+// must never kill a pod because its probe lost an auth race.
+func handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Write([]byte("{\"status\":\"ok\"}\n"))
+}
+
+// handleReadyz is the readiness probe: every mount's last generation
+// refresh succeeded (a store that cannot follow its origin is still
+// serving, but should be rotated out of new traffic).
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	s.refreshMu.Lock()
+	bad := make(map[string]string, len(s.refreshBad))
+	for name, msg := range s.refreshBad {
+		bad[name] = msg
+	}
+	s.refreshMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	if len(bad) > 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"status": "refresh failing", "mounts": bad})
+		return
+	}
+	json.NewEncoder(w).Encode(map[string]any{"status": "ok", "fields": len(s.fields)})
 }
 
 // Close releases every mounted store.
@@ -283,28 +403,14 @@ func (s *server) Close() {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	if !s.authorized(r) {
-		w.Header().Set("WWW-Authenticate", `Bearer realm="qozd"`)
-		s.httpError(w, http.StatusUnauthorized, "missing or invalid bearer token")
-		return
+	ensureRequestID(w, r)
+	// Probes bypass auth and rate limits: see handleHealthz.
+	if r.URL.Path != "/healthz" && r.URL.Path != "/readyz" {
+		if _, ok := s.guard.admit(w, r); !ok {
+			return
+		}
 	}
 	s.mux.ServeHTTP(w, r)
-}
-
-// authorized enforces the bearer token when one is configured. The
-// comparison is constant-time so response timing cannot be used to guess
-// the token byte by byte; /metrics bypasses the check only behind
-// -metrics-public, so scrapers can stay credential-free without exposing
-// the data endpoints.
-func (s *server) authorized(r *http.Request) bool {
-	if s.opts.AuthToken == "" {
-		return true
-	}
-	if s.opts.MetricsPublic && r.URL.Path == "/metrics" {
-		return true
-	}
-	token, ok := strings.CutPrefix(r.Header.Get("Authorization"), "Bearer ")
-	return ok && subtle.ConstantTimeCompare([]byte(token), []byte(s.opts.AuthToken)) == 1
 }
 
 func (s *server) fieldNames() []string {
@@ -316,16 +422,15 @@ func (s *server) fieldNames() []string {
 	return names
 }
 
-// httpError counts and writes a JSON error response. Unknown-field 404s
-// are deliberately left out of the error counter — they are client typos
-// and scanner noise, not server faults worth alerting on.
-func (s *server) httpError(w http.ResponseWriter, code int, format string, args ...any) {
+// httpError counts and writes a JSON error response (which carries the
+// request's correlation id). Unknown-field 404s are deliberately left out
+// of the error counter — they are client typos and scanner noise, not
+// server faults worth alerting on.
+func (s *server) httpError(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
 	if code != http.StatusNotFound {
 		s.errors.Add(1)
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	jsonError(w, r, code, format, args...)
 }
 
 // fieldInfo is the JSON manifest of one mounted field.
@@ -341,9 +446,14 @@ type fieldInfo struct {
 	DType      string  `json:"dtype"`
 	// Mutable marks a v3 store; Generation is the committed generation
 	// currently served (it advances when -poll picks up new commits).
-	Mutable    bool        `json:"mutable,omitempty"`
-	Generation uint64      `json:"generation,omitempty"`
-	Stats      store.Stats `json:"stats"`
+	Mutable    bool   `json:"mutable,omitempty"`
+	Generation uint64 `json:"generation,omitempty"`
+	// ManifestCRC is the manifest fingerprint of the served generation —
+	// with Generation it names the store content exactly (the same pair
+	// region ETags embed), letting a gateway detect a shard serving a
+	// different generation than its catalog.
+	ManifestCRC uint32      `json:"manifestCRC"`
+	Stats       store.Stats `json:"stats"`
 }
 
 func (s *server) info(f *field) fieldInfo {
@@ -352,20 +462,21 @@ func (s *server) info(f *field) fieldInfo {
 	for _, d := range st.Dims() {
 		points *= d
 	}
-	gen := st.Generation()
+	crc, gen := st.ManifestVersion()
 	return fieldInfo{
-		Name:       f.name,
-		Target:     f.target,
-		Dims:       st.Dims(),
-		Brick:      st.BrickShape(),
-		Bricks:     st.NumBricks(),
-		Points:     points,
-		ErrorBound: st.ErrorBound(),
-		Codec:      st.Codec().Name(),
-		DType:      st.DType(),
-		Mutable:    gen > 0,
-		Generation: gen,
-		Stats:      st.Stats(),
+		Name:        f.name,
+		Target:      f.target,
+		Dims:        st.Dims(),
+		Brick:       st.BrickShape(),
+		Bricks:      st.NumBricks(),
+		Points:      points,
+		ErrorBound:  st.ErrorBound(),
+		Codec:       st.Codec().Name(),
+		DType:       st.DType(),
+		Mutable:     gen > 0,
+		Generation:  gen,
+		ManifestCRC: crc,
+		Stats:       st.Stats(),
 	}
 }
 
@@ -418,7 +529,7 @@ func (s *server) handleFields(w http.ResponseWriter, r *http.Request) {
 func (s *server) handleField(w http.ResponseWriter, r *http.Request) {
 	f, ok := s.fields[r.PathValue("name")]
 	if !ok {
-		s.httpError(w, http.StatusNotFound, "unknown field %q", r.PathValue("name"))
+		s.httpError(w, r, http.StatusNotFound, "unknown field %q", r.PathValue("name"))
 		return
 	}
 	body, finish := jsonBody(w, r)
@@ -444,39 +555,39 @@ func parseCorner(v string) ([]int, error) {
 func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
 	f, ok := s.fields[r.PathValue("name")]
 	if !ok {
-		s.httpError(w, http.StatusNotFound, "unknown field %q", r.PathValue("name"))
+		s.httpError(w, r, http.StatusNotFound, "unknown field %q", r.PathValue("name"))
 		return
 	}
 	q := r.URL.Query()
 	if q.Get("lo") == "" || q.Get("hi") == "" {
-		s.httpError(w, http.StatusBadRequest, "region needs lo=a,b,... and hi=a,b,... query parameters")
+		s.httpError(w, r, http.StatusBadRequest, "region needs lo=a,b,... and hi=a,b,... query parameters")
 		return
 	}
 	lo, err := parseCorner(q.Get("lo"))
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "lo: %v", err)
+		s.httpError(w, r, http.StatusBadRequest, "lo: %v", err)
 		return
 	}
 	hi, err := parseCorner(q.Get("hi"))
 	if err != nil {
-		s.httpError(w, http.StatusBadRequest, "hi: %v", err)
+		s.httpError(w, r, http.StatusBadRequest, "hi: %v", err)
 		return
 	}
 	dims := f.store.Dims()
 	if len(lo) != len(dims) || len(hi) != len(dims) {
-		s.httpError(w, http.StatusBadRequest, "region rank %d/%d, field rank %d", len(lo), len(hi), len(dims))
+		s.httpError(w, r, http.StatusBadRequest, "region rank %d/%d, field rank %d", len(lo), len(hi), len(dims))
 		return
 	}
 	points := 1
 	for i := range dims {
 		if lo[i] < 0 || hi[i] > dims[i] || lo[i] >= hi[i] {
-			s.httpError(w, http.StatusBadRequest, "region [%v,%v) outside field %v", lo, hi, dims)
+			s.httpError(w, r, http.StatusBadRequest, "region [%v,%v) outside field %v", lo, hi, dims)
 			return
 		}
 		points *= hi[i] - lo[i]
 	}
 	if s.opts.MaxPoints > 0 && points > s.opts.MaxPoints {
-		s.httpError(w, http.StatusRequestEntityTooLarge,
+		s.httpError(w, r, http.StatusRequestEntityTooLarge,
 			"region holds %d points, limit is %d; split the request", points, s.opts.MaxPoints)
 		return
 	}
@@ -485,7 +596,7 @@ func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		format = "raw"
 	}
 	if format != "raw" && format != "json" {
-		s.httpError(w, http.StatusBadRequest, "unknown format %q (want raw or json)", format)
+		s.httpError(w, r, http.StatusBadRequest, "unknown format %q (want raw or json)", format)
 		return
 	}
 
@@ -506,25 +617,12 @@ func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
 	if gz {
 		variant += "+gzip"
 	}
-	etag := regionETag(f.store, lo, hi, variant)
+	crc, gen := f.store.ManifestVersion()
+	etag := regionETag(crc, gen, f.store.DType(), lo, hi, variant)
 	if inmMatches(r.Header.Get("If-None-Match"), etag) {
 		w.Header().Set("ETag", etag)
 		w.WriteHeader(http.StatusNotModified)
 		return
-	}
-
-	// Admission control: bound concurrent decodes rather than queue
-	// unboundedly — a shed request is retryable, an OOM is not.
-	if s.inflight != nil {
-		select {
-		case s.inflight <- struct{}{}:
-			defer func() { <-s.inflight }()
-		default:
-			s.rejected.Add(1)
-			w.Header().Set("Retry-After", "1")
-			s.httpError(w, http.StatusServiceUnavailable, "server at -max-inflight capacity")
-			return
-		}
 	}
 
 	outDims := make([]int, len(dims))
@@ -532,28 +630,50 @@ func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		outDims[i] = hi[i] - lo[i]
 	}
 
-	// The request context cancels the decode — including its remote range
-	// fetches — the moment the client goes away. The response carries the
-	// field's own element type: float64 stores answer with 8-byte samples
-	// (raw) or full-precision literals (json), float32 stores exactly as
-	// before.
+	// Single-flight: concurrent identical requests — same field, box, and
+	// store generation — share one decode. The key carries (crc, gen) so a
+	// herd spanning a poll refresh never mixes generations: old and new
+	// requests lead separate flights. Admission control sits inside the
+	// flight function so a coalesced herd of N requests consumes one
+	// -max-inflight slot, not N; a shed leader sheds the whole herd (every
+	// waiter gets the same retryable 503). The leader runs under a context
+	// that survives any individual client's disconnect and is cancelled
+	// only when the last waiter is gone.
+	key := fmt.Sprintf("%s|%08x-%d|%v|%v", f.name, crc, gen, lo, hi)
+	v, _, err := s.flight.Do(r.Context(), key, func(ctx context.Context) (any, error) {
+		// Admission control: bound concurrent decodes rather than queue
+		// unboundedly — a shed request is retryable, an OOM is not.
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.rejected.Add(1)
+				return nil, errShed
+			}
+		}
+		if f.store.Float64() {
+			data, err := f.store.ReadRegionFloat64(ctx, lo, hi)
+			return data, err
+		}
+		data, err := f.store.ReadRegion(ctx, lo, hi)
+		return data, err
+	})
+	if err != nil {
+		s.regionError(w, r, err)
+		return
+	}
+
+	// The response carries the field's own element type: float64 stores
+	// answer with 8-byte samples (raw) or full-precision literals (json),
+	// float32 stores exactly as before.
+	w.Header().Set("ETag", etag)
 	var werr error
-	if f.store.Float64() {
-		data, err := f.store.ReadRegionFloat64(r.Context(), lo, hi)
-		if err != nil {
-			s.regionError(w, r, err)
-			return
-		}
-		w.Header().Set("ETag", etag)
-		werr = writeRegion(w, f.store, outDims, data, format, gz)
-	} else {
-		data, err := f.store.ReadRegion(r.Context(), lo, hi)
-		if err != nil {
-			s.regionError(w, r, err)
-			return
-		}
-		w.Header().Set("ETag", etag)
-		werr = writeRegion(w, f.store, outDims, data, format, gz)
+	switch data := v.(type) {
+	case []float64:
+		werr = writeRegion(w, outDims, f.store.DType(), f.store.ErrorBound(), data, format, gz)
+	case []float32:
+		werr = writeRegion(w, outDims, f.store.DType(), f.store.ErrorBound(), data, format, gz)
 	}
 	if werr != nil {
 		return // client went away mid-body
@@ -561,22 +681,32 @@ func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
 	s.regionPts.Add(int64(points))
 }
 
+// errShed marks a decode refused at -max-inflight capacity; it surfaces
+// to every coalesced waiter as the same retryable 503.
+var errShed = errors.New("server at -max-inflight capacity")
+
 // regionError answers a failed region decode, staying silent for a client
 // that already disconnected.
 func (s *server) regionError(w http.ResponseWriter, r *http.Request, err error) {
 	if r.Context().Err() != nil {
 		return // client is gone; nobody to answer
 	}
-	s.httpError(w, http.StatusInternalServerError, "read region: %v", err)
+	if errors.Is(err, errShed) {
+		w.Header().Set("Retry-After", "1")
+		s.httpError(w, r, http.StatusServiceUnavailable, "server at -max-inflight capacity")
+		return
+	}
+	s.httpError(w, r, http.StatusInternalServerError, "read region: %v", err)
 }
 
 // regionETag derives the strong validator of a region response: the store
 // manifest fingerprint and generation (content identity, read as one
 // consistent pair), the box, the element type, and the encoding variant
 // (including gzip). Any of these changing changes the bytes, and nothing
-// else does.
-func regionETag(st *store.Store, lo, hi []int, variant string) string {
-	crc, gen := st.ManifestVersion()
+// else does. The gateway computes the same validator from its catalog's
+// (crc, gen), so a region served via fan-out revalidates against a
+// single-node response and vice versa.
+func regionETag(crc uint32, gen uint64, dtype string, lo, hi []int, variant string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, `"%08x-g%d-`, crc, gen)
 	for i := range lo {
@@ -592,7 +722,7 @@ func regionETag(st *store.Store, lo, hi []int, variant string) string {
 		}
 		fmt.Fprintf(&b, "%d", hi[i])
 	}
-	fmt.Fprintf(&b, "-%s-%s"+`"`, st.DType(), variant)
+	fmt.Fprintf(&b, "-%s-%s"+`"`, dtype, variant)
 	return b.String()
 }
 
@@ -627,9 +757,9 @@ func inmMatches(inm, etag string) bool {
 // Accept-Encoding: decimal literals compress several-fold). Both paths
 // stream in bounded chunks instead of materializing a second copy of the
 // region as bytes.
-func writeRegion[T qoz.Float](w http.ResponseWriter, st *store.Store, outDims []int, data []T, format string, gz bool) error {
+func writeRegion[T qoz.Float](w http.ResponseWriter, outDims []int, dtype string, bound float64, data []T, format string, gz bool) error {
 	elem := 4
-	if st.Float64() {
+	if dtype == "float64" {
 		elem = 8
 	}
 	dimsHeader := make([]string, len(outDims))
@@ -637,8 +767,8 @@ func writeRegion[T qoz.Float](w http.ResponseWriter, st *store.Store, outDims []
 		dimsHeader[i] = strconv.Itoa(d)
 	}
 	w.Header().Set("X-Qoz-Dims", strings.Join(dimsHeader, ","))
-	w.Header().Set("X-Qoz-Dtype", st.DType())
-	w.Header().Set("X-Qoz-Error-Bound", strconv.FormatFloat(st.ErrorBound(), 'g', -1, 64))
+	w.Header().Set("X-Qoz-Dtype", dtype)
+	w.Header().Set("X-Qoz-Error-Bound", strconv.FormatFloat(bound, 'g', -1, 64))
 	if format == "json" {
 		w.Header().Add("Vary", "Accept-Encoding")
 		w.Header().Set("Content-Type", "application/json")
@@ -658,7 +788,7 @@ func writeRegion[T qoz.Float](w http.ResponseWriter, st *store.Store, outDims []
 			body = strconv.AppendInt(body, int64(d), 10)
 		}
 		body = append(body, `],"dtype":"`...)
-		body = append(body, st.DType()...)
+		body = append(body, dtype...)
 		body = append(body, `","data":[`...)
 		for i, v := range data {
 			if i > 0 {
@@ -722,6 +852,16 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(w, "qozd_region_points_total %d\n", s.regionPts.Load())
 	emit("qozd_refresh_errors_total", "failed generation-refresh polls across all mounts")
 	fmt.Fprintf(w, "qozd_refresh_errors_total %d\n", s.refreshErrs.Load())
+	fs := s.flight.Stats()
+	emit("qozd_flight_leads_total", "region decodes actually executed (single-flight leaders)")
+	fmt.Fprintf(w, "qozd_flight_leads_total %d\n", fs.Leads)
+	emit("qozd_flight_coalesced_total", "region requests served by another request's decode")
+	fmt.Fprintf(w, "qozd_flight_coalesced_total %d\n", fs.Coalesced)
+	emit("qozd_rate_limited_total", "requests refused with 429, by tenant")
+	limitedTenants, limitedCounts := s.guard.limitedByTenant()
+	for _, tenant := range limitedTenants {
+		fmt.Fprintf(w, "qozd_rate_limited_total{tenant=%q} %d\n", tenant, limitedCounts[tenant])
+	}
 	fmt.Fprintf(w, "# HELP qozd_cache_bytes decoded bytes held by the shared brick cache\n# TYPE qozd_cache_bytes gauge\n")
 	fmt.Fprintf(w, "qozd_cache_bytes %d\n", s.cache.Bytes())
 	fmt.Fprintf(w, "# HELP qozd_store_generation committed generation served per field (0 = write-once store)\n# TYPE qozd_store_generation gauge\n")

@@ -497,8 +497,7 @@ func TestServerAuth(t *testing.T) {
 		{"metrics public", true, http.StatusOK},
 	} {
 		srv, err := newServer([]mount{{name: "nyx", target: path}}, serverOptions{
-			AuthToken:     token,
-			MetricsPublic: tc.metricsPublic,
+			Guard: guardOptions{AuthToken: token, MetricsPublic: tc.metricsPublic},
 		})
 		if err != nil {
 			t.Fatal(err)
