@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"qoz/internal/pool"
+	"qoz/obs"
 	"qoz/store"
 )
 
@@ -299,12 +300,21 @@ func mergeable(s subRegion, clo, chi []int, last int) bool {
 // correlation id attached with WithRequestID is propagated to every shard
 // as X-Qoz-Request-Id.
 func (c *Client) ReadRegionRaw(ctx context.Context, f *Field, lo, hi []int) ([]byte, FanoutStats, error) {
+	// When the caller's context carries a trace (obs.Recorder.StartTrace at
+	// the serving layer), the whole fan-out records under a "fanout" span
+	// with one "subread" child per sub-region and one "shard.get"
+	// grandchild per attempt (so failovers stay visible). Without a trace
+	// every span call is a nil-receiver no-op.
+	ctx, fanSpan := obs.StartSpan(ctx, "fanout")
+	defer fanSpan.End()
+	fanSpan.Annotate("field", f.Name)
 	stats := FanoutStats{ByShard: make(map[string]*ShardTraffic)}
 	subs, err := planSubRegions(f, lo, hi)
 	if err != nil {
 		return nil, stats, err
 	}
 	stats.SubReads = len(subs)
+	fanSpan.Annotate("subreads", strconv.Itoa(len(subs)))
 	elem := f.ElemSize()
 	outDims := make([]int, len(lo))
 	points := 1
@@ -316,7 +326,19 @@ func (c *Client) ReadRegionRaw(ctx context.Context, f *Field, lo, hi []int) ([]b
 	var mu sync.Mutex // guards stats during the fan-out
 	err = pool.RunErr(ctx, len(subs), c.Workers, func(k int) error {
 		sub := subs[k]
-		body, shard, retries, secs, err := c.readSub(ctx, f, sub, &mu, &stats)
+		sctx, span := obs.StartSpan(ctx, "subread")
+		span.Annotate("lo", corner(sub.lo))
+		span.Annotate("hi", corner(sub.hi))
+		body, shard, retries, secs, err := c.readSub(sctx, f, sub, &mu, &stats)
+		if retries > 0 {
+			span.Annotate("retries", strconv.Itoa(retries))
+		}
+		if err != nil {
+			span.Annotate("error", err.Error())
+		} else {
+			span.Annotate("shard", shard)
+		}
+		span.End()
 		mu.Lock()
 		stats.Retries += retries
 		mu.Unlock()
@@ -364,11 +386,16 @@ func (c *Client) readSub(ctx context.Context, f *Field, sub subRegion,
 		if a > 0 {
 			retries++
 		}
+		actx, att := obs.StartSpan(ctx, "shard.get")
+		att.Annotate("shard", shard)
 		t0 := time.Now()
-		body, err := c.fetchSub(ctx, shard, f, sub)
+		body, err := c.fetchSub(actx, shard, f, sub)
 		if err == nil {
+			att.End()
 			return body, shard, retries, time.Since(t0).Seconds(), nil
 		}
+		att.Annotate("error", err.Error())
+		att.End()
 		mu.Lock()
 		t := stats.ByShard[shard]
 		if t == nil {

@@ -1,0 +1,33 @@
+// Command promlint validates a Prometheus text-format exposition read
+// from stdin — the qoz/obs.LintExposition rules: HELP/TYPE on every
+// family, no duplicate series, sorted labels and series, well-formed
+// histograms. CI pipes live /metrics scrapes through it so a
+// nondeterministic or malformed exposition fails the build, not the
+// on-call.
+//
+// Usage:
+//
+//	curl -s localhost:8080/metrics | promlint
+//
+// Exits 0 on a clean exposition, 1 with the first offending line named.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"qoz/obs"
+)
+
+func main() {
+	text, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: read stdin: %v\n", err)
+		os.Exit(1)
+	}
+	if err := obs.LintExposition(string(text)); err != nil {
+		fmt.Fprintf(os.Stderr, "promlint: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -483,6 +483,9 @@ func TestClusterProbes(t *testing.T) {
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("readyz with a dead shard: %d, want 503", resp.StatusCode)
 	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("not-ready 503 has no Retry-After; every retryable 503 should name a horizon")
+	}
 	var ready struct {
 		Unreachable []string `json:"unreachableShards"`
 	}

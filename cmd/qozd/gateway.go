@@ -35,6 +35,8 @@ type gatewayOptions struct {
 	Workers    int      // concurrent sub-reads per region request (<=0 = all)
 	MaxPoints  int      // largest region served, in points (<=0 = unlimited)
 	Guard      guardOptions
+	Ins        *instrument // traces, histograms, request logs; nil builds a silent one
+	Pprof      bool        // expose /debug/pprof/* on the gateway mux
 	// HTTP overrides the shard-facing client (tests inject a
 	// httptest-backed transport); nil selects a timeoutful default.
 	HTTP *http.Client
@@ -49,6 +51,7 @@ type gateway struct {
 	opts    gatewayOptions
 	client  *cluster.Client
 	guard   *guard
+	ins     *instrument
 	flight  cluster.Flight // coalesces identical concurrent fan-outs
 	catalog atomic.Pointer[map[string]*cluster.Field]
 
@@ -72,6 +75,9 @@ func newGateway(opts gatewayOptions) (*gateway, error) {
 	if g.guard, err = newGuard(opts.Guard); err != nil {
 		return nil, err
 	}
+	if g.ins = opts.Ins; g.ins == nil {
+		g.ins = newInstrument(instrumentOptions{})
+	}
 	hc := opts.HTTP
 	if hc == nil {
 		hc = &http.Client{Timeout: 10 * time.Minute}
@@ -94,19 +100,32 @@ func newGateway(opts gatewayOptions) (*gateway, error) {
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
 	g.mux.HandleFunc("GET /healthz", handleHealthz)
 	g.mux.HandleFunc("GET /readyz", g.handleReadyz)
+	g.mux.HandleFunc("GET /debug/traces", g.ins.handleTraces)
+	if opts.Pprof {
+		registerPprof(g.mux)
+	}
 	return g, nil
 }
 
 func (g *gateway) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	g.requests.Add(1)
-	ensureRequestID(w, r)
-	// Probes bypass auth and rate limits: see handleHealthz.
-	if r.URL.Path != "/healthz" && r.URL.Path != "/readyz" {
-		if _, ok := g.guard.admit(w, r); !ok {
-			return
+	id := ensureRequestID(w, r)
+	// The gateway's root span parents the fan-out spans qoz/cluster opens
+	// (one "subread" per sub-region, one "shard.get" per attempt); no
+	// store is mounted here, so the stage observer stays off.
+	g.ins.serve(w, r, id, false, func(w http.ResponseWriter, r *http.Request) string {
+		// Probes bypass auth and rate limits: see handleHealthz.
+		if r.URL.Path != "/healthz" && r.URL.Path != "/readyz" {
+			tenant, ok := g.guard.admit(w, r)
+			if !ok {
+				return tenant
+			}
+			g.mux.ServeHTTP(w, r)
+			return tenant
 		}
-	}
-	g.mux.ServeHTTP(w, r)
+		g.mux.ServeHTTP(w, r)
+		return ""
+	})
 }
 
 // httpError mirrors server.httpError for the gateway's counters.
@@ -431,6 +450,8 @@ func (g *gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	sort.Strings(unreachable)
 	w.Header().Set("Content-Type", "application/json")
 	if len(g.fields()) == 0 || len(unreachable) > 0 {
+		// Retryable like every other 503: give the balancer a horizon.
+		w.Header().Set("Retry-After", "5")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		json.NewEncoder(w).Encode(map[string]any{
 			"status": "not ready", "fields": len(g.fields()), "unreachableShards": unreachable,
@@ -495,4 +516,8 @@ func (g *gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	for _, s := range shards {
 		fmt.Fprintf(w, "qozd_gateway_shard_seconds_total{shard=%q} %g\n", s, snap[s].Seconds)
 	}
+
+	// Request latency histogram by {route, status}; the gateway mounts no
+	// store, so there is no stage histogram here.
+	g.ins.reqHist.WriteProm(w)
 }

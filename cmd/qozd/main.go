@@ -109,6 +109,10 @@ func main() {
 	burst := fs.Float64("burst", 0, "per-tenant burst size for -rate (0 selects max(1, rate))")
 	metricsPublic := fs.Bool("metrics-public", false, "serve /metrics without auth even when a token is set")
 	poll := fs.Duration("poll", 0, "interval for polling mounts for new committed generations of mutable (v3) stores (0 disables; in -gateway mode, polls the shard catalog)")
+	logFormat := fs.String("log-format", "text", "structured request-log format on stderr: text or json")
+	slowRequest := fs.Duration("slow-request", 0, "log a warning with the full span breakdown for requests at least this slow (0 disables)")
+	traceRing := fs.Int("trace-ring", 256, "completed request traces retained for GET /debug/traces")
+	pprofFlag := fs.Bool("pprof", false, "expose /debug/pprof/* (guarded like the /v1 endpoints)")
 	gatewayMode := fs.Bool("gateway", false, "run as a fan-out gateway over -shard URLs instead of serving mounts")
 	fs.Var(&shards, "shard", "shard qozd base URL for -gateway mode (repeatable)")
 	shardToken := fs.String("shard-token", "", "bearer token the gateway presents to shards (default: $QOZD_SHARD_TOKEN)")
@@ -128,6 +132,16 @@ func main() {
 		RateRPS:       *rate,
 		RateBurst:     *burst,
 	}
+	logger, err := buildLogger(*logFormat)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qozd: %v\n", err)
+		os.Exit(2)
+	}
+	ins := newInstrument(instrumentOptions{
+		Logger:        logger,
+		SlowRequest:   *slowRequest,
+		TraceCapacity: *traceRing,
+	})
 
 	hs := &http.Server{
 		Addr: *listen,
@@ -155,6 +169,8 @@ func main() {
 			Workers:    *fanoutWorkers,
 			MaxPoints:  *maxPoints,
 			Guard:      guardOpts,
+			Ins:        ins,
+			Pprof:      *pprofFlag,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "qozd: %v\n", err)
@@ -187,6 +203,8 @@ func main() {
 		ReadAhead:    *readAhead,
 		MountTimeout: *mountTimeout,
 		Guard:        guardOpts,
+		Ins:          ins,
+		Pprof:        *pprofFlag,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qozd: %v\n", err)
@@ -242,6 +260,8 @@ type serverOptions struct {
 	ReadAhead    int64         // remote coalescing window; 0 keeps the store default
 	MountTimeout time.Duration // per-mount open deadline; 0 = none
 	Guard        guardOptions  // auth tenants and rate limits
+	Ins          *instrument   // traces, histograms, request logs; nil builds a silent one
+	Pprof        bool          // expose /debug/pprof/* on the role mux
 }
 
 // field is one mounted store.
@@ -259,6 +279,7 @@ type server struct {
 	cache    *store.Cache
 	opts     serverOptions
 	guard    *guard
+	ins      *instrument
 	inflight chan struct{}  // nil when unlimited
 	flight   cluster.Flight // coalesces identical concurrent region decodes
 
@@ -327,6 +348,9 @@ func newServer(mounts []mount, opts serverOptions) (*server, error) {
 	if s.guard, err = newGuard(opts.Guard); err != nil {
 		return nil, err
 	}
+	if s.ins = opts.Ins; s.ins == nil {
+		s.ins = newInstrument(instrumentOptions{})
+	}
 	if opts.MaxInflight > 0 {
 		s.inflight = make(chan struct{}, opts.MaxInflight)
 	}
@@ -364,6 +388,10 @@ func newServer(mounts []mount, opts serverOptions) (*server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /debug/traces", s.ins.handleTraces)
+	if opts.Pprof {
+		registerPprof(s.mux)
+	}
 	return s, nil
 }
 
@@ -387,6 +415,10 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.refreshMu.Unlock()
 	w.Header().Set("Content-Type", "application/json")
 	if len(bad) > 0 {
+		// Like every other retryable 503 qozd serves, the not-ready answer
+		// names a retry horizon — one poll interval is a reasonable bound
+		// for a refresh to recover.
+		w.Header().Set("Retry-After", "5")
 		w.WriteHeader(http.StatusServiceUnavailable)
 		json.NewEncoder(w).Encode(map[string]any{"status": "refresh failing", "mounts": bad})
 		return
@@ -403,14 +435,24 @@ func (s *server) Close() {
 
 func (s *server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
-	ensureRequestID(w, r)
-	// Probes bypass auth and rate limits: see handleHealthz.
-	if r.URL.Path != "/healthz" && r.URL.Path != "/readyz" {
-		if _, ok := s.guard.admit(w, r); !ok {
-			return
+	id := ensureRequestID(w, r)
+	// The instrument opens the request's root trace span (trace id = the
+	// correlation id) and registers the store stage observer, so fan-in
+	// from here — single-flight leaders included, which run under a
+	// value-preserving detached context — records into one trace.
+	s.ins.serve(w, r, id, true, func(w http.ResponseWriter, r *http.Request) string {
+		// Probes bypass auth and rate limits: see handleHealthz.
+		if r.URL.Path != "/healthz" && r.URL.Path != "/readyz" {
+			tenant, ok := s.guard.admit(w, r)
+			if !ok {
+				return tenant
+			}
+			s.mux.ServeHTTP(w, r)
+			return tenant
 		}
-	}
-	s.mux.ServeHTTP(w, r)
+		s.mux.ServeHTTP(w, r)
+		return ""
+	})
 }
 
 func (s *server) fieldNames() []string {
@@ -892,4 +934,9 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			fmt.Fprintf(w, "%s{field=%q} %d\n", m.name, name, m.value(snaps[name]))
 		}
 	}
+
+	// Latency histograms: request duration by {route, status}, and store
+	// stage timings (payload fetch, brick decode) by {stage}.
+	s.ins.reqHist.WriteProm(w)
+	s.ins.stageHist.WriteProm(w)
 }

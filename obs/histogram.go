@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets, in seconds: 1ms to 10s in
+// roughly 2.5x steps, the span between a hot cache hit and a worst-case
+// cold fan-out over a slow origin.
+var DefBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Histogram is a fixed-bucket histogram safe for concurrent observation.
+// Observe costs one atomic add and one CAS loop iteration — no locks, no
+// allocation — so it can sit on a serving hot path. The zero value is not
+// usable; construct with NewHistogram.
+type Histogram struct {
+	upper  []float64       // ascending bucket upper bounds; +Inf is implicit
+	counts []atomic.Uint64 // per-bucket (non-cumulative) counts; last is the +Inf overflow
+	sum    atomic.Uint64   // float64 bits of the running sum, CAS-updated
+}
+
+// NewHistogram builds a histogram over the given ascending upper bounds
+// (a +Inf overflow bucket is always appended). The bounds are copied and
+// sorted; duplicates are collapsed.
+func NewHistogram(buckets []float64) *Histogram {
+	upper := append([]float64(nil), buckets...)
+	sort.Float64s(upper)
+	upper = slicesCompactFloat(upper)
+	return &Histogram{upper: upper, counts: make([]atomic.Uint64, len(upper)+1)}
+}
+
+func slicesCompactFloat(v []float64) []float64 {
+	out := v[:0]
+	for i, x := range v {
+		if i == 0 || x != v[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// SearchFloat64s returns the first bucket whose upper bound is >= v,
+	// which is exactly Prometheus's le (less-or-equal) bucket convention.
+	i := sort.SearchFloat64s(h.upper, v)
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Snapshot returns the cumulative bucket counts (one per upper bound,
+// plus the +Inf total as the final element), the total observation count,
+// and the value sum. The snapshot is not atomic across buckets — a scrape
+// racing observations can be off by the in-flight observation, which the
+// Prometheus exposition model tolerates (counters are monotone).
+func (h *Histogram) Snapshot() (cumulative []uint64, count uint64, sum float64) {
+	cumulative = make([]uint64, len(h.counts))
+	var acc uint64
+	for i := range h.counts {
+		acc += h.counts[i].Load()
+		cumulative[i] = acc
+	}
+	return cumulative, acc, math.Float64frombits(h.sum.Load())
+}
+
+// Buckets returns the histogram's upper bounds (without +Inf).
+func (h *Histogram) Buckets() []float64 { return append([]float64(nil), h.upper...) }
+
+// HistogramVec is a family of Histograms keyed by label values — the
+// Prometheus "metric with labels" shape, e.g. request duration by
+// {route, status}. Lookup of an existing child takes an RLock; only the
+// first observation of a new label combination takes the write lock.
+type HistogramVec struct {
+	name, help string
+	labelNames []string
+	buckets    []float64
+
+	mu       sync.RWMutex
+	children map[string]*Histogram
+	labels   map[string][]string // child key -> label values
+}
+
+// NewHistogramVec builds a labelled histogram family. labelNames must be
+// sorted ascending (the exposition emits them in declaration order, and
+// the Prometheus convention — which LintExposition enforces — is sorted
+// label names within a series).
+func NewHistogramVec(name, help string, labelNames []string, buckets []float64) *HistogramVec {
+	if !sort.StringsAreSorted(labelNames) {
+		panic(fmt.Sprintf("obs: label names %v must be sorted", labelNames))
+	}
+	return &HistogramVec{
+		name:       name,
+		help:       help,
+		labelNames: append([]string(nil), labelNames...),
+		buckets:    append([]float64(nil), buckets...),
+		children:   make(map[string]*Histogram),
+		labels:     make(map[string][]string),
+	}
+}
+
+// Name returns the family name.
+func (v *HistogramVec) Name() string { return v.name }
+
+// With returns the child histogram for the given label values (in
+// labelNames order), creating it on first use.
+func (v *HistogramVec) With(labelValues ...string) *Histogram {
+	if len(labelValues) != len(v.labelNames) {
+		panic(fmt.Sprintf("obs: %s wants %d label values, got %d", v.name, len(v.labelNames), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\x00")
+	v.mu.RLock()
+	h := v.children[key]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.children[key]; h == nil {
+		h = NewHistogram(v.buckets)
+		v.children[key] = h
+		v.labels[key] = append([]string(nil), labelValues...)
+	}
+	return h
+}
+
+// Observe records one value against the given label values.
+func (v *HistogramVec) Observe(val float64, labelValues ...string) {
+	v.With(labelValues...).Observe(val)
+}
+
+// WriteProm renders the family in the Prometheus text exposition format:
+// HELP and TYPE, then per-child _bucket/_sum/_count series with children
+// in sorted label-value order, so scrapes are deterministic.
+func (v *HistogramVec) WriteProm(w io.Writer) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", v.name, v.help, v.name)
+	v.mu.RLock()
+	keys := make([]string, 0, len(v.children))
+	for k := range v.children {
+		keys = append(keys, k)
+	}
+	children := make(map[string]*Histogram, len(v.children))
+	labels := make(map[string][]string, len(v.labels))
+	for k, h := range v.children {
+		children[k] = h
+		labels[k] = v.labels[k]
+	}
+	v.mu.RUnlock()
+	sort.Strings(keys)
+	for _, k := range keys {
+		var base strings.Builder
+		for i, name := range v.labelNames {
+			fmt.Fprintf(&base, "%s=\"%s\",", name, escapeLabel(labels[k][i]))
+		}
+		plain := strings.TrimSuffix(base.String(), ",") // label set without a le pair
+		cum, count, sum := children[k].Snapshot()
+		for i, up := range v.buckets {
+			fmt.Fprintf(w, "%s_bucket{%sle=\"%s\"} %d\n", v.name, base.String(), formatFloat(up), cum[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", v.name, base.String(), count)
+		if plain == "" {
+			fmt.Fprintf(w, "%s_sum %s\n", v.name, formatFloat(sum))
+			fmt.Fprintf(w, "%s_count %d\n", v.name, count)
+		} else {
+			fmt.Fprintf(w, "%s_sum{%s} %s\n", v.name, plain, formatFloat(sum))
+			fmt.Fprintf(w, "%s_count{%s} %d\n", v.name, plain, count)
+		}
+	}
+}
+
+// escapeLabel escapes a label value for the text exposition format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	return strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`).Replace(v)
+}
+
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

@@ -1,0 +1,16 @@
+// Package obs is qoz's zero-dependency observability layer: fixed-bucket
+// latency histograms rendered in the Prometheus text format, and
+// per-request trace spans carried through context.Context with a bounded
+// in-memory ring of recently completed traces.
+//
+// The package is deliberately tiny and allocation-shy: histograms observe
+// with one atomic add plus one CAS, spans record monotonic start/duration
+// pairs, and nothing here talks to the network — serving layers render
+// histograms into their own /metrics handler and expose the trace ring
+// through their own /debug/traces endpoint.
+//
+// Layering rule: obs imports nothing from qoz, and qoz/store imports
+// nothing from obs (it reports stage timings through a context-registered
+// observer instead — see store.WithStageObserver). Serving layers (qozd,
+// qoz/cluster) sit on top of both and wire them together.
+package obs

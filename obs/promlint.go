@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LintExposition validates a Prometheus text-format scrape the way a
+// strict collector would, plus the determinism rules qozd commits to:
+//
+//   - every sample belongs to a family declared with # HELP and # TYPE
+//     (histogram _bucket/_sum/_count suffixes resolve to their base),
+//     and a family's samples are contiguous — a family never reappears
+//     after another family's samples started;
+//   - the TYPE is counter, gauge, or histogram;
+//   - no duplicate series (same name and label set);
+//   - label names within a series are sorted (the le pair of histogram
+//     buckets conventionally comes last and is exempt);
+//   - within a counter or gauge family, series are sorted by label set,
+//     so scrapes are byte-deterministic and diffable;
+//   - histogram buckets per series are in ascending le order with
+//     non-decreasing cumulative counts, ending in le="+Inf" whose count
+//     equals the series' _count sample.
+//
+// It returns nil for a clean exposition, or an error naming the first
+// offending line.
+func LintExposition(text string) error {
+	families := make(map[string]*promFamily)
+	seen := make(map[string]bool) // full series key: name + label string
+	// Histogram bucket bookkeeping: per series-without-le, the last le and
+	// cumulative count, plus whether +Inf landed and its value.
+	type bucketState struct {
+		lastLe  float64
+		lastCum uint64
+		infSeen bool
+		infVal  uint64
+	}
+	buckets := make(map[string]*bucketState)
+	counts := make(map[string]uint64) // _count samples per base series
+	current := ""                     // family currently emitting samples
+
+	lines := strings.Split(text, "\n")
+	for ln, line := range lines {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if strings.HasPrefix(line, "#") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 3 || (parts[1] != "HELP" && parts[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := parts[2]
+			f := families[name]
+			if f == nil {
+				f = &promFamily{}
+				families[name] = f
+			}
+			switch parts[1] {
+			case "HELP":
+				if len(parts) < 4 || strings.TrimSpace(parts[3]) == "" {
+					return fmt.Errorf("line %d: %s has an empty HELP", lineNo, name)
+				}
+				f.help = true
+			case "TYPE":
+				if len(parts) < 4 {
+					return fmt.Errorf("line %d: %s TYPE missing", lineNo, name)
+				}
+				typ := strings.TrimSpace(parts[3])
+				if typ != "counter" && typ != "gauge" && typ != "histogram" {
+					return fmt.Errorf("line %d: %s has unsupported TYPE %q", lineNo, name, typ)
+				}
+				if f.typ != "" && f.typ != typ {
+					return fmt.Errorf("line %d: %s re-declared as %s (was %s)", lineNo, name, typ, f.typ)
+				}
+				f.typ = typ
+			}
+			continue
+		}
+
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %v", lineNo, err)
+		}
+		fam, base := resolveFamily(families, name)
+		if fam == nil || !fam.help || fam.typ == "" {
+			return fmt.Errorf("line %d: series %s has no preceding HELP and TYPE", lineNo, name)
+		}
+		if fam.closed {
+			return fmt.Errorf("line %d: family %s reappears after other families; samples must be contiguous", lineNo, base)
+		}
+		if current != base {
+			if cur := families[current]; cur != nil {
+				cur.closed = true
+			}
+			current = base
+		}
+
+		// Label hygiene: names sorted (le exempt, conventionally last), no
+		// duplicate names, and the exact series never repeated.
+		var names []string
+		var leVal string
+		for _, l := range labels {
+			if l.name == "le" {
+				leVal = l.value
+				continue
+			}
+			names = append(names, l.name)
+		}
+		if !sort.StringsAreSorted(names) {
+			return fmt.Errorf("line %d: label names %v not sorted", lineNo, names)
+		}
+		for i := 1; i < len(names); i++ {
+			if names[i] == names[i-1] {
+				return fmt.Errorf("line %d: duplicate label name %q", lineNo, names[i])
+			}
+		}
+		seriesKey := name + labelString(labels)
+		if seen[seriesKey] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, seriesKey)
+		}
+		seen[seriesKey] = true
+
+		if fam.typ == "histogram" {
+			baseKey := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(name, "_bucket"), "_sum"), "_count") +
+				labelStringWithoutLe(labels)
+			switch {
+			case strings.HasSuffix(name, "_bucket"):
+				if leVal == "" {
+					return fmt.Errorf("line %d: histogram bucket without le label", lineNo)
+				}
+				st := buckets[baseKey]
+				if st == nil {
+					st = &bucketState{lastLe: -1e308}
+					buckets[baseKey] = st
+				}
+				cum, err := strconv.ParseUint(strings.TrimSpace(value), 10, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bucket count %q not an integer", lineNo, value)
+				}
+				if leVal == "+Inf" {
+					if st.infSeen {
+						return fmt.Errorf("line %d: duplicate +Inf bucket for %s", lineNo, baseKey)
+					}
+					st.infSeen, st.infVal = true, cum
+				} else {
+					le, err := strconv.ParseFloat(leVal, 64)
+					if err != nil {
+						return fmt.Errorf("line %d: le %q not a number", lineNo, leVal)
+					}
+					if st.infSeen {
+						return fmt.Errorf("line %d: bucket after +Inf for %s", lineNo, baseKey)
+					}
+					if le <= st.lastLe {
+						return fmt.Errorf("line %d: bucket le %v not ascending for %s", lineNo, le, baseKey)
+					}
+					st.lastLe = le
+				}
+				if cum < st.lastCum {
+					return fmt.Errorf("line %d: bucket counts not cumulative for %s", lineNo, baseKey)
+				}
+				st.lastCum = cum
+			case strings.HasSuffix(name, "_count"):
+				n, err := strconv.ParseUint(strings.TrimSpace(value), 10, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: count %q not an integer", lineNo, value)
+				}
+				counts[baseKey] = n
+			case strings.HasSuffix(name, "_sum"):
+				if _, err := strconv.ParseFloat(strings.TrimSpace(value), 64); err != nil {
+					return fmt.Errorf("line %d: sum %q not a number", lineNo, value)
+				}
+			default:
+				return fmt.Errorf("line %d: histogram family %s has plain sample %s", lineNo, base, name)
+			}
+		} else {
+			if _, err := strconv.ParseFloat(strings.TrimSpace(value), 64); err != nil {
+				return fmt.Errorf("line %d: value %q not a number", lineNo, value)
+			}
+			// Determinism: series within a plain family must emit sorted.
+			key := labelString(labels)
+			if fam.nSamples > 0 && key <= fam.lastKey {
+				return fmt.Errorf("line %d: series %s%s not sorted within its family (after %s)", lineNo, name, key, fam.lastKey)
+			}
+			fam.lastKey = key
+		}
+		fam.nSamples++
+	}
+
+	// Every histogram series with buckets must close with +Inf == _count.
+	for baseKey, st := range buckets {
+		if !st.infSeen {
+			return fmt.Errorf("histogram %s missing +Inf bucket", baseKey)
+		}
+		if n, ok := counts[baseKey]; !ok || n != st.infVal {
+			return fmt.Errorf("histogram %s: +Inf bucket %d != count %d", baseKey, st.infVal, n)
+		}
+	}
+	return nil
+}
+
+// promFamily is the lint's bookkeeping for one metric family.
+type promFamily struct {
+	typ      string
+	help     bool
+	closed   bool // another family's samples have started since
+	lastKey  string
+	nSamples int
+}
+
+// resolveFamily maps a sample name to its declared family, resolving the
+// histogram suffixes to the base family when one is declared.
+func resolveFamily(families map[string]*promFamily, name string) (*promFamily, string) {
+	if f, ok := families[name]; ok {
+		return f, name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok {
+			if f, ok := families[base]; ok && f.typ == "histogram" {
+				return f, base
+			}
+		}
+	}
+	return nil, name
+}
+
+// labelPair is one parsed name="value" pair.
+type labelPair struct{ name, value string }
+
+// parseSample splits one exposition sample line into name, labels, value.
+func parseSample(line string) (name string, labels []labelPair, value string, err error) {
+	brace := strings.IndexByte(line, '{')
+	if brace < 0 {
+		sp := strings.IndexByte(line, ' ')
+		if sp < 0 {
+			return "", nil, "", fmt.Errorf("sample %q has no value", line)
+		}
+		return line[:sp], nil, line[sp+1:], nil
+	}
+	name = line[:brace]
+	rest := line[brace+1:]
+	for {
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return "", nil, "", fmt.Errorf("malformed labels in %q", line)
+		}
+		ln := strings.TrimSpace(rest[:eq])
+		rest = rest[eq+1:]
+		if len(rest) == 0 || rest[0] != '"' {
+			return "", nil, "", fmt.Errorf("unquoted label value in %q", line)
+		}
+		rest = rest[1:]
+		var val strings.Builder
+		i := 0
+		for ; i < len(rest); i++ {
+			if rest[i] == '\\' && i+1 < len(rest) {
+				i++
+				switch rest[i] {
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte(rest[i])
+				}
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			val.WriteByte(rest[i])
+		}
+		if i == len(rest) {
+			return "", nil, "", fmt.Errorf("unterminated label value in %q", line)
+		}
+		labels = append(labels, labelPair{name: ln, value: val.String()})
+		rest = rest[i+1:]
+		if strings.HasPrefix(rest, ",") {
+			rest = rest[1:]
+			continue
+		}
+		if strings.HasPrefix(rest, "} ") {
+			return name, labels, rest[2:], nil
+		}
+		return "", nil, "", fmt.Errorf("malformed label block in %q", line)
+	}
+}
+
+// labelString renders a parsed label set back to a canonical string.
+func labelString(labels []labelPair) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.name, l.value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// labelStringWithoutLe is labelString with any le pair dropped — the key
+// identifying one histogram series across its bucket lines.
+func labelStringWithoutLe(labels []labelPair) string {
+	kept := labels[:0:0]
+	for _, l := range labels {
+		if l.name != "le" {
+			kept = append(kept, l)
+		}
+	}
+	return labelString(kept)
+}

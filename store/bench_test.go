@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -89,6 +90,32 @@ func BenchmarkReadRegionSmallROICold(b *testing.B) {
 func BenchmarkReadRegionSmallROICached(b *testing.B) {
 	s := benchStore(b, DefaultCacheBytes)
 	ctx := context.Background()
+	b.SetBytes(32 * 64 * 64 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.ReadRegion(ctx, []int{0, 0, 0}, []int{32, 64, 64}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadRegionSmallROICachedObserved is the cached ROI read with a
+// stage observer registered — the shape every instrumented qozd request
+// takes. Comparing against BenchmarkReadRegionSmallROICached bounds the
+// observability overhead (the acceptance bar is <2%).
+func BenchmarkReadRegionSmallROICachedObserved(b *testing.B) {
+	s := benchStore(b, DefaultCacheBytes)
+	var fetches, decodes, hits atomic.Int64
+	ctx := WithStageObserver(context.Background(), func(st Stage, d time.Duration, bytes int64) {
+		switch st {
+		case StageFetch:
+			fetches.Add(1)
+		case StageDecode:
+			decodes.Add(1)
+		case StageCacheHit:
+			hits.Add(1)
+		}
+	})
 	b.SetBytes(32 * 64 * 64 * 4)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

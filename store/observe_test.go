@@ -1,0 +1,102 @@
+package store
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"qoz"
+	"qoz/datagen"
+)
+
+// TestStageObserver pins the observer contract: a cold region read
+// reports one fetch and one decode per intersecting brick, a warm repeat
+// reports only cache hits, and byte counts are sane (fetch reports
+// compressed payload bytes, decode and cache_hit report decoded bytes).
+func TestStageObserver(t *testing.T) {
+	ds := datagen.NYX(32, 32, 32)
+	s, _ := buildStore(t, ds.Data, ds.Dims,
+		WriteOptions{Opts: qoz.Options{RelBound: 1e-3}, Brick: []int{8, 8, 8}},
+		Options{})
+	defer s.Close()
+
+	type counts struct {
+		fetch, decode, hit    int
+		fetchB, decodeB, hitB int64
+	}
+	var mu sync.Mutex
+	var c counts
+	ctx := WithStageObserver(context.Background(), func(st Stage, d time.Duration, b int64) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch st {
+		case StageFetch:
+			c.fetch++
+			c.fetchB += b
+			if d < 0 {
+				t.Errorf("negative fetch duration %v", d)
+			}
+		case StageDecode:
+			c.decode++
+			c.decodeB += b
+		case StageCacheHit:
+			c.hit++
+			c.hitB += b
+		}
+	})
+
+	lo, hi := []int{0, 0, 0}, []int{16, 16, 8} // 2x2x1 = 4 bricks of 8^3
+	if _, err := s.ReadRegion(ctx, lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	cold := c
+	mu.Unlock()
+	if cold.fetch != 4 || cold.decode != 4 || cold.hit != 0 {
+		t.Fatalf("cold read: %+v, want 4 fetches, 4 decodes, 0 hits", cold)
+	}
+	if cold.decodeB != 4*8*8*8*4 {
+		t.Fatalf("decoded bytes %d, want %d", cold.decodeB, 4*8*8*8*4)
+	}
+	if cold.fetchB <= 0 || cold.fetchB >= cold.decodeB {
+		t.Fatalf("fetch bytes %d should be positive and below decoded %d (compressed payloads)",
+			cold.fetchB, cold.decodeB)
+	}
+
+	if _, err := s.ReadRegion(ctx, lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	warm := c
+	mu.Unlock()
+	if warm.fetch != cold.fetch || warm.decode != cold.decode {
+		t.Fatalf("warm read fetched/decoded again: %+v", warm)
+	}
+	if warm.hit != 4 || warm.hitB != cold.decodeB {
+		t.Fatalf("warm read: %d hits / %d bytes, want 4 / %d", warm.hit, warm.hitB, cold.decodeB)
+	}
+
+	// A read without an observer is unaffected (and must not call fn).
+	before := warm
+	if _, err := s.ReadRegion(context.Background(), lo, hi); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	after := c
+	mu.Unlock()
+	if after != before {
+		t.Fatalf("observerless read reported stages: %+v -> %+v", before, after)
+	}
+}
+
+// TestWithStageObserverNil: registering a nil observer is a no-op.
+func TestWithStageObserverNil(t *testing.T) {
+	ctx := context.Background()
+	if got := WithStageObserver(ctx, nil); got != ctx {
+		t.Fatal("WithStageObserver(nil) must return ctx unchanged")
+	}
+	if stageObserverFrom(ctx) != nil {
+		t.Fatal("empty context has an observer")
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 	"unsafe"
 
 	"qoz"
@@ -684,15 +685,24 @@ func brickTyped[T qoz.Float](ctx context.Context, s *Store, m *manifest, i int,
 	// old offsets non-authoritative, it bumps the epoch and every earlier
 	// entry goes dead at once.
 	key := cacheKey{owner: s, epoch: m.epoch, brick: i, off: m.offsets[i]}
+	obsv := stageObserverFrom(ctx)
 	if data, ok := s.cache.get(key); ok {
 		s.hits.Add(1)
-		return data.([]T), nil
+		d := data.([]T)
+		if obsv != nil {
+			obsv(StageCacheHit, 0, int64(len(d))*int64(kindSize(m.hdr.kind)))
+		}
+		return d, nil
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	payload := make([]byte, m.lengths[i])
 	var err error
+	var fetchStart time.Time
+	if obsv != nil {
+		fetchStart = time.Now()
+	}
 	if s.remote != nil {
 		// Thread the region read's context down into the range fetch, so a
 		// cancelled request aborts its network I/O rather than just the
@@ -702,6 +712,9 @@ func brickTyped[T qoz.Float](ctx context.Context, s *Store, m *manifest, i int,
 		_, err = s.remote.readAtCtx(ctx, payload, m.offsets[i])
 	} else {
 		_, err = m.ra.ReadAt(payload, m.offsets[i])
+	}
+	if obsv != nil {
+		obsv(StageFetch, time.Since(fetchStart), int64(len(payload)))
 	}
 	if err != nil {
 		return nil, fmt.Errorf("store: brick %d: %w", i, err)
@@ -721,7 +734,14 @@ func brickTyped[T qoz.Float](ctx context.Context, s *Store, m *manifest, i int,
 	if err != nil || id != m.hdr.codecID || !equalInts(pdims, want) {
 		return nil, fmt.Errorf("store: brick %d: payload shape mismatch: %w", i, ErrCorrupt)
 	}
+	var decodeStart time.Time
+	if obsv != nil {
+		decodeStart = time.Now()
+	}
 	data, dims, err := decode(ctx, payload)
+	if obsv != nil {
+		obsv(StageDecode, time.Since(decodeStart), int64(len(data))*int64(kindSize(m.hdr.kind)))
+	}
 	if err != nil {
 		return nil, fmt.Errorf("store: brick %d: %w", i, err)
 	}
