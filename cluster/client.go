@@ -300,6 +300,26 @@ func mergeable(s subRegion, clo, chi []int, last int) bool {
 // correlation id attached with WithRequestID is propagated to every shard
 // as X-Qoz-Request-Id.
 func (c *Client) ReadRegionRaw(ctx context.Context, f *Field, lo, hi []int) ([]byte, FanoutStats, error) {
+	return c.readRegionRaw(ctx, f, lo, hi, 1)
+}
+
+// ReadRegionLevelRaw reads the level-L coarse grid of the box [lo, hi):
+// the points whose global coordinates are all multiples of stride
+// 2^(level-1), row-major, raw little-endian — byte-identical to a single
+// qozd answering ?level=L for the same box. Sub-regions are planned on
+// the full-resolution brick grid exactly like ReadRegionRaw, so ownership
+// routing and failover behave identically; each shard answers only its
+// sub-box's coarse points, and sub-boxes holding no coarse point are
+// skipped without a round trip. level 1 is the full-resolution read.
+func (c *Client) ReadRegionLevelRaw(ctx context.Context, f *Field, lo, hi []int, level int) ([]byte, FanoutStats, error) {
+	if level < 1 || level > 30 {
+		return nil, FanoutStats{ByShard: map[string]*ShardTraffic{}},
+			fmt.Errorf("cluster: level %d outside 1..30", level)
+	}
+	return c.readRegionRaw(ctx, f, lo, hi, level)
+}
+
+func (c *Client) readRegionRaw(ctx context.Context, f *Field, lo, hi []int, level int) ([]byte, FanoutStats, error) {
 	// When the caller's context carries a trace (obs.Recorder.StartTrace at
 	// the serving layer), the whole fan-out records under a "fanout" span
 	// with one "subread" child per sub-region and one "shard.get"
@@ -308,18 +328,39 @@ func (c *Client) ReadRegionRaw(ctx context.Context, f *Field, lo, hi []int) ([]b
 	ctx, fanSpan := obs.StartSpan(ctx, "fanout")
 	defer fanSpan.End()
 	fanSpan.Annotate("field", f.Name)
+	if level > 1 {
+		fanSpan.Annotate("level", strconv.Itoa(level))
+	}
 	stats := FanoutStats{ByShard: make(map[string]*ShardTraffic)}
-	subs, err := planSubRegions(f, lo, hi)
+	stride := 1 << (level - 1)
+	outLo, outDims, ok := coarseBox(lo, hi, stride)
+	if !ok {
+		return nil, stats, fmt.Errorf("cluster: region [%v,%v) has no points on the level-%d grid", lo, hi, level)
+	}
+	planned, err := planSubRegions(f, lo, hi)
 	if err != nil {
 		return nil, stats, err
+	}
+	// Keep only sub-regions whose box holds at least one coarse point —
+	// the rest would be answered with "no points" by their shards, and the
+	// stitch owes them nothing. At level 1 every sub-region survives.
+	subs := make([]subRegion, 0, len(planned))
+	clos := make([][]int, 0, len(planned))
+	cdims := make([][]int, 0, len(planned))
+	for _, sub := range planned {
+		cl, cd, ok := coarseBox(sub.lo, sub.hi, stride)
+		if !ok {
+			continue
+		}
+		subs = append(subs, sub)
+		clos = append(clos, cl)
+		cdims = append(cdims, cd)
 	}
 	stats.SubReads = len(subs)
 	fanSpan.Annotate("subreads", strconv.Itoa(len(subs)))
 	elem := f.ElemSize()
-	outDims := make([]int, len(lo))
 	points := 1
-	for i := range lo {
-		outDims[i] = hi[i] - lo[i]
+	for i := range outDims {
 		points *= outDims[i]
 	}
 	out := make([]byte, points*elem)
@@ -329,7 +370,7 @@ func (c *Client) ReadRegionRaw(ctx context.Context, f *Field, lo, hi []int) ([]b
 		sctx, span := obs.StartSpan(ctx, "subread")
 		span.Annotate("lo", corner(sub.lo))
 		span.Annotate("hi", corner(sub.hi))
-		body, shard, retries, secs, err := c.readSub(sctx, f, sub, &mu, &stats)
+		body, shard, retries, secs, err := c.readSub(sctx, f, sub, level, &mu, &stats)
 		if retries > 0 {
 			span.Annotate("retries", strconv.Itoa(retries))
 		}
@@ -354,15 +395,16 @@ func (c *Client) ReadRegionRaw(ctx context.Context, f *Field, lo, hi []int) ([]b
 		t.Reads++
 		t.Seconds += secs
 		mu.Unlock()
-		// Scatter the sub-slab into the output. Sub-regions partition the
-		// box, so writers touch disjoint bytes — no synchronization.
-		srcDims := make([]int, len(lo))
+		// Scatter the sub-slab into the output on the coarse grid.
+		// Sub-regions partition the box, and a global coarse point lies in
+		// exactly one of them, so writers touch disjoint bytes — no
+		// synchronization. At level 1 this is the plain full-resolution
+		// scatter.
 		dstLo := make([]int, len(lo))
 		for i := range lo {
-			srcDims[i] = sub.hi[i] - sub.lo[i]
-			dstLo[i] = sub.lo[i] - lo[i]
+			dstLo[i] = clos[k][i] - outLo[i]
 		}
-		stitchBytes(out, outDims, dstLo, body, srcDims, elem)
+		stitchBytes(out, outDims, dstLo, body, cdims[k], elem)
 		return nil
 	})
 	if err != nil {
@@ -374,7 +416,7 @@ func (c *Client) ReadRegionRaw(ctx context.Context, f *Field, lo, hi []int) ([]b
 // readSub fetches one sub-region, failing over along the preference order
 // on shard faults. It returns the raw body, the shard that served it, the
 // failover attempts spent, and the successful attempt's wall time.
-func (c *Client) readSub(ctx context.Context, f *Field, sub subRegion,
+func (c *Client) readSub(ctx context.Context, f *Field, sub subRegion, level int,
 	mu *sync.Mutex, stats *FanoutStats) (body []byte, shard string, retries int, secs float64, err error) {
 	attempts := min(c.attempts(), len(sub.rank))
 	var lastErr error
@@ -389,7 +431,7 @@ func (c *Client) readSub(ctx context.Context, f *Field, sub subRegion,
 		actx, att := obs.StartSpan(ctx, "shard.get")
 		att.Annotate("shard", shard)
 		t0 := time.Now()
-		body, err := c.fetchSub(actx, shard, f, sub)
+		body, err := c.fetchSub(actx, shard, f, sub, level)
 		if err == nil {
 			att.End()
 			return body, shard, retries, time.Since(t0).Seconds(), nil
@@ -417,11 +459,15 @@ func (c *Client) readSub(ctx context.Context, f *Field, sub subRegion,
 }
 
 // fetchSub issues one region sub-read against one shard and validates the
-// answer: status, element type, exact body length, and the catalog's
-// (manifest CRC, generation) pair via the shard's strong ETag prefix.
-func (c *Client) fetchSub(ctx context.Context, shard string, f *Field, sub subRegion) ([]byte, error) {
+// answer: status, element type, exact body length (on the level's coarse
+// grid), and the catalog's (manifest CRC, generation) pair via the
+// shard's strong ETag prefix.
+func (c *Client) fetchSub(ctx context.Context, shard string, f *Field, sub subRegion, level int) ([]byte, error) {
 	u := fmt.Sprintf("%s/v1/fields/%s/region?lo=%s&hi=%s",
 		shard, url.PathEscape(f.Name), corner(sub.lo), corner(sub.hi))
+	if level > 1 {
+		u += fmt.Sprintf("&level=%d", level)
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, &ShardError{Shard: shard, Err: err}
@@ -456,9 +502,13 @@ func (c *Client) fetchSub(ctx context.Context, shard string, f *Field, sub subRe
 	if dt := resp.Header.Get("X-Qoz-Dtype"); dt != "" && dt != f.DType {
 		return nil, &ShardError{Shard: shard, Err: fmt.Errorf("sub-read dtype %q, want %q", dt, f.DType)}
 	}
+	_, cd, ok := coarseBox(sub.lo, sub.hi, 1<<(level-1))
+	if !ok {
+		return nil, &ShardError{Shard: shard, Err: fmt.Errorf("sub-read box holds no level-%d point", level)}
+	}
 	want := f.ElemSize()
-	for i := range sub.lo {
-		want *= sub.hi[i] - sub.lo[i]
+	for i := range cd {
+		want *= cd[i]
 	}
 	body := make([]byte, want)
 	if _, err := io.ReadFull(resp.Body, body); err != nil {
@@ -469,6 +519,24 @@ func (c *Client) fetchSub(ctx context.Context, shard string, f *Field, sub subRe
 		return nil, &ShardError{Shard: shard, Err: fmt.Errorf("sub-read body longer than its region")}
 	}
 	return body, nil
+}
+
+// coarseBox maps a full-resolution box [lo, hi) to its stride-aligned
+// coarse sub-grid: clo is the coarse origin (global coordinates divided
+// by stride, rounded up), cdims counts the stride-multiples inside the
+// box per dimension. ok is false when some dimension holds none. Stride 1
+// is the identity: clo = lo, cdims = hi-lo.
+func coarseBox(lo, hi []int, stride int) (clo, cdims []int, ok bool) {
+	clo = make([]int, len(lo))
+	cdims = make([]int, len(lo))
+	for d := range lo {
+		clo[d] = (lo[d] + stride - 1) / stride
+		cdims[d] = (hi[d]-1)/stride + 1 - clo[d]
+		if cdims[d] <= 0 {
+			return nil, nil, false
+		}
+	}
+	return clo, cdims, true
 }
 
 // corner formats region coordinates as qozd's "a,b,c" query syntax.

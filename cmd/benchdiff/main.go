@@ -1,0 +1,161 @@
+// Command benchdiff compares two benchsuite trajectory points and fails
+// when decode-side throughput regresses. CI runs it as a perf gate: the
+// freshly measured BENCH_<rev>.json for a PR is diffed against the newest
+// committed point, and any decode or serving benchmark whose decomp_mbps
+// dropped by more than the threshold fails the job.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.15] [-all] old.json new.json
+//
+// Records are matched on (codec, dataset, op, dtype, rel_bound). Only
+// decode-side throughput (decomp_mbps — full decode, get, extract, and
+// gateway_get ops all report it) gates; compression throughput and ratio
+// are reported for context but never fail the gate, since encode cost is
+// a deliberate trade in several configurations. Records present on only
+// one side are reported and skipped: benchmarks come and go across PRs,
+// and a new benchmark has no baseline to regress against.
+//
+// Benchmarks in shared CI runners are noisy; the default 15% threshold is
+// wide enough that scheduler jitter does not fail honest PRs, while a
+// real algorithmic regression (typically 2x or worse) cannot hide.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type record struct {
+	Codec      string  `json:"codec"`
+	Dataset    string  `json:"dataset"`
+	Op         string  `json:"op,omitempty"`
+	Dtype      string  `json:"dtype,omitempty"`
+	RelBound   float64 `json:"rel_bound"`
+	CR         float64 `json:"cr"`
+	CompMBps   float64 `json:"comp_mbps"`
+	DecompMBps float64 `json:"decomp_mbps"`
+}
+
+type suite struct {
+	Size    string   `json:"size"`
+	Records []record `json:"records"`
+}
+
+// key identifies a benchmark configuration across trajectory points.
+func (r record) key() string {
+	op := r.Op
+	if op == "" {
+		op = "decode"
+	}
+	return fmt.Sprintf("%s|%s|%s|%s|%g", r.Codec, r.Dataset, op, r.Dtype, r.RelBound)
+}
+
+func load(path string) (suite, error) {
+	var s suite
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.15,
+		"maximum tolerated fractional drop in decomp_mbps (0.15 = 15%)")
+	all := flag.Bool("all", false, "print every matched record, not just regressions")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-threshold f] [-all] old.json new.json")
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	if old.Size != cur.Size {
+		// Different -size runs measure different datasets; a diff would
+		// compare nothing. Treat as a usage error so CI misconfiguration
+		// is loud.
+		fmt.Fprintf(os.Stderr, "benchdiff: size mismatch: %q vs %q\n", old.Size, cur.Size)
+		os.Exit(2)
+	}
+	os.Exit(diff(old, cur, *threshold, *all, os.Stdout))
+}
+
+// diff prints the comparison and returns the process exit code: 0 when no
+// gated metric regressed beyond threshold, 1 otherwise.
+func diff(old, cur suite, threshold float64, all bool, w *os.File) int {
+	base := make(map[string]record, len(old.Records))
+	for _, r := range old.Records {
+		base[r.key()] = r
+	}
+	seen := make(map[string]bool, len(cur.Records))
+	type row struct {
+		key              string
+		oldMBps, newMBps float64
+		delta            float64 // fractional change, + is faster
+	}
+	var rows []row
+	var added []string
+	for _, r := range cur.Records {
+		k := r.key()
+		seen[k] = true
+		b, ok := base[k]
+		if !ok {
+			added = append(added, k)
+			continue
+		}
+		if b.DecompMBps <= 0 || r.DecompMBps <= 0 {
+			continue // ops that do not measure decode throughput
+		}
+		rows = append(rows, row{k, b.DecompMBps, r.DecompMBps, r.DecompMBps/b.DecompMBps - 1})
+	}
+	var removed []string
+	for k := range base {
+		if !seen[k] {
+			removed = append(removed, k)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].delta < rows[j].delta })
+	sort.Strings(added)
+	sort.Strings(removed)
+
+	failed := 0
+	for _, r := range rows {
+		if r.delta < -threshold {
+			failed++
+			fmt.Fprintf(w, "FAIL %-60s %8.2f -> %8.2f MB/s (%+.1f%%, limit -%.0f%%)\n",
+				r.key, r.oldMBps, r.newMBps, 100*r.delta, 100*threshold)
+		} else if all {
+			fmt.Fprintf(w, "ok   %-60s %8.2f -> %8.2f MB/s (%+.1f%%)\n",
+				r.key, r.oldMBps, r.newMBps, 100*r.delta)
+		}
+	}
+	for _, k := range added {
+		fmt.Fprintf(w, "new  %s (no baseline, not gated)\n", k)
+	}
+	for _, k := range removed {
+		fmt.Fprintf(w, "gone %s (present in baseline only)\n", k)
+	}
+	if failed > 0 {
+		fmt.Fprintf(w, "benchdiff: %d of %d decode benchmarks regressed beyond %.0f%%\n",
+			failed, len(rows), 100*threshold)
+		return 1
+	}
+	fmt.Fprintf(w, "benchdiff: %d decode benchmarks within -%.0f%% of baseline\n",
+		len(rows), 100*threshold)
+	return 0
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func rec(codec, dataset, op string, decomp float64) record {
+	return record{Codec: codec, Dataset: dataset, Op: op, RelBound: 1e-3, DecompMBps: decomp}
+}
+
+func TestDiffGatesOnlyRealRegressions(t *testing.T) {
+	old := suite{Size: "small", Records: []record{
+		rec("QoZ", "NYX", "", 100),
+		rec("QoZ", "NYX", "get", 200),
+		rec("QoZ", "NYX", "put", 0), // encode-only: no decode throughput
+		rec("SZ3", "RTM", "", 50),
+	}}
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	// Within threshold (10% drop, 15% limit) and one improvement: pass.
+	cur := suite{Size: "small", Records: []record{
+		rec("QoZ", "NYX", "", 90),
+		rec("QoZ", "NYX", "get", 240),
+		rec("QoZ", "NYX", "put", 0),
+		rec("SZ3", "RTM", "", 50),
+	}}
+	if code := diff(old, cur, 0.15, true, devnull); code != 0 {
+		t.Errorf("10%% drop under a 15%% threshold exited %d, want 0", code)
+	}
+
+	// A 40% drop in one get benchmark: fail.
+	cur.Records[1] = rec("QoZ", "NYX", "get", 120)
+	if code := diff(old, cur, 0.15, false, devnull); code != 1 {
+		t.Errorf("40%% get regression exited %d, want 1", code)
+	}
+
+	// New benchmarks have no baseline and never gate; removed ones are
+	// reported but do not fail.
+	cur = suite{Size: "small", Records: []record{
+		rec("QoZ", "NYX", "", 100),
+		rec("QoZ", "NYX", "gateway_get", 300),
+	}}
+	if code := diff(old, cur, 0.15, false, devnull); code != 0 {
+		t.Errorf("added+removed records exited %d, want 0", code)
+	}
+}
+
+func TestRecordKeyDistinguishesOps(t *testing.T) {
+	a := rec("QoZ", "NYX", "", 1)
+	b := rec("QoZ", "NYX", "get", 1)
+	if a.key() == b.key() {
+		t.Fatal("full-decode and get records share a key")
+	}
+	c := a
+	c.Dtype = "f64"
+	if a.key() == c.key() {
+		t.Fatal("f32 and f64 records share a key")
+	}
+}

@@ -56,6 +56,7 @@ import (
 
 	"qoz"
 	"qoz/internal/container"
+	"qoz/internal/interp"
 	"qoz/metrics"
 	"qoz/store"
 )
@@ -870,6 +871,105 @@ type infoReport struct {
 	// committed generation this manifest reflects.
 	Mutable    bool   `json:"mutable,omitempty"`
 	Generation uint64 `json:"generation,omitempty"`
+	// FormatVersion is the store's on-disk format version; Levels and
+	// BrickLevels appear only for v4 stores carrying progressive
+	// level-offset tables (docs/FORMAT.md §1.5).
+	FormatVersion int                  `json:"formatVersion,omitempty"`
+	Levels        []levelReport        `json:"levels,omitempty"`
+	BrickLevels   [][]store.LevelEntry `json:"brickLevels,omitempty"`
+}
+
+// levelReport summarizes one progressive level across the whole store:
+// what a level-L read materializes and what it costs to fetch.
+type levelReport struct {
+	Level  int `json:"level"`
+	Stride int `json:"stride"`
+	// GridPoints is how many points a level-L read of the full field
+	// returns (the stride-aligned subgrid of dims).
+	GridPoints int `json:"gridPoints"`
+	// NewPoints is how many points the interpolation passes at this level
+	// commit, summed over bricks (interp.CountLevelPoints per brick).
+	NewPoints int `json:"newPoints"`
+	// Bytes is the total compressed prefix a level-L read fetches, summed
+	// over bricks carrying level tables (each brick truncated to its own
+	// deepest level).
+	Bytes int64 `json:"bytes"`
+}
+
+// storeLevels assembles the per-level summary and per-brick offset tables
+// of a v4 store. Both are nil when no brick records a table.
+func storeLevels(s *store.Store) ([]levelReport, [][]store.LevelEntry) {
+	tables := make([][]store.LevelEntry, s.NumBricks())
+	maxLevels := 0
+	any := false
+	for i := range tables {
+		tables[i] = s.BrickLevels(i)
+		if n := len(tables[i]); n > 0 {
+			any = true
+			if n > maxLevels {
+				maxLevels = n
+			}
+		}
+	}
+	if !any {
+		return nil, nil
+	}
+	dims, brick := s.Dims(), s.BrickShape()
+	levels := make([]levelReport, 0, maxLevels)
+	for l := maxLevels; l >= 1; l-- {
+		stride := 1 << (l - 1)
+		rep := levelReport{Level: l, Stride: stride, GridPoints: 1}
+		for _, d := range qoz.CoarseDims(dims, stride) {
+			rep.GridPoints *= d
+		}
+		forEachBrickDims(dims, brick, func(bd []int) {
+			rep.NewPoints += interp.CountLevelPoints(bd, l)
+		})
+		for _, tab := range tables {
+			if len(tab) == 0 {
+				continue
+			}
+			// Entries run seed..1; the prefix for level l is the entry
+			// with Level == min(l, deepest recorded level).
+			eff := l
+			if eff > tab[0].Level {
+				eff = tab[0].Level
+			}
+			rep.Bytes += tab[len(tab)-eff].Bytes
+		}
+		levels = append(levels, rep)
+	}
+	return levels, tables
+}
+
+// forEachBrickDims visits the clipped shape of every brick in the store's
+// grid (edge bricks are smaller than the nominal brick shape).
+func forEachBrickDims(dims, brick []int, fn func(bd []int)) {
+	nd := len(dims)
+	idx := make([]int, nd)
+	bd := make([]int, nd)
+	for {
+		for d := 0; d < nd; d++ {
+			lo := idx[d] * brick[d]
+			n := brick[d]
+			if lo+n > dims[d] {
+				n = dims[d] - lo
+			}
+			bd[d] = n
+		}
+		fn(bd)
+		d := nd - 1
+		for ; d >= 0; d-- {
+			idx[d]++
+			if idx[d]*brick[d] < dims[d] {
+				break
+			}
+			idx[d] = 0
+		}
+		if d < 0 {
+			return
+		}
+	}
 }
 
 // infoJSON describes an archive from its headers only — unlike the human
@@ -905,6 +1005,8 @@ func infoJSON(path string, w io.Writer) error {
 		rep.ErrorBound = s.ErrorBound()
 		rep.Generation = s.Generation()
 		rep.Mutable = rep.Generation > 0
+		rep.FormatVersion = s.FormatVersion()
+		rep.Levels, rep.BrickLevels = storeLevels(s)
 		rep.Points = 1
 		for _, d := range rep.Dims {
 			rep.Points *= d

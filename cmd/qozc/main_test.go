@@ -287,6 +287,63 @@ func TestInfoJSON(t *testing.T) {
 		rep.Codec == "" || rep.ErrorBound <= 0 || rep.CompressedBytes == 0 {
 		t.Fatalf("store report incomplete: %+v", rep)
 	}
+
+	// A fresh QoZ store is format v4 and reports its progressive levels:
+	// deepest first, ending at level 1 (the full field), with the fetch
+	// cost growing as the level drops.
+	if rep.FormatVersion != 4 {
+		t.Fatalf("fresh store reports format v%d, want v4", rep.FormatVersion)
+	}
+	if len(rep.Levels) == 0 {
+		t.Fatal("v4 store report carries no levels")
+	}
+	last := rep.Levels[len(rep.Levels)-1]
+	if last.Level != 1 || last.Stride != 1 || last.GridPoints != rep.Points {
+		t.Fatalf("level list must end at level 1 covering the field, got %+v", last)
+	}
+	for i, lv := range rep.Levels {
+		if lv.Stride != 1<<(lv.Level-1) {
+			t.Errorf("level %d reports stride %d", lv.Level, lv.Stride)
+		}
+		// NewPoints may be 0 at deep levels (stride beyond the brick shape:
+		// anchors already cover the grid), but never negative, and the
+		// finest level always commits points.
+		if lv.Bytes <= 0 || lv.GridPoints <= 0 || lv.NewPoints < 0 {
+			t.Errorf("level %d report has empty counters: %+v", lv.Level, lv)
+		}
+		if i > 0 {
+			prev := rep.Levels[i-1]
+			if lv.Level != prev.Level-1 {
+				t.Errorf("levels not contiguous: %d after %d", lv.Level, prev.Level)
+			}
+			if lv.Bytes < prev.Bytes || lv.GridPoints < prev.GridPoints {
+				t.Errorf("level %d cheaper than deeper level %d", lv.Level, prev.Level)
+			}
+		}
+	}
+	if last.NewPoints == 0 {
+		t.Error("level 1 commits no points")
+	}
+	if last.Bytes > rep.CompressedBytes {
+		t.Errorf("level-1 prefix %d bytes exceeds the file size %d", last.Bytes, rep.CompressedBytes)
+	}
+	if len(rep.BrickLevels) != rep.Bricks {
+		t.Fatalf("%d brick level tables for %d bricks", len(rep.BrickLevels), rep.Bricks)
+	}
+	for i, tab := range rep.BrickLevels {
+		if len(tab) == 0 {
+			t.Fatalf("brick %d has no level table", i)
+		}
+		if tab[len(tab)-1].Level != 1 {
+			t.Errorf("brick %d table does not end at level 1: %+v", i, tab)
+		}
+		for j := 1; j < len(tab); j++ {
+			if tab[j].Level != tab[j-1].Level-1 || tab[j].Bytes < tab[j-1].Bytes {
+				t.Errorf("brick %d table not a descending prefix chain: %+v", i, tab)
+				break
+			}
+		}
+	}
 }
 
 // TestPutGetExtractFloat64Cycle pins the double-precision store CLI path:

@@ -625,3 +625,131 @@ func TestShardSingleFlightMetrics(t *testing.T) {
 		t.Error("metrics missing qozd_flight_leads_total")
 	}
 }
+
+// TestClusterGatewayLevelStitch pins the tentpole's cluster contract: a
+// coarse (level>1) read through the gateway — stitched from per-shard
+// coarse sub-reads — is byte-identical to the same coarse read against a
+// single node holding the whole store, with the same level-aware ETag and
+// headers. It also pins the strided-subset relation against the gateway's
+// own full-resolution body, per-level cache validators, and the 400s for
+// malformed levels and regions holding no coarse point.
+func TestClusterGatewayLevelStitch(t *testing.T) {
+	dir := t.TempDir()
+	p32, _ := buildStoreFile(t, dir)
+	p64, _, _ := buildStoreFile64(t, dir)
+	mounts := []mount{{name: "nyx", target: p32}, {name: "wave", target: p64}}
+	shards, _ := startShards(t, mounts, 2, serverOptions{CacheBytes: 32 << 20}, nil)
+	gw, gts := startGateway(t, gatewayOptions{Shards: shardURLs(shards)})
+
+	for _, tc := range []struct {
+		field, region string
+		level         int
+	}{
+		// 32^3 field of 8^3 bricks; [1,31)^3 crosses every brick boundary.
+		{"nyx", "lo=1,2,3&hi=31,30,29", 2},
+		{"nyx", "lo=1,2,3&hi=31,30,29", 3},
+		// Stride 16: a single surviving coarse point (16,16,16) — most
+		// sub-regions hold no coarse point and must be skipped, not 400ed.
+		{"nyx", "lo=1,2,3&hi=31,30,29", 5},
+		// 16^3 float64 field (with a NaN), stride 4.
+		{"wave", "lo=0,1,2&hi=15,16,14", 3},
+	} {
+		for _, format := range []string{"", "&format=json"} {
+			url := fmt.Sprintf("/v1/fields/%s/region?%s&level=%d%s", tc.field, tc.region, tc.level, format)
+			wantResp, want := get(t, shards[0].URL+url)
+			if wantResp.StatusCode != http.StatusOK {
+				t.Fatalf("single-node %s: %s: %s", url, wantResp.Status, want)
+			}
+			gotResp, got := get(t, gts.URL+url)
+			if gotResp.StatusCode != http.StatusOK {
+				t.Fatalf("gateway %s: %s: %s", url, gotResp.Status, got)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("%s: gateway body differs from single-node body (%d vs %d bytes)", url, len(got), len(want))
+			}
+			for _, h := range []string{"ETag", "X-Qoz-Dims", "X-Qoz-Dtype", "X-Qoz-Level"} {
+				if gotResp.Header.Get(h) != wantResp.Header.Get(h) {
+					t.Errorf("%s: header %s: gateway %q, single-node %q", url, h, gotResp.Header.Get(h), wantResp.Header.Get(h))
+				}
+			}
+		}
+	}
+
+	// The coarse body really is the stride-2^(L-1) subset of the gateway's
+	// own full-resolution read — stitching did not reorder or resample.
+	const lo0, hi0 = 1, 31 // same box on every axis keeps the index math short
+	const level = 2
+	const stride = 1 << (level - 1)
+	_, full := get(t, gts.URL+"/v1/fields/nyx/region?lo=1,1,1&hi=31,31,31")
+	resp, coarse := get(t, gts.URL+fmt.Sprintf("/v1/fields/nyx/region?lo=1,1,1&hi=31,31,31&level=%d", level))
+	if got := resp.Header.Get("X-Qoz-Level"); got != fmt.Sprint(level) {
+		t.Errorf("X-Qoz-Level %q, want %d", got, level)
+	}
+	fullN := hi0 - lo0                 // full-resolution points per axis
+	clo := (lo0 + stride - 1) / stride // first coarse coordinate
+	cN := (hi0-1)/stride + 1 - clo     // coarse points per axis
+	if wantLen := 4 * cN * cN * cN; len(coarse) != wantLen {
+		t.Fatalf("coarse body %d bytes, want %d", len(coarse), wantLen)
+	}
+	for z := 0; z < cN; z++ {
+		for y := 0; y < cN; y++ {
+			for x := 0; x < cN; x++ {
+				ci := ((z*cN+y)*cN + x) * 4
+				gz, gy, gx := (clo+z)*stride-lo0, (clo+y)*stride-lo0, (clo+x)*stride-lo0
+				fi := ((gz*fullN+gy)*fullN + gx) * 4
+				if !bytes.Equal(coarse[ci:ci+4], full[fi:fi+4]) {
+					t.Fatalf("coarse point (%d,%d,%d) differs from full-resolution sample", x, y, z)
+				}
+			}
+		}
+	}
+
+	// Level is part of the validator: coarse and full reads carry distinct
+	// ETags, and revalidating the coarse one answers 304.
+	respFull, _ := get(t, gts.URL+"/v1/fields/nyx/region?lo=1,2,3&hi=31,30,29")
+	respL, _ := get(t, gts.URL+"/v1/fields/nyx/region?lo=1,2,3&hi=31,30,29&level=2")
+	if respFull.Header.Get("ETag") == respL.Header.Get("ETag") {
+		t.Error("level-2 read shares the level-1 ETag; caches would serve the wrong resolution")
+	}
+	req, _ := http.NewRequest(http.MethodGet, gts.URL+"/v1/fields/nyx/region?lo=1,2,3&hi=31,30,29&level=2", nil)
+	req.Header.Set("If-None-Match", respL.Header.Get("ETag"))
+	resp304, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp304.Body)
+	resp304.Body.Close()
+	if resp304.StatusCode != http.StatusNotModified {
+		t.Errorf("coarse revalidation answered %d, want 304", resp304.StatusCode)
+	}
+
+	// Malformed levels and coarse-empty regions are client errors on both
+	// roles, stated identically.
+	for _, bad := range []string{
+		"lo=1,2,3&hi=31,30,29&level=0",
+		"lo=1,2,3&hi=31,30,29&level=31",
+		"lo=1,2,3&hi=31,30,29&level=x",
+		"lo=1,1,1&hi=2,2,2&level=2", // [1,2): no coordinate is a multiple of 2
+	} {
+		for _, base := range []string{gts.URL, shards[0].URL} {
+			resp, body := get(t, base+"/v1/fields/nyx/region?"+bad)
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("GET ?%s against %s: %d, want 400 (body %s)", bad, base, resp.StatusCode, body)
+			}
+		}
+	}
+
+	// Fan-out still crossed shard boundaries at level 2 (the coarse grid
+	// spans many bricks, so both owners served).
+	gw.trafficMu.Lock()
+	served := 0
+	for _, tr := range gw.traffic {
+		if tr.Reads > 0 {
+			served++
+		}
+	}
+	gw.trafficMu.Unlock()
+	if served != 2 {
+		t.Errorf("%d shards served coarse sub-reads, want 2", served)
+	}
+}

@@ -260,11 +260,12 @@ func (g *gateway) handleRegion(w http.ResponseWriter, r *http.Request) {
 		g.httpError(w, r, http.StatusBadRequest, "unknown format %q (want raw or json)", format)
 		return
 	}
-	gz := format == "json" && acceptsGzip(r)
-	variant := format
-	if gz {
-		variant += "+gzip"
+	level, ok := parseLevel(w, r, g.httpError)
+	if !ok {
+		return
 	}
+	gz := format == "json" && acceptsGzip(r)
+	variant := regionVariant(format, gz, level)
 
 	// The stale-retry loop: a fan-out can fail with ErrStale when the
 	// shards have advanced past the gateway's catalog (the generation gate
@@ -283,13 +284,20 @@ func (g *gateway) handleRegion(w http.ResponseWriter, r *http.Request) {
 			g.httpError(w, r, http.StatusBadRequest, "region rank %d/%d, field rank %d", len(lo), len(hi), len(dims))
 			return
 		}
-		points := 1
 		for i := range dims {
 			if lo[i] < 0 || hi[i] > dims[i] || lo[i] >= hi[i] {
 				g.httpError(w, r, http.StatusBadRequest, "region [%v,%v) outside field %v", lo, hi, dims)
 				return
 			}
-			points *= hi[i] - lo[i]
+		}
+		// Like the shard role, the served-points bound applies to the
+		// level's coarse grid, and an empty coarse grid is the client's
+		// mistake, answered before any shard is bothered.
+		outDims, points, ok := levelOutDims(lo, hi, level)
+		if !ok {
+			g.httpError(w, r, http.StatusBadRequest,
+				"region [%v,%v) has no points on the level-%d grid", lo, hi, level)
+			return
 		}
 		if g.opts.MaxPoints > 0 && points > g.opts.MaxPoints {
 			g.httpError(w, r, http.StatusRequestEntityTooLarge,
@@ -307,13 +315,14 @@ func (g *gateway) handleRegion(w http.ResponseWriter, r *http.Request) {
 		}
 
 		// Single-flight over the stitched raw bytes. The key carries the
-		// catalog's (crc, gen) so herds spanning a catalog refresh never
-		// share bytes across generations; it omits the format because raw
-		// and json responses render from the same slab.
-		key := fmt.Sprintf("%s|%08x-%d|%v|%v", f.Name, f.ManifestCRC, f.Generation, lo, hi)
+		// catalog's (crc, gen) and the level so herds spanning a catalog
+		// refresh never share bytes across generations (and coarse herds
+		// never share with full-resolution ones); it omits the format
+		// because raw and json responses render from the same slab.
+		key := fmt.Sprintf("%s|%08x-%d|%v|%v|l%d", f.Name, f.ManifestCRC, f.Generation, lo, hi, level)
 		v, _, err := g.flight.Do(r.Context(), key, func(ctx context.Context) (any, error) {
 			ctx = cluster.WithRequestID(ctx, r.Header.Get(requestIDHeader))
-			body, stats, err := g.client.ReadRegionRaw(ctx, f, lo, hi)
+			body, stats, err := g.client.ReadRegionLevelRaw(ctx, f, lo, hi, level)
 			g.subReads.Add(int64(stats.SubReads))
 			g.retries.Add(int64(stats.Retries))
 			g.trafficMu.Lock()
@@ -352,11 +361,10 @@ func (g *gateway) handleRegion(w http.ResponseWriter, r *http.Request) {
 		}
 		body := v.([]byte)
 
-		outDims := make([]int, len(dims))
-		for i := range dims {
-			outDims[i] = hi[i] - lo[i]
-		}
 		w.Header().Set("ETag", etag)
+		if level > 1 {
+			w.Header().Set("X-Qoz-Level", strconv.Itoa(level))
+		}
 		var werr error
 		if format == "json" {
 			// JSON renders from the shared raw slab, so a herd mixing raw and

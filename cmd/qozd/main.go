@@ -6,9 +6,16 @@
 //
 //	GET /v1/fields                          list the mounted fields
 //	GET /v1/fields/{name}                   manifest: dims, brick, bound, codec, dtype, stats
-//	GET /v1/fields/{name}/region?lo=a,b,c&hi=d,e,f[&format=raw|json]
+//	GET /v1/fields/{name}/region?lo=a,b,c&hi=d,e,f[&level=L][&format=raw|json]
 //	                                        decode the half-open box [lo, hi)
 //	GET /metrics                            Prometheus-style counters
+//
+// level=L (default 1) asks for the progressive coarse grid: the points of
+// the box whose global coordinates are all multiples of 2^(L-1), decoded
+// from level-prefix bytes where the store's format (v4) records them and
+// bit-identical to subsampling the full-resolution answer. The coarse
+// shape comes back in X-Qoz-Dims and the level is echoed in X-Qoz-Level;
+// each level is its own representation with its own strong ETag.
 //
 // Region responses default to raw little-endian samples in the field's
 // element type — float32 or float64, named by the manifest's dtype and
@@ -46,8 +53,16 @@
 // With -gateway, qozd serves the same API without mounting anything:
 // it discovers fields from -shard URLs (ordinary qozd processes), routes
 // each brick to its owner by rendezvous hashing, fans region reads out
-// over the shards, and stitches the sub-regions back into one response —
-// see qoz/cluster and docs/CLUSTER.md.
+// over the shards (forwarding level for coarse reads), and stitches the
+// sub-regions back into one response — see qoz/cluster and
+// docs/CLUSTER.md.
+//
+// Either role serves HTTPS when given -tls-cert/-tls-key, and -client-ca
+// upgrades that to mutual TLS: clients must present a certificate
+// chaining to the CA or the handshake is refused. A gateway dials an
+// mTLS shard fleet with -shard-ca (trust anchor for shard certificates)
+// and -shard-cert/-shard-key (its own client credential). Bearer tokens
+// apply on top: TLS authenticates the hop, tokens authorize the tenant.
 //
 // Usage:
 //
@@ -55,9 +70,11 @@
 //	     -mount vx=https://bucket.example.com/vx.qozb [-cache-bytes N] \
 //	     [-workers N] [-max-inflight N] [-max-points N] [-poll 5s] \
 //	     [-auth-token T] [-tenant name=token[:rps[:burst]]] [-rate R -burst B] \
+//	     [-tls-cert F -tls-key F [-client-ca F]] \
 //	     [-metrics-public] [path.qozb ...]
 //	qozd -gateway -listen :8080 -shard http://shard0:8080 \
 //	     -shard http://shard1:8080 [-shard-token T] [-fanout-attempts N] \
+//	     [-shard-ca F] [-shard-cert F -shard-key F] \
 //	     [-poll 5s] [-auth-token T] [-rate R] ...
 //
 // Bare positional paths are mounted under their base name without the
@@ -113,9 +130,15 @@ func main() {
 	slowRequest := fs.Duration("slow-request", 0, "log a warning with the full span breakdown for requests at least this slow (0 disables)")
 	traceRing := fs.Int("trace-ring", 256, "completed request traces retained for GET /debug/traces")
 	pprofFlag := fs.Bool("pprof", false, "expose /debug/pprof/* (guarded like the /v1 endpoints)")
+	tlsCert := fs.String("tls-cert", "", "PEM server certificate: serve HTTPS instead of HTTP (with -tls-key)")
+	tlsKey := fs.String("tls-key", "", "private key for -tls-cert")
+	clientCA := fs.String("client-ca", "", "PEM CA bundle: require and verify client certificates against it (mTLS; needs -tls-cert)")
 	gatewayMode := fs.Bool("gateway", false, "run as a fan-out gateway over -shard URLs instead of serving mounts")
 	fs.Var(&shards, "shard", "shard qozd base URL for -gateway mode (repeatable)")
 	shardToken := fs.String("shard-token", "", "bearer token the gateway presents to shards (default: $QOZD_SHARD_TOKEN)")
+	shardCA := fs.String("shard-ca", "", "PEM CA bundle that shard server certificates must chain to (-gateway mode, https shards)")
+	shardCert := fs.String("shard-cert", "", "PEM client certificate the gateway presents to mTLS shards (with -shard-key)")
+	shardKey := fs.String("shard-key", "", "private key for -shard-cert")
 	fanoutAttempts := fs.Int("fanout-attempts", 2, "distinct shards tried per sub-region before the gateway gives up (1 disables failover)")
 	fanoutWorkers := fs.Int("fanout-workers", 0, "concurrent shard sub-reads per region request (0 = one per sub-region)")
 	fs.Parse(os.Args[1:])
@@ -162,6 +185,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "qozd: -gateway needs at least one -shard URL")
 			os.Exit(2)
 		}
+		var shardHTTP *http.Client
+		if *shardCA != "" || *shardCert != "" || *shardKey != "" {
+			var err error
+			if shardHTTP, err = shardTLSClient(*shardCA, *shardCert, *shardKey); err != nil {
+				fmt.Fprintf(os.Stderr, "qozd: %v\n", err)
+				os.Exit(2)
+			}
+		}
 		gw, err := newGateway(gatewayOptions{
 			Shards:     shards,
 			ShardToken: *shardToken,
@@ -171,6 +202,7 @@ func main() {
 			Guard:      guardOpts,
 			Ins:        ins,
 			Pprof:      *pprofFlag,
+			HTTP:       shardHTTP,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "qozd: %v\n", err)
@@ -183,7 +215,7 @@ func main() {
 		log.Printf("qozd gateway listening on %s (%d shards, %d fields)",
 			*listen, len(shards), len(gw.fieldNames()))
 		hs.Handler = gw
-		log.Fatal(hs.ListenAndServe())
+		log.Fatal(serve(hs, *tlsCert, *tlsKey, *clientCA))
 	}
 
 	for _, p := range fs.Args() {
@@ -222,7 +254,7 @@ func main() {
 	log.Printf("qozd listening on %s (%d fields, %d MiB shared cache)",
 		*listen, len(srv.fields), *cacheBytes>>20)
 	hs.Handler = srv
-	log.Fatal(hs.ListenAndServe())
+	log.Fatal(serve(hs, *tlsCert, *tlsKey, *clientCA))
 }
 
 // mount is one name=target pair.
@@ -620,13 +652,26 @@ func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, r, http.StatusBadRequest, "region rank %d/%d, field rank %d", len(lo), len(hi), len(dims))
 		return
 	}
-	points := 1
 	for i := range dims {
 		if lo[i] < 0 || hi[i] > dims[i] || lo[i] >= hi[i] {
 			s.httpError(w, r, http.StatusBadRequest, "region [%v,%v) outside field %v", lo, hi, dims)
 			return
 		}
-		points *= hi[i] - lo[i]
+	}
+	level, ok := parseLevel(w, r, s.httpError)
+	if !ok {
+		return
+	}
+	// The response grid: at level 1 the box itself, at level L the points
+	// of the box whose global coordinates are multiples of 2^(L-1). The
+	// -max-points bound applies to the points actually served, so a coarse
+	// read of a region too large to serve at full resolution still goes
+	// through — that is the point of progressive reads.
+	outDims, points, ok := levelOutDims(lo, hi, level)
+	if !ok {
+		s.httpError(w, r, http.StatusBadRequest,
+			"region [%v,%v) has no points on the level-%d grid", lo, hi, level)
+		return
 	}
 	if s.opts.MaxPoints > 0 && points > s.opts.MaxPoints {
 		s.httpError(w, r, http.StatusRequestEntityTooLarge,
@@ -655,10 +700,7 @@ func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
 	// representation and an error body is not it. The gzip variant of the
 	// JSON encoding is its own representation and gets its own validator.
 	gz := format == "json" && acceptsGzip(r)
-	variant := format
-	if gz {
-		variant += "+gzip"
-	}
+	variant := regionVariant(format, gz, level)
 	crc, gen := f.store.ManifestVersion()
 	etag := regionETag(crc, gen, f.store.DType(), lo, hi, variant)
 	if inmMatches(r.Header.Get("If-None-Match"), etag) {
@@ -667,21 +709,16 @@ func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	outDims := make([]int, len(dims))
-	for i := range dims {
-		outDims[i] = hi[i] - lo[i]
-	}
-
-	// Single-flight: concurrent identical requests — same field, box, and
-	// store generation — share one decode. The key carries (crc, gen) so a
-	// herd spanning a poll refresh never mixes generations: old and new
-	// requests lead separate flights. Admission control sits inside the
-	// flight function so a coalesced herd of N requests consumes one
-	// -max-inflight slot, not N; a shed leader sheds the whole herd (every
-	// waiter gets the same retryable 503). The leader runs under a context
-	// that survives any individual client's disconnect and is cancelled
-	// only when the last waiter is gone.
-	key := fmt.Sprintf("%s|%08x-%d|%v|%v", f.name, crc, gen, lo, hi)
+	// Single-flight: concurrent identical requests — same field, box,
+	// level, and store generation — share one decode. The key carries
+	// (crc, gen) so a herd spanning a poll refresh never mixes
+	// generations: old and new requests lead separate flights. Admission
+	// control sits inside the flight function so a coalesced herd of N
+	// requests consumes one -max-inflight slot, not N; a shed leader sheds
+	// the whole herd (every waiter gets the same retryable 503). The
+	// leader runs under a context that survives any individual client's
+	// disconnect and is cancelled only when the last waiter is gone.
+	key := fmt.Sprintf("%s|%08x-%d|%v|%v|l%d", f.name, crc, gen, lo, hi, level)
 	v, _, err := s.flight.Do(r.Context(), key, func(ctx context.Context) (any, error) {
 		// Admission control: bound concurrent decodes rather than queue
 		// unboundedly — a shed request is retryable, an OOM is not.
@@ -693,6 +730,14 @@ func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
 				s.rejected.Add(1)
 				return nil, errShed
 			}
+		}
+		if level > 1 {
+			if f.store.Float64() {
+				data, _, err := f.store.ReadRegionLevelFloat64(ctx, lo, hi, level)
+				return data, err
+			}
+			data, _, err := f.store.ReadRegionLevel(ctx, lo, hi, level)
+			return data, err
 		}
 		if f.store.Float64() {
 			data, err := f.store.ReadRegionFloat64(ctx, lo, hi)
@@ -710,6 +755,9 @@ func (s *server) handleRegion(w http.ResponseWriter, r *http.Request) {
 	// answer with 8-byte samples (raw) or full-precision literals (json),
 	// float32 stores exactly as before.
 	w.Header().Set("ETag", etag)
+	if level > 1 {
+		w.Header().Set("X-Qoz-Level", strconv.Itoa(level))
+	}
 	var werr error
 	switch data := v.(type) {
 	case []float64:
@@ -741,13 +789,61 @@ func (s *server) regionError(w http.ResponseWriter, r *http.Request, err error) 
 	s.httpError(w, r, http.StatusInternalServerError, "read region: %v", err)
 }
 
+// parseLevel reads the optional level query parameter (default 1 = full
+// resolution), answering the 400 itself on a bad value. Both roles parse
+// it identically so shard and gateway reject the same requests.
+func parseLevel(w http.ResponseWriter, r *http.Request,
+	httpError func(http.ResponseWriter, *http.Request, int, string, ...any)) (int, bool) {
+	lv := r.URL.Query().Get("level")
+	if lv == "" {
+		return 1, true
+	}
+	n, err := strconv.Atoi(lv)
+	if err != nil || n < 1 || n > store.MaxReadLevel {
+		httpError(w, r, http.StatusBadRequest,
+			"level must be an integer in [1,%d], got %q", store.MaxReadLevel, lv)
+		return 0, false
+	}
+	return n, true
+}
+
+// levelOutDims returns the response grid of a level-L read of [lo, hi):
+// per dimension, the count of multiples of stride 2^(L-1) inside the box
+// (at level 1, simply hi-lo). ok is false when some dimension holds none.
+func levelOutDims(lo, hi []int, level int) (outDims []int, points int, ok bool) {
+	stride := 1 << (level - 1)
+	outDims = make([]int, len(lo))
+	points = 1
+	for i := range lo {
+		outDims[i] = (hi[i]-1)/stride + 1 - (lo[i]+stride-1)/stride
+		if outDims[i] <= 0 {
+			return nil, 0, false
+		}
+		points *= outDims[i]
+	}
+	return outDims, points, true
+}
+
+// regionVariant names the encoding variant an ETag embeds: the format,
+// the gzip content coding, and — for progressive reads — the level, each
+// of which selects a different representation of the same region.
+func regionVariant(format string, gz bool, level int) string {
+	if gz {
+		format += "+gzip"
+	}
+	if level > 1 {
+		format += fmt.Sprintf("+l%d", level)
+	}
+	return format
+}
+
 // regionETag derives the strong validator of a region response: the store
 // manifest fingerprint and generation (content identity, read as one
 // consistent pair), the box, the element type, and the encoding variant
-// (including gzip). Any of these changing changes the bytes, and nothing
-// else does. The gateway computes the same validator from its catalog's
-// (crc, gen), so a region served via fan-out revalidates against a
-// single-node response and vice versa.
+// (including gzip and the progressive level). Any of these changing
+// changes the bytes, and nothing else does. The gateway computes the same
+// validator from its catalog's (crc, gen), so a region served via fan-out
+// revalidates against a single-node response and vice versa.
 func regionETag(crc uint32, gen uint64, dtype string, lo, hi []int, variant string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, `"%08x-g%d-`, crc, gen)

@@ -1,0 +1,95 @@
+// TLS plumbing for both qozd roles. A shard serves HTTPS when given a
+// certificate (-tls-cert/-tls-key) and, with -client-ca, requires every
+// client to present a certificate chaining to that CA — which is how a
+// fleet restricts region reads to gateways holding a fleet-issued
+// credential (mTLS), rather than a bearer token alone. The gateway's
+// side of the handshake is -shard-ca (what shard server certificates
+// must chain to) and -shard-cert/-shard-key (the client certificate it
+// presents). Bearer tokens still apply on top: TLS authenticates the
+// hop, tokens authorize the tenant.
+package main
+
+import (
+	"crypto/tls"
+	"crypto/x509"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+)
+
+// serverTLSConfig builds a shard's serving TLS configuration: the server
+// certificate, plus — when clientCAFile is set — mandatory verification
+// of client certificates against that CA.
+func serverTLSConfig(certFile, keyFile, clientCAFile string) (*tls.Config, error) {
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("loading -tls-cert/-tls-key: %w", err)
+	}
+	cfg := &tls.Config{Certificates: []tls.Certificate{cert}, MinVersion: tls.VersionTLS12}
+	if clientCAFile != "" {
+		pool, err := loadCertPool(clientCAFile)
+		if err != nil {
+			return nil, fmt.Errorf("loading -client-ca: %w", err)
+		}
+		cfg.ClientCAs = pool
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+	}
+	return cfg, nil
+}
+
+// shardTLSClient builds the gateway's shard-facing HTTP client for a TLS
+// fleet: shard server certificates are verified against caFile, and
+// certFile/keyFile — when set — is presented as the gateway's client
+// certificate for shards enforcing mTLS.
+func shardTLSClient(caFile, certFile, keyFile string) (*http.Client, error) {
+	cfg := &tls.Config{MinVersion: tls.VersionTLS12}
+	if caFile != "" {
+		pool, err := loadCertPool(caFile)
+		if err != nil {
+			return nil, fmt.Errorf("loading -shard-ca: %w", err)
+		}
+		cfg.RootCAs = pool
+	}
+	if certFile != "" || keyFile != "" {
+		cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+		if err != nil {
+			return nil, fmt.Errorf("loading -shard-cert/-shard-key: %w", err)
+		}
+		cfg.Certificates = []tls.Certificate{cert}
+	}
+	return &http.Client{
+		Timeout:   10 * time.Minute,
+		Transport: &http.Transport{TLSClientConfig: cfg},
+	}, nil
+}
+
+// loadCertPool reads a PEM CA bundle into a pool.
+func loadCertPool(path string) (*x509.CertPool, error) {
+	pem, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	pool := x509.NewCertPool()
+	if !pool.AppendCertsFromPEM(pem) {
+		return nil, fmt.Errorf("%s holds no PEM certificate", path)
+	}
+	return pool, nil
+}
+
+// serve starts hs over HTTP, or HTTPS when a server certificate is
+// configured (with mandatory client verification when clientCA is set).
+func serve(hs *http.Server, tlsCert, tlsKey, clientCA string) error {
+	if tlsCert == "" && tlsKey == "" {
+		if clientCA != "" {
+			return fmt.Errorf("-client-ca needs -tls-cert and -tls-key")
+		}
+		return hs.ListenAndServe()
+	}
+	cfg, err := serverTLSConfig(tlsCert, tlsKey, clientCA)
+	if err != nil {
+		return err
+	}
+	hs.TLSConfig = cfg
+	return hs.ListenAndServeTLS("", "")
+}

@@ -198,6 +198,20 @@ func peekHeader(buf []byte) (codec uint8, dims []int, rest []byte, err error) {
 
 // Decode parses a container produced by Encode.
 func Decode(buf []byte) (*Stream, error) {
+	return decode(buf, false)
+}
+
+// DecodePrefix parses a byte-exact prefix of an encoded container that
+// ends on a section boundary: the header is required, but the stream may
+// hold fewer sections than its header declares. Progressive readers use
+// this to decode only the leading sections of a level-segmented stream
+// after range-fetching a level-offset prefix. A prefix cut mid-section is
+// rejected as corrupt.
+func DecodePrefix(buf []byte) (*Stream, error) {
+	return decode(buf, true)
+}
+
+func decode(buf []byte, prefix bool) (*Stream, error) {
 	codec, dims, buf, err := peekHeader(buf)
 	if err != nil {
 		return nil, err
@@ -211,6 +225,9 @@ func Decode(buf []byte) (*Stream, error) {
 	nsec := int(buf[0])
 	buf = buf[1:]
 	for i := 0; i < nsec; i++ {
+		if prefix && len(buf) == 0 {
+			return s, nil
+		}
 		if len(buf) < 1 {
 			return nil, ErrCorrupt
 		}
@@ -250,6 +267,53 @@ func Decode(buf []byte) (*Stream, error) {
 		s.Sections = append(s.Sections, Section{ID: id, Data: data})
 	}
 	return s, nil
+}
+
+// SectionSpan locates one section within an encoded container: its id and
+// the absolute offset of the first byte past it. Spans let callers compute
+// byte-exact stream prefixes (every prefix ending at a span's End decodes
+// with DecodePrefix) without inflating any payload.
+type SectionSpan struct {
+	ID  uint8
+	End int
+}
+
+// ScanSections walks an encoded container's section framing and returns
+// one span per section, in stream order. Section payloads are not
+// inflated or copied.
+func ScanSections(buf []byte) ([]SectionSpan, error) {
+	_, _, rest, err := peekHeader(buf)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) < 9 {
+		return nil, ErrCorrupt
+	}
+	nsec := int(rest[8])
+	rest = rest[9:]
+	pos := len(buf) - len(rest)
+	spans := make([]SectionSpan, 0, nsec)
+	for i := 0; i < nsec; i++ {
+		if len(rest) < 1 {
+			return nil, ErrCorrupt
+		}
+		id := rest[0]
+		rest = rest[1:]
+		_, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return nil, ErrCorrupt
+		}
+		rest = rest[n:]
+		encLen, m := binary.Uvarint(rest)
+		if m <= 0 || uint64(len(rest[m:])) < encLen {
+			return nil, ErrCorrupt
+		}
+		rest = rest[m:]
+		rest = rest[encLen:]
+		pos += 1 + n + m + int(encLen)
+		spans = append(spans, SectionSpan{ID: id, End: pos})
+	}
+	return spans, nil
 }
 
 // deflate compresses buf with DEFLATE at the default level.

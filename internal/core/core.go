@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"math"
 
+	"qoz/internal/container"
 	"qoz/internal/interp"
 	"qoz/internal/quant"
 	"qoz/internal/szstream"
@@ -169,7 +170,11 @@ func CompressDetailed(data []float32, dims []int, opts Options) (*Result, error)
 		alpha, beta = tn.tuneParams(methods)
 	}
 
-	// Full compression pass with the chosen configuration.
+	// Full compression pass with the chosen configuration. The symbol
+	// streams are cut at level boundaries as they are produced — the pass
+	// already emits them in level order (seed stage, then levels max..1) —
+	// so the container can store each level as its own segment and a
+	// progressive decoder can stop after any level.
 	q := quant.New(eb, 0)
 	recon := make([]float32, len(data))
 	var anchors []float32
@@ -183,31 +188,209 @@ func CompressDetailed(data []float32, dims []int, opts Options) (*Result, error)
 			recon[idx] = data[idx]
 		}
 	}
+	segs := []szstream.LevelSegment{{Level: maxLevel + 1, Bins: q.Bins, Literals: q.Literals}}
+	prevBins, prevLits := len(q.Bins), len(q.Literals)
 	for level := maxLevel; level >= 1; level-- {
 		q.SetBound(levelBound(eb, alpha, beta, level))
 		m := methodFor(methods, level)
 		interp.LevelPass(recon, dims, level, m, func(idx int, pred float64) float32 {
 			return q.Quantize(data[idx], pred)
 		})
+		segs = append(segs, szstream.LevelSegment{
+			Level:    level,
+			Bins:     q.Bins[prevBins:],
+			Literals: q.Literals[prevLits:],
+		})
+		prevBins, prevLits = len(q.Bins), len(q.Literals)
+	}
+	// Quantizer appends may have reallocated; re-slice every segment over
+	// the final backing arrays.
+	off, loff := 0, 0
+	for i := range segs {
+		nb, nl := len(segs[i].Bins), len(segs[i].Literals)
+		segs[i].Bins = q.Bins[off : off+nb]
+		segs[i].Literals = q.Literals[loff : loff+nl]
+		off += nb
+		loff += nl
 	}
 
 	cfg := encodeConfig(o, alpha, beta, methods)
-	payload := &szstream.Payload{
-		Bins:     q.Bins,
-		Literals: q.Literals,
+	payload := &szstream.LevelPayload{
 		Anchors:  anchors,
 		Config:   cfg,
+		Segments: segs,
 	}
-	buf, err := szstream.Encode(codecID, dims, eb, payload)
+	buf, err := szstream.EncodeLevels(codecID, dims, eb, payload)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Bytes: buf, Alpha: alpha, Beta: beta, Methods: methods}, nil
 }
 
-// Decompress reverses Compress.
+// Decompress reverses Compress. Both stream layouts decode: the
+// level-segmented layout the encoder now produces, and the legacy
+// single-segment layout of older streams, bit-identically to the original
+// decoder.
 func Decompress(buf []byte) ([]float32, []int, error) {
-	stream, payload, err := szstream.Decode(buf, codecID)
+	s, err := container.Decode(buf)
+	if err != nil {
+		return nil, nil, err
+	}
+	if s.Codec != codecID {
+		return nil, nil, container.ErrCodecMismatch
+	}
+	if szstream.IsLevelStream(s) {
+		recon, dims, _, err := decompressStream(s, 1)
+		return recon, dims, err
+	}
+	return decompressLegacy(s)
+}
+
+// DecompressLevel decodes a level-segmented stream — or any byte-exact
+// prefix of one ending at a level boundary — down to the requested
+// interpolation level, and returns the compacted coarse grid: the points
+// whose coordinates are all multiples of the returned stride, in
+// row-major order over interp.CoarseDims(dims, stride). level is clamped
+// to [1, maxLevel+1]; level maxLevel+1 materializes the seed stage alone
+// (the anchor grid), level 1 the full field. Legacy single-segment
+// streams are rejected — they hold no level boundaries to stop at.
+func DecompressLevel(buf []byte, level int) (coarse []float32, dims []int, stride int, err error) {
+	s, err := container.DecodePrefix(buf)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if s.Codec != codecID {
+		return nil, nil, 0, container.ErrCodecMismatch
+	}
+	if !szstream.IsLevelStream(s) {
+		return nil, nil, 0, errors.New("qoz: stream predates level segmentation")
+	}
+	recon, dims, stride, err := decompressStream(s, level)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if stride == 1 {
+		return recon, dims, 1, nil
+	}
+	return compactCoarse(recon, dims, stride), dims, stride, nil
+}
+
+// decompressStream reconstructs a level-segmented stream through the
+// requested level (clamped to [1, maxLevel+1]) and returns the full-size
+// reconstruction buffer — only positions on the returned stride's grid
+// are meaningful when stride > 1 — plus the dims and completed stride.
+func decompressStream(s *container.Stream, level int) ([]float32, []int, int, error) {
+	payload, err := szstream.DecodeLevelsStream(s)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	cfg, err := decodeConfig(payload.Config)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	dims := s.Dims
+	eb := s.ErrorBound
+	n := 1
+	for _, d := range dims {
+		n *= d
+	}
+
+	maxLevel := interp.MaxLevelAnchored(cfg.anchorStride)
+	if cfg.noAnchors {
+		maxLevel = interp.MaxLevelGlobal(dims)
+	}
+	if len(cfg.methods) < maxLevel {
+		return nil, nil, 0, errors.New("qoz: config misses per-level methods")
+	}
+	effL := level
+	if effL < 1 {
+		effL = 1
+	}
+	if effL > maxLevel+1 {
+		effL = maxLevel + 1
+	}
+
+	recon := make([]float32, n)
+	seed := payload.Segment(maxLevel + 1)
+	if seed == nil {
+		return nil, nil, 0, errors.New("qoz: missing seed segment")
+	}
+	if cfg.noAnchors {
+		if len(seed.Bins) != 1 {
+			return nil, nil, 0, errors.New("qoz: bin count does not match dims")
+		}
+		deq := quant.NewDequantizer(eb, 0, seed.Bins, seed.Literals)
+		recon[0] = deq.Next(0)
+	} else {
+		idxs := interp.AnchorIndices(dims, cfg.anchorStride)
+		if len(payload.Anchors) != len(idxs) {
+			return nil, nil, 0, errors.New("qoz: anchor count mismatch")
+		}
+		if len(seed.Bins) != 0 {
+			return nil, nil, 0, errors.New("qoz: unexpected seed-stage bins")
+		}
+		for i, idx := range idxs {
+			recon[idx] = payload.Anchors[i]
+		}
+	}
+	for l := maxLevel; l >= effL; l-- {
+		seg := payload.Segment(l)
+		if seg == nil {
+			return nil, nil, 0, fmt.Errorf("qoz: stream prefix ends above level %d", l)
+		}
+		if len(seg.Bins) != interp.CountLevelPoints(dims, l) {
+			return nil, nil, 0, errors.New("qoz: bin count does not match dims")
+		}
+		deq := quant.NewDequantizer(levelBound(eb, cfg.alpha, cfg.beta, l), 0, seg.Bins, seg.Literals)
+		m := methodFor(cfg.methods, l)
+		interp.LevelPass(recon, dims, l, m, func(idx int, pred float64) float32 {
+			return deq.Next(pred)
+		})
+	}
+	return recon, dims, 1 << (effL - 1), nil
+}
+
+// compactCoarse gathers the stride-aligned points of a full-size
+// reconstruction buffer into a dense row-major array over
+// interp.CoarseDims(dims, stride).
+func compactCoarse(recon []float32, dims []int, stride int) []float32 {
+	cd := interp.CoarseDims(dims, stride)
+	nd := len(dims)
+	strides := make([]int, nd)
+	s := 1
+	for i := nd - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= dims[i]
+	}
+	n := 1
+	for _, d := range cd {
+		n *= d
+	}
+	out := make([]float32, n)
+	coord := make([]int, nd)
+	for i := 0; i < n; i++ {
+		idx := 0
+		for d := 0; d < nd; d++ {
+			idx += coord[d] * stride * strides[d]
+		}
+		out[i] = recon[idx]
+		d := nd - 1
+		for d >= 0 {
+			coord[d]++
+			if coord[d] < cd[d] {
+				break
+			}
+			coord[d] = 0
+			d--
+		}
+	}
+	return out
+}
+
+// decompressLegacy decodes the pre-segmentation single-segment layout,
+// byte-for-byte as the original decoder did.
+func decompressLegacy(s *container.Stream) ([]float32, []int, error) {
+	payload, err := szstream.PayloadFrom(s)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -215,8 +398,8 @@ func Decompress(buf []byte) ([]float32, []int, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	dims := stream.Dims
-	eb := stream.ErrorBound
+	dims := s.Dims
+	eb := s.ErrorBound
 	n := 1
 	for _, d := range dims {
 		n *= d

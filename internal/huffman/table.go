@@ -1,0 +1,233 @@
+package huffman
+
+import (
+	"encoding/binary"
+	"sort"
+
+	"qoz/internal/bitio"
+)
+
+// Table is a canonical Huffman code shared across several independently
+// decodable segments of one symbol stream. The level-segmented QoZ layout
+// builds one table over every quantization bin of a stream and then
+// encodes each interpolation level as its own byte-aligned segment, so a
+// decoder holding only a prefix of the stream can stop after any level
+// boundary without losing the global code's efficiency. Encode/Decode
+// remain the single-segment form; a Table factors the code out of the
+// segment framing.
+type Table struct {
+	syms []uint32 // canonical (length, symbol) order
+	lens []uint8  // lens[i] is the code length of syms[i]
+
+	codes map[uint32]codeEntry // encode side
+
+	// Canonical decode tables, mirroring Decode's inline construction.
+	count     [maxCodeLen + 1]int
+	firstCode [maxCodeLen + 2]uint64
+	firstSym  [maxCodeLen + 2]int
+}
+
+// BuildTable constructs the canonical code over all symbols that will be
+// segment-encoded against it. Symbols absent from the build set cannot be
+// encoded later.
+func BuildTable(symbols []uint32) *Table {
+	freq := make(map[uint32]uint64, 256)
+	for _, s := range symbols {
+		freq[s]++
+	}
+	return buildTableFromFreq(freq)
+}
+
+func buildTableFromFreq(freq map[uint32]uint64) *Table {
+	t := &Table{}
+	if len(freq) == 0 {
+		return t
+	}
+	if len(freq) == 1 {
+		for s := range freq {
+			t.syms = []uint32{s}
+			t.lens = []uint8{0} // no bits per symbol
+		}
+		return t
+	}
+	lengths := codeLengths(freq)
+	t.syms = make([]uint32, 0, len(lengths))
+	for s := range lengths {
+		t.syms = append(t.syms, s)
+	}
+	sortCanonical(t.syms, lengths)
+	t.codes = assignCodes(t.syms, lengths)
+	t.lens = make([]uint8, len(t.syms))
+	for i, s := range t.syms {
+		t.lens[i] = lengths[s]
+	}
+	t.buildDecode()
+	return t
+}
+
+// buildDecode fills the canonical decode tables from syms/lens (which must
+// hold k >= 2 entries in canonical order).
+func (t *Table) buildDecode() {
+	for _, l := range t.lens {
+		t.count[l]++
+	}
+	code := uint64(0)
+	idx := 0
+	for l := 1; l <= maxCodeLen; l++ {
+		t.firstCode[l] = code
+		t.firstSym[l] = idx
+		code += uint64(t.count[l])
+		idx += t.count[l]
+		code <<= 1
+	}
+}
+
+// Distinct returns the number of distinct symbols the table covers.
+func (t *Table) Distinct() int { return len(t.syms) }
+
+// AppendHeader serializes the table: uvarint k, then (for k >= 2) the same
+// zig-zag-delta symbol/length entries the single-segment header uses, so
+// the table costs exactly what Encode's header does minus the stream count.
+func (t *Table) AppendHeader(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(t.syms)))
+	if len(t.syms) == 0 {
+		return dst
+	}
+	if len(t.syms) == 1 {
+		return binary.AppendUvarint(dst, uint64(t.syms[0]))
+	}
+	prev := uint32(0)
+	for i, s := range t.syms {
+		delta := uint64(s)
+		if i > 0 {
+			delta = zigzag(int64(s) - int64(prev))
+		}
+		dst = binary.AppendUvarint(dst, delta)
+		dst = append(dst, t.lens[i])
+		prev = s
+	}
+	return dst
+}
+
+// ParseTable reverses AppendHeader, returning the table and the bytes that
+// follow the header.
+func ParseTable(buf []byte) (*Table, []byte, error) {
+	k, m := binary.Uvarint(buf)
+	if m <= 0 {
+		return nil, nil, errCorrupt
+	}
+	buf = buf[m:]
+	t := &Table{}
+	if k == 0 {
+		return t, buf, nil
+	}
+	if k == 1 {
+		s, m := binary.Uvarint(buf)
+		if m <= 0 {
+			return nil, nil, errCorrupt
+		}
+		t.syms = []uint32{uint32(s)}
+		t.lens = []uint8{0}
+		return t, buf[m:], nil
+	}
+	t.syms = make([]uint32, k)
+	t.lens = make([]uint8, k)
+	prev := uint32(0)
+	for i := 0; i < int(k); i++ {
+		d, m := binary.Uvarint(buf)
+		if m <= 0 || len(buf) < m+1 {
+			return nil, nil, errCorrupt
+		}
+		buf = buf[m:]
+		l := buf[0]
+		buf = buf[1:]
+		if l == 0 || l > maxCodeLen {
+			return nil, nil, errCorrupt
+		}
+		var s uint32
+		if i == 0 {
+			s = uint32(d)
+		} else {
+			s = uint32(int64(prev) + unzigzag(d))
+		}
+		t.syms[i] = s
+		t.lens[i] = l
+		prev = s
+	}
+	t.buildDecode()
+	return t, buf, nil
+}
+
+// EncodeSegment encodes one symbol run against the table as an
+// independently decodable, byte-aligned segment: uvarint count, then the
+// MSB-first bitstream (empty for tables of fewer than two symbols). Every
+// symbol must have occurred in the table's build set.
+func (t *Table) EncodeSegment(symbols []uint32) []byte {
+	out := binary.AppendUvarint(nil, uint64(len(symbols)))
+	if len(t.syms) < 2 || len(symbols) == 0 {
+		return out
+	}
+	w := bitio.NewWriter(len(symbols) / 2)
+	for _, s := range symbols {
+		c := t.codes[s]
+		w.WriteBits(c.code, uint(c.len))
+	}
+	return append(out, w.Bytes()...)
+}
+
+// DecodeSegment reverses EncodeSegment, ignoring the final byte's padding
+// bits. It returns the decoded symbols and the number of segment bytes
+// consumed, so callers can verify segment framing.
+func (t *Table) DecodeSegment(buf []byte) ([]uint32, int, error) {
+	n, m := binary.Uvarint(buf)
+	if m <= 0 {
+		return nil, 0, errCorrupt
+	}
+	if n == 0 {
+		return []uint32{}, m, nil
+	}
+	if len(t.syms) == 0 {
+		return nil, 0, errCorrupt
+	}
+	out := make([]uint32, n)
+	if len(t.syms) == 1 {
+		for i := range out {
+			out[i] = t.syms[0]
+		}
+		return out, m, nil
+	}
+	r := bitio.NewReader(buf[m:])
+	for i := uint64(0); i < n; i++ {
+		var c uint64
+		l := 0
+		for {
+			b, err := r.ReadBit()
+			if err != nil {
+				return nil, 0, errCorrupt
+			}
+			c = c<<1 | uint64(b)
+			l++
+			if l > maxCodeLen {
+				return nil, 0, errCorrupt
+			}
+			if t.count[l] > 0 && c-t.firstCode[l] < uint64(t.count[l]) {
+				out[i] = t.syms[t.firstSym[l]+int(c-t.firstCode[l])]
+				break
+			}
+		}
+	}
+	used := len(buf[m:]) - r.BitsRemaining()/8
+	return out, m + used, nil
+}
+
+// sortCanonical orders symbols by (code length, symbol id), the canonical
+// order shared by the encoder and the header.
+func sortCanonical(syms []uint32, lengths map[uint32]uint8) {
+	sort.Slice(syms, func(i, j int) bool {
+		li, lj := lengths[syms[i]], lengths[syms[j]]
+		if li != lj {
+			return li < lj
+		}
+		return syms[i] < syms[j]
+	})
+}

@@ -332,3 +332,15 @@ func countRange(start, step, n int) int {
 	}
 	return (n-start-1)/step + 1
 }
+
+// CoarseDims returns the per-dimension point counts of the stride-aligned
+// subgrid of dims: the points whose coordinates are all multiples of
+// stride. This is the shape a progressive decode materializes after
+// stopping at the level whose stride this is.
+func CoarseDims(dims []int, stride int) []int {
+	out := make([]int, len(dims))
+	for i, d := range dims {
+		out[i] = (d-1)/stride + 1
+	}
+	return out
+}

@@ -21,7 +21,35 @@ const (
 	SecLiterals = 2
 	SecAnchors  = 3
 	SecConfig   = 4
+	// SecHuffTable holds the canonical Huffman table shared by every
+	// per-level bin segment of a level-segmented stream (its presence is
+	// what distinguishes the layout from the legacy single-segment one).
+	SecHuffTable = 5
+
+	// Level-segmented streams store each interpolation level's symbols in
+	// its own sections, identified by id = base + level, so a reader can
+	// locate level boundaries from the section framing alone. Level
+	// maxLevel+1 is the seed stage (anchors, or the origin sample of
+	// anchor-free streams); levels then run maxLevel..1 in stream order.
+	SecLevelBinsBase = 64  // + level: huffman.Table segment of the level's bins
+	SecLevelLitsBase = 128 // + level: float32 bytes of the level's escaped literals
+
+	// MaxSegLevel bounds the level number a section id can carry. The
+	// dimension caps (2^31 per extent) keep real levels at 32 or less.
+	MaxSegLevel = 63
 )
+
+// SectionLevel maps a level-segment section id back to its level,
+// reporting which stream (bins or literals) it belongs to.
+func SectionLevel(id uint8) (level int, lits bool, ok bool) {
+	switch {
+	case id > SecLevelBinsBase && id <= SecLevelBinsBase+MaxSegLevel:
+		return int(id - SecLevelBinsBase), false, true
+	case id > SecLevelLitsBase && id <= SecLevelLitsBase+MaxSegLevel:
+		return int(id - SecLevelLitsBase), true, true
+	}
+	return 0, false, false
+}
 
 // Payload is the pre-entropy-coding content of an SZ-family stream.
 type Payload struct {
@@ -78,6 +106,132 @@ func unXorDelta(vals []float32) []float32 {
 	return vals
 }
 
+// LevelSegment is one interpolation level's share of the quantization
+// streams: its bin symbols and the literals escaped while quantizing it.
+type LevelSegment struct {
+	Level    int
+	Bins     []uint32
+	Literals []float32
+}
+
+// LevelPayload is the level-segmented counterpart of Payload: the shared
+// sections plus one segment per level, ordered from the seed stage
+// (level maxLevel+1) down to level 1 as they appear in the stream.
+type LevelPayload struct {
+	Anchors  []float32
+	Config   []byte
+	Segments []LevelSegment
+}
+
+// Segment returns the segment for one level, or nil.
+func (p *LevelPayload) Segment(level int) *LevelSegment {
+	for i := range p.Segments {
+		if p.Segments[i].Level == level {
+			return &p.Segments[i]
+		}
+	}
+	return nil
+}
+
+// EncodeLevels wraps a level-segmented payload in a container. One
+// canonical Huffman table is built over the bins of every segment and
+// stored once (SecHuffTable); each segment's bins then become an
+// independently decodable byte-aligned sub-stream, so the code costs what
+// the legacy single-segment form does while any level-boundary prefix of
+// the container remains decodable on its own. Sections are ordered
+// config, anchors, table, then segments from the seed stage down to level
+// 1 — exactly the order a progressive decoder consumes them.
+func EncodeLevels(codec uint8, dims []int, eb float64, p *LevelPayload) ([]byte, error) {
+	var all []uint32
+	for _, seg := range p.Segments {
+		all = append(all, seg.Bins...)
+	}
+	tbl := huffman.BuildTable(all)
+	s := &container.Stream{
+		Codec:      codec,
+		Dims:       dims,
+		ErrorBound: eb,
+		Sections: []container.Section{
+			{ID: SecConfig, Data: p.Config},
+			{ID: SecAnchors, Data: container.Float32sToBytes(xorDelta(p.Anchors))},
+			{ID: SecHuffTable, Data: tbl.AppendHeader(nil)},
+		},
+	}
+	for _, seg := range p.Segments {
+		if seg.Level < 1 || seg.Level > MaxSegLevel {
+			return nil, errors.New("szstream: segment level out of range")
+		}
+		s.Sections = append(s.Sections, container.Section{
+			ID:   uint8(SecLevelBinsBase + seg.Level),
+			Data: tbl.EncodeSegment(seg.Bins),
+		})
+		if len(seg.Literals) > 0 {
+			s.Sections = append(s.Sections, container.Section{
+				ID:   uint8(SecLevelLitsBase + seg.Level),
+				Data: container.Float32sToBytes(seg.Literals),
+			})
+		}
+	}
+	return container.Encode(s)
+}
+
+// IsLevelStream reports whether a decoded container uses the
+// level-segmented layout.
+func IsLevelStream(s *container.Stream) bool { return s.Section(SecHuffTable) != nil }
+
+// DecodeLevelsStream recovers a level-segmented payload from a decoded
+// container — possibly a prefix (container.DecodePrefix), in which case
+// only the segments present are returned. Segment order follows stream
+// order; callers validate level coverage against their config.
+func DecodeLevelsStream(s *container.Stream) (*LevelPayload, error) {
+	tblRaw := s.Section(SecHuffTable)
+	if tblRaw == nil {
+		return nil, errors.New("szstream: missing huffman table section")
+	}
+	tbl, _, err := huffman.ParseTable(tblRaw)
+	if err != nil {
+		return nil, err
+	}
+	anchors, err := container.BytesToFloat32s(s.Section(SecAnchors))
+	if err != nil {
+		return nil, err
+	}
+	p := &LevelPayload{
+		Anchors: unXorDelta(anchors),
+		Config:  s.Section(SecConfig),
+	}
+	for _, sec := range s.Sections {
+		level, lits, ok := SectionLevel(sec.ID)
+		if !ok {
+			continue
+		}
+		if lits {
+			seg := p.Segment(level)
+			if seg == nil {
+				return nil, errors.New("szstream: literal segment without bins segment")
+			}
+			vals, err := container.BytesToFloat32s(sec.Data)
+			if err != nil {
+				return nil, err
+			}
+			seg.Literals = vals
+			continue
+		}
+		if p.Segment(level) != nil {
+			return nil, errors.New("szstream: duplicate level segment")
+		}
+		bins, used, err := tbl.DecodeSegment(sec.Data)
+		if err != nil {
+			return nil, err
+		}
+		if used > len(sec.Data) {
+			return nil, errors.New("szstream: overlong level segment")
+		}
+		p.Segments = append(p.Segments, LevelSegment{Level: level, Bins: bins})
+	}
+	return p, nil
+}
+
 // Decode parses a container and recovers the payload, verifying the codec id.
 func Decode(buf []byte, wantCodec uint8) (*container.Stream, *Payload, error) {
 	s, err := container.Decode(buf)
@@ -87,23 +241,33 @@ func Decode(buf []byte, wantCodec uint8) (*container.Stream, *Payload, error) {
 	if s.Codec != wantCodec {
 		return nil, nil, container.ErrCodecMismatch
 	}
+	p, err := PayloadFrom(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	return s, p, nil
+}
+
+// PayloadFrom recovers the legacy single-segment payload from an
+// already-decoded container.
+func PayloadFrom(s *container.Stream) (*Payload, error) {
 	binsRaw := s.Section(SecBins)
 	if binsRaw == nil {
-		return nil, nil, errors.New("szstream: missing bins section")
+		return nil, errors.New("szstream: missing bins section")
 	}
 	bins, err := huffman.Decode(binsRaw)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	lits, err := container.BytesToFloat32s(s.Section(SecLiterals))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	anchors, err := container.BytesToFloat32s(s.Section(SecAnchors))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return s, &Payload{
+	return &Payload{
 		Bins:     bins,
 		Literals: lits,
 		Anchors:  unXorDelta(anchors),

@@ -38,12 +38,16 @@ func (c *Cache) Bytes() int64 {
 // a brick rewritten by a later generation of a mutable store lands at a
 // fresh offset (commits only append), so its stale decode can never be
 // served again, while unchanged bricks keep hitting. Entries orphaned by
-// a rewrite age out through ordinary LRU eviction.
+// a rewrite age out through ordinary LRU eviction. level distinguishes
+// progressive decodes: 0 is the full brick; a non-zero level is the
+// compacted coarse grid a level-prefix decode materialized, which holds
+// different (and fewer) points than the full decode under the same brick.
 type cacheKey struct {
 	owner *Store
 	epoch uint64
 	brick int
 	off   int64
+	level int
 }
 
 // lruCache is a byte-budgeted LRU cache of decoded bricks. Repeated

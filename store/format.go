@@ -20,6 +20,12 @@ const (
 	magic        = "QOZB"
 	trailerMagic = "QOZBIDX1"
 
+	// trailerMagicV4 terminates a v4 write-once store. v4 extends every
+	// index entry with the brick's progressive level table (docs/FORMAT.md
+	// §1.5); the distinct magic keeps a v1/v2 reader from walking a v4
+	// index it cannot parse.
+	trailerMagicV4 = "QOZBIDX4"
+
 	// genTrailerMagic terminates every v3 generation footer. It is distinct
 	// from trailerMagic so a v3 tail can never be misparsed as a v1/v2
 	// index footer (and vice versa), and so the torn-commit backward scan
@@ -30,13 +36,20 @@ const (
 	// debugging landmark; integrity comes from the footer's manifest CRC.
 	manifestMagic = "QZM3"
 
-	// formatVersion is what the write-once Writer emits; formatVersionV1
-	// files (kind always float32) still open and read unchanged, and
-	// formatVersionV3 files are the generation-based mutable stores
-	// created by CreateMutable.
-	formatVersion   = 2
+	// formatVersion is what the write-once Writer emits: v4, whose index
+	// carries a per-brick progressive level table enabling partial
+	// (coarse) reads. formatVersionV1 files (kind always float32) and
+	// formatVersionV2 files (the previous write-once layout, no level
+	// tables) still open and read unchanged; formatVersionV3 files are the
+	// generation-based mutable stores created by CreateMutable.
+	formatVersion   = 4
 	formatVersionV1 = 1
+	formatVersionV2 = 2
 	formatVersionV3 = 3
+
+	// maxLevelEntries bounds one brick's level table: the codec caps
+	// segment levels at szstream.MaxSegLevel (63), plus the seed stage.
+	maxLevelEntries = 64
 
 	kindFloat32 = 0
 	kindFloat64 = 1
@@ -88,18 +101,28 @@ func kindName(kind uint8) string {
 // ErrCorrupt reports a malformed store file.
 var ErrCorrupt = errors.New("store: corrupt brick store")
 
+// levelSpan is one entry of a brick's progressive level table (v4): the
+// byte length of the brick payload's prefix up to one level boundary, and
+// the CRC32 of exactly those prefix bytes. A table holds entries from the
+// stream's seed stage down to level 1 (whose span covers the whole
+// payload), so the level of entry j in a table of n entries is n-j.
+type levelSpan struct {
+	bytes int64
+	crc   uint32
+}
+
 // IsStore reports whether buf begins a brick store file (any supported
 // format version).
 func IsStore(buf []byte) bool {
 	return len(buf) >= len(magic)+2 && string(buf[:len(magic)]) == magic &&
 		(buf[len(magic)] == formatVersion || buf[len(magic)] == formatVersionV1 ||
-			buf[len(magic)] == formatVersionV3) &&
+			buf[len(magic)] == formatVersionV2 || buf[len(magic)] == formatVersionV3) &&
 		buf[len(magic)+1] == container.CodecBrick
 }
 
 // header is the decoded store header.
 type header struct {
-	version uint8 // formatVersionV1, formatVersion, or formatVersionV3
+	version uint8 // formatVersionV1, V2, V3, or formatVersion (v4)
 	codecID uint8
 	kind    uint8 // kindFloat32 or kindFloat64
 	dims    []int
@@ -148,7 +171,8 @@ func parseHeader(buf []byte) (*header, int, error) {
 		return nil, 0, ErrCorrupt
 	}
 	version := buf[len(magic)]
-	if version != formatVersion && version != formatVersionV1 && version != formatVersionV3 {
+	if version != formatVersion && version != formatVersionV1 &&
+		version != formatVersionV2 && version != formatVersionV3 {
 		return nil, 0, fmt.Errorf("store: unsupported version %d", version)
 	}
 	if buf[len(magic)+1] != container.CodecBrick {

@@ -114,6 +114,78 @@ func specParseV12(t *testing.T, buf []byte, h specHeader) []specEntry {
 	return entries
 }
 
+// specLevelSpan is one §1.5 level-table entry.
+type specLevelSpan struct {
+	bytes  int64
+	prefix uint32
+}
+
+// specParseV4 walks the §1.5 index and footer of a v4 write-once store:
+// the v1/v2 entry layout with each entry extended by a progressive level
+// table.
+func specParseV4(t *testing.T, buf []byte, h specHeader) ([]specEntry, [][]specLevelSpan) {
+	t.Helper()
+	foot := buf[len(buf)-16:]
+	if string(foot[8:]) != "QOZBIDX4" {
+		t.Fatalf("trailer magic %q, spec says \"QOZBIDX4\"", foot[8:])
+	}
+	idxOff := binary.LittleEndian.Uint64(foot[:8])
+	idx := buf[idxOff : len(buf)-16]
+	nb, n := binary.Uvarint(idx)
+	if n <= 0 || int(nb) != specNumBricks(h.dims, h.brick) {
+		t.Fatalf("index declares %d bricks, grid implies %d", nb, specNumBricks(h.dims, h.brick))
+	}
+	idx = idx[n:]
+	entries := make([]specEntry, nb)
+	tables := make([][]specLevelSpan, nb)
+	off := int64(h.end)
+	for i := range entries {
+		l, n := binary.Uvarint(idx)
+		if n <= 0 {
+			t.Fatalf("brick %d: bad length uvarint", i)
+		}
+		idx = idx[n:]
+		entries[i] = specEntry{off: off, length: int64(l), crc: binary.LittleEndian.Uint32(idx)}
+		idx = idx[4:]
+		off += int64(l)
+		nlv, n := binary.Uvarint(idx)
+		if n <= 0 || nlv > 64 {
+			t.Fatalf("brick %d: bad level-table count", i)
+		}
+		idx = idx[n:]
+		spans := make([]specLevelSpan, nlv)
+		prev := int64(0)
+		for j := range spans {
+			b, n := binary.Uvarint(idx)
+			if n <= 0 {
+				t.Fatalf("brick %d level entry %d: bad uvarint", i, j)
+			}
+			idx = idx[n:]
+			spans[j] = specLevelSpan{bytes: int64(b), prefix: binary.LittleEndian.Uint32(idx)}
+			idx = idx[4:]
+			if spans[j].bytes <= prev || spans[j].bytes > entries[i].length {
+				t.Fatalf("brick %d: level span %d bytes %d not strictly increasing within the payload", i, j, spans[j].bytes)
+			}
+			prev = spans[j].bytes
+		}
+		if nlv > 0 {
+			last := spans[nlv-1]
+			if last.bytes != entries[i].length || last.prefix != entries[i].crc {
+				t.Fatalf("brick %d: final level span (%d, %08x) must equal the full payload (%d, %08x)",
+					i, last.bytes, last.prefix, entries[i].length, entries[i].crc)
+			}
+		}
+		tables[i] = spans
+	}
+	if len(idx) != 0 {
+		t.Fatalf("%d trailing bytes after the last index entry", len(idx))
+	}
+	if off != int64(idxOff) {
+		t.Fatalf("cumulative payload lengths end at %d, index starts at %d", off, idxOff)
+	}
+	return entries, tables
+}
+
 // specFooter is the §1.4 48-byte generation footer.
 type specFooter struct {
 	manifestOff, manifestLen int64
@@ -282,6 +354,64 @@ func TestFormatSpecV2(t *testing.T) {
 	for i, v := range got {
 		if math.Float64bits(v) != binary.LittleEndian.Uint64(exp[8*i:]) {
 			t.Fatalf("point %d differs from the golden reconstruction", i)
+		}
+	}
+}
+
+// TestFormatSpecV4 decodes the v4 golden fixture at documented offsets,
+// including every brick's progressive level table: each span's prefix CRC
+// must cover exactly the payload prefix it declares, and the real reader's
+// level-2 region read must equal the stride-2 subsample of the golden
+// reconstruction bit-identically.
+func TestFormatSpecV4(t *testing.T) {
+	buf, exp := readFixture(t, "v4_f32.qozb", "v4_f32.expected.f32")
+	h := specParseHeader(t, buf)
+	if h.version != 4 || h.kind != 0 {
+		t.Fatalf("v4 fixture: version %d kind %d", h.version, h.kind)
+	}
+	entries, tables := specParseV4(t, buf, h)
+	specCheckPayloads(t, buf, h, entries, int64(len(buf))-16)
+	for i, spans := range tables {
+		if len(spans) == 0 {
+			t.Fatalf("brick %d: the qoz codec always records a level table", i)
+		}
+		p := buf[entries[i].off : entries[i].off+entries[i].length]
+		for j, sp := range spans {
+			if crc32.ChecksumIEEE(p[:sp.bytes]) != sp.prefix {
+				t.Fatalf("brick %d: level span %d prefix CRC does not cover its %d-byte prefix", i, j, sp.bytes)
+			}
+		}
+	}
+
+	s, err := Open(bytes.NewReader(buf), int64(len(buf)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, err := s.ReadField(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got)*4 != len(exp) {
+		t.Fatalf("reconstruction holds %d points, expectation %d", len(got), len(exp)/4)
+	}
+	for i, v := range got {
+		if math.Float32bits(v) != binary.LittleEndian.Uint32(exp[4*i:]) {
+			t.Fatalf("point %d differs from the golden reconstruction", i)
+		}
+	}
+	lo := []int{0, 0, 0}
+	coarse, cd, err := s.ReadRegionLevel(context.Background(), lo, h.dims, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, wantDims := sampleRegionStride(got, lo, h.dims, 2)
+	if !equalInts(cd, wantDims) {
+		t.Fatalf("level-2 dims %v, want %v", cd, wantDims)
+	}
+	for i := range want {
+		if math.Float32bits(coarse[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("level-2 point %d differs from the subsampled golden reconstruction", i)
 		}
 	}
 }

@@ -114,7 +114,7 @@ func FuzzOpen(f *testing.F) {
 		f.Add(mut)
 	}
 	mut = append([]byte(nil), valid3...)
-	mut[len(magic)] = formatVersion // v2 never allows a zero time extent
+	mut[len(magic)] = formatVersion // write-once versions never allow a zero time extent
 	f.Add(mut)
 
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -1,0 +1,352 @@
+package store
+
+// Progressive (multi-resolution) region reads. A level-L read returns the
+// points of the requested box whose global coordinates are all multiples
+// of stride 2^(L-1), bit-identical to the same points of a full-resolution
+// read. On a v4 store whose bricks carry level tables, each brick fetches
+// and decodes only the payload prefix up to the level boundary — strictly
+// fewer bytes than a full read; bricks without a table (other codecs,
+// older formats) fall back to a full decode followed by stride sampling,
+// so the result is the same either way.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"qoz"
+	"qoz/internal/pool"
+)
+
+// MaxReadLevel bounds the level a region read accepts; stride 2^(L-1)
+// already exceeds every admissible extent well before it.
+const MaxReadLevel = 30
+
+// LevelEntry describes one progressive level boundary of a brick payload:
+// decoding the first Bytes bytes materializes the coarse grid of Level.
+type LevelEntry struct {
+	Level int   `json:"level"`
+	Bytes int64 `json:"bytes"`
+}
+
+// FormatVersion returns the store's on-disk format version (1, 2, 3,
+// or 4).
+func (s *Store) FormatVersion() int { return int(s.man.Load().hdr.version) }
+
+// BrickLevels returns brick i's progressive level table — seed stage
+// first, level 1 (the whole payload) last — or nil when the store or the
+// brick's codec does not record one.
+func (s *Store) BrickLevels(i int) []LevelEntry {
+	m := s.man.Load()
+	if m.levels == nil || i < 0 || i >= len(m.levels) || len(m.levels[i]) == 0 {
+		return nil
+	}
+	spans := m.levels[i]
+	out := make([]LevelEntry, len(spans))
+	for j, sp := range spans {
+		out[j] = LevelEntry{Level: len(spans) - j, Bytes: sp.bytes}
+	}
+	return out
+}
+
+// ReadRegionLevel decodes the level-L coarse grid of the half-open box
+// [lo, hi): every point of the box whose global coordinates are all
+// multiples of 2^(L-1), row-major over the returned coarse dims. Level 1
+// is a full-resolution ReadRegion. The values are bit-identical to the
+// same points of a full read; on a v4 store with a progressive codec only
+// the level-prefix bytes of each brick are fetched and decoded.
+func (s *Store) ReadRegionLevel(ctx context.Context, lo, hi []int, level int) ([]float32, []int, error) {
+	m := s.man.Load()
+	if m.hdr.kind == kindFloat64 {
+		return nil, nil, errors.New("store: float64 store cannot be narrowed to float32 without breaking the error bound; use ReadRegionLevelFloat64")
+	}
+	return readRegionLevelTyped(ctx, s, m, lo, hi, level, s.brickCoarse32)
+}
+
+// ReadRegionLevelFloat64 is ReadRegionLevel for double precision; it
+// restores escaped double-precision points that land on the coarse grid
+// exactly, and widens float32 stores losslessly.
+func (s *Store) ReadRegionLevelFloat64(ctx context.Context, lo, hi []int, level int) ([]float64, []int, error) {
+	m := s.man.Load()
+	if m.hdr.kind == kindFloat64 {
+		return readRegionLevelTyped(ctx, s, m, lo, hi, level, s.brickCoarse64)
+	}
+	v, dims, err := readRegionLevelTyped(ctx, s, m, lo, hi, level, s.brickCoarse32)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]float64, len(v))
+	for i, x := range v {
+		out[i] = float64(x)
+	}
+	return out, dims, nil
+}
+
+// ReadRegionLevelT is the generic entry point over the two typed
+// progressive reads, mirroring ReadRegionT.
+func ReadRegionLevelT[T qoz.Float](ctx context.Context, s *Store, lo, hi []int, level int) ([]T, []int, error) {
+	if elemBytes[T]() == 8 {
+		v, dims, err := s.ReadRegionLevelFloat64(ctx, lo, hi, level)
+		if err != nil {
+			return nil, nil, err
+		}
+		return convertSamples[float64, T](v), dims, nil
+	}
+	v, dims, err := s.ReadRegionLevel(ctx, lo, hi, level)
+	if err != nil {
+		return nil, nil, err
+	}
+	return convertSamples[float32, T](v), dims, nil
+}
+
+// readRegionLevelTyped stitches the level-L coarse grids of every brick
+// the box intersects into one dense coarse array, the shared
+// implementation behind both typed progressive reads.
+func readRegionLevelTyped[T qoz.Float](ctx context.Context, s *Store, m *manifest, lo, hi []int, level int,
+	coarse func(context.Context, *manifest, int, int) ([]T, []int, error)) ([]T, []int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	dims := m.hdr.dims
+	if len(lo) != len(dims) || len(hi) != len(dims) {
+		return nil, nil, fmt.Errorf("store: region rank %d/%d, field rank %d", len(lo), len(hi), len(dims))
+	}
+	for i := range dims {
+		if lo[i] < 0 || hi[i] > dims[i] || lo[i] >= hi[i] {
+			return nil, nil, fmt.Errorf("store: region [%v,%v) outside field %v", lo, hi, dims)
+		}
+	}
+	if level < 1 || level > MaxReadLevel {
+		return nil, nil, fmt.Errorf("store: level %d outside 1..%d", level, MaxReadLevel)
+	}
+	stride := 1 << (level - 1)
+	nd := len(dims)
+	// The output grid: global coarse coordinates [outLo, outLo+outDims)
+	// per dimension, where coarse coordinate c maps to full coordinate
+	// c*stride.
+	outLo := make([]int, nd)
+	outDims := make([]int, nd)
+	n := 1
+	for d := range dims {
+		outLo[d] = ceilDiv(lo[d], stride)
+		outDims[d] = (hi[d]-1)/stride + 1 - outLo[d]
+		if outDims[d] <= 0 {
+			return nil, nil, fmt.Errorf("store: region [%v,%v) holds no level-%d points (stride %d)", lo, hi, level, stride)
+		}
+		n *= outDims[d]
+	}
+	out := make([]T, n)
+
+	bricks := m.intersectingBricks(lo, hi)
+	err := pool.RunErr(ctx, len(bricks), s.workers, func(k int) error {
+		bi := bricks[k]
+		blo, bhi := m.hdr.brickBox(bi)
+		// The brick's share of the coarse output, in global coarse
+		// coordinates. A brick the box intersects can still hold no
+		// stride-aligned points of the intersection; it is skipped without
+		// being fetched.
+		cilo := make([]int, nd)
+		size := make([]int, nd)
+		for d := range dims {
+			cilo[d] = ceilDiv(max(lo[d], blo[d]), stride)
+			size[d] = (min(hi[d], bhi[d])-1)/stride + 1 - cilo[d]
+			if size[d] <= 0 {
+				return nil
+			}
+		}
+		data, bcd, err := coarse(ctx, m, bi, level)
+		if err != nil {
+			return err
+		}
+		srcLo := make([]int, nd)
+		dstLo := make([]int, nd)
+		for d := range dims {
+			srcLo[d] = cilo[d] - ceilDiv(blo[d], stride)
+			dstLo[d] = cilo[d] - outLo[d]
+		}
+		copyBox(out, outDims, dstLo, data, bcd, srcLo, size)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, outDims, nil
+}
+
+// brickCoarse32 returns brick i's level-L coarse grid for a float32
+// store; brickCoarse64 the same with the escape envelope unwrapped.
+func (s *Store) brickCoarse32(ctx context.Context, m *manifest, i, level int) ([]float32, []int, error) {
+	return brickCoarseTyped(ctx, s, m, i, level, qoz.DecodeLevel32, s.brick32)
+}
+
+func (s *Store) brickCoarse64(ctx context.Context, m *manifest, i, level int) ([]float64, []int, error) {
+	return brickCoarseTyped(ctx, s, m, i, level, qoz.DecodeLevel64, s.brick64)
+}
+
+// brickCoarseTyped returns brick i's stride-aligned points — the points
+// of the brick box whose GLOBAL coordinates are all multiples of
+// stride 2^(level-1) — as a dense array with its dims. Three cases:
+//
+//   - the brick origin is stride-aligned and the manifest carries a level
+//     table: fetch and decode only the level-prefix bytes (clamped to the
+//     brick's own top level, then subsampled down to the requested
+//     stride when the brick has fewer levels than asked for);
+//   - otherwise: decode the full brick (through the ordinary brick cache)
+//     and gather the aligned points.
+//
+// Both paths produce bit-identical values, so mixed-alignment grids
+// stitch seamlessly.
+func brickCoarseTyped[T qoz.Float](ctx context.Context, s *Store, m *manifest, i, level int,
+	decodeLevel func([]byte, int) ([]T, []int, int, error),
+	brickFull func(context.Context, *manifest, int) ([]T, error)) ([]T, []int, error) {
+	stride := 1 << (level - 1)
+	blo, bhi := m.hdr.brickBox(i)
+	nd := len(blo)
+	bdims := make([]int, nd)
+	aligned := true
+	for d := range blo {
+		bdims[d] = bhi[d] - blo[d]
+		if blo[d]%stride != 0 {
+			aligned = false
+		}
+	}
+	var table []levelSpan
+	if m.levels != nil {
+		table = m.levels[i]
+	}
+	if level > 1 && aligned && len(table) > 0 {
+		eff := min(level, len(table))
+		data, err := brickCoarsePrefix(ctx, s, m, i, eff, bdims, decodeLevel)
+		if err != nil {
+			return nil, nil, err
+		}
+		if eff < level {
+			// The brick's own top level is finer than requested: its coarse
+			// grid contains the requested one, gather every stride/strideEff-th
+			// point.
+			start := make([]int, nd)
+			return gatherStrided(data, qoz.CoarseDims(bdims, 1<<(eff-1)), start, stride/(1<<(eff-1)))
+		}
+		return data, qoz.CoarseDims(bdims, stride), nil
+	}
+	full, err := brickFull(ctx, m, i)
+	if err != nil {
+		return nil, nil, err
+	}
+	if level == 1 {
+		return full, bdims, nil
+	}
+	// Brick-local coordinates of the globally stride-aligned points:
+	// c ≡ -blo (mod stride).
+	start := make([]int, nd)
+	for d := range start {
+		start[d] = (stride - blo[d]%stride) % stride
+	}
+	return gatherStrided(full, bdims, start, stride)
+}
+
+// brickCoarsePrefix fetches and decodes the payload prefix of brick i up
+// to its level-eff boundary, via the cache when enabled. eff must not
+// exceed the brick's level-table length.
+func brickCoarsePrefix[T qoz.Float](ctx context.Context, s *Store, m *manifest, i, eff int, bdims []int,
+	decodeLevel func([]byte, int) ([]T, []int, int, error)) ([]T, error) {
+	s.read.Add(1)
+	table := m.levels[i]
+	sp := table[len(table)-eff] // entry j holds level len(table)-j
+	key := cacheKey{owner: s, epoch: m.epoch, brick: i, off: m.offsets[i], level: eff}
+	obsv := stageObserverFrom(ctx)
+	if data, ok := s.cache.get(key); ok {
+		s.hits.Add(1)
+		d := data.([]T)
+		if obsv != nil {
+			obsv(StageCacheHit, 0, int64(len(d))*int64(kindSize(m.hdr.kind)))
+		}
+		return d, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	payload := make([]byte, sp.bytes)
+	var err error
+	var fetchStart time.Time
+	if obsv != nil {
+		fetchStart = time.Now()
+	}
+	if s.remote != nil {
+		_, err = s.remote.readAtCtx(ctx, payload, m.offsets[i])
+	} else {
+		_, err = m.ra.ReadAt(payload, m.offsets[i])
+	}
+	if obsv != nil {
+		obsv(StageFetch, time.Since(fetchStart), int64(len(payload)))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: brick %d: %w", i, err)
+	}
+	if crc32.ChecksumIEEE(payload) != sp.crc {
+		return nil, fmt.Errorf("store: brick %d: level-%d prefix checksum mismatch: %w", i, eff, ErrCorrupt)
+	}
+	id, pdims, err := peekBrick(m.hdr.kind, payload)
+	if err != nil || id != m.hdr.codecID || !equalInts(pdims, bdims) {
+		return nil, fmt.Errorf("store: brick %d: payload shape mismatch: %w", i, ErrCorrupt)
+	}
+	var decodeStart time.Time
+	if obsv != nil {
+		decodeStart = time.Now()
+	}
+	data, dims, strideDec, err := decodeLevel(payload, eff)
+	if obsv != nil {
+		obsv(StageDecode, time.Since(decodeStart), int64(len(data))*int64(kindSize(m.hdr.kind)))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: brick %d: %w", i, err)
+	}
+	want := qoz.CoarseDims(bdims, strideDec)
+	if strideDec != 1<<(eff-1) || !equalInts(dims, bdims) || len(data) != boxPoints(make([]int, len(want)), want) {
+		return nil, fmt.Errorf("store: brick %d: decoded coarse shape mismatch: %w", i, ErrCorrupt)
+	}
+	s.decoded.Add(1)
+	s.cache.put(key, data, int64(len(data))*int64(kindSize(m.hdr.kind)))
+	return data, nil
+}
+
+// gatherStrided extracts the points of src (row-major over dims) at
+// coordinates start[d] + k*step per dimension, returning the dense result
+// and its dims. Every start must lie inside its extent.
+func gatherStrided[T qoz.Float](src []T, dims, start []int, step int) ([]T, []int, error) {
+	nd := len(dims)
+	cd := make([]int, nd)
+	n := 1
+	for d := range dims {
+		if start[d] >= dims[d] {
+			return nil, nil, fmt.Errorf("store: stride gather start %v outside %v", start, dims)
+		}
+		cd[d] = (dims[d]-1-start[d])/step + 1
+		n *= cd[d]
+	}
+	ss := strides(dims)
+	out := make([]T, n)
+	coord := make([]int, nd)
+	for i := 0; i < n; i++ {
+		idx := 0
+		for d := 0; d < nd; d++ {
+			idx += (start[d] + coord[d]*step) * ss[d]
+		}
+		out[i] = src[idx]
+		d := nd - 1
+		for d >= 0 {
+			coord[d]++
+			if coord[d] < cd[d] {
+				break
+			}
+			coord[d] = 0
+			d--
+		}
+	}
+	return out, cd, nil
+}
+
+// ceilDiv returns ceil(a/b) for a >= 0, b > 0.
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

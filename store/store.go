@@ -79,7 +79,13 @@ type manifest struct {
 	offsets []int64
 	lengths []int64
 	crcs    []uint32
-	fp      uint32 // manifest fingerprint (header content + manifest bytes)
+	// levels holds one progressive level table per brick (v4 stores): the
+	// payload-prefix byte lengths and prefix CRCs of each level boundary,
+	// seed stage first. nil for v1/v2/v3 stores; an individual brick's
+	// table is empty when its payload carries no level segments (another
+	// codec), in which case coarse reads fall back to full decodes.
+	levels [][]levelSpan
+	fp     uint32 // manifest fingerprint (header content + manifest bytes)
 }
 
 // Store is a read handle on a brick store. All methods are safe for
@@ -154,15 +160,22 @@ func Open(ra io.ReaderAt, size int64, opts Options) (*Store, error) {
 	return s, nil
 }
 
-// loadIndexManifest reads the classic v1/v2 manifest: the cumulative-length
-// index behind the fixed footer. Every declared quantity is validated
-// against what the header implies before anything is allocated from it.
+// loadIndexManifest reads the write-once manifest: the cumulative-length
+// index behind the fixed footer — v1/v2's bare (length, crc) entries, or
+// v4's entries extended with a per-brick progressive level table. Every
+// declared quantity is validated against what the header implies before
+// anything is allocated from it.
 func loadIndexManifest(ra io.ReaderAt, size int64, hdr *header, headerLen int) (*manifest, error) {
 	var foot [footerSize]byte
 	if _, err := ra.ReadAt(foot[:], size-int64(footerSize)); err != nil {
 		return nil, manifestReadErr(err)
 	}
-	if string(foot[8:]) != trailerMagic {
+	v4 := hdr.version == formatVersion
+	wantTrailer := trailerMagic
+	if v4 {
+		wantTrailer = trailerMagicV4
+	}
+	if string(foot[8:]) != wantTrailer {
 		return nil, ErrCorrupt
 	}
 	idxOff := binary.LittleEndian.Uint64(foot[:8])
@@ -171,12 +184,19 @@ func loadIndexManifest(ra io.ReaderAt, size int64, hdr *header, headerLen int) (
 	}
 	nb := hdr.numBricks()
 	idxLen := size - int64(footerSize) - int64(idxOff)
-	// Each index entry occupies 5..14 bytes (varint length + crc32), so a
-	// valid index is bounded both ways by the brick count; checking the
-	// lower bound BEFORE allocating per-brick slices stops a tiny hostile
-	// file whose header declares billions of bricks from forcing the
-	// allocations — the file itself must already be as large as its index.
-	if idxLen < int64(nb)*5+1 || idxLen > int64(nb)*(binary.MaxVarintLen64+4)+binary.MaxVarintLen64 {
+	// Each v1/v2 index entry occupies 5..14 bytes (varint length + crc32);
+	// a v4 entry adds a level-table count and at most maxLevelEntries
+	// (varint, crc32) pairs. A valid index is bounded both ways by the
+	// brick count; checking the lower bound BEFORE allocating per-brick
+	// slices stops a tiny hostile file whose header declares billions of
+	// bricks from forcing the allocations — the file itself must already
+	// be as large as its index.
+	minEntry, maxEntry := int64(5), int64(binary.MaxVarintLen64+4)
+	if v4 {
+		minEntry += 1
+		maxEntry += 1 + int64(maxLevelEntries)*int64(binary.MaxVarintLen64+4)
+	}
+	if idxLen < int64(nb)*minEntry+1 || idxLen > int64(nb)*maxEntry+binary.MaxVarintLen64 {
 		return nil, ErrCorrupt
 	}
 	idx := make([]byte, idxLen)
@@ -202,6 +222,9 @@ func loadIndexManifest(ra io.ReaderAt, size int64, hdr *header, headerLen int) (
 		crcs:    make([]uint32, nb),
 		fp:      fp,
 	}
+	if v4 {
+		m.levels = make([][]levelSpan, nb)
+	}
 	off := int64(headerLen)
 	for i := 0; i < nb; i++ {
 		l, n := binary.Uvarint(idx)
@@ -217,6 +240,39 @@ func loadIndexManifest(ra io.ReaderAt, size int64, hdr *header, headerLen int) (
 		m.crcs[i] = binary.LittleEndian.Uint32(idx)
 		idx = idx[4:]
 		off += int64(l)
+		if !v4 {
+			continue
+		}
+		nlv, n := binary.Uvarint(idx)
+		if n <= 0 || nlv > maxLevelEntries {
+			return nil, ErrCorrupt
+		}
+		idx = idx[n:]
+		if nlv == 0 {
+			continue
+		}
+		// Level spans must increase strictly and end exactly at the brick's
+		// full payload with its full-payload CRC, or a corrupt table could
+		// send a coarse read to decode garbage that passes its own checksum.
+		spans := make([]levelSpan, nlv)
+		prev := int64(0)
+		for j := range spans {
+			b, n := binary.Uvarint(idx)
+			if n <= 0 || int64(b) <= prev || int64(b) > int64(l) {
+				return nil, ErrCorrupt
+			}
+			idx = idx[n:]
+			if len(idx) < 4 {
+				return nil, ErrCorrupt
+			}
+			spans[j] = levelSpan{bytes: int64(b), crc: binary.LittleEndian.Uint32(idx)}
+			idx = idx[4:]
+			prev = int64(b)
+		}
+		if spans[nlv-1].bytes != int64(l) || spans[nlv-1].crc != m.crcs[i] {
+			return nil, ErrCorrupt
+		}
+		m.levels[i] = spans
 	}
 	if len(idx) != 0 || off != int64(idxOff) {
 		return nil, ErrCorrupt

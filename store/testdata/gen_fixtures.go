@@ -7,8 +7,9 @@
 //
 // The fixtures pin on-disk compatibility, so regenerate them ONLY when
 // introducing a new format version — never to "fix" a failing golden
-// test, which is the test doing its job. v1_f32.qozb predates this
-// generator and must never be rewritten (no current writer emits v1).
+// test, which is the test doing its job. v1_f32.qozb and v2_f64.qozb
+// predate the current writer and must never be rewritten (no current
+// writer emits v1 or v2; the write-once Writer emits v4).
 package main
 
 import (
@@ -36,28 +37,30 @@ func plane(t int) []float32 {
 func main() {
 	ctx := context.Background()
 
-	// v2 float64 store: 12^3 points, brick 8^3, bound 1e-6.
-	d64 := make([]float64, 12*12*12)
-	for i := range d64 {
-		d64[i] = math.Sin(float64(i)/11) + 1e-9*float64(i%13)
+	// v4 float32 store: 12^3 points, brick 8^3, bound 1e-3 — the current
+	// write-once layout, whose index carries per-brick progressive level
+	// tables.
+	d32 := make([]float32, 12*12*12)
+	for i := range d32 {
+		d32[i] = float32(math.Sin(float64(i)/11) + math.Cos(float64(i)/7)*0.25)
 	}
-	f, err := os.Create("store/testdata/v2_f64.qozb")
+	f, err := os.Create("store/testdata/v4_f32.qozb")
 	check(err)
-	check(store.WriteT(ctx, f, d64, []int{12, 12, 12}, store.WriteOptions{
-		Opts:  qoz.Options{ErrorBound: 1e-6},
+	check(store.Write(ctx, f, d32, []int{12, 12, 12}, store.WriteOptions{
+		Opts:  qoz.Options{ErrorBound: 1e-3},
 		Brick: []int{8, 8, 8},
 	}))
 	check(f.Close())
-	s, err := store.OpenFile("store/testdata/v2_f64.qozb", store.Options{})
+	s, err := store.OpenFile("store/testdata/v4_f32.qozb", store.Options{})
 	check(err)
-	recon64, err := s.ReadFieldFloat64(ctx)
+	recon, err := s.ReadField(ctx)
 	check(err)
 	s.Close()
-	raw := make([]byte, 8*len(recon64))
-	for i, v := range recon64 {
-		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
+	raw := make([]byte, 4*len(recon))
+	for i, v := range recon {
+		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
 	}
-	check(os.WriteFile("store/testdata/v2_f64.expected.f64", raw, 0o644))
+	check(os.WriteFile("store/testdata/v4_f32.expected.f32", raw, 0o644))
 
 	// v3 mutable store with a 4-generation history:
 	//   gen 1: created empty, dims {0,12,12}, brick {2,8,8}

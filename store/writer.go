@@ -89,6 +89,7 @@ type Writer[T qoz.Float] struct {
 	pending   []T
 	lengths   []int64
 	crcs      []uint32
+	levels    [][]levelSpan
 	closed    bool
 	// writeErr poisons the writer once bytes may have reached w from a
 	// failed band write: after a partial write the underlying stream is
@@ -180,6 +181,7 @@ func NewWriterT[T qoz.Float](w io.Writer, dims []int, wo WriteOptions) (*Writer[
 		rowPoints: rowPoints,
 		lengths:   make([]int64, 0, hdr.numBricks()),
 		crcs:      make([]uint32, 0, hdr.numBricks()),
+		levels:    make([][]levelSpan, 0, hdr.numBricks()),
 	}, nil
 }
 
@@ -278,8 +280,39 @@ func (bw *Writer[T]) flushBand(ctx context.Context, band []T, rows int) error {
 		}
 		bw.lengths = append(bw.lengths, int64(len(p)))
 		bw.crcs = append(bw.crcs, crc32.ChecksumIEEE(p))
+		bw.levels = append(bw.levels, brickLevelTable(p))
 	}
 	return nil
+}
+
+// brickLevelTable derives one brick's progressive level table from its
+// payload: the codec's level boundaries with a CRC over each prefix. A
+// payload without level segments (another codec, or a stream layout
+// predating segmentation) gets an empty table — readers then fall back to
+// full-brick decodes, never an error.
+func brickLevelTable(p []byte) []levelSpan {
+	offs, err := qoz.LevelOffsets(p)
+	if err != nil || len(offs) == 0 || len(offs) > maxLevelEntries {
+		return nil
+	}
+	spans := make([]levelSpan, len(offs))
+	crc := uint32(0)
+	prev := 0
+	for j, off := range offs {
+		// Entry j must carry level len(offs)-j (seed stage first): reject
+		// payloads whose boundaries disagree rather than writing a table
+		// the reader would misinterpret.
+		if off.Level != len(offs)-j || off.Bytes <= prev || off.Bytes > len(p) {
+			return nil
+		}
+		crc = crc32.Update(crc, crc32.IEEETable, p[prev:off.Bytes])
+		spans[j] = levelSpan{bytes: int64(off.Bytes), crc: crc}
+		prev = off.Bytes
+	}
+	if spans[len(spans)-1].bytes != int64(len(p)) {
+		return nil
+	}
+	return spans
 }
 
 // compressBand compresses one band of `rows` rows into its per-brick
@@ -347,13 +380,18 @@ func (bw *Writer[T]) Close() error {
 	for i, l := range bw.lengths {
 		idx = binary.AppendUvarint(idx, uint64(l))
 		idx = binary.LittleEndian.AppendUint32(idx, bw.crcs[i])
+		idx = binary.AppendUvarint(idx, uint64(len(bw.levels[i])))
+		for _, sp := range bw.levels[i] {
+			idx = binary.AppendUvarint(idx, uint64(sp.bytes))
+			idx = binary.LittleEndian.AppendUint32(idx, sp.crc)
+		}
 		off += l
 	}
 	if _, err := bw.w.Write(idx); err != nil {
 		return err
 	}
 	foot := binary.LittleEndian.AppendUint64(nil, uint64(int64(len(appendHeader(nil, bw.hdr)))+off))
-	foot = append(foot, trailerMagic...)
+	foot = append(foot, trailerMagicV4...)
 	_, err := bw.w.Write(foot)
 	return err
 }
