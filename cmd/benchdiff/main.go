@@ -16,6 +16,11 @@
 // one side are reported and skipped: benchmarks come and go across PRs,
 // and a new benchmark has no baseline to regress against.
 //
+// Records that carry allocs_per_op on both sides additionally gate on
+// allocation count: any increase fails, with no noise threshold, because
+// the serving benchmarks pin 0 allocs/op and a regression from zero is
+// always a code change, never scheduler jitter.
+//
 // Benchmarks in shared CI runners are noisy; the default 15% threshold is
 // wide enough that scheduler jitter does not fail honest PRs, while a
 // real algorithmic regression (typically 2x or worse) cannot hide.
@@ -38,6 +43,10 @@ type record struct {
 	CR         float64 `json:"cr"`
 	CompMBps   float64 `json:"comp_mbps"`
 	DecompMBps float64 `json:"decomp_mbps"`
+	// AllocsPerOp is a pointer so that 0 allocs/op — the steady-state
+	// serving target — is distinguishable from "this benchmark predates
+	// allocation tracking". Only records carrying it on both sides gate.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 type suite struct {
@@ -108,7 +117,12 @@ func diff(old, cur suite, threshold float64, all bool, w *os.File) int {
 		oldMBps, newMBps float64
 		delta            float64 // fractional change, + is faster
 	}
+	type allocRow struct {
+		key                string
+		oldAlloc, newAlloc float64
+	}
 	var rows []row
+	var allocRows []allocRow
 	var added []string
 	for _, r := range cur.Records {
 		k := r.key()
@@ -117,6 +131,13 @@ func diff(old, cur suite, threshold float64, all bool, w *os.File) int {
 		if !ok {
 			added = append(added, k)
 			continue
+		}
+		// Allocation counts gate exactly: a benchmark that reached 0
+		// allocs/op must stay there, so any increase fails regardless of
+		// the throughput threshold. Absent on either side means the
+		// baseline predates alloc tracking — report nothing, gate nothing.
+		if b.AllocsPerOp != nil && r.AllocsPerOp != nil && *r.AllocsPerOp > *b.AllocsPerOp {
+			allocRows = append(allocRows, allocRow{k, *b.AllocsPerOp, *r.AllocsPerOp})
 		}
 		if b.DecompMBps <= 0 || r.DecompMBps <= 0 {
 			continue // ops that do not measure decode throughput
@@ -130,6 +151,7 @@ func diff(old, cur suite, threshold float64, all bool, w *os.File) int {
 		}
 	}
 	sort.Slice(rows, func(i, j int) bool { return rows[i].delta < rows[j].delta })
+	sort.Slice(allocRows, func(i, j int) bool { return allocRows[i].key < allocRows[j].key })
 	sort.Strings(added)
 	sort.Strings(removed)
 
@@ -144,6 +166,11 @@ func diff(old, cur suite, threshold float64, all bool, w *os.File) int {
 				r.key, r.oldMBps, r.newMBps, 100*r.delta)
 		}
 	}
+	for _, r := range allocRows {
+		failed++
+		fmt.Fprintf(w, "FAIL %-60s %8.1f -> %8.1f allocs/op (must not increase)\n",
+			r.key, r.oldAlloc, r.newAlloc)
+	}
 	for _, k := range added {
 		fmt.Fprintf(w, "new  %s (no baseline, not gated)\n", k)
 	}
@@ -151,11 +178,11 @@ func diff(old, cur suite, threshold float64, all bool, w *os.File) int {
 		fmt.Fprintf(w, "gone %s (present in baseline only)\n", k)
 	}
 	if failed > 0 {
-		fmt.Fprintf(w, "benchdiff: %d of %d decode benchmarks regressed beyond %.0f%%\n",
-			failed, len(rows), 100*threshold)
+		fmt.Fprintf(w, "benchdiff: %d of %d gated benchmarks regressed (throughput limit -%.0f%%, allocs must not rise)\n",
+			failed, len(rows)+len(allocRows), 100*threshold)
 		return 1
 	}
-	fmt.Fprintf(w, "benchdiff: %d decode benchmarks within -%.0f%% of baseline\n",
+	fmt.Fprintf(w, "benchdiff: %d decode benchmarks within -%.0f%% of baseline, no alloc regressions\n",
 		len(rows), 100*threshold)
 	return 0
 }

@@ -50,6 +50,49 @@ func TestDiffGatesOnlyRealRegressions(t *testing.T) {
 	}
 }
 
+func recAlloc(codec, dataset, op string, decomp, allocs float64) record {
+	r := rec(codec, dataset, op, decomp)
+	r.AllocsPerOp = &allocs
+	return r
+}
+
+func TestDiffGatesAllocRegressions(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+
+	old := suite{Size: "small", Records: []record{
+		recAlloc("QoZ", "NYX", "serve_cached", 1000, 0),
+		rec("QoZ", "NYX", "get", 200), // baseline predates alloc tracking
+	}}
+
+	// Steady at zero allocs and faster: pass.
+	cur := suite{Size: "small", Records: []record{
+		recAlloc("QoZ", "NYX", "serve_cached", 1200, 0),
+		recAlloc("QoZ", "NYX", "get", 210, 40),
+	}}
+	if code := diff(old, cur, 0.15, false, devnull); code != 0 {
+		t.Errorf("zero-alloc steady state exited %d, want 0", code)
+	}
+
+	// A regression from 0 to 2 allocs/op must fail even though throughput
+	// is unchanged and well within the threshold.
+	cur.Records[0] = recAlloc("QoZ", "NYX", "serve_cached", 1000, 2)
+	if code := diff(old, cur, 0.15, false, devnull); code != 1 {
+		t.Errorf("0 -> 2 allocs/op exited %d, want 1", code)
+	}
+
+	// A record that gained alloc tracking this PR has no alloc baseline
+	// and must not gate on it.
+	cur.Records[0] = recAlloc("QoZ", "NYX", "serve_cached", 1000, 0)
+	cur.Records[1] = recAlloc("QoZ", "NYX", "get", 200, 500)
+	if code := diff(old, cur, 0.15, false, devnull); code != 0 {
+		t.Errorf("new alloc tracking without baseline exited %d, want 0", code)
+	}
+}
+
 func TestRecordKeyDistinguishesOps(t *testing.T) {
 	a := rec("QoZ", "NYX", "", 1)
 	b := rec("QoZ", "NYX", "get", 1)

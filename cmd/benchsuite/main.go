@@ -33,6 +33,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"testing"
 	"time"
 
 	"qoz"
@@ -132,6 +133,10 @@ type benchRecord struct {
 	MaxErr     float64 `json:"max_err"`
 	CompMBps   float64 `json:"comp_mbps"`
 	DecompMBps float64 `json:"decomp_mbps"`
+	// AllocsPerOp is set only by ops that pin an allocation budget (the
+	// cached serving path targets zero). A pointer so records without the
+	// measurement omit the field instead of claiming 0.
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
 }
 
 // benchReport is the file layout of -json output.
@@ -219,16 +224,30 @@ func storeRecords(ds datagen.Dataset) ([]benchRecord, error) {
 		if err != nil {
 			return err
 		}
-		t0 = time.Now()
-		if err := get(s); err != nil {
+		// Reads are deterministic and sub-millisecond on the small
+		// profile; the best of three timings is the one least polluted by
+		// scheduler jitter, and it is what the CI perf gate diffs.
+		bestOf3 := func(fn func(s *store.Store) error) (float64, error) {
+			best := math.Inf(1)
+			for i := 0; i < 3; i++ {
+				t0 := time.Now()
+				if err := fn(s); err != nil {
+					return 0, err
+				}
+				if d := time.Since(t0).Seconds(); d < best {
+					best = d
+				}
+			}
+			return best, nil
+		}
+		getSecs, err := bestOf3(get)
+		if err != nil {
 			return err
 		}
-		getSecs := time.Since(t0).Seconds()
-		t0 = time.Now()
-		if err := extract(s); err != nil {
+		extractSecs, err := bestOf3(extract)
+		if err != nil {
 			return err
 		}
-		extractSecs := time.Since(t0).Seconds()
 		cr := float64(ds.Len()*elem) / float64(buf.Len())
 		base := benchRecord{
 			Codec:    qoz.DefaultCodec,
@@ -276,7 +295,62 @@ func storeRecords(ds datagen.Dataset) ([]benchRecord, error) {
 		return nil, err
 	}
 	out = append(out, fanoutRec)
+	serveRec, err := serveCachedRecord(ctx, ds, roiLo, roiHi, roiPts)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, serveRec)
 	return out, nil
+}
+
+// serveCachedRecord measures the steady-state serving shape: every brick
+// under the ROI already in the decoded-brick cache, a reused destination
+// buffer, ReadRegionInto on the calling goroutine. Besides throughput it
+// records allocs/op — the fast path's contract is zero, and committing the
+// number into the trajectory lets benchdiff fail any PR that regresses
+// from it.
+func serveCachedRecord(ctx context.Context, ds datagen.Dataset, roiLo, roiHi []int, roiPts int) (benchRecord, error) {
+	const rel = 1e-3
+	var buf bytes.Buffer
+	wo := store.WriteOptions{Opts: qoz.Options{RelBound: rel}}
+	if err := store.Write(ctx, &buf, ds.Data, ds.Dims, wo); err != nil {
+		return benchRecord{}, err
+	}
+	s, err := store.Open(bytes.NewReader(buf.Bytes()), int64(buf.Len()), store.Options{})
+	if err != nil {
+		return benchRecord{}, err
+	}
+	dst := make([]float32, roiPts)
+	if err := s.ReadRegionInto(ctx, dst, roiLo, roiHi); err != nil { // warm the cache
+		return benchRecord{}, err
+	}
+	var serveErr error
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := s.ReadRegionInto(ctx, dst, roiLo, roiHi); err != nil {
+			serveErr = err
+		}
+	})
+	if serveErr != nil {
+		return benchRecord{}, serveErr
+	}
+	const iters = 64
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		if err := s.ReadRegionInto(ctx, dst, roiLo, roiHi); err != nil {
+			return benchRecord{}, err
+		}
+	}
+	secs := time.Since(t0).Seconds()
+	return benchRecord{
+		Codec:       qoz.DefaultCodec,
+		Dataset:     ds.Name,
+		Op:          "serve_cached",
+		Dtype:       "float32",
+		RelBound:    rel,
+		Bytes:       buf.Len(),
+		DecompMBps:  jsonSafe(float64(roiPts*4) * iters / 1e6 / secs),
+		AllocsPerOp: &allocs,
+	}, nil
 }
 
 // gatewayFanoutRecord measures the cluster serving path: a full-field

@@ -159,6 +159,128 @@ func TestHugeEscapeCountRejected(t *testing.T) {
 	}
 }
 
+// levelDecode runs the progressive decoder matching the corpus entry's
+// element type and discards the output.
+func levelDecode(name string, p []byte, level int) error {
+	if name == "legacy-f64" {
+		_, _, _, err := qoz.DecodeLevel64(p, level)
+		return err
+	}
+	_, _, _, err := qoz.DecodeLevel32(p, level)
+	return err
+}
+
+// TestTruncatedLevelPrefixes pins the progressive fast path against
+// truncation. A prefix ending exactly on a level boundary must decode that
+// level bit-identical to the same request against the whole stream; a
+// prefix one byte short of a boundary must be rejected at that level (the
+// level's own segment is torn); and no cut anywhere in the stream may
+// panic LevelOffsets or the level decoders, which now run the LUT Huffman
+// and flattened interpolation path.
+func TestTruncatedLevelPrefixes(t *testing.T) {
+	for name, buf := range corpus(t) {
+		if name != "legacy-f32" && name != "legacy-f64" {
+			continue // slab streams carry no level map
+		}
+		offs, err := qoz.LevelOffsets(buf)
+		if err != nil {
+			t.Fatalf("%s: LevelOffsets: %v", name, err)
+		}
+		if len(offs) == 0 {
+			t.Fatalf("%s: container stream reports no level boundaries", name)
+		}
+		for _, off := range offs {
+			full32, _, _, err := qoz.DecodeLevel32(buf, off.Level)
+			if name == "legacy-f32" {
+				if err != nil {
+					t.Fatalf("%s: full decode at level %d: %v", name, off.Level, err)
+				}
+				pre32, _, _, err := qoz.DecodeLevel32(buf[:off.Bytes], off.Level)
+				if err != nil {
+					t.Fatalf("%s: prefix decode at level %d: %v", name, off.Level, err)
+				}
+				if len(pre32) != len(full32) {
+					t.Fatalf("%s: level %d prefix decoded %d points, full %d", name, off.Level, len(pre32), len(full32))
+				}
+				for i := range full32 {
+					if math.Float32bits(pre32[i]) != math.Float32bits(full32[i]) {
+						t.Fatalf("%s: level %d prefix diverges at %d", name, off.Level, i)
+					}
+				}
+			} else {
+				full64, _, _, err := qoz.DecodeLevel64(buf, off.Level)
+				if err != nil {
+					t.Fatalf("%s: full decode at level %d: %v", name, off.Level, err)
+				}
+				pre64, _, _, err := qoz.DecodeLevel64(buf[:off.Bytes], off.Level)
+				if err != nil {
+					t.Fatalf("%s: prefix decode at level %d: %v", name, off.Level, err)
+				}
+				for i := range full64 {
+					if math.Float64bits(pre64[i]) != math.Float64bits(full64[i]) {
+						t.Fatalf("%s: level %d prefix diverges at %d", name, off.Level, i)
+					}
+				}
+			}
+			if err := levelDecode(name, buf[:off.Bytes-1], off.Level); err == nil {
+				t.Fatalf("%s: torn level-%d segment accepted", name, off.Level)
+			}
+		}
+		seedLevel := offs[0].Level
+		for cut := 0; cut <= len(buf); cut++ {
+			prefix := buf[:cut]
+			mustNotPanic(t, name, func() {
+				qoz.LevelOffsets(prefix)             //nolint:errcheck
+				levelDecode(name, prefix, 1)         //nolint:errcheck
+				levelDecode(name, prefix, seedLevel) //nolint:errcheck
+			})
+		}
+	}
+}
+
+// TestMangledLevelSegmentsNeverPanic corrupts each region of a
+// level-segmented stream in turn — the header/table/seed prefix, then
+// every per-level segment — and drives the result through the progressive
+// and full decoders. Mutations in the table region produce over-long and
+// non-canonical codes, exercising the flat-LUT fallback chains; mutations
+// inside a level segment tear its count/bitstream framing. Garbage output
+// is acceptable, panics are not.
+func TestMangledLevelSegmentsNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for name, buf := range corpus(t) {
+		if name != "legacy-f32" && name != "legacy-f64" {
+			continue
+		}
+		offs, err := qoz.LevelOffsets(buf)
+		if err != nil || len(offs) == 0 {
+			t.Fatalf("%s: LevelOffsets: %v", name, err)
+		}
+		type region struct {
+			lo, hi, level int
+		}
+		regions := []region{{0, offs[0].Bytes, offs[0].Level}} // header + Huffman table + seed
+		for i := 1; i < len(offs); i++ {
+			regions = append(regions, region{offs[i-1].Bytes, offs[i].Bytes, offs[i].Level})
+		}
+		for _, reg := range regions {
+			if reg.hi <= reg.lo {
+				continue
+			}
+			for trial := 0; trial < 40; trial++ {
+				dup := append([]byte(nil), buf...)
+				for f := 0; f < 1+rng.Intn(3); f++ {
+					dup[reg.lo+rng.Intn(reg.hi-reg.lo)] ^= byte(1 + rng.Intn(255))
+				}
+				mustNotPanic(t, name, func() {
+					levelDecode(name, dup, reg.level) //nolint:errcheck
+					levelDecode(name, dup, 1)         //nolint:errcheck
+					decodeAll(dup)
+				})
+			}
+		}
+	}
+}
+
 // TestLyingStreamHeaderRejected crafts slab-stream headers whose declared
 // geometry is inconsistent or absurd.
 func TestLyingStreamHeaderRejected(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"testing/quick"
 
 	"qoz/datagen"
+	"qoz/internal/core"
 )
 
 func TestFloat64RoundTripRespectsBound(t *testing.T) {
@@ -30,6 +31,50 @@ func TestFloat64RoundTripRespectsBound(t *testing.T) {
 	for i := range data {
 		if math.Abs(data[i]-recon[i]) > eb {
 			t.Fatalf("bound violated at %d: %g", i, math.Abs(data[i]-recon[i]))
+		}
+	}
+}
+
+// TestFloat64InnerStreamMatchesReference pins the fused decode pipeline
+// bit-identical to the closure-based scalar oracle on the float32 core
+// stream embedded in a float64 envelope. The envelope overlay itself is
+// a deterministic function of that core reconstruction, so this extends
+// the core differential guarantee to the f64 path.
+func TestFloat64InnerStreamMatchesReference(t *testing.T) {
+	ds := datagen.NYX(24, 24, 24)
+	data := make([]float64, ds.Len())
+	for i, v := range ds.Data {
+		data[i] = float64(v) * 1.000000001
+	}
+	eb := 1e-3 * valueRange64(data)
+	for _, opts := range []Options{
+		{ErrorBound: eb},
+		{ErrorBound: eb, DisableAnchors: true},
+	} {
+		buf, err := CompressFloat64(data, ds.Dims, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inner, err := envelopeInner(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast, _, err := core.Decompress(inner)
+		if err != nil {
+			t.Fatalf("fast inner decode: %v", err)
+		}
+		ref, _, err := core.DecompressReference(inner)
+		if err != nil {
+			t.Fatalf("reference inner decode: %v", err)
+		}
+		for i := range fast {
+			if math.Float32bits(fast[i]) != math.Float32bits(ref[i]) {
+				t.Fatalf("anchors=%v: inner recon[%d] = %x, want %x",
+					!opts.DisableAnchors, i, math.Float32bits(fast[i]), math.Float32bits(ref[i]))
+			}
+		}
+		if _, _, err := DecompressFloat64(buf); err != nil {
+			t.Fatalf("envelope decode: %v", err)
 		}
 	}
 }

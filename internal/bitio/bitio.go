@@ -4,11 +4,16 @@
 package bitio
 
 import (
+	"encoding/binary"
 	"errors"
 )
 
 // ErrUnexpectedEOF is returned when a read runs past the end of the stream.
 var ErrUnexpectedEOF = errors.New("bitio: unexpected end of stream")
+
+// ErrBitCount is returned by ReadBits when asked for more than 64 bits,
+// which cannot be represented in the result.
+var ErrBitCount = errors.New("bitio: bit count exceeds 64")
 
 // Writer accumulates bits MSB-first into an in-memory buffer.
 // The zero value is ready to use.
@@ -80,8 +85,12 @@ func (r *Reader) ReadBit() (uint, error) {
 }
 
 // ReadBits returns the next n bits as the low bits of a uint64,
-// most significant first. n must be at most 64.
+// most significant first. n must be at most 64; larger counts return
+// ErrBitCount rather than silently truncating the high bits.
 func (r *Reader) ReadBits(n uint) (uint64, error) {
+	if n > 64 {
+		return 0, ErrBitCount
+	}
 	var v uint64
 	for i := uint(0); i < n; i++ {
 		b, err := r.ReadBit()
@@ -96,4 +105,97 @@ func (r *Reader) ReadBits(n uint) (uint64, error) {
 // BitsRemaining reports how many unread bits remain.
 func (r *Reader) BitsRemaining() int {
 	return (len(r.buf)-r.pos)*8 - int(r.bit)
+}
+
+// FastReader consumes bits MSB-first from a byte slice a 64-bit word at a
+// time. It is the hot-path counterpart of Reader: instead of touching one
+// byte per bit, it caches a big-endian 64-bit window of the stream and
+// serves Peek/Consume out of it, refilling eight bytes at a time. Reads
+// past the end of the buffer yield zero bits rather than an error; callers
+// detect over-reads after the fact by comparing BitPos against TotalBits.
+// This keeps the per-symbol loop branch-free while remaining bit-exact
+// with Reader for every in-bounds access.
+//
+// Usage per decode step: call Refill, then Peek at most 57 bits (the
+// window holds 64 bits but up to 7 may already be consumed after a
+// refill), then Consume the bits actually used. Consume may legitimately
+// run past the window (e.g. a long-code fallback that consumed up to
+// maxCodeLen bits via BitAt); the next Refill renormalizes.
+type FastReader struct {
+	buf      []byte
+	off      int    // byte offset of the cached window's first byte
+	window   uint64 // 64 bits of buf starting at off, big-endian, zero-padded
+	consumed uint   // bits consumed from the window start
+}
+
+// NewFastReader returns a FastReader over buf. The reader does not copy buf.
+func NewFastReader(buf []byte) *FastReader {
+	r := &FastReader{buf: buf}
+	r.load()
+	return r
+}
+
+// Reset re-points the reader at buf from bit position zero, reusing the
+// receiver so pooled decode scratch does not allocate.
+func (r *FastReader) Reset(buf []byte) {
+	r.buf = buf
+	r.off = 0
+	r.consumed = 0
+	r.load()
+}
+
+// load caches the 64-bit window starting at buf[off], zero-padding past
+// the end of the buffer.
+func (r *FastReader) load() {
+	if r.off+8 <= len(r.buf) {
+		r.window = binary.BigEndian.Uint64(r.buf[r.off:])
+		return
+	}
+	var w uint64
+	for i := 0; i < 8; i++ {
+		w <<= 8
+		if j := r.off + i; j < len(r.buf) {
+			w |= uint64(r.buf[j])
+		}
+	}
+	r.window = w
+}
+
+// Refill renormalizes the window so that at most 7 bits of it are already
+// consumed, guaranteeing Peek can serve up to 57 bits.
+func (r *FastReader) Refill() {
+	if r.consumed < 8 {
+		return
+	}
+	r.off += int(r.consumed >> 3)
+	r.consumed &= 7
+	r.load()
+}
+
+// Peek returns the next n bits without consuming them, MSB-first in the
+// low bits of the result. Valid for n <= 57 after a Refill. Bits past the
+// end of the stream read as zero.
+func (r *FastReader) Peek(n uint) uint64 {
+	return (r.window << r.consumed) >> (64 - n)
+}
+
+// Consume advances the reader by n bits.
+func (r *FastReader) Consume(n uint) { r.consumed += n }
+
+// BitPos returns the number of bits consumed since the start of the
+// stream. It may exceed TotalBits if the caller consumed past the end;
+// that is the over-read signal.
+func (r *FastReader) BitPos() int { return r.off*8 + int(r.consumed) }
+
+// TotalBits returns the size of the underlying stream in bits.
+func (r *FastReader) TotalBits() int { return len(r.buf) * 8 }
+
+// BitAt returns bit i of the stream (0 = MSB of the first byte),
+// independent of the reader position. Out-of-range bits read as zero.
+// It backs rare slow paths (long Huffman codes) that outrun the window.
+func (r *FastReader) BitAt(i int) uint64 {
+	if i >= len(r.buf)*8 {
+		return 0
+	}
+	return uint64(r.buf[i>>3]>>(7-uint(i)&7)) & 1
 }

@@ -45,6 +45,98 @@ func TestWriteBitsRoundTrip(t *testing.T) {
 	}
 }
 
+func TestReadBitsRejectsHugeCount(t *testing.T) {
+	r := NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if _, err := r.ReadBits(65); err != ErrBitCount {
+		t.Fatalf("ReadBits(65) err = %v, want ErrBitCount", err)
+	}
+	// The failed call must not have consumed anything.
+	if r.BitsRemaining() != 80 {
+		t.Fatalf("BitsRemaining after rejected read = %d, want 80", r.BitsRemaining())
+	}
+	if v, err := r.ReadBits(64); err != nil || v != 0x0102030405060708 {
+		t.Fatalf("ReadBits(64) = %#x, %v", v, err)
+	}
+}
+
+// Property: FastReader's Peek/Consume sequence observes exactly the bits
+// the scalar Reader does, for arbitrary buffers and arbitrary chunkings.
+func TestFastReaderMatchesReader(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		buf := make([]byte, rng.Intn(64))
+		rng.Read(buf)
+		fr := NewFastReader(buf)
+		sr := NewReader(buf)
+		for sr.BitsRemaining() > 0 {
+			n := uint(1 + rng.Intn(57))
+			if rem := uint(sr.BitsRemaining()); n > rem {
+				n = rem
+			}
+			fr.Refill()
+			got := fr.Peek(n)
+			want, err := sr.ReadBits(n)
+			if err != nil || got != want {
+				return false
+			}
+			fr.Consume(n)
+			if fr.BitPos() != len(buf)*8-sr.BitsRemaining() {
+				return false
+			}
+		}
+		return fr.BitPos() == fr.TotalBits()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFastReaderZeroPadPastEnd(t *testing.T) {
+	fr := NewFastReader([]byte{0xFF})
+	fr.Refill()
+	// 8 real one-bits followed by zero padding.
+	if got := fr.Peek(16); got != 0xFF00 {
+		t.Fatalf("Peek(16) = %#x, want 0xff00", got)
+	}
+	fr.Consume(16)
+	if fr.BitPos() <= fr.TotalBits() {
+		t.Fatal("over-read must be visible via BitPos > TotalBits")
+	}
+	// Refill past the end stays sane and keeps serving zeros.
+	fr.Refill()
+	if got := fr.Peek(32); got != 0 {
+		t.Fatalf("Peek past end = %#x, want 0", got)
+	}
+}
+
+func TestFastReaderBitAt(t *testing.T) {
+	buf := []byte{0b1010_0110, 0b0000_0001}
+	fr := NewFastReader(buf)
+	want := []uint64{1, 0, 1, 0, 0, 1, 1, 0, 0, 0, 0, 0, 0, 0, 0, 1}
+	for i, b := range want {
+		if got := fr.BitAt(i); got != b {
+			t.Fatalf("BitAt(%d) = %d, want %d", i, got, b)
+		}
+	}
+	if fr.BitAt(16) != 0 || fr.BitAt(1<<30) != 0 {
+		t.Fatal("out-of-range BitAt must read as zero")
+	}
+}
+
+func TestFastReaderReset(t *testing.T) {
+	fr := NewFastReader([]byte{0xAB})
+	fr.Refill()
+	fr.Consume(5)
+	fr.Reset([]byte{0xCD, 0xEF})
+	fr.Refill()
+	if got := fr.Peek(16); got != 0xCDEF {
+		t.Fatalf("Peek after Reset = %#x, want 0xcdef", got)
+	}
+	if fr.BitPos() != 0 || fr.TotalBits() != 16 {
+		t.Fatalf("Reset state: pos=%d total=%d", fr.BitPos(), fr.TotalBits())
+	}
+}
+
 func TestReadPastEnd(t *testing.T) {
 	r := NewReader([]byte{0xFF})
 	if _, err := r.ReadBits(8); err != nil {

@@ -22,6 +22,7 @@ import (
 
 	"qoz/internal/container"
 	"qoz/internal/interp"
+	"qoz/internal/pool"
 	"qoz/internal/quant"
 	"qoz/internal/szstream"
 )
@@ -343,9 +344,12 @@ func decompressStream(s *container.Stream, level int) ([]float32, []int, int, er
 		}
 		deq := quant.NewDequantizer(levelBound(eb, cfg.alpha, cfg.beta, l), 0, seg.Bins, seg.Literals)
 		m := methodFor(cfg.methods, l)
-		interp.LevelPass(recon, dims, l, m, func(idx int, pred float64) float32 {
-			return deq.Next(pred)
-		})
+		interp.LevelPassDecode(recon, dims, l, m, deq)
+	}
+	// The per-level symbol buffers are dead once the sweeps finish; recycle
+	// them so steady-state brick serving reuses the same scratch.
+	for i := range payload.Segments {
+		pool.PutUint32s(payload.Segments[i].Bins)
 	}
 	return recon, dims, 1 << (effL - 1), nil
 }
@@ -435,13 +439,12 @@ func decompressLegacy(s *container.Stream) ([]float32, []int, error) {
 	for level := maxLevel; level >= 1; level-- {
 		deq.SetBound(levelBound(eb, cfg.alpha, cfg.beta, level))
 		m := methodFor(cfg.methods, level)
-		interp.LevelPass(recon, dims, level, m, func(idx int, pred float64) float32 {
-			return deq.Next(pred)
-		})
+		interp.LevelPassDecode(recon, dims, level, m, deq)
 	}
 	if deq.Remaining() != 0 {
 		return nil, nil, errors.New("qoz: trailing quantization symbols")
 	}
+	pool.PutUint32s(payload.Bins)
 	return recon, dims, nil
 }
 

@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"qoz/datagen"
+	"qoz/internal/container"
+	"qoz/internal/interp"
+	"qoz/internal/szstream"
+	"qoz/metrics"
+)
+
+// diffCases returns data/option pairs covering both traversal modes
+// (anchored and global), fixed level bounds, and 1D/2D/3D shapes.
+func diffCases(t *testing.T) []struct {
+	name string
+	data []float32
+	dims []int
+	opts Options
+} {
+	t.Helper()
+	cesm := datagen.CESMATM(96, 160)
+	nyx := datagen.NYX(24, 24, 24)
+	line := append([]float32(nil), nyx.Data[:997]...)
+	eb2 := 1e-3 * metrics.ValueRange(cesm.Data)
+	eb3 := 1e-3 * metrics.ValueRange(nyx.Data)
+	return []struct {
+		name string
+		data []float32
+		dims []int
+		opts Options
+	}{
+		{"cesm-2d", cesm.Data, cesm.Dims, Options{ErrorBound: eb2}},
+		{"cesm-2d-noanchor", cesm.Data, cesm.Dims, Options{ErrorBound: eb2, DisableAnchors: true}},
+		{"nyx-3d", nyx.Data, nyx.Dims, Options{ErrorBound: eb3}},
+		{"nyx-3d-fixed", nyx.Data, nyx.Dims, Options{ErrorBound: eb3, Mode: ModeFixed, Alpha: 1.5, Beta: 3}},
+		{"nyx-3d-noanchor", nyx.Data, nyx.Dims, Options{ErrorBound: eb3, DisableAnchors: true}},
+		{"line-1d", line, []int{len(line)}, Options{ErrorBound: eb3, DisableAnchors: true}},
+	}
+}
+
+func sameBits(t *testing.T, label string, fast, ref []float32) {
+	t.Helper()
+	if len(fast) != len(ref) {
+		t.Fatalf("%s: length %d vs %d", label, len(fast), len(ref))
+	}
+	for i := range fast {
+		if math.Float32bits(fast[i]) != math.Float32bits(ref[i]) {
+			t.Fatalf("%s: recon[%d] = %x, want %x", label, i,
+				math.Float32bits(fast[i]), math.Float32bits(ref[i]))
+		}
+	}
+}
+
+// TestDecompressMatchesReference pins the fused decode pipeline (fast
+// Huffman + flattened sweeps) bit-identical to the closure-based scalar
+// oracle on full decodes and on every progressive level of the
+// level-segmented layout.
+func TestDecompressMatchesReference(t *testing.T) {
+	for _, tc := range diffCases(t) {
+		enc, err := Compress(tc.data, tc.dims, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: Compress: %v", tc.name, err)
+		}
+		fast, fdims, err := Decompress(enc)
+		if err != nil {
+			t.Fatalf("%s: Decompress: %v", tc.name, err)
+		}
+		ref, rdims, err := DecompressReference(enc)
+		if err != nil {
+			t.Fatalf("%s: DecompressReference: %v", tc.name, err)
+		}
+		if len(fdims) != len(rdims) {
+			t.Fatalf("%s: dims mismatch", tc.name)
+		}
+		sameBits(t, tc.name, fast, ref)
+
+		// Every progressive level must agree too, including the seed stage.
+		s, err := container.Decode(enc)
+		if err != nil {
+			t.Fatalf("%s: container.Decode: %v", tc.name, err)
+		}
+		maxLevel := streamMaxLevel(t, s)
+		for level := 1; level <= maxLevel+1; level++ {
+			fastL, _, fstride, ferr := decompressStream(s, level)
+			refL, _, rstride, rerr := decompressStreamReference(s, level)
+			if (ferr == nil) != (rerr == nil) {
+				t.Fatalf("%s level %d: error mismatch %v vs %v", tc.name, level, ferr, rerr)
+			}
+			if ferr != nil {
+				t.Fatalf("%s level %d: %v", tc.name, level, ferr)
+			}
+			if fstride != rstride {
+				t.Fatalf("%s level %d: stride %d vs %d", tc.name, level, fstride, rstride)
+			}
+			sameBits(t, tc.name, fastL, refL)
+		}
+	}
+}
+
+// streamMaxLevel recovers the stream's top interpolation level from its
+// config section.
+func streamMaxLevel(t *testing.T, s *container.Stream) int {
+	t.Helper()
+	payload, err := szstream.DecodeLevelsStream(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := decodeConfig(payload.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.noAnchors {
+		return interp.MaxLevelGlobal(s.Dims)
+	}
+	return interp.MaxLevelAnchored(cfg.anchorStride)
+}
+
+// legacyEncode re-frames a level-segmented stream's payload in the legacy
+// single-segment layout, concatenating the per-level streams in emission
+// order (seed stage, then levels max..1) exactly as the old encoder did.
+func legacyEncode(t *testing.T, enc []byte) []byte {
+	t.Helper()
+	s, err := container.Decode(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := szstream.DecodeLevelsStream(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := decodeConfig(payload.Config)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxLevel := interp.MaxLevelAnchored(cfg.anchorStride)
+	if cfg.noAnchors {
+		maxLevel = interp.MaxLevelGlobal(s.Dims)
+	}
+	var bins []uint32
+	var lits []float32
+	for l := maxLevel + 1; l >= 1; l-- {
+		seg := payload.Segment(l)
+		if seg == nil {
+			if l == maxLevel+1 {
+				t.Fatal("missing seed segment")
+			}
+			continue
+		}
+		bins = append(bins, seg.Bins...)
+		lits = append(lits, seg.Literals...)
+	}
+	// Re-order: seed first, then descending levels — Segment lookup above
+	// already walks maxLevel+1 down to 1, matching emission order.
+	out, err := szstream.Encode(codecID, s.Dims, s.ErrorBound, &szstream.Payload{
+		Bins:     bins,
+		Literals: lits,
+		Anchors:  payload.Anchors,
+		Config:   payload.Config,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestLegacyDecompressMatchesReference re-frames each case in the legacy
+// single-segment layout and pins the fused legacy decoder against the
+// closure oracle.
+func TestLegacyDecompressMatchesReference(t *testing.T) {
+	for _, tc := range diffCases(t) {
+		enc, err := Compress(tc.data, tc.dims, tc.opts)
+		if err != nil {
+			t.Fatalf("%s: Compress: %v", tc.name, err)
+		}
+		legacy := legacyEncode(t, enc)
+		fast, _, err := Decompress(legacy)
+		if err != nil {
+			t.Fatalf("%s: legacy Decompress: %v", tc.name, err)
+		}
+		ref, _, err := DecompressReference(legacy)
+		if err != nil {
+			t.Fatalf("%s: legacy DecompressReference: %v", tc.name, err)
+		}
+		sameBits(t, tc.name+"-legacy", fast, ref)
+
+		// The legacy re-framing must also reconstruct the same field as the
+		// level-segmented stream it came from.
+		streamFast, _, err := Decompress(enc)
+		if err != nil {
+			t.Fatalf("%s: Decompress: %v", tc.name, err)
+		}
+		sameBits(t, tc.name+"-legacy-vs-stream", fast, streamFast)
+	}
+}

@@ -98,12 +98,23 @@ func RunCodecContext(ctx context.Context, c baselines.Codec, ds datagen.Dataset,
 	if err := ctx.Err(); err != nil {
 		return Run{}, err
 	}
-	start = time.Now()
-	recon, _, err := c.Decompress(buf)
-	if err != nil {
-		return Run{}, fmt.Errorf("%s on %s: decompress: %w", c.Name(), ds.Name, err)
+	// Decompression is deterministic and — on the small profile — often
+	// sub-millisecond, where a single timing is mostly scheduler jitter.
+	// Take the best of three runs: the minimum of a deterministic
+	// computation is the measurement least polluted by interference, and
+	// it is the number the CI perf gate diffs across revisions.
+	var recon []float32
+	decompSecs := math.Inf(1)
+	for i := 0; i < 3; i++ {
+		start = time.Now()
+		recon, _, err = c.Decompress(buf)
+		if err != nil {
+			return Run{}, fmt.Errorf("%s on %s: decompress: %w", c.Name(), ds.Name, err)
+		}
+		if d := time.Since(start).Seconds(); d < decompSecs {
+			decompSecs = d
+		}
 	}
-	decompSecs := time.Since(start).Seconds()
 
 	r := Run{
 		Codec:      c.Name(),

@@ -1,0 +1,281 @@
+package huffman
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+)
+
+// streams returns symbol streams that exercise every decode regime: the
+// trivial cases, peaked histograms (all-LUT), wide alphabets, and
+// exponentially skewed frequencies whose deep codes overflow the LUT and
+// force the long-code fallback chain.
+func streams(tb testing.TB) map[string][]uint32 {
+	tb.Helper()
+	rng := rand.New(rand.NewSource(7))
+	peaked := make([]uint32, 30000)
+	for i := range peaked {
+		peaked[i] = uint32(32768 + int(rng.NormFloat64()*3))
+	}
+	wide := make([]uint32, 8000)
+	for i := range wide {
+		wide[i] = rng.Uint32() % 70000
+	}
+	var deep []uint32
+	n := 1
+	for s := 0; s < 40; s++ {
+		for i := 0; i < n; i++ {
+			deep = append(deep, uint32(s))
+		}
+		if n < 1<<20 {
+			n *= 2
+		}
+		if len(deep) > 120000 {
+			break
+		}
+	}
+	return map[string][]uint32{
+		"empty":  {},
+		"single": {42, 42, 42},
+		"two":    {0, 1, 0, 0, 1, 1, 0},
+		"peaked": peaked,
+		"wide":   wide,
+		"deep":   deep,
+	}
+}
+
+func TestDeepStreamOverflowsLUT(t *testing.T) {
+	// The "deep" stream only exercises the fallback chain if its code
+	// lengths actually exceed lutBits; pin that so the differential tests
+	// below keep covering the fallback path.
+	tab := BuildTable(streams(t)["deep"])
+	maxL := uint8(0)
+	for _, l := range tab.lens {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	if int(maxL) <= lutBits {
+		t.Fatalf("deep stream max code length %d does not exceed lutBits %d", maxL, lutBits)
+	}
+}
+
+func TestDecodeMatchesReference(t *testing.T) {
+	for name, in := range streams(t) {
+		enc := Encode(in)
+		fast, fastErr := Decode(enc)
+		ref, refErr := decodeReference(enc)
+		if fastErr != nil || refErr != nil {
+			t.Fatalf("%s: decode errors fast=%v ref=%v", name, fastErr, refErr)
+		}
+		if len(fast) != len(ref) {
+			t.Fatalf("%s: length mismatch %d vs %d", name, len(fast), len(ref))
+		}
+		for i := range fast {
+			if fast[i] != ref[i] {
+				t.Fatalf("%s: symbol %d: fast %d, ref %d", name, i, fast[i], ref[i])
+			}
+		}
+	}
+}
+
+// Truncating an encoded stream at every possible byte length must leave
+// the fast path and the reference in agreement: same output when both
+// succeed, both failing otherwise.
+func TestDecodeTruncationDifferential(t *testing.T) {
+	for name, in := range streams(t) {
+		enc := Encode(in)
+		step := 1
+		if len(enc) > 600 {
+			step = len(enc) / 600
+		}
+		for cut := 0; cut <= len(enc); cut += step {
+			fast, fastErr := Decode(enc[:cut])
+			ref, refErr := decodeReference(enc[:cut])
+			if (fastErr == nil) != (refErr == nil) {
+				t.Fatalf("%s cut=%d: error mismatch fast=%v ref=%v", name, cut, fastErr, refErr)
+			}
+			if fastErr != nil {
+				continue
+			}
+			if len(fast) != len(ref) {
+				t.Fatalf("%s cut=%d: length mismatch", name, cut)
+			}
+			for i := range fast {
+				if fast[i] != ref[i] {
+					t.Fatalf("%s cut=%d: symbol %d differs", name, cut, i)
+				}
+			}
+		}
+	}
+}
+
+func TestDecodeSegmentMatchesReference(t *testing.T) {
+	for name, in := range streams(t) {
+		if len(in) == 0 {
+			continue
+		}
+		tab := BuildTable(in)
+		// Split into a few segments like the level-segmented layout does.
+		parts := 3
+		for p := 0; p < parts; p++ {
+			lo, hi := p*len(in)/parts, (p+1)*len(in)/parts
+			seg := tab.EncodeSegment(in[lo:hi])
+			// Decode through a freshly parsed table each way, as the real
+			// stream decoder does.
+			hdr := tab.AppendHeader(nil)
+			t1, _, err := ParseTable(hdr)
+			if err != nil {
+				t.Fatalf("%s: ParseTable: %v", name, err)
+			}
+			t2, _, err := ParseTable(hdr)
+			if err != nil {
+				t.Fatalf("%s: ParseTable: %v", name, err)
+			}
+			fast, fastUsed, fastErr := t1.DecodeSegment(seg)
+			ref, refUsed, refErr := t2.decodeSegmentReference(seg)
+			if fastErr != nil || refErr != nil {
+				t.Fatalf("%s part %d: errors fast=%v ref=%v", name, p, fastErr, refErr)
+			}
+			if fastUsed != refUsed {
+				t.Fatalf("%s part %d: used %d vs %d", name, p, fastUsed, refUsed)
+			}
+			if len(fast) != len(ref) {
+				t.Fatalf("%s part %d: length mismatch", name, p)
+			}
+			for i := range fast {
+				if fast[i] != ref[i] {
+					t.Fatalf("%s part %d: symbol %d differs", name, p, i)
+				}
+			}
+		}
+	}
+}
+
+// Hand-built hostile headers: codes longer than the LUT width, incomplete
+// code spaces (holes), and over-subscribed lengths must all decode (or
+// fail) identically through both paths.
+func TestHostileTableDifferential(t *testing.T) {
+	mkHeader := func(entries []struct {
+		sym uint32
+		l   uint8
+	}) []byte {
+		var hdr []byte
+		hdr = binary.AppendUvarint(hdr, uint64(len(entries)))
+		prev := uint32(0)
+		for i, e := range entries {
+			d := uint64(e.sym)
+			if i > 0 {
+				d = zigzag(int64(e.sym) - int64(prev))
+			}
+			hdr = binary.AppendUvarint(hdr, d)
+			hdr = append(hdr, byte(e.l))
+			prev = e.sym
+		}
+		return hdr
+	}
+	type entry = struct {
+		sym uint32
+		l   uint8
+	}
+	cases := map[string][]entry{
+		// Two codes of length 20: every code overflows the LUT, and the
+		// code space is massively incomplete.
+		"deep-hole": {{1, 20}, {2, 20}},
+		// A complete depth-1 code plus an unreachable deep code.
+		"shadowed": {{1, 1}, {2, 1}, {3, 40}},
+		// Over-subscribed: three codes claim length 1 (only two exist).
+		"oversubscribed": {{1, 1}, {2, 1}, {3, 1}},
+		// Mixed: short codes and a 58-bit chain at the LUT fallback edge.
+		"maxlen": {{1, 1}, {2, 2}, {3, 58}},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for name, entries := range cases {
+		hdr := mkHeader(entries)
+		for trial := 0; trial < 200; trial++ {
+			payload := make([]byte, rng.Intn(40))
+			rng.Read(payload)
+			seg := binary.AppendUvarint(nil, uint64(1+rng.Intn(64)))
+			seg = append(seg, payload...)
+			t1, _, err1 := ParseTable(hdr)
+			t2, _, err2 := ParseTable(hdr)
+			if err1 != nil || err2 != nil {
+				t.Fatalf("%s: ParseTable: %v %v", name, err1, err2)
+			}
+			fast, fastUsed, fastErr := t1.DecodeSegment(seg)
+			ref, refUsed, refErr := t2.decodeSegmentReference(seg)
+			if (fastErr == nil) != (refErr == nil) {
+				t.Fatalf("%s trial %d: error mismatch fast=%v ref=%v", name, trial, fastErr, refErr)
+			}
+			if fastErr != nil {
+				continue
+			}
+			if fastUsed != refUsed || len(fast) != len(ref) {
+				t.Fatalf("%s trial %d: used/len mismatch", name, trial)
+			}
+			for i := range fast {
+				if fast[i] != ref[i] {
+					t.Fatalf("%s trial %d: symbol %d differs (%d vs %d)", name, trial, i, fast[i], ref[i])
+				}
+			}
+		}
+	}
+}
+
+// The hardening checks must reject absurd header counts without
+// allocating, and must not reject any honest stream.
+func TestHostileCountsRejectedBeforeAllocation(t *testing.T) {
+	// Claims 2^40 distinct symbols in a 3-byte table.
+	var huge []byte
+	huge = binary.AppendUvarint(huge, 10)    // n
+	huge = binary.AppendUvarint(huge, 1<<40) // k
+	huge = append(huge, []byte{1, 2, 3}...)  // nowhere near k entries
+	if _, err := Decode(huge); err == nil {
+		t.Fatal("expected error for absurd symbol-table count")
+	}
+
+	// Claims more symbols than the payload has bits.
+	enc := Encode([]uint32{1, 2, 3, 4, 1, 2, 3, 4})
+	_, k, rest, err := readHeaderCounts(enc)
+	if err != nil || k < 2 {
+		t.Fatalf("bad fixture: k=%d err=%v", k, err)
+	}
+	var lying []byte
+	lying = binary.AppendUvarint(lying, uint64(len(enc))*8+1) // n too large for any payload here
+	lying = binary.AppendUvarint(lying, k)
+	lying = append(lying, rest...)
+	if _, err := Decode(lying); err == nil {
+		t.Fatal("expected error for symbol count exceeding payload bits")
+	}
+
+	// Segment form of the same lie.
+	tab := BuildTable([]uint32{1, 2, 3, 4})
+	seg := binary.AppendUvarint(nil, 1<<50)
+	seg = append(seg, 0xFF, 0xFF)
+	if _, _, err := tab.DecodeSegment(seg); err == nil {
+		t.Fatal("expected error for absurd segment count")
+	}
+}
+
+func BenchmarkDecodeSegmentPeaked(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	in := make([]uint32, 1<<16)
+	for i := range in {
+		in[i] = uint32(32768 + int(rng.NormFloat64()*4))
+	}
+	tab := BuildTable(in)
+	seg := tab.EncodeSegment(in)
+	hdr := tab.AppendHeader(nil)
+	dec, _, err := ParseTable(hdr)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(in) * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := dec.DecodeSegment(seg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"qoz/internal/bitio"
+	"qoz/internal/pool"
 )
 
 // maxCodeLen bounds canonical code lengths. Quantization-bin histograms are
@@ -22,6 +23,10 @@ import (
 const maxCodeLen = 58
 
 var errCorrupt = errors.New("huffman: corrupt stream")
+
+// maxTrivialRun bounds the symbol count accepted for table-less constant
+// runs, whose headers carry no payload to validate the count against.
+const maxTrivialRun = 1 << 40
 
 // Encode compresses the symbol stream. The output is independent of any
 // out-of-band state; Decode(Encode(s)) == s.
@@ -85,43 +90,90 @@ func Encode(symbols []uint32) []byte {
 	return out
 }
 
-// Decode reverses Encode.
+// Decode reverses Encode. Symbols decode through a flat lookup table fed
+// by a word-at-a-time bit reader; decodeReference is the retained
+// bit-by-bit oracle the differential tests and fuzzer pin it against.
 func Decode(buf []byte) ([]uint32, error) {
+	t, n, payload, out, err := parseStream(buf)
+	if err != nil || t == nil {
+		return out, err
+	}
+	out = pool.Uint32s(int(n))
+	if _, err := t.decodeInto(payload, n, out); err != nil {
+		pool.PutUint32s(out)
+		return nil, err
+	}
+	return out, nil
+}
+
+// decodeReference is the original scalar decode path, kept as the
+// differential-test oracle for Decode's LUT fast path.
+func decodeReference(buf []byte) ([]uint32, error) {
+	t, n, payload, out, err := parseStream(buf)
+	if err != nil || t == nil {
+		return out, err
+	}
+	out = pool.Uint32s(int(n))
+	if _, err := t.decodeIntoReference(payload, n, out); err != nil {
+		pool.PutUint32s(out)
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseStream splits a single-segment stream into its canonical table,
+// symbol count, and entropy payload. Trivial streams (fewer than two
+// distinct symbols carry no bitstream) are decoded directly: the returned
+// table is nil and out holds the result.
+func parseStream(buf []byte) (t *Table, n uint64, payload []byte, out []uint32, err error) {
 	n, k, rest, err := readHeaderCounts(buf)
 	if err != nil {
-		return nil, err
+		return nil, 0, nil, nil, err
 	}
 	if k == 0 {
 		if n != 0 {
-			return nil, errCorrupt
+			return nil, 0, nil, nil, errCorrupt
 		}
-		return []uint32{}, nil
+		return nil, 0, nil, []uint32{}, nil
 	}
 	if k == 1 {
 		s, m := binary.Uvarint(rest)
 		if m <= 0 {
-			return nil, errCorrupt
+			return nil, 0, nil, nil, errCorrupt
 		}
-		out := make([]uint32, n)
+		// A constant run carries no bitstream, so n cannot be validated
+		// against a payload; still refuse counts no real field reaches
+		// rather than attempting a multi-terabyte allocation.
+		if n > maxTrivialRun {
+			return nil, 0, nil, nil, errCorrupt
+		}
+		out = pool.Uint32s(int(n))
 		for i := range out {
 			out[i] = uint32(s)
 		}
-		return out, nil
+		return nil, 0, nil, out, nil
 	}
 
-	syms := make([]uint32, k)
-	lens := make([]uint8, k)
+	// Hostile-input hardening: every table entry costs at least two bytes
+	// (a uvarint delta and a length byte), so a count the buffer cannot
+	// possibly hold is rejected before allocating k-sized tables. Honest
+	// streams always pass; dishonest ones would have failed entry parsing
+	// anyway, just after the allocation.
+	if k > uint64(len(rest))/2 {
+		return nil, 0, nil, nil, errCorrupt
+	}
+	t = &Table{syms: make([]uint32, k), lens: make([]uint8, k)}
 	prev := uint32(0)
 	for i := 0; i < int(k); i++ {
 		d, m := binary.Uvarint(rest)
 		if m <= 0 || len(rest) < m+1 {
-			return nil, errCorrupt
+			return nil, 0, nil, nil, errCorrupt
 		}
 		rest = rest[m:]
 		l := rest[0]
 		rest = rest[1:]
 		if l == 0 || l > maxCodeLen {
-			return nil, errCorrupt
+			return nil, 0, nil, nil, errCorrupt
 		}
 		var s uint32
 		if i == 0 {
@@ -129,50 +181,20 @@ func Decode(buf []byte) ([]uint32, error) {
 		} else {
 			s = uint32(int64(prev) + unzigzag(d))
 		}
-		syms[i] = s
-		lens[i] = l
+		t.syms[i] = s
+		t.lens[i] = l
 		prev = s
 	}
+	t.buildDecode()
 
-	// Rebuild the canonical decoding table.
-	var count [maxCodeLen + 1]int
-	for _, l := range lens {
-		count[l]++
+	// With at least two distinct symbols every decoded symbol consumes at
+	// least one payload bit; reject symbol counts the payload cannot hold
+	// before allocating the output (the scalar decoder would only discover
+	// this at EOF, after the allocation).
+	if n > uint64(len(rest))*8 {
+		return nil, 0, nil, nil, errCorrupt
 	}
-	var firstCode [maxCodeLen + 2]uint64
-	var firstSym [maxCodeLen + 2]int
-	code := uint64(0)
-	idx := 0
-	for l := 1; l <= maxCodeLen; l++ {
-		firstCode[l] = code
-		firstSym[l] = idx
-		code += uint64(count[l])
-		idx += count[l]
-		code <<= 1
-	}
-
-	r := bitio.NewReader(rest)
-	out := make([]uint32, n)
-	for i := uint64(0); i < n; i++ {
-		var c uint64
-		l := 0
-		for {
-			b, err := r.ReadBit()
-			if err != nil {
-				return nil, errCorrupt
-			}
-			c = c<<1 | uint64(b)
-			l++
-			if l > maxCodeLen {
-				return nil, errCorrupt
-			}
-			if count[l] > 0 && c-firstCode[l] < uint64(count[l]) {
-				out[i] = syms[firstSym[l]+int(c-firstCode[l])]
-				break
-			}
-		}
-	}
-	return out, nil
+	return t, n, rest, nil, nil
 }
 
 func readHeaderCounts(buf []byte) (n, k uint64, rest []byte, err error) {

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"qoz/internal/bitio"
+	"qoz/internal/pool"
 )
 
 // Table is a canonical Huffman code shared across several independently
@@ -25,6 +26,10 @@ type Table struct {
 	count     [maxCodeLen + 1]int
 	firstCode [maxCodeLen + 2]uint64
 	firstSym  [maxCodeLen + 2]int
+
+	// Flat fast-decode table, built lazily on first decode. Guarded by
+	// nothing: a Table is not safe for concurrent decoding.
+	lut *lut
 }
 
 // BuildTable constructs the canonical code over all symbols that will be
@@ -177,47 +182,70 @@ func (t *Table) EncodeSegment(symbols []uint32) []byte {
 
 // DecodeSegment reverses EncodeSegment, ignoring the final byte's padding
 // bits. It returns the decoded symbols and the number of segment bytes
-// consumed, so callers can verify segment framing.
+// consumed, so callers can verify segment framing. Symbols decode through
+// the LUT fast path; decodeSegmentReference is the retained bit-by-bit
+// oracle. Not safe for concurrent use on one Table.
 func (t *Table) DecodeSegment(buf []byte) ([]uint32, int, error) {
-	n, m := binary.Uvarint(buf)
+	n, m, payload, out, err := t.parseSegment(buf)
+	if err != nil || out != nil {
+		return out, m, err
+	}
+	out = pool.Uint32s(int(n))
+	bits, err := t.decodeInto(payload, n, out)
+	if err != nil {
+		pool.PutUint32s(out)
+		return nil, 0, err
+	}
+	return out, m + (bits+7)/8, nil
+}
+
+// decodeSegmentReference is the original scalar segment decoder, kept as
+// the differential-test oracle for DecodeSegment's fast path.
+func (t *Table) decodeSegmentReference(buf []byte) ([]uint32, int, error) {
+	n, m, payload, out, err := t.parseSegment(buf)
+	if err != nil || out != nil {
+		return out, m, err
+	}
+	out = pool.Uint32s(int(n))
+	bits, err := t.decodeIntoReference(payload, n, out)
+	if err != nil {
+		pool.PutUint32s(out)
+		return nil, 0, err
+	}
+	return out, m + (bits+7)/8, nil
+}
+
+// parseSegment reads the segment's symbol count and locates its payload.
+// Trivial segments (empty, or single-symbol tables with no bitstream) are
+// decoded directly: out is non-nil and m is the consumed byte count.
+func (t *Table) parseSegment(buf []byte) (n uint64, m int, payload []byte, out []uint32, err error) {
+	n, m = binary.Uvarint(buf)
 	if m <= 0 {
-		return nil, 0, errCorrupt
+		return 0, 0, nil, nil, errCorrupt
 	}
 	if n == 0 {
-		return []uint32{}, m, nil
+		return 0, m, nil, []uint32{}, nil
 	}
 	if len(t.syms) == 0 {
-		return nil, 0, errCorrupt
+		return 0, 0, nil, nil, errCorrupt
 	}
-	out := make([]uint32, n)
 	if len(t.syms) == 1 {
+		if n > maxTrivialRun {
+			return 0, 0, nil, nil, errCorrupt
+		}
+		out = pool.Uint32s(int(n))
 		for i := range out {
 			out[i] = t.syms[0]
 		}
-		return out, m, nil
+		return 0, m, nil, out, nil
 	}
-	r := bitio.NewReader(buf[m:])
-	for i := uint64(0); i < n; i++ {
-		var c uint64
-		l := 0
-		for {
-			b, err := r.ReadBit()
-			if err != nil {
-				return nil, 0, errCorrupt
-			}
-			c = c<<1 | uint64(b)
-			l++
-			if l > maxCodeLen {
-				return nil, 0, errCorrupt
-			}
-			if t.count[l] > 0 && c-t.firstCode[l] < uint64(t.count[l]) {
-				out[i] = t.syms[t.firstSym[l]+int(c-t.firstCode[l])]
-				break
-			}
-		}
+	// Hostile-input hardening: with two or more distinct symbols every
+	// decoded symbol consumes at least one bit, so a count the remaining
+	// bytes cannot hold is rejected before the output allocation.
+	if n > uint64(len(buf)-m)*8 {
+		return 0, 0, nil, nil, errCorrupt
 	}
-	used := len(buf[m:]) - r.BitsRemaining()/8
-	return out, m + used, nil
+	return n, m, buf[m:], nil, nil
 }
 
 // sortCanonical orders symbols by (code length, symbol id), the canonical

@@ -1,0 +1,157 @@
+package interp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"qoz/internal/quant"
+)
+
+// synthStream builds a synthetic quantization stream for one level sweep:
+// peaked bins around the radius with occasional literal escapes. When
+// starve is set the literal stream is cut short, exercising Next's
+// exhausted-literal zero fallback identically on both paths.
+func synthStream(rng *rand.Rand, count int, starve bool) ([]uint32, []float32) {
+	bins := make([]uint32, count)
+	var lits []float32
+	for i := range bins {
+		if rng.Intn(12) == 0 {
+			bins[i] = quant.LiteralSymbol
+			lits = append(lits, float32(rng.NormFloat64()*100))
+		} else {
+			bins[i] = uint32(quant.DefaultRadius + rng.Intn(81) - 40)
+		}
+	}
+	if starve && len(lits) > 1 {
+		lits = lits[:len(lits)/2]
+	}
+	return bins, lits
+}
+
+// TestLevelPassDecodeMatchesLevelPass pins the flattened fused sweep
+// bit-identical to the closure reference across shapes, levels, bases,
+// and dimension orders, including boundary-heavy odd extents.
+func TestLevelPassDecodeMatchesLevelPass(t *testing.T) {
+	shapes := [][]int{
+		{2}, {16}, {65}, {1000},
+		{2, 2}, {13, 17}, {33, 129}, {64, 1},
+		{32, 32, 32}, {7, 9, 11}, {64, 1, 17}, {1, 1, 5},
+		{5, 6, 7, 8}, {3, 3, 3, 3},
+	}
+	rng := rand.New(rand.NewSource(42))
+	eb := 1e-3
+	for _, dims := range shapes {
+		n := 1
+		for _, d := range dims {
+			n *= d
+		}
+		maxL := MaxLevelGlobal(dims)
+		for level := 1; level <= maxL; level++ {
+			for _, m := range Candidates(len(dims)) {
+				for _, starve := range []bool{false, true} {
+					count := CountLevelPoints(dims, level)
+					bins, lits := synthStream(rng, count, starve)
+					seed := make([]float32, n)
+					for i := range seed {
+						seed[i] = float32(rng.NormFloat64())
+					}
+					bufRef := append([]float32(nil), seed...)
+					bufFast := append([]float32(nil), seed...)
+					deqRef := quant.NewDequantizer(eb, 0, bins, lits)
+					deqFast := quant.NewDequantizer(eb, 0, bins, lits)
+
+					LevelPass(bufRef, dims, level, m, func(idx int, pred float64) float32 {
+						return deqRef.Next(pred)
+					})
+					LevelPassDecode(bufFast, dims, level, m, deqFast)
+
+					for i := range bufRef {
+						if math.Float32bits(bufRef[i]) != math.Float32bits(bufFast[i]) {
+							t.Fatalf("dims=%v level=%d m=%v starve=%v: buf[%d] = %x, want %x",
+								dims, level, m, starve, i,
+								math.Float32bits(bufFast[i]), math.Float32bits(bufRef[i]))
+						}
+					}
+					if deqRef.Remaining() != deqFast.Remaining() {
+						t.Fatalf("dims=%v level=%d m=%v: bin positions diverge: %d vs %d",
+							dims, level, m, deqRef.Remaining(), deqFast.Remaining())
+					}
+					_, litsRef, _, _ := deqRef.DecodeState()
+					_, litsFast, _, _ := deqFast.DecodeState()
+					if len(litsRef) != len(litsFast) {
+						t.Fatalf("dims=%v level=%d m=%v: literal positions diverge: %d vs %d",
+							dims, level, m, len(litsRef), len(litsFast))
+					}
+				}
+			}
+		}
+	}
+}
+
+// The fused sweep must also agree on a multi-level cascade sharing one
+// dequantizer, as the legacy single-stream decoder drives it.
+func TestLevelPassDecodeCascade(t *testing.T) {
+	dims := []int{33, 65}
+	n := 33 * 65
+	rng := rand.New(rand.NewSource(9))
+	maxL := MaxLevelGlobal(dims)
+	total := 0
+	for level := maxL; level >= 1; level-- {
+		total += CountLevelPoints(dims, level)
+	}
+	bins, lits := synthStream(rng, total, false)
+	bufRef := make([]float32, n)
+	bufFast := make([]float32, n)
+	bufRef[0] = 3.5
+	bufFast[0] = 3.5
+	deqRef := quant.NewDequantizer(1e-3, 0, bins, lits)
+	deqFast := quant.NewDequantizer(1e-3, 0, bins, lits)
+	for level := maxL; level >= 1; level-- {
+		m := Candidates(2)[level%len(Candidates(2))]
+		deqRef.SetBound(1e-3 / float64(level))
+		deqFast.SetBound(1e-3 / float64(level))
+		LevelPass(bufRef, dims, level, m, func(idx int, pred float64) float32 {
+			return deqRef.Next(pred)
+		})
+		LevelPassDecode(bufFast, dims, level, m, deqFast)
+	}
+	if deqRef.Remaining() != 0 || deqFast.Remaining() != 0 {
+		t.Fatalf("stream not fully consumed: ref %d, fast %d", deqRef.Remaining(), deqFast.Remaining())
+	}
+	for i := range bufRef {
+		if math.Float32bits(bufRef[i]) != math.Float32bits(bufFast[i]) {
+			t.Fatalf("buf[%d] = %x, want %x", i, math.Float32bits(bufFast[i]), math.Float32bits(bufRef[i]))
+		}
+	}
+}
+
+func benchSweep(b *testing.B, fused bool) {
+	dims := []int{64, 64, 64}
+	n := 64 * 64 * 64
+	rng := rand.New(rand.NewSource(1))
+	level := 2
+	m := Method{Cubic, Decreasing}
+	count := CountLevelPoints(dims, level)
+	bins, lits := synthStream(rng, count, false)
+	buf := make([]float32, n)
+	for i := range buf {
+		buf[i] = float32(rng.NormFloat64())
+	}
+	b.SetBytes(int64(count * 4))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		deq := quant.NewDequantizer(1e-3, 0, bins, lits)
+		if fused {
+			LevelPassDecode(buf, dims, level, m, deq)
+		} else {
+			LevelPass(buf, dims, level, m, func(idx int, pred float64) float32 {
+				return deq.Next(pred)
+			})
+		}
+	}
+}
+
+func BenchmarkLevelPassClosure(b *testing.B) { benchSweep(b, false) }
+func BenchmarkLevelPassDecode(b *testing.B)  { benchSweep(b, true) }

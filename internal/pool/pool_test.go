@@ -52,3 +52,37 @@ func TestRunErrHonorsCancellation(t *testing.T) {
 		t.Fatal("work ran under a canceled context")
 	}
 }
+
+func TestSlicePoolRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 1000, 1 << 20} {
+		s := Uint32s(n)
+		if len(s) != n {
+			t.Fatalf("Uint32s(%d): len %d", n, len(s))
+		}
+		if cap(s) < n {
+			t.Fatalf("Uint32s(%d): cap %d < n", n, cap(s))
+		}
+		for i := range s {
+			s[i] = uint32(i)
+		}
+		PutUint32s(s)
+		r := Uint32s(n)
+		if len(r) != n || cap(r) < n {
+			t.Fatalf("reuse Uint32s(%d): len %d cap %d", n, len(r), cap(r))
+		}
+		PutUint32s(r)
+	}
+	// A slice put with a non-power-of-two capacity must only be served to
+	// requests its capacity can hold.
+	odd := make([]uint32, 0, 100) // filed under bucket 6 (64)
+	PutUint32s(odd)
+	got := Uint32s(64)
+	if cap(got) < 64 {
+		t.Fatalf("bucketed slice too small: cap %d", cap(got))
+	}
+	PutBytes(Bytes(512))
+	PutFloat32s(Float32s(512))
+	if Bytes(0) != nil || Uint32s(-1) != nil {
+		t.Fatal("zero-length get should be nil")
+	}
+}

@@ -1,0 +1,80 @@
+package pool
+
+// Capacity-bucketed slice free lists for decode-path scratch. Hot decode
+// loops (Huffman symbol output, brick payload staging) allocate large
+// short-lived slices at a steady rate; recycling them through per-size
+// sync.Pools makes steady-state serving allocation-free. Slices are
+// bucketed by power-of-two capacity: Get draws from the smallest bucket
+// that can hold n, Put files a slice under the largest bucket its
+// capacity fully serves. Returned slices carry arbitrary stale contents —
+// callers must treat them as uninitialized memory.
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// maxBucket caps pooled capacities at 1<<maxBucket elements; anything
+// larger is allocated directly and dropped on Put.
+const maxBucket = 26
+
+type slicePool[T any] struct {
+	buckets [maxBucket + 1]sync.Pool
+}
+
+// get returns a slice of length n with undefined contents.
+func (p *slicePool[T]) get(n int) []T {
+	if n <= 0 {
+		return nil
+	}
+	b := bits.Len(uint(n - 1)) // smallest b with 1<<b >= n
+	if b > maxBucket {
+		return make([]T, n)
+	}
+	if v := p.buckets[b].Get(); v != nil {
+		return (*(v.(*[]T)))[:n]
+	}
+	return make([]T, n, 1<<b)
+}
+
+// put files s for reuse. Safe to call with nil or tiny slices; the slice
+// must not be referenced by the caller afterwards.
+func (p *slicePool[T]) put(s []T) {
+	c := cap(s)
+	if c == 0 {
+		return
+	}
+	// File under the largest bucket the capacity fully serves, so every
+	// get from that bucket fits within cap.
+	b := bits.Len(uint(c)) - 1
+	if b > maxBucket {
+		return
+	}
+	s = s[:0]
+	p.buckets[b].Put(&s)
+}
+
+var (
+	bytePool    slicePool[byte]
+	uint32Pool  slicePool[uint32]
+	float32Pool slicePool[float32]
+)
+
+// Bytes returns a byte slice of length n with undefined contents.
+func Bytes(n int) []byte { return bytePool.get(n) }
+
+// PutBytes recycles a slice obtained from Bytes (or any slice the caller
+// no longer references).
+func PutBytes(s []byte) { bytePool.put(s) }
+
+// Uint32s returns a uint32 slice of length n with undefined contents.
+func Uint32s(n int) []uint32 { return uint32Pool.get(n) }
+
+// PutUint32s recycles a slice obtained from Uint32s.
+func PutUint32s(s []uint32) { uint32Pool.put(s) }
+
+// Float32s returns a float32 slice of length n with undefined contents.
+func Float32s(n int) []float32 { return float32Pool.get(n) }
+
+// PutFloat32s recycles a slice obtained from Float32s.
+func PutFloat32s(s []float32) { float32Pool.put(s) }

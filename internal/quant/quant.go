@@ -135,3 +135,21 @@ func (d *Dequantizer) Next(p float64) float32 {
 
 // Remaining reports how many symbols are left, for stream-consistency checks.
 func (d *Dequantizer) Remaining() int { return len(d.bins) - d.binPos }
+
+// DecodeState exposes the unconsumed remainder of the bin and literal
+// streams plus the constants a fused decode loop needs, so flattened
+// sweeps (internal/interp) can inline dequantization instead of paying a
+// call per point. twoEB is 2*eb exactly as Next computes it, so
+// pred + twoEB*float64(bin) is bit-identical to Next's arithmetic. The
+// caller must report the symbols it consumed via Advance before any
+// further Next/DecodeState calls.
+func (d *Dequantizer) DecodeState() (bins []uint32, literals []float32, radius int32, twoEB float64) {
+	return d.bins[d.binPos:], d.literals[d.litPos:], d.radius, 2 * d.eb
+}
+
+// Advance consumes nBins bin symbols and nLits literals on behalf of a
+// fused decode loop operating on DecodeState slices.
+func (d *Dequantizer) Advance(nBins, nLits int) {
+	d.binPos += nBins
+	d.litPos += nLits
+}

@@ -99,6 +99,27 @@ func BenchmarkReadRegionSmallROICached(b *testing.B) {
 	}
 }
 
+// BenchmarkReadRegionIntoSmallROICached is the steady-state serving shape:
+// a reused destination buffer and a warm cache. The tentpole's acceptance
+// pins this at 0 allocs/op (see TestReadRegionIntoCachedZeroAlloc).
+func BenchmarkReadRegionIntoSmallROICached(b *testing.B) {
+	s := benchStore(b, DefaultCacheBytes)
+	ctx := context.Background()
+	lo, hi := []int{0, 0, 0}, []int{32, 64, 64}
+	dst := make([]float32, 32*64*64)
+	if err := s.ReadRegionInto(ctx, dst, lo, hi); err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(32 * 64 * 64 * 4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.ReadRegionInto(ctx, dst, lo, hi); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkReadRegionSmallROICachedObserved is the cached ROI read with a
 // stage observer registered — the shape every instrumented qozd request
 // takes. Comparing against BenchmarkReadRegionSmallROICached bounds the

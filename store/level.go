@@ -268,7 +268,8 @@ func brickCoarsePrefix[T qoz.Float](ctx context.Context, s *Store, m *manifest, 
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	payload := make([]byte, sp.bytes)
+	payload := pool.Bytes(int(sp.bytes))
+	defer pool.PutBytes(payload)
 	var err error
 	var fetchStart time.Time
 	if obsv != nil {

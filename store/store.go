@@ -644,39 +644,11 @@ func readRegionTyped[T qoz.Float](ctx context.Context, s *Store, m *manifest, lo
 			return nil, fmt.Errorf("store: region [%v,%v) outside field %v", lo, hi, dims)
 		}
 	}
-	outDims := make([]int, len(dims))
-	for i := range dims {
-		outDims[i] = hi[i] - lo[i]
-	}
 	out := make([]T, boxPoints(lo, hi))
-
-	bricks := m.intersectingBricks(lo, hi)
-	err := pool.RunErr(ctx, len(bricks), s.workers, func(k int) error {
-		bi := bricks[k]
-		blo, bhi := m.hdr.brickBox(bi)
-		data, err := brick(ctx, m, bi)
-		if err != nil {
-			return err
-		}
-		// Intersection of the brick box and the requested box, copied from
-		// brick-local coordinates into region-local coordinates. Workers
-		// write disjoint elements of out, so no synchronization is needed.
-		ilo := make([]int, len(dims))
-		size := make([]int, len(dims))
-		srcLo := make([]int, len(dims))
-		dstLo := make([]int, len(dims))
-		bdims := make([]int, len(dims))
-		for i := range dims {
-			ilo[i] = max(lo[i], blo[i])
-			size[i] = min(hi[i], bhi[i]) - ilo[i]
-			srcLo[i] = ilo[i] - blo[i]
-			dstLo[i] = ilo[i] - lo[i]
-			bdims[i] = bhi[i] - blo[i]
-		}
-		copyBox(out, outDims, dstLo, data, bdims, srcLo, size)
-		return nil
-	})
-	if err != nil {
+	if serveRegionCached(ctx, s, m, out, lo, hi) {
+		return out, nil
+	}
+	if err := readRegionSlow(ctx, s, m, out, lo, hi, brick); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -753,7 +725,11 @@ func brickTyped[T qoz.Float](ctx context.Context, s *Store, m *manifest, i int,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	payload := make([]byte, m.lengths[i])
+	// The payload buffer is scratch: every decoder behind this path parses
+	// the container by copying section bytes out, so the buffer is dead
+	// once decode returns and recycles through the pool.
+	payload := pool.Bytes(int(m.lengths[i]))
+	defer pool.PutBytes(payload)
 	var err error
 	var fetchStart time.Time
 	if obsv != nil {
