@@ -418,6 +418,24 @@ func (c *Client) readRegionRaw(ctx context.Context, f *Field, lo, hi []int, leve
 // failover attempts spent, and the successful attempt's wall time.
 func (c *Client) readSub(ctx context.Context, f *Field, sub subRegion, level int,
 	mu *sync.Mutex, stats *FanoutStats) (body []byte, shard string, retries int, secs float64, err error) {
+	v, shard, retries, secs, err := c.trySub(ctx, f, sub, mu, stats,
+		func(ctx context.Context, shard string) (any, error) {
+			return c.fetchSub(ctx, shard, f, sub, level)
+		})
+	if err != nil {
+		return nil, "", retries, 0, err
+	}
+	return v.([]byte), shard, retries, secs, nil
+}
+
+// trySub runs one sub-request against the sub-region's preference order,
+// failing over on shard faults: the shared attempt loop under every
+// fan-out (region sub-reads and query sub-queries alike). It returns
+// fetch's answer, the shard that served it, the failover attempts spent,
+// and the successful attempt's wall time.
+func (c *Client) trySub(ctx context.Context, f *Field, sub subRegion,
+	mu *sync.Mutex, stats *FanoutStats,
+	fetch func(ctx context.Context, shard string) (any, error)) (v any, shard string, retries int, secs float64, err error) {
 	attempts := min(c.attempts(), len(sub.rank))
 	var lastErr error
 	for a := 0; a < attempts; a++ {
@@ -431,10 +449,10 @@ func (c *Client) readSub(ctx context.Context, f *Field, sub subRegion, level int
 		actx, att := obs.StartSpan(ctx, "shard.get")
 		att.Annotate("shard", shard)
 		t0 := time.Now()
-		body, err := c.fetchSub(actx, shard, f, sub, level)
+		v, err := fetch(actx, shard)
 		if err == nil {
 			att.End()
-			return body, shard, retries, time.Since(t0).Seconds(), nil
+			return v, shard, retries, time.Since(t0).Seconds(), nil
 		}
 		att.Annotate("error", err.Error())
 		att.End()

@@ -300,7 +300,94 @@ func storeRecords(ds datagen.Dataset) ([]benchRecord, error) {
 		return nil, err
 	}
 	out = append(out, serveRec)
+	queryRecs, err := queryRecords(ctx, ds)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, queryRecs...)
 	return out, nil
+}
+
+// queryRecords measures predicate pushdown at both ends of its range:
+// "query_pruned" is a selective threshold count that the statistics index
+// resolves almost entirely without decoding, and "query_scan" is a
+// histogram too fine-grained to prune, so every brick decodes — the
+// pushdown ceiling and floor, tracked side by side. DecompMBps is the
+// effective field throughput: raw field bytes the query covered per
+// second, however few of them were actually decoded.
+func queryRecords(ctx context.Context, ds datagen.Dataset) ([]benchRecord, error) {
+	const rel = 1e-3
+	var buf bytes.Buffer
+	wo := store.WriteOptions{Opts: qoz.Options{RelBound: rel}}
+	if err := store.Write(ctx, &buf, ds.Data, ds.Dims, wo); err != nil {
+		return nil, err
+	}
+	s, err := store.Open(bytes.NewReader(buf.Bytes()), int64(buf.Len()), store.Options{CacheBytes: -1})
+	if err != nil {
+		return nil, err
+	}
+	// The selective threshold: just under the largest per-brick maximum,
+	// read from the index itself — at most a handful of bricks can match.
+	threshold := math.Inf(-1)
+	for i := 0; i < s.NumBricks(); i++ {
+		st, ok := s.BrickStats(i)
+		if !ok {
+			return nil, fmt.Errorf("%s: fresh store carries no statistics index", ds.Name)
+		}
+		threshold = math.Max(threshold, st.Max)
+	}
+	lo, hi := valueBounds(ds.Data)
+	rawMB := float64(ds.Len()*4) / 1e6
+	bestOf3 := func(req store.QueryRequest) (float64, error) {
+		best := math.Inf(1)
+		for i := 0; i < 3; i++ {
+			t0 := time.Now()
+			if _, err := s.Query(ctx, req); err != nil {
+				return 0, err
+			}
+			if d := time.Since(t0).Seconds(); d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	prunedSecs, err := bestOf3(store.QueryRequest{Op: store.QueryGT, Value: threshold - 1e-9})
+	if err != nil {
+		return nil, err
+	}
+	scanSecs, err := bestOf3(store.QueryRequest{Op: store.QueryHist, Low: lo, High: hi, Bins: 1 << 14})
+	if err != nil {
+		return nil, err
+	}
+	base := benchRecord{
+		Codec:    qoz.DefaultCodec,
+		Dataset:  ds.Name,
+		Dtype:    "float32",
+		RelBound: rel,
+		Bytes:    buf.Len(),
+		CR:       jsonSafe(float64(ds.Len()*4) / float64(buf.Len())),
+	}
+	pruned, scan := base, base
+	pruned.Op, pruned.DecompMBps = "query_pruned", jsonSafe(rawMB/prunedSecs)
+	scan.Op, scan.DecompMBps = "query_scan", jsonSafe(rawMB/scanSecs)
+	return []benchRecord{pruned, scan}, nil
+}
+
+// valueBounds returns the finite min and max of the data, a non-empty
+// histogram domain even for degenerate fields.
+func valueBounds(data []float32) (float64, float64) {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range data {
+		f := float64(v)
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		lo, hi = math.Min(lo, f), math.Max(hi, f)
+	}
+	if hi <= lo {
+		return 0, 1
+	}
+	return lo, hi
 }
 
 // serveCachedRecord measures the steady-state serving shape: every brick

@@ -16,6 +16,8 @@
 //	qozc compact    -store data.qozb
 //	qozc get        -in data.qozb [-out data.f32|data.f64]
 //	qozc extract    -in data.qozb -box 0:32,128:256,0:64 [-out roi.f32|roi.f64]
+//	qozc query      -in data.qozb -op gt|lt|range|min|max|hist [-value V]
+//	                [-low L -high H] [-bins N] [-box lo:hi,...] [-maxloc K] [-json]
 //	qozc info       -in data.qoz|data.qozb [-json]
 //	qozc codecs
 //
@@ -38,6 +40,14 @@
 // generation journal-style, so readers and qozd pick the steps up without
 // the file ever being rewritten — and compact reclaims the space of
 // superseded generations. See docs/FORMAT.md for the on-disk format.
+//
+// query answers a predicate over a store without materializing the
+// field: count the points beyond a threshold or inside a range (gt, lt,
+// range; -maxloc also lists the first matches), locate the extremum
+// (min, max), or histogram a box (hist). Stores written at format v5
+// carry a per-brick statistics index, and the query decodes only the
+// bricks the index cannot resolve — the report says how many bricks were
+// pruned versus decoded. info shows the index's field-wide aggregate.
 package main
 
 import (
@@ -81,6 +91,8 @@ func main() {
 		err = getCmd(os.Args[2:])
 	case "extract":
 		err = extractCmd(os.Args[2:])
+	case "query":
+		err = queryCmd(os.Args[2:])
 	case "info":
 		err = infoCmd(os.Args[2:])
 	case "compare":
@@ -97,7 +109,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: qozc compress|decompress|put|append|compact|get|extract|info|compare|codecs [flags] (see -h per subcommand)")
+	fmt.Fprintln(os.Stderr, "usage: qozc compress|decompress|put|append|compact|get|extract|query|info|compare|codecs [flags] (see -h per subcommand)")
 	os.Exit(2)
 }
 
@@ -719,6 +731,90 @@ func extractCmd(args []string) error {
 	return nil
 }
 
+// queryCmd runs one pushdown query against a brick store: the same
+// store.Query the serving layers expose, from the command line. The
+// human report leads with the answer and ends with the pruning tally —
+// how much of the field the statistics index resolved without decoding.
+func queryCmd(args []string) error {
+	fs := flag.NewFlagSet("query", flag.ExitOnError)
+	in := fs.String("in", "", "input .qozb brick store (required)")
+	op := fs.String("op", "", "operation: gt, lt, range, min, max, or hist (required)")
+	value := fs.Float64("value", math.NaN(), "threshold for -op gt/lt")
+	low := fs.Float64("low", math.NaN(), "lower bound for -op range/hist (inclusive)")
+	high := fs.Float64("high", math.NaN(), "upper bound for -op range/hist (exclusive)")
+	bins := fs.Int("bins", 0, "histogram bin count for -op hist")
+	boxArg := fs.String("box", "", "restrict to the box lo:hi,lo:hi,... (default: the whole field)")
+	maxloc := fs.Int("maxloc", 0, "also list the first K matching coordinates (gt/lt/range)")
+	asJSON := fs.Bool("json", false, "emit the raw query result as JSON")
+	fs.Parse(args)
+	if *in == "" || *op == "" {
+		return fmt.Errorf("query requires -in and -op")
+	}
+	req := store.QueryRequest{Op: *op, Bins: *bins, MaxLocations: *maxloc}
+	switch *op {
+	case store.QueryGT, store.QueryLT:
+		if math.IsNaN(*value) {
+			return fmt.Errorf("-op %s requires -value", *op)
+		}
+		req.Value = *value
+	case store.QueryRange, store.QueryHist:
+		if math.IsNaN(*low) || math.IsNaN(*high) {
+			return fmt.Errorf("-op %s requires -low and -high", *op)
+		}
+		req.Low, req.High = *low, *high
+	}
+	if *boxArg != "" {
+		var err error
+		if req.Lo, req.Hi, err = parseBox(*boxArg); err != nil {
+			return err
+		}
+	}
+	s, err := store.OpenFile(*in, store.Options{})
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	res, err := s.Query(context.Background(), req)
+	if err != nil {
+		return err
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	switch *op {
+	case store.QueryGT, store.QueryLT, store.QueryRange:
+		fmt.Printf("count: %d\n", res.Count)
+		for _, loc := range res.Locations {
+			fmt.Printf("at: %v\n", loc)
+		}
+		if res.Truncated {
+			fmt.Printf("(%d more matches beyond -maxloc %d)\n", res.Count-int64(len(res.Locations)), *maxloc)
+		}
+	case store.QueryMin, store.QueryMax:
+		if !res.Found {
+			fmt.Println("no non-NaN points in the box")
+		} else {
+			fmt.Printf("%s: %g at %v\n", *op, res.Value, res.Arg)
+		}
+	case store.QueryHist:
+		fmt.Printf("binned: %d  below: %d  above: %d  nan: %d\n",
+			res.Count, res.Below, res.Above, res.NaNCount)
+		if len(res.Bins) <= 32 {
+			width := (req.High - req.Low) / float64(len(res.Bins))
+			for i, n := range res.Bins {
+				fmt.Printf("[%g, %g): %d\n", req.Low+float64(i)*width, req.Low+float64(i+1)*width, n)
+			}
+		} else {
+			fmt.Printf("bins: %d (use -json for the values)\n", len(res.Bins))
+		}
+	}
+	fmt.Printf("bricks: %d pruned, %d decoded of %d\n",
+		res.BricksPruned, res.BricksDecoded, res.BricksTotal)
+	return nil
+}
+
 // parseBox parses "lo:hi,lo:hi,..." into region bounds.
 func parseBox(s string) (lo, hi []int, err error) {
 	for _, part := range strings.Split(s, ",") {
@@ -781,7 +877,63 @@ func storeInfo(path string) error {
 	if gen := s.Generation(); gen > 0 {
 		fmt.Printf("mutable: generation %d\n", gen)
 	}
+	if agg := storeStats(s); agg != nil {
+		fmt.Printf("stats: min %.6g  max %.6g  (%d of %d bricks indexed)\n",
+			agg.Min, agg.Max, agg.Bricks, s.NumBricks())
+	}
 	return nil
+}
+
+// statsReport is the field-wide aggregate of a v5 store's per-brick
+// statistics index: the value range and sample tallies of the original
+// data, read from the manifest without decoding a brick.
+type statsReport struct {
+	// Bricks is how many bricks carry a valid statistics record.
+	Bricks int     `json:"bricks"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	// Mean is the finite-sample mean, weighted across bricks; omitted if
+	// the weighted sum overflows.
+	Mean   float64 `json:"mean,omitempty"`
+	Count  uint64  `json:"count"`
+	Finite uint64  `json:"finite"`
+	HasNaN bool    `json:"hasNaN,omitempty"`
+	HasInf bool    `json:"hasInf,omitempty"`
+}
+
+// storeStats aggregates the per-brick statistics index into one
+// field-wide summary, nil when the store carries no index (pre-v5) or no
+// brick holds a finite sample. Min and Max are over finite original
+// samples, so the JSON encoding never meets a non-finite number.
+func storeStats(s *store.Store) *statsReport {
+	if !s.HasBrickStats() {
+		return nil
+	}
+	agg := statsReport{Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for i := 0; i < s.NumBricks(); i++ {
+		st, ok := s.BrickStats(i)
+		if !ok {
+			continue
+		}
+		agg.Bricks++
+		agg.Count += st.Count
+		agg.Finite += st.Finite
+		agg.HasNaN = agg.HasNaN || st.HasNaN
+		agg.HasInf = agg.HasInf || st.HasPosInf || st.HasNegInf
+		if st.Finite > 0 {
+			agg.Min = math.Min(agg.Min, st.Min)
+			agg.Max = math.Max(agg.Max, st.Max)
+			sum += st.Mean * float64(st.Finite)
+		}
+	}
+	if agg.Finite == 0 {
+		return nil
+	}
+	if m := sum / float64(agg.Finite); !math.IsInf(m, 0) && !math.IsNaN(m) {
+		agg.Mean = m
+	}
+	return &agg
 }
 
 func infoCmd(args []string) error {
@@ -877,6 +1029,9 @@ type infoReport struct {
 	FormatVersion int                  `json:"formatVersion,omitempty"`
 	Levels        []levelReport        `json:"levels,omitempty"`
 	BrickLevels   [][]store.LevelEntry `json:"brickLevels,omitempty"`
+	// Stats is the field-wide aggregate of the per-brick statistics index
+	// v5 stores record (docs/FORMAT.md §1.6); absent for older stores.
+	Stats *statsReport `json:"stats,omitempty"`
 }
 
 // levelReport summarizes one progressive level across the whole store:
@@ -1007,6 +1162,7 @@ func infoJSON(path string, w io.Writer) error {
 		rep.Mutable = rep.Generation > 0
 		rep.FormatVersion = s.FormatVersion()
 		rep.Levels, rep.BrickLevels = storeLevels(s)
+		rep.Stats = storeStats(s)
 		rep.Points = 1
 		for _, d := range rep.Dims {
 			rep.Points *= d

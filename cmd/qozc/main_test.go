@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"encoding/json"
+	"fmt"
 	"math"
 	"os"
 	"path/filepath"
@@ -288,14 +289,14 @@ func TestInfoJSON(t *testing.T) {
 		t.Fatalf("store report incomplete: %+v", rep)
 	}
 
-	// A fresh QoZ store is format v4 and reports its progressive levels:
+	// A fresh QoZ store is format v5 and reports its progressive levels:
 	// deepest first, ending at level 1 (the full field), with the fetch
 	// cost growing as the level drops.
-	if rep.FormatVersion != 4 {
-		t.Fatalf("fresh store reports format v%d, want v4", rep.FormatVersion)
+	if rep.FormatVersion != 5 {
+		t.Fatalf("fresh store reports format v%d, want v5", rep.FormatVersion)
 	}
 	if len(rep.Levels) == 0 {
-		t.Fatal("v4 store report carries no levels")
+		t.Fatal("v5 store report carries no levels")
 	}
 	last := rep.Levels[len(rep.Levels)-1]
 	if last.Level != 1 || last.Stride != 1 || last.GridPoints != rep.Points {
@@ -462,6 +463,88 @@ func TestPutFromFloat64Stream(t *testing.T) {
 		if e := math.Abs(recon[i] - data[i]); e > 2*1e-4*vr*(1+1e-9) {
 			t.Fatalf("point %d: error %g exceeds 2x bound", i, e)
 		}
+	}
+}
+
+// TestQueryCmdAndInfoStats: the query subcommand answers predicates over
+// a store, and info aggregates the statistics index the queries prune
+// from — the recorded min/max must be exactly the original data's,
+// because statistics are computed before compression.
+func TestQueryCmdAndInfoStats(t *testing.T) {
+	dir := t.TempDir()
+	ds := datagen.NYX(16, 16, 16)
+	in := filepath.Join(dir, "data.f32")
+	writeF32(t, in, ds.Data)
+	sf := filepath.Join(dir, "data.qozb")
+	if err := putCmd([]string{"-in", in, "-dims", "16,16,16", "-rel", "1e-3", "-brick", "8,8,8", "-out", sf}); err != nil {
+		t.Fatalf("put: %v", err)
+	}
+
+	lo, hi := ds.Data[0], ds.Data[0]
+	for _, v := range ds.Data {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+
+	// Every operation runs clean from the CLI, -json included.
+	mid := (float64(lo) + float64(hi)) / 2
+	for _, args := range [][]string{
+		{"-in", sf, "-op", "gt", "-value", fmt.Sprint(mid)},
+		{"-in", sf, "-op", "lt", "-value", fmt.Sprint(mid), "-maxloc", "3"},
+		{"-in", sf, "-op", "range", "-low", fmt.Sprint(float64(lo)), "-high", fmt.Sprint(mid), "-box", "0:8,4:12,0:16"},
+		{"-in", sf, "-op", "min"},
+		{"-in", sf, "-op", "max", "-json"},
+		{"-in", sf, "-op", "hist", "-low", fmt.Sprint(float64(lo)), "-high", fmt.Sprint(float64(hi) + 1e-6), "-bins", "8"},
+	} {
+		if err := queryCmd(args); err != nil {
+			t.Errorf("query %v: %v", args, err)
+		}
+	}
+
+	// Missing or malformed parameters fail before the store is touched.
+	for _, args := range [][]string{
+		{"-in", sf},
+		{"-op", "gt", "-value", "1"},
+		{"-in", sf, "-op", "gt"},
+		{"-in", sf, "-op", "range", "-low", "1"},
+		{"-in", sf, "-op", "hist", "-low", "0", "-high", "1", "-bins", "0"},
+		{"-in", sf, "-op", "gt", "-value", "1", "-box", "8:4"},
+	} {
+		if err := queryCmd(args); err == nil {
+			t.Errorf("query %v accepted", args)
+		}
+	}
+
+	// info -json reports the field-wide aggregate of the index.
+	var buf bytes.Buffer
+	if err := infoJSON(sf, &buf); err != nil {
+		t.Fatalf("infoJSON: %v", err)
+	}
+	var rep infoReport
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stats == nil {
+		t.Fatal("fresh v5 store reports no stats aggregate")
+	}
+	if rep.Stats.Bricks != rep.Bricks {
+		t.Errorf("stats cover %d of %d bricks", rep.Stats.Bricks, rep.Bricks)
+	}
+	if rep.Stats.Min != float64(lo) || rep.Stats.Max != float64(hi) {
+		t.Errorf("stats range [%g, %g], original data [%g, %g]", rep.Stats.Min, rep.Stats.Max, lo, hi)
+	}
+	if rep.Stats.Count != uint64(len(ds.Data)) || rep.Stats.Finite != rep.Stats.Count {
+		t.Errorf("stats tallies count=%d finite=%d, want %d finite points", rep.Stats.Count, rep.Stats.Finite, len(ds.Data))
+	}
+	if rep.Stats.HasNaN || rep.Stats.HasInf {
+		t.Errorf("stats flag non-finite values in an all-finite field: %+v", rep.Stats)
+	}
+	if rep.Stats.Mean < float64(lo) || rep.Stats.Mean > float64(hi) {
+		t.Errorf("stats mean %g outside the value range", rep.Stats.Mean)
 	}
 }
 

@@ -97,6 +97,7 @@ func newGateway(opts gatewayOptions) (*gateway, error) {
 	g.mux.HandleFunc("GET /v1/fields", g.handleFields)
 	g.mux.HandleFunc("GET /v1/fields/{name}", g.handleField)
 	g.mux.HandleFunc("GET /v1/fields/{name}/region", g.handleRegion)
+	g.mux.HandleFunc("GET /v1/fields/{name}/query", g.handleQuery)
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)
 	g.mux.HandleFunc("GET /healthz", handleHealthz)
 	g.mux.HandleFunc("GET /readyz", g.handleReadyz)
@@ -232,6 +233,26 @@ func (g *gateway) handleField(w http.ResponseWriter, r *http.Request) {
 	finish()
 }
 
+// account folds one fan-out's traffic stats into the gateway's process
+// counters: sub-request and retry totals, plus per-shard read/error/time
+// accounting. Region and query fan-outs account identically.
+func (g *gateway) account(stats cluster.FanoutStats) {
+	g.subReads.Add(int64(stats.SubReads))
+	g.retries.Add(int64(stats.Retries))
+	g.trafficMu.Lock()
+	for shard, t := range stats.ByShard {
+		acc := g.traffic[shard]
+		if acc == nil {
+			acc = &cluster.ShardTraffic{}
+			g.traffic[shard] = acc
+		}
+		acc.Reads += t.Reads
+		acc.Errors += t.Errors
+		acc.Seconds += t.Seconds
+	}
+	g.trafficMu.Unlock()
+}
+
 // handleRegion answers a region read by fan-out: plan sub-regions along
 // brick-ownership boundaries, read each from its owning shard (failing
 // over along the placement's preference order), and stitch the slabs into
@@ -323,20 +344,7 @@ func (g *gateway) handleRegion(w http.ResponseWriter, r *http.Request) {
 		v, _, err := g.flight.Do(r.Context(), key, func(ctx context.Context) (any, error) {
 			ctx = cluster.WithRequestID(ctx, r.Header.Get(requestIDHeader))
 			body, stats, err := g.client.ReadRegionLevelRaw(ctx, f, lo, hi, level)
-			g.subReads.Add(int64(stats.SubReads))
-			g.retries.Add(int64(stats.Retries))
-			g.trafficMu.Lock()
-			for shard, t := range stats.ByShard {
-				acc := g.traffic[shard]
-				if acc == nil {
-					acc = &cluster.ShardTraffic{}
-					g.traffic[shard] = acc
-				}
-				acc.Reads += t.Reads
-				acc.Errors += t.Errors
-				acc.Seconds += t.Seconds
-			}
-			g.trafficMu.Unlock()
+			g.account(stats)
 			return body, err
 		})
 		if err != nil {

@@ -8,7 +8,19 @@
 //	GET /v1/fields/{name}                   manifest: dims, brick, bound, codec, dtype, stats
 //	GET /v1/fields/{name}/region?lo=a,b,c&hi=d,e,f[&level=L][&format=raw|json]
 //	                                        decode the half-open box [lo, hi)
+//	GET /v1/fields/{name}/query?op=gt|lt|range|min|max|hist[&lo=..&hi=..]
+//	                                        predicate pushdown: aggregate without download
 //	GET /metrics                            Prometheus-style counters
+//
+// A query answers a predicate over a box (default: the whole field) as a
+// small JSON aggregate instead of a point slab: op=gt/lt/range&value= (or
+// low=/high=) count the matching points (maxloc=K also returns the first
+// K row-major coordinates), op=min/max locate the extremum, and
+// op=hist&low=&high=&bins= build a histogram. Stores written at format v5
+// carry a per-brick statistics index, and the query decodes only the
+// bricks whose error-bound-widened [min, max] straddles the predicate —
+// everything else resolves from the index alone (the stat_prune stage and
+// qozd_store_bricks_pruned_total count those).
 //
 // level=L (default 1) asks for the progressive coarse grid: the points of
 // the box whose global coordinates are all multiples of 2^(L-1), decoded
@@ -417,6 +429,7 @@ func newServer(mounts []mount, opts serverOptions) (*server, error) {
 	s.mux.HandleFunc("GET /v1/fields", s.handleFields)
 	s.mux.HandleFunc("GET /v1/fields/{name}", s.handleField)
 	s.mux.HandleFunc("GET /v1/fields/{name}/region", s.handleRegion)
+	s.mux.HandleFunc("GET /v1/fields/{name}/query", s.handleQuery)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /healthz", handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
@@ -1019,6 +1032,7 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		value      func(store.Stats) int64
 	}{
 		{"qozd_store_bricks_decoded_total", "brick decompressions (cache misses)", func(st store.Stats) int64 { return st.BricksDecoded }},
+		{"qozd_store_bricks_pruned_total", "query bricks resolved from the statistics index without decoding", func(st store.Stats) int64 { return st.BricksPruned }},
 		{"qozd_store_bricks_read_total", "bricks served to region reads", func(st store.Stats) int64 { return st.BricksRead }},
 		{"qozd_store_cache_hits_total", "bricks served from the decoded-brick cache", func(st store.Stats) int64 { return st.CacheHits }},
 		{"qozd_store_remote_ranges_total", "HTTP range requests issued to remote stores", func(st store.Stats) int64 { return st.RemoteRanges }},

@@ -77,6 +77,9 @@ func routeLabel(path string) string {
 		if strings.HasSuffix(path, "/region") {
 			return "region"
 		}
+		if strings.HasSuffix(path, "/query") {
+			return "query"
+		}
 		return "field"
 	case path == "/metrics":
 		return "metrics"
@@ -135,6 +138,7 @@ type stageAcc struct {
 	fetchNS, decodeNS      atomic.Int64
 	fetches, decodes, hits atomic.Int64
 	fetchBytes, hitBytes   atomic.Int64
+	prunes, prunedBytes    atomic.Int64
 }
 
 func (a *stageAcc) observe(st store.Stage, d time.Duration, bytes int64) {
@@ -151,13 +155,17 @@ func (a *stageAcc) observe(st store.Stage, d time.Duration, bytes int64) {
 	case store.StageCacheHit:
 		a.hits.Add(1)
 		a.hitBytes.Add(bytes)
+	case store.StageStatPrune:
+		a.prunes.Add(1)
+		a.prunedBytes.Add(bytes)
+		a.hist.Observe(d.Seconds(), st.String())
 	}
 }
 
 // annotate writes the accumulated stage totals onto a span (normally the
 // request's root). Requests that never touched a store annotate nothing.
 func (a *stageAcc) annotate(sp *obs.Span) {
-	if a.fetches.Load() == 0 && a.decodes.Load() == 0 && a.hits.Load() == 0 {
+	if a.fetches.Load() == 0 && a.decodes.Load() == 0 && a.hits.Load() == 0 && a.prunes.Load() == 0 {
 		return
 	}
 	ms := func(ns int64) string {
@@ -170,6 +178,10 @@ func (a *stageAcc) annotate(sp *obs.Span) {
 	sp.Annotate("store.decodeMs", ms(a.decodeNS.Load()))
 	sp.Annotate("store.cacheHits", strconv.FormatInt(a.hits.Load(), 10))
 	sp.Annotate("store.cacheHitBytes", strconv.FormatInt(a.hitBytes.Load(), 10))
+	if a.prunes.Load() > 0 {
+		sp.Annotate("store.pruned", strconv.FormatInt(a.prunes.Load(), 10))
+		sp.Annotate("store.prunedBytes", strconv.FormatInt(a.prunedBytes.Load(), 10))
+	}
 }
 
 // serve wraps one request in the full observability envelope: a root

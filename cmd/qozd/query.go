@@ -1,0 +1,286 @@
+// The query endpoint of both qozd roles: predicate pushdown served over
+// HTTP. A shard answers GET /v1/fields/{name}/query straight from its
+// store's statistics index (store.Query decodes only the bricks the index
+// cannot resolve); a gateway answers the same endpoint by fanning
+// sub-queries out along brick-ownership boundaries and merging the
+// partial aggregates (qoz/cluster), so a client gets one answer identical
+// to a single qozd holding the whole store. Both roles parse, validate,
+// version (ETag), coalesce, and guard the endpoint identically.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"qoz/cluster"
+	"qoz/store"
+)
+
+// parseQueryRequest reads and validates the query parameters of one
+// /query request against the field's dims, answering the 400 itself on a
+// bad value. Both roles parse identically, so shard and gateway reject
+// the same requests with the same messages. The returned request always
+// carries a concrete box: lo/hi default to the whole field.
+func parseQueryRequest(w http.ResponseWriter, r *http.Request, dims []int,
+	httpError func(http.ResponseWriter, *http.Request, int, string, ...any)) (store.QueryRequest, bool) {
+	q := r.URL.Query()
+	var req store.QueryRequest
+	bad := func(format string, args ...any) (store.QueryRequest, bool) {
+		httpError(w, r, http.StatusBadRequest, format, args...)
+		return store.QueryRequest{}, false
+	}
+
+	req.Op = q.Get("op")
+	switch req.Op {
+	case store.QueryGT, store.QueryLT, store.QueryRange, store.QueryMin, store.QueryMax, store.QueryHist:
+	case "":
+		return bad("query needs op=gt|lt|range|min|max|hist")
+	default:
+		return bad("unknown query op %q (want gt, lt, range, min, max, or hist)", req.Op)
+	}
+
+	// The box is optional — a query, unlike a region read, defaults to the
+	// whole field, because the server aggregates instead of shipping points.
+	if (q.Get("lo") == "") != (q.Get("hi") == "") {
+		return bad("query box needs both lo=a,b,... and hi=a,b,... (or neither, for the whole field)")
+	}
+	if q.Get("lo") != "" {
+		var err error
+		if req.Lo, err = parseCorner(q.Get("lo")); err != nil {
+			return bad("lo: %v", err)
+		}
+		if req.Hi, err = parseCorner(q.Get("hi")); err != nil {
+			return bad("hi: %v", err)
+		}
+	} else {
+		req.Lo = make([]int, len(dims))
+		req.Hi = dims
+	}
+	if len(req.Lo) != len(dims) || len(req.Hi) != len(dims) {
+		return bad("query box rank %d/%d, field rank %d", len(req.Lo), len(req.Hi), len(dims))
+	}
+	for i := range dims {
+		if req.Lo[i] < 0 || req.Hi[i] > dims[i] || req.Lo[i] >= req.Hi[i] {
+			return bad("query box [%v,%v) outside field %v", req.Lo, req.Hi, dims)
+		}
+	}
+
+	finite := func(name string) (float64, error) {
+		s := q.Get(name)
+		if s == "" {
+			return 0, fmt.Errorf("op %q needs %s=", req.Op, name)
+		}
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Errorf("%s must be a finite number, got %q", name, s)
+		}
+		return v, nil
+	}
+	var err error
+	switch req.Op {
+	case store.QueryGT, store.QueryLT:
+		if req.Value, err = finite("value"); err != nil {
+			return bad("%v", err)
+		}
+	case store.QueryRange, store.QueryHist:
+		if req.Low, err = finite("low"); err != nil {
+			return bad("%v", err)
+		}
+		if req.High, err = finite("high"); err != nil {
+			return bad("%v", err)
+		}
+		if req.Low >= req.High {
+			return bad("query needs low < high, got [%g, %g)", req.Low, req.High)
+		}
+	}
+	if req.Op == store.QueryHist {
+		b := q.Get("bins")
+		n, err := strconv.Atoi(b)
+		if b == "" || err != nil || n < 1 || n > store.MaxQueryBins {
+			return bad("hist needs bins in 1..%d, got %q", store.MaxQueryBins, b)
+		}
+		req.Bins = n
+	}
+	if ml := q.Get("maxloc"); ml != "" {
+		n, err := strconv.Atoi(ml)
+		if err != nil || n < 0 {
+			return bad("maxloc must be a non-negative integer, got %q", ml)
+		}
+		req.MaxLocations = n
+	}
+	return req, true
+}
+
+// queryVariant names a query's representation for the ETag and the
+// single-flight key: the operation and every parameter that changes the
+// answer, in canonical shortest-round-trip formatting, plus the gzip
+// content coding. The box is not part of it — regionETag already embeds
+// the box alongside the variant.
+func queryVariant(req store.QueryRequest, gz bool) string {
+	g := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	v := "q" + req.Op
+	switch req.Op {
+	case store.QueryGT, store.QueryLT:
+		v += ":" + g(req.Value)
+	case store.QueryRange:
+		v += ":" + g(req.Low) + ":" + g(req.High)
+	case store.QueryHist:
+		v += ":" + g(req.Low) + ":" + g(req.High) + ":" + strconv.Itoa(req.Bins)
+	}
+	if req.MaxLocations > 0 {
+		v += ":k" + strconv.Itoa(req.MaxLocations)
+	}
+	if gz {
+		v += "+gzip"
+	}
+	return v
+}
+
+// handleQuery answers a pushdown query over one mounted field. The flow
+// mirrors handleRegion — validate, strong ETag over (store content, box,
+// dtype, variant), If-None-Match, single-flight with -max-inflight
+// admission inside — but the response is a small JSON aggregate
+// (store.QueryResult) instead of a point slab, and the store prunes
+// every brick its statistics index can resolve.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	f, ok := s.fields[r.PathValue("name")]
+	if !ok {
+		s.httpError(w, r, http.StatusNotFound, "unknown field %q", r.PathValue("name"))
+		return
+	}
+	req, ok := parseQueryRequest(w, r, f.store.Dims(), s.httpError)
+	if !ok {
+		return
+	}
+	// The served-points bound applies to what crosses the wire: a query
+	// response is a fixed-size aggregate plus maxloc coordinates, so only
+	// the location cap is limited — a whole-field count over a region too
+	// large to download is exactly what pushdown is for.
+	if s.opts.MaxPoints > 0 && req.MaxLocations > s.opts.MaxPoints {
+		s.httpError(w, r, http.StatusRequestEntityTooLarge,
+			"maxloc %d over the %d-point response limit", req.MaxLocations, s.opts.MaxPoints)
+		return
+	}
+
+	// Same validator discipline as regions: the answer is a pure function
+	// of (store content, box, dtype, query variant), and the gateway's
+	// generation gate reads the same "crc-gN" prefix off this ETag.
+	gz := acceptsGzip(r)
+	crc, gen := f.store.ManifestVersion()
+	etag := regionETag(crc, gen, f.store.DType(), req.Lo, req.Hi, queryVariant(req, gz))
+	if inmMatches(r.Header.Get("If-None-Match"), etag) {
+		w.Header().Set("ETag", etag)
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+
+	// Single-flight over the result object; the key carries (crc, gen) and
+	// every answer-changing parameter, and omits gzip — both encodings
+	// render from the same result.
+	key := fmt.Sprintf("%s|%08x-%d|%v|%v|%s", f.name, crc, gen, req.Lo, req.Hi, queryVariant(req, false))
+	v, _, err := s.flight.Do(r.Context(), key, func(ctx context.Context) (any, error) {
+		// Queries decode bricks too (the unpruned ones), so they take the
+		// same -max-inflight slot a region decode would.
+		if s.inflight != nil {
+			select {
+			case s.inflight <- struct{}{}:
+				defer func() { <-s.inflight }()
+			default:
+				s.rejected.Add(1)
+				return nil, errShed
+			}
+		}
+		return f.store.Query(ctx, req)
+	})
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client is gone; nobody to answer
+		}
+		if errors.Is(err, errShed) {
+			w.Header().Set("Retry-After", "1")
+			s.httpError(w, r, http.StatusServiceUnavailable, "server at -max-inflight capacity")
+			return
+		}
+		s.httpError(w, r, http.StatusInternalServerError, "query: %v", err)
+		return
+	}
+
+	w.Header().Set("ETag", etag)
+	body, finish := jsonBody(w, r)
+	json.NewEncoder(body).Encode(v.(*store.QueryResult))
+	finish()
+}
+
+// handleQuery answers a pushdown query by fan-out: sub-queries along
+// brick-ownership boundaries, answered by the owning shards (each pruning
+// from its own statistics index), merged into one aggregate identical to
+// a single qozd holding the whole store. Stale-retry, single-flight, and
+// the ETag discipline mirror the gateway's region path.
+func (g *gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
+	for attempt := 0; ; attempt++ {
+		f, ok := g.fields()[r.PathValue("name")]
+		if !ok {
+			g.httpError(w, r, http.StatusNotFound, "unknown field %q", r.PathValue("name"))
+			return
+		}
+		req, ok := parseQueryRequest(w, r, f.Dims, g.httpError)
+		if !ok {
+			return
+		}
+		if g.opts.MaxPoints > 0 && req.MaxLocations > g.opts.MaxPoints {
+			g.httpError(w, r, http.StatusRequestEntityTooLarge,
+				"maxloc %d over the %d-point response limit", req.MaxLocations, g.opts.MaxPoints)
+			return
+		}
+
+		// Same validator a single-node qozd would mint for this (crc, gen):
+		// a client can revalidate against gateway or shard interchangeably.
+		gz := acceptsGzip(r)
+		etag := regionETag(f.ManifestCRC, f.Generation, f.DType, req.Lo, req.Hi, queryVariant(req, gz))
+		if inmMatches(r.Header.Get("If-None-Match"), etag) {
+			w.Header().Set("ETag", etag)
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+
+		key := fmt.Sprintf("%s|%08x-%d|%v|%v|%s", f.Name, f.ManifestCRC, f.Generation,
+			req.Lo, req.Hi, queryVariant(req, false))
+		v, _, err := g.flight.Do(r.Context(), key, func(ctx context.Context) (any, error) {
+			ctx = cluster.WithRequestID(ctx, r.Header.Get(requestIDHeader))
+			res, stats, err := g.client.Query(ctx, f, req)
+			g.account(stats)
+			return res, err
+		})
+		if err != nil {
+			if r.Context().Err() != nil {
+				return // client is gone; nobody to answer
+			}
+			if errors.Is(err, cluster.ErrStale) && attempt == 0 {
+				// The shards advanced past the gateway's catalog: one refresh
+				// re-resolves the field and the fan-out retries against the
+				// fleet's present, exactly like a stale region read.
+				rctx, cancel := context.WithTimeout(r.Context(), 10*time.Second)
+				rerr := g.refreshCatalog(rctx)
+				cancel()
+				if rerr == nil {
+					continue
+				}
+			}
+			w.Header().Set("Retry-After", "1")
+			g.httpError(w, r, http.StatusBadGateway, "query fan-out failed: %v", err)
+			return
+		}
+
+		w.Header().Set("ETag", etag)
+		body, finish := jsonBody(w, r)
+		json.NewEncoder(body).Encode(v.(*store.QueryResult))
+		finish()
+		return
+	}
+}

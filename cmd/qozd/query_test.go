@@ -1,0 +1,272 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"qoz/store"
+)
+
+// queryGet fetches one /query URL and decodes the JSON aggregate.
+func queryGet(t *testing.T, u string) (*http.Response, *store.QueryResult) {
+	t.Helper()
+	resp, body := get(t, u)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s: %s", u, resp.Status, body)
+	}
+	var res store.QueryResult
+	if err := json.Unmarshal(body, &res); err != nil {
+		t.Fatalf("GET %s: decode: %v (%s)", u, err, body)
+	}
+	return resp, &res
+}
+
+// TestServerQueryEndpoint is the shard-side differential test: every
+// query answered over HTTP must match the same store.Query run directly
+// against the archive, the selective ones must actually prune, and the
+// endpoint must keep the region path's validator and error contracts.
+func TestServerQueryEndpoint(t *testing.T) {
+	path, _ := buildStoreFile(t, t.TempDir())
+	srv, err := newServer([]mount{{name: "nyx", target: path}}, serverOptions{
+		CacheBytes: 32 << 20,
+		MaxPoints:  1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	local, err := store.OpenFile(path, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer local.Close()
+
+	// A selective threshold straight from the statistics index: the
+	// 4th-largest per-brick maximum, so only a few of the 64 bricks can
+	// match and the rest must prune.
+	maxes := make([]float64, 0, local.NumBricks())
+	for i := 0; i < local.NumBricks(); i++ {
+		st, ok := local.BrickStats(i)
+		if !ok {
+			t.Fatalf("brick %d: fresh store carries no statistics", i)
+		}
+		maxes = append(maxes, st.Max)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(maxes)))
+	threshold := maxes[3]
+	gv := url.QueryEscape(strconv.FormatFloat(threshold, 'g', -1, 64))
+
+	for _, tc := range []struct {
+		name  string
+		query string
+		req   store.QueryRequest
+	}{
+		{"gt whole field", "op=gt&value=" + gv,
+			store.QueryRequest{Op: store.QueryGT, Value: threshold}},
+		{"gt with locations", "op=gt&value=" + gv + "&maxloc=5",
+			store.QueryRequest{Op: store.QueryGT, Value: threshold, MaxLocations: 5}},
+		{"range in a box", "op=range&low=0.2&high=0.8&lo=4,4,4&hi=28,28,28",
+			store.QueryRequest{Op: store.QueryRange, Low: 0.2, High: 0.8, Lo: []int{4, 4, 4}, Hi: []int{28, 28, 28}}},
+		{"min", "op=min",
+			store.QueryRequest{Op: store.QueryMin}},
+		{"max in a box", "op=max&lo=8,0,8&hi=32,32,24",
+			store.QueryRequest{Op: store.QueryMax, Lo: []int{8, 0, 8}, Hi: []int{32, 32, 24}}},
+		{"hist", "op=hist&low=0&high=1&bins=16",
+			store.QueryRequest{Op: store.QueryHist, Low: 0, High: 1, Bins: 16}},
+	} {
+		_, got := queryGet(t, ts.URL+"/v1/fields/nyx/query?"+tc.query)
+		want, err := local.Query(context.Background(), tc.req)
+		if err != nil {
+			t.Fatalf("%s: direct query: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: served %+v, direct store.Query %+v", tc.name, got, want)
+		}
+	}
+
+	// The selective threshold pruned on the serving store too.
+	if pruned := srv.fields["nyx"].store.Stats().BricksPruned; pruned == 0 {
+		t.Error("serving store pruned no bricks across the selective queries")
+	}
+
+	// Validator contract: strong ETag, stable, parameter-sensitive, and a
+	// 304 revalidation decodes nothing.
+	qurl := ts.URL + "/v1/fields/nyx/query?op=gt&value=" + gv
+	resp, _ := queryGet(t, qurl)
+	etag := resp.Header.Get("ETag")
+	if etag == "" || etag[0] != '"' {
+		t.Fatalf("query ETag %q is not a strong quoted validator", etag)
+	}
+	if resp2, _ := queryGet(t, qurl); resp2.Header.Get("ETag") != etag {
+		t.Fatalf("ETag unstable across identical queries")
+	}
+	if respOther, _ := queryGet(t, qurl+"&maxloc=3"); respOther.Header.Get("ETag") == etag {
+		t.Fatal("different query parameters share an ETag")
+	}
+	decodedBefore := srv.fields["nyx"].store.Stats().BricksDecoded
+	req, _ := http.NewRequest(http.MethodGet, qurl, nil)
+	req.Header.Set("If-None-Match", etag)
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp3.Body)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotModified {
+		t.Fatalf("If-None-Match revalidation answered %d, want 304", resp3.StatusCode)
+	}
+	if after := srv.fields["nyx"].store.Stats().BricksDecoded; after != decodedBefore {
+		t.Fatalf("revalidation decoded %d bricks; 304 must not decode", after-decodedBefore)
+	}
+
+	// Error contract: the 400s of a malformed query, 404 for unknown
+	// fields, and the maxloc response limit.
+	for _, tc := range []struct {
+		url  string
+		code int
+	}{
+		{"/v1/fields/none/query?op=gt&value=1", http.StatusNotFound},
+		{"/v1/fields/nyx/query", http.StatusBadRequest},
+		{"/v1/fields/nyx/query?op=between", http.StatusBadRequest},
+		{"/v1/fields/nyx/query?op=gt", http.StatusBadRequest},
+		{"/v1/fields/nyx/query?op=gt&value=NaN", http.StatusBadRequest},
+		{"/v1/fields/nyx/query?op=gt&value=1&lo=0,0,0", http.StatusBadRequest},
+		{"/v1/fields/nyx/query?op=gt&value=1&lo=0,0&hi=1,1,1", http.StatusBadRequest},
+		{"/v1/fields/nyx/query?op=gt&value=1&lo=0,0,0&hi=64,1,1", http.StatusBadRequest},
+		{"/v1/fields/nyx/query?op=range&low=2&high=1", http.StatusBadRequest},
+		{"/v1/fields/nyx/query?op=hist&low=0&high=1", http.StatusBadRequest},
+		{"/v1/fields/nyx/query?op=hist&low=0&high=1&bins=0", http.StatusBadRequest},
+		{"/v1/fields/nyx/query?op=gt&value=1&maxloc=-1", http.StatusBadRequest},
+	} {
+		if resp, body := get(t, ts.URL+tc.url); resp.StatusCode != tc.code {
+			t.Errorf("%s: status %d, want %d (%s)", tc.url, resp.StatusCode, tc.code, body)
+		}
+	}
+	small, err := newServer([]mount{{name: "nyx", target: path}}, serverOptions{MaxPoints: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer small.Close()
+	tsSmall := httptest.NewServer(small)
+	defer tsSmall.Close()
+	if resp, _ := get(t, tsSmall.URL+"/v1/fields/nyx/query?op=gt&value=0&maxloc=100"); resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized maxloc: status %d, want 413", resp.StatusCode)
+	}
+
+	// The pruning counter surfaces on /metrics.
+	_, body := get(t, ts.URL+"/metrics")
+	if want := `qozd_store_bricks_pruned_total{field="nyx"}`; !strings.Contains(string(body), want) {
+		t.Errorf("/metrics missing %q", want)
+	}
+}
+
+// TestClusterGatewayQuery is the cluster-side differential test: a query
+// fanned out over shards and merged at the gateway must answer exactly
+// what a single qozd holding the whole store answers — counts, bins,
+// locations, extremum, and the pruning tallies — with the same ETag, and
+// the fan-out must have used more than one shard.
+func TestClusterGatewayQuery(t *testing.T) {
+	dir := t.TempDir()
+	p32, ds := buildStoreFile(t, dir)
+	p64, _, _ := buildStoreFile64(t, dir)
+	mounts := []mount{{name: "nyx", target: p32}, {name: "wave", target: p64}}
+	shards, _ := startShards(t, mounts, 2, serverOptions{CacheBytes: 32 << 20}, nil)
+	gw, gts := startGateway(t, gatewayOptions{Shards: shardURLs(shards)})
+
+	// A threshold in the field's upper quartile: matches exist, most
+	// bricks prune.
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range ds.Data {
+		lo, hi = math.Min(lo, float64(v)), math.Max(hi, float64(v))
+	}
+	threshold := lo + 0.95*(hi-lo)
+	gv := url.QueryEscape(strconv.FormatFloat(threshold, 'g', -1, 64))
+
+	for _, tc := range []struct {
+		field, query string
+		extremum     bool
+	}{
+		{"nyx", "op=gt&value=" + gv, false},
+		{"nyx", "op=gt&value=" + gv + "&maxloc=7", false},
+		{"nyx", "op=range&low=0.2&high=0.8&lo=1,2,3&hi=31,30,29", false},
+		{"nyx", "op=hist&low=0&high=1&bins=32", false},
+		// wave holds a NaN in brick 0: the NaN tally must survive the merge.
+		{"wave", "op=hist&low=-2&high=2&bins=8", false},
+		{"nyx", "op=min", true},
+		{"nyx", "op=max&lo=1,2,3&hi=31,30,29", true},
+		{"wave", "op=max", true},
+	} {
+		u := "/v1/fields/" + tc.field + "/query?" + tc.query
+		wantResp, want := queryGet(t, shards[0].URL+u)
+		gotResp, got := queryGet(t, gts.URL+u)
+		if tc.extremum {
+			// The per-brick branch-and-bound sees different candidate orders
+			// on gateway sub-boxes than on the whole field, so the brick
+			// tallies legitimately differ; the answer must not.
+			if got.Found != want.Found || got.Value != want.Value || !reflect.DeepEqual(got.Arg, want.Arg) {
+				t.Errorf("%s: gateway extremum (%v, %v, %v), single-node (%v, %v, %v)",
+					u, got.Found, got.Value, got.Arg, want.Found, want.Value, want.Arg)
+			}
+		} else if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: gateway merged %+v, single-node %+v", u, got, want)
+		}
+		if ge, se := gotResp.Header.Get("ETag"), wantResp.Header.Get("ETag"); ge != se {
+			t.Errorf("%s: gateway ETag %s, single-node ETag %s", u, ge, se)
+		}
+	}
+
+	// The queries fanned out: both shards answered sub-queries.
+	gw.trafficMu.Lock()
+	served := 0
+	for _, tr := range gw.traffic {
+		if tr.Reads > 0 {
+			served++
+		}
+	}
+	gw.trafficMu.Unlock()
+	if served != 2 {
+		t.Errorf("%d shards answered sub-queries, want 2", served)
+	}
+
+	// Conditional GET through the gateway.
+	qurl := gts.URL + "/v1/fields/nyx/query?op=gt&value=" + gv
+	resp, _ := queryGet(t, qurl)
+	req, _ := http.NewRequest(http.MethodGet, qurl, nil)
+	req.Header.Set("If-None-Match", resp.Header.Get("ETag"))
+	resp2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotModified {
+		t.Errorf("gateway revalidation answered %d, want 304", resp2.StatusCode)
+	}
+
+	// Unknown fields and malformed parameters fail identically at either
+	// role, before any shard is bothered.
+	for _, u := range []string{
+		"/v1/fields/none/query?op=gt&value=1",
+		"/v1/fields/nyx/query?op=hist&low=0&high=1&bins=" + fmt.Sprint(store.MaxQueryBins+1),
+	} {
+		gr, _ := get(t, gts.URL+u)
+		sr, _ := get(t, shards[0].URL+u)
+		if gr.StatusCode != sr.StatusCode {
+			t.Errorf("%s: gateway %d, shard %d", u, gr.StatusCode, sr.StatusCode)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package store
 import (
 	"bytes"
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -72,6 +73,110 @@ func TestSmallROIBeatsFullDecode(t *testing.T) {
 	}
 	if ratio := full.Seconds() / roi.Seconds(); ratio < 10 {
 		t.Fatalf("ROI extract only %.1fx faster than full decode (full %v, roi %v); want >= 10x", ratio, full, roi)
+	}
+}
+
+// TestQueryBeatsFullDecode pins the query-pushdown payoff the same way
+// TestSmallROIBeatsFullDecode pins region reads: a selective threshold
+// query over the 64 MiB corpus must run at least 10x faster than the full
+// decode it replaces, because the statistics index prunes every brick
+// whose value range clears the predicate — while returning exactly the
+// count a brute-force scan of the decoded field yields.
+func TestQueryBeatsFullDecode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("64 MiB corpus build in -short mode")
+	}
+	ctx := context.Background()
+	s := benchStore(t, -1) // cache off: pruned bricks are genuinely never decoded
+	defer s.Close()
+
+	// Place the threshold at the 8th-largest per-brick maximum, from the
+	// statistics alone: at most a handful of the 512 bricks can hold a
+	// point above it, everything else prunes all-out.
+	maxes := make([]float64, 0, s.NumBricks())
+	for i := 0; i < s.NumBricks(); i++ {
+		st, ok := s.BrickStats(i)
+		if !ok {
+			t.Fatalf("brick %d: fresh write carries no statistics", i)
+		}
+		maxes = append(maxes, st.Max)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(maxes)))
+	threshold := maxes[7]
+
+	t0 := time.Now()
+	field, err := s.ReadField(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := time.Since(t0)
+	var want int64
+	for _, v := range field {
+		if float64(v) > threshold {
+			want++
+		}
+	}
+
+	var res *QueryResult
+	best := time.Duration(1 << 62)
+	for i := 0; i < 3; i++ { // best of 3 to shrug off scheduler noise
+		t0 = time.Now()
+		res, err = s.Query(ctx, QueryRequest{Op: QueryGT, Value: threshold})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	if res.Count != want {
+		t.Fatalf("query counted %d points > %g, full decode %d", res.Count, threshold, want)
+	}
+	if res.BricksPruned == 0 || res.BricksDecoded > 32 {
+		t.Fatalf("selective predicate pruned %d and decoded %d of %d bricks; pushdown is not working",
+			res.BricksPruned, res.BricksDecoded, res.BricksTotal)
+	}
+	if ratio := full.Seconds() / best.Seconds(); ratio < 10 {
+		t.Fatalf("query only %.1fx faster than full decode (full %v, query %v); want >= 10x", ratio, full, best)
+	}
+}
+
+// BenchmarkQueryPruned measures a selective threshold query: nearly every
+// brick resolves from the statistics index.
+func BenchmarkQueryPruned(b *testing.B) {
+	s := benchStore(b, -1)
+	defer s.Close()
+	ctx := context.Background()
+	st, ok := s.BrickStats(0)
+	if !ok {
+		b.Fatal("no statistics")
+	}
+	threshold := st.Max // selective for most, not all, bricks
+	for i := 1; i < s.NumBricks(); i++ {
+		if bs, _ := s.BrickStats(i); bs.Max > threshold {
+			threshold = bs.Max
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(ctx, QueryRequest{Op: QueryGT, Value: threshold - 1e-6}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkQueryScan measures the unprunable worst case: a histogram so
+// fine-grained every brick straddles a bin edge and must decode.
+func BenchmarkQueryScan(b *testing.B) {
+	s := benchStore(b, -1)
+	defer s.Close()
+	ctx := context.Background()
+	b.SetBytes(256 * 256 * 256 * 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Query(ctx, QueryRequest{Op: QueryHist, Low: 0, High: 1, Bins: 1 << 14}); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

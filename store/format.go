@@ -26,6 +26,11 @@ const (
 	// index it cannot parse.
 	trailerMagicV4 = "QOZBIDX4"
 
+	// trailerMagicV5 terminates a v5 write-once store: the v4 index entry
+	// layout followed by a per-brick statistics block (docs/FORMAT.md
+	// §1.6) between the last entry and the footer.
+	trailerMagicV5 = "QOZBIDX5"
+
 	// genTrailerMagic terminates every v3 generation footer. It is distinct
 	// from trailerMagic so a v3 tail can never be misparsed as a v1/v2
 	// index footer (and vice versa), and so the torn-commit backward scan
@@ -36,16 +41,20 @@ const (
 	// debugging landmark; integrity comes from the footer's manifest CRC.
 	manifestMagic = "QZM3"
 
-	// formatVersion is what the write-once Writer emits: v4, whose index
-	// carries a per-brick progressive level table enabling partial
-	// (coarse) reads. formatVersionV1 files (kind always float32) and
-	// formatVersionV2 files (the previous write-once layout, no level
-	// tables) still open and read unchanged; formatVersionV3 files are the
-	// generation-based mutable stores created by CreateMutable.
-	formatVersion   = 4
+	// formatVersion is what the write-once Writer emits: v5, which keeps
+	// v4's per-brick progressive level tables and appends a per-brick
+	// statistics block (min/max/mean/count/finite-count, recorded at write
+	// time) that Query uses for predicate pushdown. formatVersionV1 files
+	// (kind always float32), formatVersionV2 files (no level tables), and
+	// formatVersionV4 files (level tables, no statistics) still open and
+	// read unchanged; formatVersionV3 files are the generation-based
+	// mutable stores created by CreateMutable, whose manifests may carry
+	// the same statistics as an optional trailing extension.
+	formatVersion   = 5
 	formatVersionV1 = 1
 	formatVersionV2 = 2
 	formatVersionV3 = 3
+	formatVersionV4 = 4
 
 	// maxLevelEntries bounds one brick's level table: the codec caps
 	// segment levels at szstream.MaxSegLevel (63), plus the seed stage.
@@ -111,18 +120,191 @@ type levelSpan struct {
 	crc   uint32
 }
 
+const (
+	// statsMagic prefixes a per-brick statistics block: the v5 index
+	// carries one between its last entry and the footer, and a v3
+	// generation manifest may carry one as a trailing extension.
+	statsMagic = "QZST"
+
+	// statRecordSize is the fixed encoded size of one brick's statistics
+	// record: flags u8 | min f64 | max f64 | mean f64 | count u64 |
+	// finite-count u64, all little-endian.
+	statRecordSize = 1 + 3*8 + 2*8
+
+	statFlagValid  = 1 << 0 // record was computed at write time
+	statFlagNaN    = 1 << 1 // brick holds at least one NaN sample
+	statFlagPosInf = 1 << 2 // brick holds at least one +Inf sample
+	statFlagNegInf = 1 << 3 // brick holds at least one -Inf sample
+
+	statFlagsKnown = statFlagValid | statFlagNaN | statFlagPosInf | statFlagNegInf
+)
+
+// BrickStat is one brick's recorded data summary: min/max/mean over the
+// brick's finite samples of the ORIGINAL data at write time (decoded
+// values therefore lie within the store's error bound of [Min, Max]),
+// the total sample count, the finite sample count, and presence flags
+// for the non-finite kinds. When Finite is 0, Min/Max/Mean are 0.
+type BrickStat struct {
+	Min, Max, Mean float64
+	Count, Finite  uint64
+	HasNaN         bool
+	HasPosInf      bool
+	HasNegInf      bool
+}
+
+// brickStat is a BrickStat plus validity: a zero brickStat (valid false)
+// means "no statistics recorded for this brick" — Query then decodes the
+// brick unconditionally, never guesses.
+type brickStat struct {
+	valid bool
+	BrickStat
+}
+
+// computeBrickStat summarizes one brick's original samples. Shared by the
+// write-once Writer and every mutable mutation path, so the recorded
+// semantics cannot drift between them.
+func computeBrickStat[T qoz.Float](data []T) brickStat {
+	st := brickStat{valid: true}
+	st.Count = uint64(len(data))
+	mn, mx := math.Inf(1), math.Inf(-1)
+	var sum float64
+	for _, x := range data {
+		v := float64(x)
+		switch {
+		case math.IsNaN(v):
+			st.HasNaN = true
+		case math.IsInf(v, 1):
+			st.HasPosInf = true
+		case math.IsInf(v, -1):
+			st.HasNegInf = true
+		default:
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+			sum += v
+			st.Finite++
+		}
+	}
+	if st.Finite > 0 {
+		st.Min, st.Max = mn, mx
+		st.Mean = sum / float64(st.Finite)
+	}
+	return st
+}
+
+// statsBlockSize returns the encoded byte length of a statistics block
+// over nb bricks: magic, nb fixed-size records, and a trailing CRC32 over
+// everything before it.
+func statsBlockSize(nb int) int {
+	return len(statsMagic) + nb*statRecordSize + 4
+}
+
+// appendStatsBlock serializes the per-brick statistics block. Records are
+// fixed-size so a spec parser (and the hostile-size bounds in
+// loadIndexManifest) can locate every field by offset alone.
+func appendStatsBlock(dst []byte, stats []brickStat) []byte {
+	start := len(dst)
+	dst = append(dst, statsMagic...)
+	for _, st := range stats {
+		var flags uint8
+		if st.valid {
+			flags |= statFlagValid
+		}
+		if st.HasNaN {
+			flags |= statFlagNaN
+		}
+		if st.HasPosInf {
+			flags |= statFlagPosInf
+		}
+		if st.HasNegInf {
+			flags |= statFlagNegInf
+		}
+		dst = append(dst, flags)
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(st.Min))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(st.Max))
+		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(st.Mean))
+		dst = binary.LittleEndian.AppendUint64(dst, st.Count)
+		dst = binary.LittleEndian.AppendUint64(dst, st.Finite)
+	}
+	return binary.LittleEndian.AppendUint32(dst, crc32.ChecksumIEEE(dst[start:]))
+}
+
+// parseStatsBlock decodes a statistics block against the grid hdr implies.
+// It returns nil — never an error — on ANY mismatch: wrong size, wrong
+// magic, or failed CRC. A nil result degrades every query to the
+// decode-everything path, because a wrong answer from a bad index would be
+// a correctness bug while a slow answer is merely slow. Individual records
+// whose contents are structurally impossible (unknown flags, a non-finite
+// or inverted min/max, counts that contradict the brick's geometry) are
+// dropped to invalid the same way.
+func parseStatsBlock(buf []byte, hdr *header) []brickStat {
+	nb := hdr.numBricks()
+	if len(buf) != statsBlockSize(nb) || string(buf[:len(statsMagic)]) != statsMagic {
+		return nil
+	}
+	body := buf[: len(buf)-4 : len(buf)-4]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(buf[len(buf)-4:]) {
+		return nil
+	}
+	out := make([]brickStat, nb)
+	rec := body[len(statsMagic):]
+	for i := range out {
+		flags := rec[0]
+		st := brickStat{
+			valid: flags&statFlagValid != 0,
+			BrickStat: BrickStat{
+				Min:       math.Float64frombits(binary.LittleEndian.Uint64(rec[1:])),
+				Max:       math.Float64frombits(binary.LittleEndian.Uint64(rec[9:])),
+				Mean:      math.Float64frombits(binary.LittleEndian.Uint64(rec[17:])),
+				Count:     binary.LittleEndian.Uint64(rec[25:]),
+				Finite:    binary.LittleEndian.Uint64(rec[33:]),
+				HasNaN:    flags&statFlagNaN != 0,
+				HasPosInf: flags&statFlagPosInf != 0,
+				HasNegInf: flags&statFlagNegInf != 0,
+			},
+		}
+		rec = rec[statRecordSize:]
+		if flags&^uint8(statFlagsKnown) != 0 || (st.valid && !plausibleStat(&st, hdr, i)) {
+			st = brickStat{}
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// plausibleStat cross-checks one valid record against the brick geometry
+// and its own invariants. It cannot catch a CRC-consistent lie, but it
+// rejects every structurally impossible record before pruning trusts it.
+func plausibleStat(st *brickStat, hdr *header, i int) bool {
+	lo, hi := hdr.brickBox(i)
+	if st.Count != uint64(boxPoints(lo, hi)) || st.Finite > st.Count {
+		return false
+	}
+	if st.Finite == 0 {
+		return st.Min == 0 && st.Max == 0 && st.Mean == 0
+	}
+	return !math.IsNaN(st.Min) && !math.IsInf(st.Min, 0) &&
+		!math.IsNaN(st.Max) && !math.IsInf(st.Max, 0) &&
+		!math.IsNaN(st.Mean) && !math.IsInf(st.Mean, 0) &&
+		st.Min <= st.Max
+}
+
 // IsStore reports whether buf begins a brick store file (any supported
 // format version).
 func IsStore(buf []byte) bool {
 	return len(buf) >= len(magic)+2 && string(buf[:len(magic)]) == magic &&
 		(buf[len(magic)] == formatVersion || buf[len(magic)] == formatVersionV1 ||
-			buf[len(magic)] == formatVersionV2 || buf[len(magic)] == formatVersionV3) &&
+			buf[len(magic)] == formatVersionV2 || buf[len(magic)] == formatVersionV3 ||
+			buf[len(magic)] == formatVersionV4) &&
 		buf[len(magic)+1] == container.CodecBrick
 }
 
 // header is the decoded store header.
 type header struct {
-	version uint8 // formatVersionV1, V2, V3, or formatVersion (v4)
+	version uint8 // formatVersionV1, V2, V3, V4, or formatVersion (v5)
 	codecID uint8
 	kind    uint8 // kindFloat32 or kindFloat64
 	dims    []int
@@ -172,7 +354,8 @@ func parseHeader(buf []byte) (*header, int, error) {
 	}
 	version := buf[len(magic)]
 	if version != formatVersion && version != formatVersionV1 &&
-		version != formatVersionV2 && version != formatVersionV3 {
+		version != formatVersionV2 && version != formatVersionV3 &&
+		version != formatVersionV4 {
 		return nil, 0, fmt.Errorf("store: unsupported version %d", version)
 	}
 	if buf[len(magic)+1] != container.CodecBrick {
@@ -297,8 +480,10 @@ func parseGenFooter(buf []byte) (*genFooter, error) {
 // number, the field extents as of this generation, and an explicit
 // (offset, length, crc32) entry per brick — explicit offsets, unlike the
 // cumulative v1/v2 index, because a rewritten brick's payload lives at the
-// file tail, not in grid order.
-func appendManifest(dst []byte, gen uint64, dims []int, offs, lens []int64, crcs []uint32) []byte {
+// file tail, not in grid order. A non-nil stats slice appends the
+// per-brick statistics block as a trailing extension; manifests written
+// before the extension existed simply end after the entries.
+func appendManifest(dst []byte, gen uint64, dims []int, offs, lens []int64, crcs []uint32, stats []brickStat) []byte {
 	dst = append(dst, manifestMagic...)
 	dst = binary.AppendUvarint(dst, gen)
 	dst = append(dst, uint8(len(dims)))
@@ -311,6 +496,9 @@ func appendManifest(dst []byte, gen uint64, dims []int, offs, lens []int64, crcs
 		dst = binary.AppendUvarint(dst, uint64(lens[i]))
 		dst = binary.LittleEndian.AppendUint32(dst, crcs[i])
 	}
+	if stats != nil {
+		dst = appendStatsBlock(dst, stats)
+	}
 	return dst
 }
 
@@ -318,10 +506,14 @@ func appendManifest(dst []byte, gen uint64, dims []int, offs, lens []int64, crcs
 // the declared extents must agree with the header on every dimension but
 // the first (only time grows), the brick count must match the grid those
 // extents imply, and every entry must lie inside [minOff, maxOff) — the
-// span between the header and the manifest itself.
-func parseManifest(buf []byte, hdr *header, minOff, maxOff int64) (gen uint64, dims []int, offs, lens []int64, crcs []uint32, err error) {
-	fail := func() (uint64, []int, []int64, []int64, []uint32, error) {
-		return 0, nil, nil, nil, nil, ErrCorrupt
+// span between the header and the manifest itself. Trailing bytes after
+// the entries are the optional statistics extension: a valid block yields
+// per-brick stats, anything else degrades to nil stats (decode-everything
+// queries) rather than an error, because the footer's manifest CRC already
+// vouches for the bytes and a missing index must never cost availability.
+func parseManifest(buf []byte, hdr *header, minOff, maxOff int64) (gen uint64, dims []int, offs, lens []int64, crcs []uint32, stats []brickStat, err error) {
+	fail := func() (uint64, []int, []int64, []int64, []uint32, []brickStat, error) {
+		return 0, nil, nil, nil, nil, nil, ErrCorrupt
 	}
 	if len(buf) < len(manifestMagic)+3 || string(buf[:len(manifestMagic)]) != manifestMagic {
 		return fail()
@@ -403,9 +595,9 @@ func parseManifest(buf []byte, hdr *header, minOff, maxOff int64) (gen uint64, d
 		}
 	}
 	if len(buf) != 0 {
-		return fail()
+		stats = parseStatsBlock(buf, &genHdr)
 	}
-	return gen, dims, offs, lens, crcs, nil
+	return gen, dims, offs, lens, crcs, stats, nil
 }
 
 // grid returns the brick-grid extent per dimension: ceil(dims/brick).

@@ -186,6 +186,243 @@ func specParseV4(t *testing.T, buf []byte, h specHeader) ([]specEntry, [][]specL
 	return entries, tables
 }
 
+// specStat is one §1.6 per-brick statistics record. The three moments
+// stay raw IEEE-754 bits so comparisons are bit-exact.
+type specStat struct {
+	flags          byte
+	min, max, mean uint64
+	count, finite  uint64
+}
+
+// specParseStatsBlock decodes a §1.6 statistics block byte by byte:
+// "QZST", nb fixed 41-byte records, and a trailing CRC-32 (IEEE) over
+// everything before it.
+func specParseStatsBlock(t *testing.T, blk []byte, nb int) []specStat {
+	t.Helper()
+	const recSize = 41
+	if want := 4 + nb*recSize + 4; len(blk) != want {
+		t.Fatalf("statistics block holds %d bytes, spec says 4 + %d×41 + 4 = %d", len(blk), nb, want)
+	}
+	if string(blk[:4]) != "QZST" {
+		t.Fatalf("statistics magic %q, spec says \"QZST\"", blk[:4])
+	}
+	if crc32.ChecksumIEEE(blk[:len(blk)-4]) != binary.LittleEndian.Uint32(blk[len(blk)-4:]) {
+		t.Fatal("statistics block CRC mismatch")
+	}
+	stats := make([]specStat, nb)
+	pos := 4
+	for i := range stats {
+		r := blk[pos : pos+recSize]
+		stats[i] = specStat{
+			flags:  r[0],
+			min:    binary.LittleEndian.Uint64(r[1:]),
+			max:    binary.LittleEndian.Uint64(r[9:]),
+			mean:   binary.LittleEndian.Uint64(r[17:]),
+			count:  binary.LittleEndian.Uint64(r[25:]),
+			finite: binary.LittleEndian.Uint64(r[33:]),
+		}
+		pos += recSize
+	}
+	return stats
+}
+
+// specParseV5 walks the §1.6 index and footer of a v5 write-once store:
+// the v4 entry layout followed by the per-brick statistics block, which
+// fills the index span exactly to the footer.
+func specParseV5(t *testing.T, buf []byte, h specHeader) ([]specEntry, [][]specLevelSpan, []specStat) {
+	t.Helper()
+	foot := buf[len(buf)-16:]
+	if string(foot[8:]) != "QOZBIDX5" {
+		t.Fatalf("trailer magic %q, spec says \"QOZBIDX5\"", foot[8:])
+	}
+	idxOff := binary.LittleEndian.Uint64(foot[:8])
+	idx := buf[idxOff : len(buf)-16]
+	nb, n := binary.Uvarint(idx)
+	if n <= 0 || int(nb) != specNumBricks(h.dims, h.brick) {
+		t.Fatalf("index declares %d bricks, grid implies %d", nb, specNumBricks(h.dims, h.brick))
+	}
+	idx = idx[n:]
+	entries := make([]specEntry, nb)
+	tables := make([][]specLevelSpan, nb)
+	off := int64(h.end)
+	for i := range entries {
+		l, n := binary.Uvarint(idx)
+		if n <= 0 {
+			t.Fatalf("brick %d: bad length uvarint", i)
+		}
+		idx = idx[n:]
+		entries[i] = specEntry{off: off, length: int64(l), crc: binary.LittleEndian.Uint32(idx)}
+		idx = idx[4:]
+		off += int64(l)
+		nlv, n := binary.Uvarint(idx)
+		if n <= 0 || nlv > 64 {
+			t.Fatalf("brick %d: bad level-table count", i)
+		}
+		idx = idx[n:]
+		spans := make([]specLevelSpan, nlv)
+		prev := int64(0)
+		for j := range spans {
+			b, n := binary.Uvarint(idx)
+			if n <= 0 {
+				t.Fatalf("brick %d level entry %d: bad uvarint", i, j)
+			}
+			idx = idx[n:]
+			spans[j] = specLevelSpan{bytes: int64(b), prefix: binary.LittleEndian.Uint32(idx)}
+			idx = idx[4:]
+			if spans[j].bytes <= prev || spans[j].bytes > entries[i].length {
+				t.Fatalf("brick %d: level span %d bytes %d not strictly increasing within the payload", i, j, spans[j].bytes)
+			}
+			prev = spans[j].bytes
+		}
+		if nlv > 0 {
+			last := spans[nlv-1]
+			if last.bytes != entries[i].length || last.prefix != entries[i].crc {
+				t.Fatalf("brick %d: final level span (%d, %08x) must equal the full payload (%d, %08x)",
+					i, last.bytes, last.prefix, entries[i].length, entries[i].crc)
+			}
+		}
+		tables[i] = spans
+	}
+	// §1.6: the statistics block occupies the rest of the index span, to
+	// the byte.
+	stats := specParseStatsBlock(t, idx, int(nb))
+	if off != int64(idxOff) {
+		t.Fatalf("cumulative payload lengths end at %d, index starts at %d", off, idxOff)
+	}
+	return entries, tables, stats
+}
+
+// specBrickBoxes lists every brick's half-open box, in the row-major
+// brick-grid order §1.2 defines.
+func specBrickBoxes(dims, brick []int) [][2][]int {
+	nd := len(dims)
+	grid := make([]int, nd)
+	for i := range dims {
+		grid[i] = (dims[i] + brick[i] - 1) / brick[i]
+	}
+	var boxes [][2][]int
+	cur := make([]int, nd)
+	for {
+		lo := make([]int, nd)
+		hi := make([]int, nd)
+		for i := range lo {
+			lo[i] = cur[i] * brick[i]
+			hi[i] = lo[i] + brick[i]
+			if hi[i] > dims[i] {
+				hi[i] = dims[i]
+			}
+		}
+		boxes = append(boxes, [2][]int{lo, hi})
+		k := nd - 1
+		for ; k >= 0; k-- {
+			cur[k]++
+			if cur[k] < grid[k] {
+				break
+			}
+			cur[k] = 0
+		}
+		if k < 0 {
+			return boxes
+		}
+	}
+}
+
+// specCheckStats cross-checks a parsed statistics block against the
+// reconstruction and the real reader: structural rules (§1.6), the
+// error-bound envelope every decoded sample must satisfy against the
+// recorded min/max of the originals, flag agreement with the non-finite
+// points the reconstruction restores, and bit-exact agreement with
+// Store.BrickStats.
+func specCheckStats(t *testing.T, s *Store, stats []specStat, dims, brick []int, eb float64, recon []float64) {
+	t.Helper()
+	boxes := specBrickBoxes(dims, brick)
+	if len(boxes) != len(stats) {
+		t.Fatalf("%d statistics records for %d bricks", len(stats), len(boxes))
+	}
+	strides := make([]int, len(dims))
+	sz := 1
+	for i := len(dims) - 1; i >= 0; i-- {
+		strides[i] = sz
+		sz *= dims[i]
+	}
+	for i, st := range stats {
+		if st.flags&^byte(0x0f) != 0 {
+			t.Fatalf("brick %d: unknown flag bits %02x", i, st.flags)
+		}
+		if st.flags&1 == 0 {
+			t.Fatalf("brick %d: writer-emitted record not marked valid", i)
+		}
+		lo, hi := boxes[i][0], boxes[i][1]
+		points := 1
+		for k := range lo {
+			points *= hi[k] - lo[k]
+		}
+		if st.count != uint64(points) {
+			t.Fatalf("brick %d: count %d, box holds %d points", i, st.count, points)
+		}
+		var nan, pinf, ninf int
+		cur := append([]int(nil), lo...)
+		for {
+			g := 0
+			for k := range cur {
+				g += cur[k] * strides[k]
+			}
+			v := recon[g]
+			switch {
+			case math.IsNaN(v):
+				nan++
+			case math.IsInf(v, 1):
+				pinf++
+			case math.IsInf(v, -1):
+				ninf++
+			default:
+				if st.finite > 0 {
+					mn, mx := math.Float64frombits(st.min), math.Float64frombits(st.max)
+					if v < mn-eb || v > mx+eb {
+						t.Fatalf("brick %d: decoded %g escapes [min-eb, max+eb] = [%g, %g]", i, v, mn-eb, mx+eb)
+					}
+				}
+			}
+			k := len(cur) - 1
+			for ; k >= 0; k-- {
+				cur[k]++
+				if cur[k] < hi[k] {
+					break
+				}
+				cur[k] = lo[k]
+			}
+			if k < 0 {
+				break
+			}
+		}
+		// The envelope restores non-finite points exactly, so the flags and
+		// the finite count must agree with the reconstruction.
+		if (st.flags&2 != 0) != (nan > 0) || (st.flags&4 != 0) != (pinf > 0) || (st.flags&8 != 0) != (ninf > 0) {
+			t.Fatalf("brick %d: flags %02x disagree with reconstruction (%d NaN, %d +Inf, %d -Inf)", i, st.flags, nan, pinf, ninf)
+		}
+		if st.finite != st.count-uint64(nan+pinf+ninf) {
+			t.Fatalf("brick %d: finite %d, count %d with %d non-finite", i, st.finite, st.count, nan+pinf+ninf)
+		}
+		mn, mx, mean := math.Float64frombits(st.min), math.Float64frombits(st.max), math.Float64frombits(st.mean)
+		if st.finite == 0 {
+			if st.min != 0 || st.max != 0 || st.mean != 0 {
+				t.Fatalf("brick %d: no finite samples but nonzero moments", i)
+			}
+		} else if !(mn <= mean && mean <= mx) {
+			t.Fatalf("brick %d: mean %g outside [min, max] = [%g, %g]", i, mean, mn, mx)
+		}
+		rst, ok := s.BrickStats(i)
+		if !ok {
+			t.Fatalf("brick %d: real reader reports no statistics", i)
+		}
+		if math.Float64bits(rst.Min) != st.min || math.Float64bits(rst.Max) != st.max ||
+			math.Float64bits(rst.Mean) != st.mean || rst.Count != st.count || rst.Finite != st.finite ||
+			rst.HasNaN != (st.flags&2 != 0) || rst.HasPosInf != (st.flags&4 != 0) || rst.HasNegInf != (st.flags&8 != 0) {
+			t.Fatalf("brick %d: real reader disagrees with the documented record: %+v vs %+v", i, rst, st)
+		}
+	}
+}
+
 // specFooter is the §1.4 48-byte generation footer.
 type specFooter struct {
 	manifestOff, manifestLen int64
@@ -217,8 +454,11 @@ func specParseGenFooter(t *testing.T, buf []byte, end int64) specFooter {
 	return ft
 }
 
-// specParseManifest decodes a §1.4 generation manifest.
-func specParseManifest(t *testing.T, man []byte, h specHeader) (gen uint64, dims []int, entries []specEntry) {
+// specParseManifest decodes a §1.4 generation manifest, returning any
+// bytes past the last entry verbatim: a pre-statistics manifest has
+// none, a current one carries the §1.6 statistics block as an optional
+// extension.
+func specParseManifest(t *testing.T, man []byte, h specHeader) (gen uint64, dims []int, entries []specEntry, rest []byte) {
 	t.Helper()
 	if string(man[:4]) != "QZM3" {
 		t.Fatalf("manifest magic %q, spec says \"QZM3\"", man[:4])
@@ -256,10 +496,7 @@ func specParseManifest(t *testing.T, man []byte, h specHeader) (gen uint64, dims
 		entries[i] = specEntry{off: int64(o), length: int64(l), crc: binary.LittleEndian.Uint32(man)}
 		man = man[4:]
 	}
-	if len(man) != 0 {
-		t.Fatalf("%d trailing bytes after the last manifest entry", len(man))
-	}
-	return gen, dims, entries
+	return gen, dims, entries, man
 }
 
 // specCheckPayloads verifies every entry's bounds, checksum, and §1.2
@@ -439,9 +676,14 @@ func TestFormatSpecV3(t *testing.T) {
 	if crc32.ChecksumIEEE(man) != ft.manifestCRC {
 		t.Fatal("manifestCRC mismatch on the latest generation")
 	}
-	gen, dims, entries := specParseManifest(t, man, h)
+	gen, dims, entries, rest := specParseManifest(t, man, h)
 	if gen != ft.gen {
 		t.Fatalf("manifest gen %d, footer gen %d", gen, ft.gen)
+	}
+	// The fixture predates the statistics extension and must stay that
+	// way: it is the golden proof that stats-less manifests keep opening.
+	if len(rest) != 0 {
+		t.Fatalf("pre-statistics fixture manifest carries %d trailing bytes", len(rest))
 	}
 	if dims[0] != 5 {
 		t.Fatalf("latest generation commits %d steps, fixture appended 5", dims[0])
@@ -460,9 +702,12 @@ func TestFormatSpecV3(t *testing.T) {
 		if crc32.ChecksumIEEE(man) != ft.manifestCRC {
 			t.Fatalf("generation %d: manifestCRC mismatch", ft.gen)
 		}
-		g, gdims, gentries := specParseManifest(t, man, h)
+		g, gdims, gentries, grest := specParseManifest(t, man, h)
 		if g != ft.gen {
 			t.Fatalf("generation %d: manifest disagrees (%d)", ft.gen, g)
+		}
+		if len(grest) != 0 {
+			t.Fatalf("generation %d: pre-statistics fixture manifest carries %d trailing bytes", ft.gen, len(grest))
 		}
 		specCheckPayloads(t, buf, h, gentries, ft.manifestOff)
 		if ft.gen == 1 && (gdims[0] != 0 || len(gentries) != 0) {
@@ -495,4 +740,170 @@ func TestFormatSpecV3(t *testing.T) {
 			t.Fatalf("point %d differs from the golden reconstruction", i)
 		}
 	}
+}
+
+// TestFormatSpecV5 decodes the v5 float32 golden fixture at documented
+// offsets: the v4 entry layout, every brick's level table, and the
+// trailing statistics block byte for byte — record geometry, flag rules,
+// the error-bound envelope against the reconstruction, and bit-exact
+// agreement with Store.BrickStats.
+func TestFormatSpecV5(t *testing.T) {
+	buf, exp := readFixture(t, "v5_f32.qozb", "v5_f32.expected.f32")
+	h := specParseHeader(t, buf)
+	if h.version != 5 || h.kind != 0 {
+		t.Fatalf("v5 fixture: version %d kind %d", h.version, h.kind)
+	}
+	entries, tables, stats := specParseV5(t, buf, h)
+	specCheckPayloads(t, buf, h, entries, int64(len(buf))-16)
+	for i, spans := range tables {
+		if len(spans) == 0 {
+			t.Fatalf("brick %d: the qoz codec always records a level table", i)
+		}
+		p := buf[entries[i].off : entries[i].off+entries[i].length]
+		for j, sp := range spans {
+			if crc32.ChecksumIEEE(p[:sp.bytes]) != sp.prefix {
+				t.Fatalf("brick %d: level span %d prefix CRC does not cover its %d-byte prefix", i, j, sp.bytes)
+			}
+		}
+	}
+
+	s, err := Open(bytes.NewReader(buf), int64(len(buf)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.HasBrickStats() {
+		t.Fatal("real reader reports no statistics index on a v5 store")
+	}
+	got, err := s.ReadField(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got)*4 != len(exp) {
+		t.Fatalf("reconstruction holds %d points, expectation %d", len(got), len(exp)/4)
+	}
+	recon := make([]float64, len(got))
+	for i, v := range got {
+		if math.Float32bits(v) != binary.LittleEndian.Uint32(exp[4*i:]) {
+			t.Fatalf("point %d differs from the golden reconstruction", i)
+		}
+		recon[i] = float64(v)
+	}
+	specCheckStats(t, s, stats, h.dims, h.brick, h.bound, recon)
+}
+
+// TestFormatSpecV5Float64 decodes the v5 float64 golden fixture, seeded
+// with NaN and ±Inf: beyond the layout checks it pins the statistics flag
+// bits and the rule that min/max/mean summarize only the finite samples.
+func TestFormatSpecV5Float64(t *testing.T) {
+	buf, exp := readFixture(t, "v5_f64.qozb", "v5_f64.expected.f64")
+	h := specParseHeader(t, buf)
+	if h.version != 5 || h.kind != 1 {
+		t.Fatalf("v5 f64 fixture: version %d kind %d", h.version, h.kind)
+	}
+	entries, _, stats := specParseV5(t, buf, h)
+	specCheckPayloads(t, buf, h, entries, int64(len(buf))-16)
+
+	s, err := Open(bytes.NewReader(buf), int64(len(buf)), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	got, err := s.ReadFieldFloat64(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got)*8 != len(exp) {
+		t.Fatalf("reconstruction holds %d points, expectation %d", len(got), len(exp)/8)
+	}
+	for i, v := range got {
+		if math.Float64bits(v) != binary.LittleEndian.Uint64(exp[8*i:]) {
+			t.Fatalf("point %d differs from the golden reconstruction", i)
+		}
+	}
+	specCheckStats(t, s, stats, h.dims, h.brick, h.bound, got)
+
+	// The fixture was seeded with one NaN, one +Inf, and one -Inf: each
+	// flag bit must be set on at least one record, or the fixture has
+	// stopped exercising what it exists to pin.
+	var nan, pinf, ninf bool
+	for _, st := range stats {
+		nan = nan || st.flags&2 != 0
+		pinf = pinf || st.flags&4 != 0
+		ninf = ninf || st.flags&8 != 0
+	}
+	if !nan || !pinf || !ninf {
+		t.Fatalf("fixture statistics never set all three non-finite flags (NaN %v, +Inf %v, -Inf %v)", nan, pinf, ninf)
+	}
+}
+
+// TestFormatSpecV3Stats builds a live mutable store and walks its latest
+// manifest with the spec parser: the bytes past the last entry must be
+// exactly the §1.6 statistics block (the v3 statistics extension), and
+// the records must satisfy every rule the committed v3 fixture — which
+// predates the extension — cannot exercise.
+func TestFormatSpecV3Stats(t *testing.T) {
+	const ny, nx = 16, 24
+	ctx := context.Background()
+	m, path := newTestMutable(t, 4, ny, nx)
+	for s := 0; s < 6; s++ {
+		if err := m.AppendSteps(ctx, stepPlane(s, ny, nx)); err != nil {
+			t.Fatalf("AppendSteps: %v", err)
+		}
+	}
+	// A rewrite commits another generation whose manifest mixes kept and
+	// recomputed records.
+	if err := m.RewriteBricks(ctx, []int{0, 0, 0}, []int{4, ny, nx}, repeatPlane(stepPlane(99, ny, nx), 4)); err != nil {
+		t.Fatalf("RewriteBricks: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := specParseHeader(t, buf)
+	if h.version != 3 {
+		t.Fatalf("mutable store header version %d, spec says 3", h.version)
+	}
+	ft := specParseGenFooter(t, buf, int64(len(buf)))
+	man := buf[ft.manifestOff : ft.manifestOff+ft.manifestLen]
+	if crc32.ChecksumIEEE(man) != ft.manifestCRC {
+		t.Fatal("manifestCRC mismatch on the latest generation")
+	}
+	_, dims, entries, rest := specParseManifest(t, man, h)
+	if len(rest) == 0 {
+		t.Fatal("current mutable writer must append the statistics extension to every manifest")
+	}
+	stats := specParseStatsBlock(t, rest, len(entries))
+	specCheckPayloads(t, buf, h, entries, ft.manifestOff)
+
+	s, err := OpenFile(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if !s.HasBrickStats() {
+		t.Fatal("real reader reports no statistics index on a stats-extended v3 manifest")
+	}
+	got, err := s.ReadField(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recon := make([]float64, len(got))
+	for i, v := range got {
+		recon[i] = float64(v)
+	}
+	specCheckStats(t, s, stats, dims, h.brick, h.bound, recon)
+}
+
+// repeatPlane tiles one ny×nx plane n times along the slowest axis.
+func repeatPlane(plane []float32, n int) []float32 {
+	out := make([]float32, 0, n*len(plane))
+	for i := 0; i < n; i++ {
+		out = append(out, plane...)
+	}
+	return out
 }

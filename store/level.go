@@ -31,8 +31,7 @@ type LevelEntry struct {
 	Bytes int64 `json:"bytes"`
 }
 
-// FormatVersion returns the store's on-disk format version (1, 2, 3,
-// or 4).
+// FormatVersion returns the store's on-disk format version (1 through 5).
 func (s *Store) FormatVersion() int { return int(s.man.Load().hdr.version) }
 
 // BrickLevels returns brick i's progressive level table — seed stage

@@ -79,8 +79,8 @@ func TestReadRegionLevelMatchesStride(t *testing.T) {
 				t.Fatal(err)
 			}
 			defer s.Close()
-			if s.FormatVersion() != 4 {
-				t.Fatalf("writer emitted version %d, want 4", s.FormatVersion())
+			if s.FormatVersion() != 5 {
+				t.Fatalf("writer emitted version %d, want 5", s.FormatVersion())
 			}
 			for _, box := range [][2][]int{
 				{{0, 0, 0}, {33, 29, 17}},

@@ -118,7 +118,7 @@ func CreateMutable(path string, dims []int, wo WriteOptions) (*Mutable, error) {
 	// Header, then generation 1: an empty manifest and its footer. The
 	// file is a complete, openable store from its first commit on.
 	hb := appendHeader(nil, hdr)
-	manBytes := appendManifest(nil, 1, hdr.dims, nil, nil, nil)
+	manBytes := appendManifest(nil, 1, hdr.dims, nil, nil, nil, []brickStat{})
 	ft := &genFooter{
 		manifestOff: int64(len(hb)),
 		manifestLen: int64(len(manBytes)),
@@ -310,9 +310,16 @@ func appendStepsImpl[T qoz.Float](ctx context.Context, m *Mutable, kind uint8, r
 	offs := make([]int64, nb)
 	lens := make([]int64, nb)
 	crcs := make([]uint32, nb)
+	stats := make([]brickStat, nb)
 	copy(offs, man.offsets[:keep])
 	copy(lens, man.lengths[:keep])
 	copy(crcs, man.crcs[:keep])
+	if man.stats != nil {
+		// Kept bricks keep their recorded statistics; bricks of a store
+		// whose previous generation predates the statistics extension stay
+		// invalid (zero brickStat) and are simply never pruned.
+		copy(stats, man.stats[:keep])
+	}
 
 	// Compress and append band by band, so peak memory holds one band's
 	// payloads. Nothing is committed until the footer below: a failure
@@ -323,22 +330,26 @@ func appendStepsImpl[T qoz.Float](ctx context.Context, m *Mutable, kind uint8, r
 		bandRows := min(b0, newDims[0]-b*b0)
 		start := (b - bandStart) * b0 * rowPoints
 		band := combined[start : start+bandRows*rowPoints]
-		payloads, err := compressBand(ctx, &newHdr, m.codec, m.opts, m.workers, band, bandRows, b*nbPerBand)
+		payloads, bandStats, err := compressBand(ctx, &newHdr, m.codec, m.opts, m.workers, band, bandRows, b*nbPerBand)
 		if err != nil {
 			return err
 		}
-		for _, p := range payloads {
+		for k, p := range payloads {
 			if _, err := m.f.WriteAt(p, cur); err != nil {
 				return err
 			}
 			offs[next] = cur
 			lens[next] = int64(len(p))
 			crcs[next] = crc32.ChecksumIEEE(p)
+			// Recompressed bricks (a rewritten partial band) get statistics
+			// over the combined data actually compressed, so the "decoded
+			// within the bound of [Min, Max]" guarantee holds per brick.
+			stats[next] = bandStats[k]
 			next++
 			cur += int64(len(p))
 		}
 	}
-	return m.commit(&newHdr, offs, lens, crcs, cur)
+	return m.commit(&newHdr, offs, lens, crcs, stats, cur)
 }
 
 // RewriteBricks replaces the data inside the brick-aligned box [lo, hi)
@@ -403,6 +414,7 @@ func rewriteBricksImpl[T qoz.Float](ctx context.Context, m *Mutable, kind uint8,
 	}
 	bricks := man.intersectingBricks(lo, hi)
 	payloads := make([][]byte, len(bricks))
+	rewriteStats := make([]brickStat, len(bricks))
 	for k, bi := range bricks {
 		blo, bhi := hdr.brickBox(bi)
 		size := make([]int, len(dims))
@@ -418,11 +430,16 @@ func rewriteBricksImpl[T qoz.Float](ctx context.Context, m *Mutable, kind uint8,
 			return fmt.Errorf("store: brick %d: %w", bi, err)
 		}
 		payloads[k] = p
+		rewriteStats[k] = computeBrickStat(buf)
 	}
 
 	offs := append([]int64(nil), man.offsets...)
 	lens := append([]int64(nil), man.lengths...)
 	crcs := append([]uint32(nil), man.crcs...)
+	stats := make([]brickStat, len(offs))
+	if man.stats != nil {
+		copy(stats, man.stats)
+	}
 	cur := m.end
 	for k, bi := range bricks {
 		p := payloads[k]
@@ -432,10 +449,11 @@ func rewriteBricksImpl[T qoz.Float](ctx context.Context, m *Mutable, kind uint8,
 		offs[bi] = cur
 		lens[bi] = int64(len(p))
 		crcs[bi] = crc32.ChecksumIEEE(p)
+		stats[bi] = rewriteStats[k]
 		cur += int64(len(p))
 	}
 	newHdr := *hdr
-	return m.commit(&newHdr, offs, lens, crcs, cur)
+	return m.commit(&newHdr, offs, lens, crcs, stats, cur)
 }
 
 // commit finishes a mutation: the generation manifest is appended at end
@@ -443,10 +461,10 @@ func rewriteBricksImpl[T qoz.Float](ctx context.Context, m *Mutable, kind uint8,
 // then is the footer — the commit point — written and synced. The
 // in-memory snapshot swaps last, so concurrent readers move atomically
 // from the old generation to the new.
-func (m *Mutable) commit(newHdr *header, offs, lens []int64, crcs []uint32, end int64) error {
+func (m *Mutable) commit(newHdr *header, offs, lens []int64, crcs []uint32, stats []brickStat, end int64) error {
 	man := m.man.Load()
 	gen := man.gen + 1
-	manBytes := appendManifest(nil, gen, newHdr.dims, offs, lens, crcs)
+	manBytes := appendManifest(nil, gen, newHdr.dims, offs, lens, crcs, stats)
 	if _, err := m.f.WriteAt(manBytes, end); err != nil {
 		return err
 	}
@@ -480,6 +498,7 @@ func (m *Mutable) commit(newHdr *header, offs, lens []int64, crcs []uint32, end 
 		offsets: offs,
 		lengths: lens,
 		crcs:    crcs,
+		stats:   stats,
 		fp:      manifestFingerprint(newHdr, manBytes),
 	})
 	m.end = footOff + int64(genFooterSize)
@@ -547,7 +566,9 @@ func (m *Mutable) Compact(ctx context.Context) error {
 		cur += man.lengths[i]
 	}
 	gen := man.gen + 1
-	manBytes := appendManifest(nil, gen, newHdr.dims, offs, lens, man.crcs)
+	// Payloads are copied verbatim, so their statistics are too; a store
+	// without statistics compacts to a store without statistics.
+	manBytes := appendManifest(nil, gen, newHdr.dims, offs, lens, man.crcs, man.stats)
 	ft := &genFooter{
 		manifestOff: cur,
 		manifestLen: int64(len(manBytes)),
@@ -589,6 +610,7 @@ func (m *Mutable) Compact(ctx context.Context) error {
 		offsets: offs,
 		lengths: lens,
 		crcs:    crcs,
+		stats:   man.stats,
 		fp:      manifestFingerprint(&newHdr, manBytes),
 	})
 	m.end = ft.manifestOff + ft.manifestLen + int64(genFooterSize)

@@ -23,6 +23,12 @@ const (
 	// StageCacheHit marks a brick served from the decoded-brick cache.
 	// The duration is zero; the bytes argument is the decoded size served.
 	StageCacheHit
+	// StageStatPrune marks a brick a Query resolved from the statistics
+	// index alone — conclusively inside or outside the predicate by the
+	// stored error bound — without fetching or decoding its payload. The
+	// duration is zero; the bytes argument is the compressed payload size
+	// that was NOT read.
+	StageStatPrune
 )
 
 // String names the stage the way metrics label it.
@@ -34,6 +40,8 @@ func (s Stage) String() string {
 		return "decode"
 	case StageCacheHit:
 		return "cache_hit"
+	case StageStatPrune:
+		return "stat_prune"
 	default:
 		return "unknown"
 	}

@@ -53,6 +53,9 @@ type Stats struct {
 	BricksRead int64
 	// CacheHits counts bricks served from the decoded-brick cache.
 	CacheHits int64
+	// BricksPruned counts bricks that Query resolved from the statistics
+	// index alone, never fetching or decoding their payloads.
+	BricksPruned int64
 	// CachedBytes is the decoded bytes currently cached (the whole cache's
 	// holdings when the store shares one via Options.Cache).
 	CachedBytes int64
@@ -79,13 +82,20 @@ type manifest struct {
 	offsets []int64
 	lengths []int64
 	crcs    []uint32
-	// levels holds one progressive level table per brick (v4 stores): the
-	// payload-prefix byte lengths and prefix CRCs of each level boundary,
-	// seed stage first. nil for v1/v2/v3 stores; an individual brick's
-	// table is empty when its payload carries no level segments (another
-	// codec), in which case coarse reads fall back to full decodes.
+	// levels holds one progressive level table per brick (v4/v5 stores):
+	// the payload-prefix byte lengths and prefix CRCs of each level
+	// boundary, seed stage first. nil for v1/v2/v3 stores; an individual
+	// brick's table is empty when its payload carries no level segments
+	// (another codec), in which case coarse reads fall back to full
+	// decodes.
 	levels [][]levelSpan
-	fp     uint32 // manifest fingerprint (header content + manifest bytes)
+	// stats holds one recorded data summary per brick (v5 stores and v3
+	// manifests carrying the statistics extension): the basis for Query's
+	// predicate pushdown. nil when the store predates statistics or its
+	// statistics block failed validation — queries then decode every
+	// intersecting brick and stay correct, just slower.
+	stats []brickStat
+	fp    uint32 // manifest fingerprint (header content + manifest bytes)
 }
 
 // Store is a read handle on a brick store. All methods are safe for
@@ -109,6 +119,7 @@ type Store struct {
 	decoded atomic.Int64
 	read    atomic.Int64
 	hits    atomic.Int64
+	pruned  atomic.Int64
 }
 
 // Open parses the manifest of a brick store held in ra (size bytes long)
@@ -161,8 +172,9 @@ func Open(ra io.ReaderAt, size int64, opts Options) (*Store, error) {
 }
 
 // loadIndexManifest reads the write-once manifest: the cumulative-length
-// index behind the fixed footer — v1/v2's bare (length, crc) entries, or
-// v4's entries extended with a per-brick progressive level table. Every
+// index behind the fixed footer — v1/v2's bare (length, crc) entries,
+// v4's entries extended with a per-brick progressive level table, or
+// v5's v4 entries followed by the per-brick statistics block. Every
 // declared quantity is validated against what the header implies before
 // anything is allocated from it.
 func loadIndexManifest(ra io.ReaderAt, size int64, hdr *header, headerLen int) (*manifest, error) {
@@ -170,9 +182,13 @@ func loadIndexManifest(ra io.ReaderAt, size int64, hdr *header, headerLen int) (
 	if _, err := ra.ReadAt(foot[:], size-int64(footerSize)); err != nil {
 		return nil, manifestReadErr(err)
 	}
-	v4 := hdr.version == formatVersion
+	v5 := hdr.version == formatVersion
+	v4 := v5 || hdr.version == formatVersionV4
 	wantTrailer := trailerMagic
-	if v4 {
+	switch {
+	case v5:
+		wantTrailer = trailerMagicV5
+	case v4:
 		wantTrailer = trailerMagicV4
 	}
 	if string(foot[8:]) != wantTrailer {
@@ -185,18 +201,25 @@ func loadIndexManifest(ra io.ReaderAt, size int64, hdr *header, headerLen int) (
 	nb := hdr.numBricks()
 	idxLen := size - int64(footerSize) - int64(idxOff)
 	// Each v1/v2 index entry occupies 5..14 bytes (varint length + crc32);
-	// a v4 entry adds a level-table count and at most maxLevelEntries
-	// (varint, crc32) pairs. A valid index is bounded both ways by the
-	// brick count; checking the lower bound BEFORE allocating per-brick
-	// slices stops a tiny hostile file whose header declares billions of
-	// bricks from forcing the allocations — the file itself must already
-	// be as large as its index.
+	// a v4/v5 entry adds a level-table count and at most maxLevelEntries
+	// (varint, crc32) pairs, and a v5 index appends the fixed-size
+	// statistics block. A valid index is bounded both ways by the brick
+	// count; checking the lower bound BEFORE allocating per-brick slices
+	// stops a tiny hostile file whose header declares billions of bricks
+	// from forcing the allocations — the file itself must already be as
+	// large as its index. The v5 lower bound stays at the bare entries so
+	// a truncated statistics block degrades (stats nil) instead of
+	// rejecting the store.
 	minEntry, maxEntry := int64(5), int64(binary.MaxVarintLen64+4)
 	if v4 {
 		minEntry += 1
 		maxEntry += 1 + int64(maxLevelEntries)*int64(binary.MaxVarintLen64+4)
 	}
-	if idxLen < int64(nb)*minEntry+1 || idxLen > int64(nb)*maxEntry+binary.MaxVarintLen64 {
+	maxIdx := int64(nb)*maxEntry + binary.MaxVarintLen64
+	if v5 {
+		maxIdx += int64(statsBlockSize(nb))
+	}
+	if idxLen < int64(nb)*minEntry+1 || idxLen > maxIdx {
 		return nil, ErrCorrupt
 	}
 	idx := make([]byte, idxLen)
@@ -273,6 +296,17 @@ func loadIndexManifest(ra io.ReaderAt, size int64, hdr *header, headerLen int) (
 			return nil, ErrCorrupt
 		}
 		m.levels[i] = spans
+	}
+	if v5 {
+		// Whatever follows the entries is the statistics block. It is
+		// validated by size, magic, and its own CRC; any mismatch —
+		// truncation, mutation, a hostile rewrite — degrades to nil stats
+		// (every query decodes every brick) rather than an open error:
+		// statistics are an accelerator, and a wrong answer from a bad
+		// index would be a correctness bug while a missing one is only
+		// slow. The entries themselves remain strictly validated above.
+		m.stats = parseStatsBlock(idx, hdr)
+		idx = nil
 	}
 	if len(idx) != 0 || off != int64(idxOff) {
 		return nil, ErrCorrupt
@@ -391,7 +425,7 @@ func loadManifestAt(ra io.ReaderAt, size int64, hdr *header, headerLen int, foot
 	if crc32.ChecksumIEEE(raw) != ft.manifestCRC {
 		return nil, ErrCorrupt
 	}
-	gen, dims, offs, lens, crcs, err := parseManifest(raw, hdr, int64(headerLen), ft.manifestOff)
+	gen, dims, offs, lens, crcs, stats, err := parseManifest(raw, hdr, int64(headerLen), ft.manifestOff)
 	if err != nil {
 		return nil, err
 	}
@@ -409,6 +443,7 @@ func loadManifestAt(ra io.ReaderAt, size int64, hdr *header, headerLen int, foot
 		offsets: offs,
 		lengths: lens,
 		crcs:    crcs,
+		stats:   stats,
 		fp:      manifestFingerprint(&genHdr, raw),
 	}, nil
 }
@@ -535,12 +570,30 @@ func (s *Store) ManifestVersion() (crc uint32, gen uint64) {
 	return m.fp, m.gen
 }
 
+// HasBrickStats reports whether the store's current manifest carries a
+// valid per-brick statistics index (a v5 store, or a v3 generation whose
+// manifest has the statistics extension). Without one, Query still works
+// by decoding every intersecting brick.
+func (s *Store) HasBrickStats() bool { return s.man.Load().stats != nil }
+
+// BrickStats returns the recorded data summary of brick i in the current
+// generation. ok is false when the store carries no statistics index, the
+// brick's record failed validation, or i is out of range.
+func (s *Store) BrickStats(i int) (BrickStat, bool) {
+	m := s.man.Load()
+	if m.stats == nil || i < 0 || i >= len(m.stats) || !m.stats[i].valid {
+		return BrickStat{}, false
+	}
+	return m.stats[i].BrickStat, true
+}
+
 // Stats returns decode and cache counters accumulated since Open.
 func (s *Store) Stats() Stats {
 	st := Stats{
 		BricksDecoded: s.decoded.Load(),
 		BricksRead:    s.read.Load(),
 		CacheHits:     s.hits.Load(),
+		BricksPruned:  s.pruned.Load(),
 		CachedBytes:   s.cache.cachedBytes(),
 	}
 	if s.remote != nil {

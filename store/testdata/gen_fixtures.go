@@ -7,9 +7,15 @@
 //
 // The fixtures pin on-disk compatibility, so regenerate them ONLY when
 // introducing a new format version — never to "fix" a failing golden
-// test, which is the test doing its job. v1_f32.qozb and v2_f64.qozb
-// predate the current writer and must never be rewritten (no current
-// writer emits v1 or v2; the write-once Writer emits v4).
+// test, which is the test doing its job. v1_f32.qozb, v2_f64.qozb,
+// v4_f32.qozb, and v3_gen4.qozb predate the current writer and must
+// never be rewritten: the write-once Writer now emits v5 (v4 plus the
+// per-brick statistics block), and the mutable writer now appends the
+// statistics extension to every manifest, so "regenerating" any of them
+// would silently change the very bytes the golden tests exist to pin.
+// v3_gen4.qozb in particular doubles as the stats-less backward-compat
+// golden: a pre-extension manifest must keep opening with nil
+// statistics. This tool therefore only writes the v5 fixtures.
 package main
 
 import (
@@ -23,35 +29,24 @@ import (
 	"qoz/store"
 )
 
-// plane synthesizes one deterministic 12×12 step.
-func plane(t int) []float32 {
-	out := make([]float32, 12*12)
-	for y := 0; y < 12; y++ {
-		for x := 0; x < 12; x++ {
-			out[y*12+x] = float32(t)*10 + float32(math.Sin(float64(y)/3)+math.Cos(float64(x)/2))
-		}
-	}
-	return out
-}
-
 func main() {
 	ctx := context.Background()
 
-	// v4 float32 store: 12^3 points, brick 8^3, bound 1e-3 — the current
-	// write-once layout, whose index carries per-brick progressive level
-	// tables.
+	// v5 float32 store: 12^3 points, brick 8^3, bound 1e-3 — the current
+	// write-once layout: v4's per-brick level tables plus the trailing
+	// per-brick statistics block.
 	d32 := make([]float32, 12*12*12)
 	for i := range d32 {
 		d32[i] = float32(math.Sin(float64(i)/11) + math.Cos(float64(i)/7)*0.25)
 	}
-	f, err := os.Create("store/testdata/v4_f32.qozb")
+	f, err := os.Create("store/testdata/v5_f32.qozb")
 	check(err)
 	check(store.Write(ctx, f, d32, []int{12, 12, 12}, store.WriteOptions{
 		Opts:  qoz.Options{ErrorBound: 1e-3},
 		Brick: []int{8, 8, 8},
 	}))
 	check(f.Close())
-	s, err := store.OpenFile("store/testdata/v4_f32.qozb", store.Options{})
+	s, err := store.OpenFile("store/testdata/v5_f32.qozb", store.Options{})
 	check(err)
 	recon, err := s.ReadField(ctx)
 	check(err)
@@ -60,42 +55,36 @@ func main() {
 	for i, v := range recon {
 		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
 	}
-	check(os.WriteFile("store/testdata/v4_f32.expected.f32", raw, 0o644))
+	check(os.WriteFile("store/testdata/v5_f32.expected.f32", raw, 0o644))
 
-	// v3 mutable store with a 4-generation history:
-	//   gen 1: created empty, dims {0,12,12}, brick {2,8,8}
-	//   gen 2: 3 steps appended (full band + partial band)
-	//   gen 3: 2 more steps (partial band extended across a boundary)
-	//   gen 4: brick box [0,0,0)..(2,8,8) rewritten
-	os.Remove("store/testdata/v3_gen4.qozb")
-	m, err := store.CreateMutable("store/testdata/v3_gen4.qozb", []int{0, 12, 12}, store.WriteOptions{
+	// v5 float64 store, seeded with NaN and ±Inf so the fixture pins the
+	// statistics flag bits and the rule that min/max/mean summarize only
+	// the finite samples (the float64 escape envelope restores the
+	// non-finite points exactly).
+	d64 := make([]float64, 12*12*12)
+	for i := range d64 {
+		d64[i] = math.Sin(float64(i)/13)*2 + math.Cos(float64(i)/5)*0.5
+	}
+	d64[100] = math.NaN()
+	d64[200] = math.Inf(1)
+	d64[1500] = math.Inf(-1)
+	f, err = os.Create("store/testdata/v5_f64.qozb")
+	check(err)
+	check(store.WriteT(ctx, f, d64, []int{12, 12, 12}, store.WriteOptions{
 		Opts:  qoz.Options{ErrorBound: 1e-3},
-		Brick: []int{2, 8, 8},
-	})
+		Brick: []int{8, 8, 8},
+	}))
+	check(f.Close())
+	s, err = store.OpenFile("store/testdata/v5_f64.qozb", store.Options{})
 	check(err)
-	var steps []float32
-	for t := 0; t < 3; t++ {
-		steps = append(steps, plane(t)...)
-	}
-	check(m.AppendSteps(ctx, steps))
-	steps = steps[:0]
-	for t := 3; t < 5; t++ {
-		steps = append(steps, plane(t)...)
-	}
-	check(m.AppendSteps(ctx, steps))
-	patch := make([]float32, 2*8*8)
-	for i := range patch {
-		patch[i] = 500 + float32(i%9)
-	}
-	check(m.RewriteBricks(ctx, []int{0, 0, 0}, []int{2, 8, 8}, patch))
-	recon32, err := m.ReadField(ctx)
+	recon64, err := s.ReadFieldFloat64(ctx)
 	check(err)
-	check(m.Close())
-	raw = make([]byte, 4*len(recon32))
-	for i, v := range recon32 {
-		binary.LittleEndian.PutUint32(raw[4*i:], math.Float32bits(v))
+	s.Close()
+	raw = make([]byte, 8*len(recon64))
+	for i, v := range recon64 {
+		binary.LittleEndian.PutUint64(raw[8*i:], math.Float64bits(v))
 	}
-	check(os.WriteFile("store/testdata/v3_gen4.expected.f32", raw, 0o644))
+	check(os.WriteFile("store/testdata/v5_f64.expected.f64", raw, 0o644))
 	fmt.Println("fixtures regenerated")
 }
 

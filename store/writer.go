@@ -66,7 +66,7 @@ func DefaultBrick(dims []int) []int {
 	return out
 }
 
-// Writer builds a write-once (format v2) brick store incrementally:
+// Writer builds a write-once (format v5) brick store incrementally:
 // whole rows of the slowest dimension are appended in order, and each
 // time a full band of brick[0] rows accumulates it is cut into bricks,
 // compressed concurrently, and flushed, so peak memory is one band
@@ -90,6 +90,7 @@ type Writer[T qoz.Float] struct {
 	lengths   []int64
 	crcs      []uint32
 	levels    [][]levelSpan
+	stats     []brickStat
 	closed    bool
 	// writeErr poisons the writer once bytes may have reached w from a
 	// failed band write: after a partial write the underlying stream is
@@ -182,6 +183,7 @@ func NewWriterT[T qoz.Float](w io.Writer, dims []int, wo WriteOptions) (*Writer[
 		lengths:   make([]int64, 0, hdr.numBricks()),
 		crcs:      make([]uint32, 0, hdr.numBricks()),
 		levels:    make([][]levelSpan, 0, hdr.numBricks()),
+		stats:     make([]brickStat, 0, hdr.numBricks()),
 	}, nil
 }
 
@@ -269,11 +271,11 @@ func (bw *Writer[T]) RowsAppended() int { return bw.rowsSeen }
 
 // flushBand compresses and writes one band of `rows` rows held in band.
 func (bw *Writer[T]) flushBand(ctx context.Context, band []T, rows int) error {
-	payloads, err := compressBand(ctx, bw.hdr, bw.codec, bw.opts, bw.workers, band, rows, len(bw.lengths))
+	payloads, stats, err := compressBand(ctx, bw.hdr, bw.codec, bw.opts, bw.workers, band, rows, len(bw.lengths))
 	if err != nil {
 		return err
 	}
-	for _, p := range payloads {
+	for k, p := range payloads {
 		if _, err := bw.w.Write(p); err != nil {
 			bw.writeErr = err
 			return err
@@ -281,6 +283,7 @@ func (bw *Writer[T]) flushBand(ctx context.Context, band []T, rows int) error {
 		bw.lengths = append(bw.lengths, int64(len(p)))
 		bw.crcs = append(bw.crcs, crc32.ChecksumIEEE(p))
 		bw.levels = append(bw.levels, brickLevelTable(p))
+		bw.stats = append(bw.stats, stats[k])
 	}
 	return nil
 }
@@ -316,13 +319,15 @@ func brickLevelTable(p []byte) []levelSpan {
 }
 
 // compressBand compresses one band of `rows` rows into its per-brick
-// payloads, in brick order. The band is the full cross-product of the
-// grid over dims[1:] — the global brick order visits all of band k before
-// band k+1, so emitting per band preserves it. brickBase numbers error
-// messages in global brick indices. Shared by the write-once Writer and
-// the mutable append path.
+// payloads and statistics, in brick order. The band is the full
+// cross-product of the grid over dims[1:] — the global brick order visits
+// all of band k before band k+1, so emitting per band preserves it.
+// brickBase numbers error messages in global brick indices. Shared by the
+// write-once Writer and the mutable append path; statistics are computed
+// here because this is the one place both paths hold a brick's original
+// (pre-compression) samples.
 func compressBand[T qoz.Float](ctx context.Context, hdr *header, codec qoz.Codec, opts qoz.Options,
-	workers int, band []T, rows, brickBase int) ([][]byte, error) {
+	workers int, band []T, rows, brickBase int) ([][]byte, []brickStat, error) {
 	bandDims := append([]int{rows}, hdr.dims[1:]...)
 	g := hdr.grid()
 	nb := 1
@@ -330,6 +335,7 @@ func compressBand[T qoz.Float](ctx context.Context, hdr *header, codec qoz.Codec
 		nb *= x
 	}
 	payloads := make([][]byte, nb)
+	stats := make([]brickStat, nb)
 	err := pool.RunErr(ctx, nb, workers, func(k int) error {
 		// Decompose k over g[1:] into the brick's box within the band.
 		coord := make([]int, len(g))
@@ -352,12 +358,13 @@ func compressBand[T qoz.Float](ctx context.Context, hdr *header, codec qoz.Codec
 			return fmt.Errorf("store: brick %d: %w", brickBase+k, err)
 		}
 		payloads[k] = p
+		stats[k] = computeBrickStat(buf)
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return payloads, nil
+	return payloads, stats, nil
 }
 
 // Close verifies the field is complete and writes the index and footer.
@@ -387,11 +394,16 @@ func (bw *Writer[T]) Close() error {
 		}
 		off += l
 	}
+	// The statistics block sits between the last index entry and the
+	// footer, inside the idx span the footer's offset delimits — so the
+	// manifest fingerprint (computed over the raw idx bytes) moves whenever
+	// statistics change, and serving-layer ETags move with it.
+	idx = appendStatsBlock(idx, bw.stats)
 	if _, err := bw.w.Write(idx); err != nil {
 		return err
 	}
 	foot := binary.LittleEndian.AppendUint64(nil, uint64(int64(len(appendHeader(nil, bw.hdr)))+off))
-	foot = append(foot, trailerMagicV4...)
+	foot = append(foot, trailerMagicV5...)
 	_, err := bw.w.Write(foot)
 	return err
 }
